@@ -1,0 +1,112 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	repro "repro"
+)
+
+func TestFacadePipeline(t *testing.T) {
+	meta, err := repro.WorkloadByName("hydro2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := repro.BaseMachine(4, repro.DefaultScale)
+	prog := meta.Build(repro.DefaultScale)
+	sum, err := repro.Compile(prog, machine, repro.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Partitions) == 0 || len(sum.Groups) == 0 {
+		t.Fatal("empty summary")
+	}
+	hints, err := repro.ComputeHints(prog, sum, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Simulate(prog, machine, repro.SimOptions{Policy: repro.PolicyPageColoring, Hints: hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles == 0 || res.HonoredHints == 0 {
+		t.Errorf("suspicious result: wall=%d honored=%d", res.WallCycles, res.HonoredHints)
+	}
+}
+
+func TestFacadeTouchOrderPath(t *testing.T) {
+	meta, _ := repro.WorkloadByName("mgrid")
+	machine := repro.BaseMachine(2, 32)
+	prog := meta.Build(32)
+	sum, err := repro.Compile(prog, machine, repro.CompileOptions{Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hints, err := repro.ComputeHints(prog, sum, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Simulate(prog, machine, repro.SimOptions{
+		Policy: repro.PolicyBinHopping, Hints: hints, TouchOrder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles == 0 {
+		t.Error("zero wall clock")
+	}
+}
+
+func TestFacadeTextProgram(t *testing.T) {
+	src := `
+program tiny
+array x elems=2048
+array y elems=2048
+phase go occurs=4
+  nest sweep parallel iters=8 inner=256 work=4 sched=even
+    load x outer=256
+    store y outer=256
+`
+	prog, err := repro.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip through the formatter.
+	if _, err := repro.ParseProgram(repro.FormatProgram(prog)); err != nil {
+		t.Fatalf("format round trip: %v", err)
+	}
+	res, err := repro.RunProgram(prog, repro.Spec{CPUs: 4, Variant: repro.CDPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "tiny" || res.WallCycles == 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Policy != string(repro.CDPC) {
+		t.Errorf("policy = %s", res.Policy)
+	}
+}
+
+func TestFacadeParseError(t *testing.T) {
+	_, err := repro.ParseProgram("program x\nbogus line\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-numbered error, got %v", err)
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	base := repro.BaseMachine(8, 1)
+	alpha := repro.AlphaMachine(8, 1)
+	if base.Colors() != 256 {
+		t.Errorf("base colors = %d, want 256", base.Colors())
+	}
+	if alpha.L2.Size != 4<<20 {
+		t.Errorf("alpha L2 = %d, want 4MB", alpha.L2.Size)
+	}
+	if err := base.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := alpha.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Command accessmap plots which virtual pages each processor touches
+// during a workload's steady state — the reproduction of Figure 3
+// (virtual-address order, the sparse patterns that defeat page coloring)
+// and Figure 5 (CDPC coloring order, dense per-CPU runs). It also prints
+// each page's assigned color under the chosen policy.
+//
+// Usage:
+//
+//	accessmap -workload tomcatv -cpus 16 -order virtual
+//	accessmap -workload swim -cpus 16 -order cdpc -colors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "tomcatv", "workload name")
+		cpus       = flag.Int("cpus", 16, "number of processors")
+		scale      = flag.Int("scale", workloads.DefaultScale, "scale divisor")
+		order      = flag.String("order", "virtual", "page order: virtual or cdpc")
+		showColors = flag.Bool("colors", false, "print the CDPC color of each ordered page")
+		quality    = flag.Bool("quality", false, "print per-CPU color-balance metrics for the hints")
+	)
+	flag.Parse()
+
+	spec := harness.Spec{Workload: *workload, Scale: *scale, CPUs: *cpus, Variant: harness.CDPC}
+	hints, prog, err := harness.Hints(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accessmap:", err)
+		os.Exit(1)
+	}
+	cfg := spec.Config()
+
+	var pages []uint64
+	switch *order {
+	case "cdpc":
+		pages = hints.Order
+	case "virtual":
+		pages = virtualOrder(prog, cfg.PageSize)
+	default:
+		fmt.Fprintf(os.Stderr, "accessmap: unknown order %q\n", *order)
+		os.Exit(1)
+	}
+	pos := make(map[uint64]int, len(pages))
+	for i, vpn := range pages {
+		pos[vpn] = i
+	}
+
+	fmt.Printf("%s: %d pages, %d CPUs, %d colors, %s order\n",
+		*workload, len(pages), *cpus, cfg.Colors(), *order)
+	for cpu := 0; cpu < *cpus; cpu++ {
+		touched := ir.TouchedPages(prog, *cpus, cpu, cfg.PageSize)
+		row := make([]byte, len(pages))
+		for i := range row {
+			row[i] = '.'
+		}
+		for vpn := range touched {
+			if i, ok := pos[vpn]; ok {
+				row[i] = '#'
+			}
+		}
+		fmt.Printf("cpu%02d |%s|\n", cpu, row)
+	}
+	if *quality {
+		fmt.Println()
+		fmt.Print(hints.Evaluate(*cpus))
+	}
+	if *showColors {
+		fmt.Println("\npage -> color (coloring order):")
+		for i, vpn := range hints.Order {
+			fmt.Printf("  #%-4d vpn %-6d color %d\n", i, vpn, hints.Colors[vpn])
+		}
+	}
+}
+
+// virtualOrder lists the data pages in ascending virtual order.
+func virtualOrder(prog *ir.Program, pageSize int) []uint64 {
+	var vpns []uint64
+	ps := uint64(pageSize)
+	for _, a := range prog.Arrays {
+		for vpn := a.Base / ps; vpn*ps < a.EndAddr(); vpn++ {
+			if len(vpns) > 0 && vpns[len(vpns)-1] == vpn {
+				continue
+			}
+			vpns = append(vpns, vpn)
+		}
+	}
+	return vpns
+}

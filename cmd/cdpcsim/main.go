@@ -1,0 +1,159 @@
+// Command cdpcsim runs one workload on the simulated multiprocessor
+// under a chosen page mapping configuration and prints the paper-style
+// statistics: execution breakdown, MCPI by miss class, bus utilization
+// and hint effectiveness.
+//
+// Usage:
+//
+//	cdpcsim -workload tomcatv -cpus 8 -variant cdpc
+//	cdpcsim -workload swim -cpus 16 -variant page-coloring -prefetch
+//	cdpcsim -workload applu -machine alpha -variant bin-hopping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/harness"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "tomcatv", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
+		cpus     = flag.Int("cpus", 8, "number of processors (1-16)")
+		scale    = flag.Int("scale", workloads.DefaultScale, "machine+data scale divisor")
+		variant  = flag.String("variant", "page-coloring", "mapping variant (page-coloring, bin-hopping, bin-hopping-unaligned, cdpc, cdpc-touch, coloring-touch, dynamic-recoloring, padded-coloring, padded-bin-hopping)")
+		machine  = flag.String("machine", "base", "machine preset (base, alpha)")
+		prefetch = flag.Bool("prefetch", false, "enable compiler-inserted prefetching")
+		fast     = flag.Bool("fast", false, "cache-counting-only fast simulator (SimOS's high-speed mode, §3.2)")
+		progFile = flag.String("program", "", "run a custom program from a text-format file instead of a bundled workload")
+		machFile = flag.String("machine-file", "", "load a custom machine configuration from a JSON file")
+		dumpMach = flag.Bool("dump-machine", false, "print the resolved machine configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	spec := harness.Spec{
+		Workload: *workload,
+		Scale:    *scale,
+		CPUs:     *cpus,
+		Machine:  harness.MachineKind(*machine),
+		Variant:  harness.Variant(*variant),
+		Prefetch: *prefetch,
+	}
+	if *machFile != "" {
+		cfg, err := arch.LoadConfigFile(*machFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+			os.Exit(1)
+		}
+		spec.ConfigOverride = &cfg
+	}
+	if *dumpMach {
+		cfg := spec.Config()
+		if err := cfg.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *progFile != "" {
+		f, err := os.Open(*progFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+			os.Exit(1)
+		}
+		prog, err := ir.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdpcsim: %s: %v\n", *progFile, err)
+			os.Exit(1)
+		}
+		res, err := harness.RunProgram(prog, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+			os.Exit(1)
+		}
+		print(res, spec)
+		return
+	}
+	if *fast {
+		if err := runFast(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res, err := harness.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+		os.Exit(1)
+	}
+	print(res, spec)
+}
+
+// runFast positions the workload with the cache-counting simulator.
+func runFast(spec harness.Spec) error {
+	res, err := harness.FastRun(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fast mode: %s on %d CPUs (%s)\n", res.Workload, res.NumCPUs, spec.Config().Name)
+	fmt.Printf("  refs        %d\n", res.Refs)
+	fmt.Printf("  L1 hits     %d (%.1f%%)\n", res.L1Hits, 100*float64(res.L1Hits)/float64(res.Refs))
+	fmt.Printf("  L2 hits     %d\n", res.L2Hits)
+	fmt.Printf("  L2 misses   %d (miss ratio %.4f)\n", res.L2Misses, res.MissRatio())
+	fmt.Printf("  page faults %d, TLB misses %d, footprint %d pages\n", res.PageFaults, res.TLBMisses, res.PagesTouched)
+	return nil
+}
+
+func print(res *sim.Result, spec harness.Spec) {
+	cfg := spec.Config()
+	fmt.Printf("workload   %s on %s (%d CPUs, %d colors, %s)\n",
+		res.Workload, res.Machine, res.NumCPUs, cfg.Colors(), res.Policy)
+	fmt.Printf("wall clock %d cycles (%.2f ms at %d MHz)\n",
+		res.WallCycles, float64(res.WallCycles)/float64(cfg.ClockMHz)/1000, cfg.ClockMHz)
+	fmt.Printf("combined   %.1f Mcycles over all CPUs\n", float64(res.CombinedCycles())/1e6)
+
+	tot := func(f func(*sim.CPUStats) uint64) uint64 { return res.Total(f) }
+	comb := float64(res.CombinedCycles())
+	pct := func(x uint64) float64 { return 100 * float64(x) / comb }
+
+	fmt.Println("\ncycle breakdown (% of combined time):")
+	fmt.Printf("  execution    %6.1f%%\n", pct(tot(func(s *sim.CPUStats) uint64 { return s.ExecCycles })))
+	fmt.Printf("  memory stall %6.1f%%\n", pct(tot((*sim.CPUStats).MemStallCycles)))
+	fmt.Printf("  kernel       %6.1f%%\n", pct(tot(func(s *sim.CPUStats) uint64 { return s.KernelCycles })))
+	fmt.Printf("  imbalance    %6.1f%%\n", pct(tot(func(s *sim.CPUStats) uint64 { return s.ImbalanceCycles })))
+	fmt.Printf("  sequential   %6.1f%%\n", pct(tot(func(s *sim.CPUStats) uint64 { return s.SequentialCycles })))
+	fmt.Printf("  suppressed   %6.1f%%\n", pct(tot(func(s *sim.CPUStats) uint64 { return s.SuppressedCycles })))
+	fmt.Printf("  synchroniz.  %6.1f%%\n", pct(tot(func(s *sim.CPUStats) uint64 { return s.SyncCycles })))
+
+	fmt.Println("\nmemory system:")
+	fmt.Printf("  MCPI            %.3f\n", res.MCPI())
+	fmt.Printf("  off-chip misses %d (cold %d, conflict %d, capacity %d, true-share %d, false-share %d)\n",
+		tot(func(s *sim.CPUStats) uint64 { return s.L2Misses }),
+		tot(func(s *sim.CPUStats) uint64 { return s.ColdMisses }),
+		tot(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
+		tot(func(s *sim.CPUStats) uint64 { return s.CapacityMisses }),
+		tot(func(s *sim.CPUStats) uint64 { return s.TrueShareMisses }),
+		tot(func(s *sim.CPUStats) uint64 { return s.FalseShareMisses }))
+	fmt.Printf("  bus utilization %.0f%% (data %.1fM, writeback %.1fM, upgrade %.1fM cycles)\n",
+		100*res.BusUtilization(), float64(res.Bus.DataCycles)/1e6,
+		float64(res.Bus.WritebackCycles)/1e6, float64(res.Bus.UpgradeCycles)/1e6)
+
+	if pf := tot(func(s *sim.CPUStats) uint64 { return s.PrefetchesIssued }); pf > 0 {
+		fmt.Printf("  prefetches      %d issued, %d dropped on TLB miss, %d demand hits on in-flight lines\n",
+			pf,
+			tot(func(s *sim.CPUStats) uint64 { return s.PrefetchesDropped }),
+			tot(func(s *sim.CPUStats) uint64 { return s.PrefetchedHits }))
+	}
+	if res.HintedFaults > 0 {
+		fmt.Printf("\nCDPC hints: %d faults hinted, %d honored (%.0f%%)\n",
+			res.HintedFaults, res.HonoredHints, 100*float64(res.HonoredHints)/float64(res.HintedFaults))
+	}
+}

@@ -1,0 +1,76 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Table 1, Figures 2–3 and 5–9, Table 2) on the simulated
+// machine.
+//
+// Usage:
+//
+//	experiments              # run everything (minutes)
+//	experiments -id fig6     # one experiment
+//	experiments -quick       # reduced CPU counts and workload set
+//	experiments -list        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "", "experiment id (empty = all)")
+		quick  = flag.Bool("quick", false, "reduced sweep for fast runs")
+		scale  = flag.Int("scale", 0, "machine+data scale divisor (0 = default 16)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		outDir = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := harness.ExpOptions{Scale: *scale, Quick: *quick}
+	var exps []harness.Experiment
+	if *id != "" {
+		e, err := harness.ExperimentByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		exps = []harness.Experiment{e}
+	} else {
+		exps = harness.Experiments()
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("================ %s — %s (%.1fs) ================\n\n%s\n",
+			e.ID, e.Title, time.Since(start).Seconds(), out)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

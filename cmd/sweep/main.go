@@ -1,0 +1,90 @@
+// Command sweep runs a grid of simulations (workloads × CPU counts ×
+// mapping variants) and emits the results as CSV or JSON for external
+// plotting — the machine-readable companion to cmd/experiments.
+//
+// Usage:
+//
+//	sweep -workloads tomcatv,swim -cpus 1,4,8,16 -variants page-coloring,cdpc
+//	sweep -workloads all -cpus 8 -variants all -format json > results.json
+//	sweep -workloads tomcatv -cpus 8 -variants cdpc -prefetch -machine alpha
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workloadsFlag = flag.String("workloads", "tomcatv", "comma-separated workload names, or 'all'")
+		cpusFlag      = flag.String("cpus", "1,8", "comma-separated CPU counts")
+		variantsFlag  = flag.String("variants", "page-coloring,cdpc", "comma-separated mapping variants, or 'all'")
+		machine       = flag.String("machine", "base", "machine preset (base, alpha)")
+		scale         = flag.Int("scale", workloads.DefaultScale, "scale divisor")
+		prefetch      = flag.Bool("prefetch", false, "enable compiler-inserted prefetching")
+		format        = flag.String("format", "csv", "output format (csv, json)")
+	)
+	flag.Parse()
+
+	names := strings.Split(*workloadsFlag, ",")
+	if *workloadsFlag == "all" {
+		names = workloads.Names()
+	}
+	var variants []harness.Variant
+	if *variantsFlag == "all" {
+		variants = harness.Variants()
+	} else {
+		for _, v := range strings.Split(*variantsFlag, ",") {
+			variants = append(variants, harness.Variant(strings.TrimSpace(v)))
+		}
+	}
+	var cpus []int
+	for _, c := range strings.Split(*cpusFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep: bad cpu count:", c)
+			os.Exit(1)
+		}
+		cpus = append(cpus, n)
+	}
+
+	var rows []report.Row
+	for _, name := range names {
+		for _, p := range cpus {
+			for _, v := range variants {
+				res, err := harness.Run(harness.Spec{
+					Workload: strings.TrimSpace(name),
+					Scale:    *scale,
+					CPUs:     p,
+					Machine:  harness.MachineKind(*machine),
+					Variant:  v,
+					Prefetch: *prefetch,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "sweep:", err)
+					os.Exit(1)
+				}
+				rows = append(rows, report.FromResult(res, *prefetch))
+			}
+		}
+	}
+
+	var err error
+	switch *format {
+	case "json":
+		err = report.WriteJSON(os.Stdout, rows)
+	default:
+		err = report.WriteCSV(os.Stdout, rows)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

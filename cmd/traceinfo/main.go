@@ -1,0 +1,79 @@
+// Command traceinfo analyzes a workload's memory reference stream
+// without simulating timing: footprint, reference counts, and the
+// working-set curve (fully-associative LRU miss ratio vs cache size)
+// computed from LRU stack distances. The curve separates capacity
+// pressure — which no page mapping policy can fix — from the conflict
+// misses CDPC eliminates: the gap between the fully-associative curve at
+// the machine's cache size and the direct-mapped simulation's miss count
+// is the conflict opportunity.
+//
+// Usage:
+//
+//	traceinfo -workload tomcatv -cpus 8
+//	traceinfo -workload swim -cpus 16 -percpu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/ir"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "tomcatv", "workload name")
+		cpus     = flag.Int("cpus", 8, "number of processors")
+		scale    = flag.Int("scale", workloads.DefaultScale, "scale divisor")
+		perCPU   = flag.Bool("percpu", false, "analyze each CPU's stream separately")
+	)
+	flag.Parse()
+
+	spec := harness.Spec{Workload: *workload, Scale: *scale, CPUs: *cpus}
+	prog, _, cfg, err := harness.Prepare(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+	lineSize := cfg.L2.LineSize
+	cacheLines := cfg.L2.Lines()
+
+	analyze := func(label string, s trace.Stream) {
+		h := trace.LineDistances(s, lineSize)
+		fmt.Printf("%s: %d refs, footprint %d lines (%d KB)\n",
+			label, h.Total, h.DistinctLines(), h.DistinctLines()*uint64(lineSize)/1024)
+		fmt.Println("  fully-associative LRU miss ratio by cache size:")
+		for lines := 64; lines <= 8*cacheLines; lines *= 2 {
+			marker := "  "
+			if lines == cacheLines {
+				marker = "<- machine cache"
+			}
+			fmt.Printf("    %6d KB: %.4f %s\n", lines*lineSize/1024, h.MissRatioAt(lines), marker)
+		}
+	}
+
+	if *perCPU {
+		for cpu := 0; cpu < *cpus; cpu++ {
+			analyze(fmt.Sprintf("cpu%02d", cpu), cpuStream(prog, *cpus, cpu))
+		}
+		return
+	}
+	// Whole-program stream: all CPUs' steady-state references, CPU-major
+	// (capacity analysis is per-CPU cache anyway; use -percpu for that).
+	analyze(prog.Name, cpuStream(prog, 1, 0))
+}
+
+// cpuStream concatenates one CPU's steady-state nest streams.
+func cpuStream(prog *ir.Program, ncpu, cpu int) trace.Stream {
+	var streams []trace.Stream
+	for _, ph := range prog.Phases {
+		for _, n := range ph.Nests {
+			streams = append(streams, ir.NestStream(prog, n, ncpu, cpu))
+		}
+	}
+	return trace.Concat(streams...)
+}

@@ -1,0 +1,72 @@
+package repro_test
+
+import (
+	"fmt"
+
+	repro "repro"
+)
+
+// Example runs the paper's headline comparison — page coloring vs CDPC
+// on the tomcatv analog at 16 processors — through the one-call API.
+func Example() {
+	base, err := repro.Run(repro.Spec{Workload: "tomcatv", CPUs: 16, Variant: repro.PageColoring})
+	if err != nil {
+		panic(err)
+	}
+	cdpc, err := repro.Run(repro.Spec{Workload: "tomcatv", CPUs: 16, Variant: repro.CDPC})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("CDPC eliminates conflicts: %v\n", cdpc.Speedup(base) > 2)
+	fmt.Printf("CDPC relieves the bus: %v\n", cdpc.BusUtilization() < base.BusUtilization())
+	// Output:
+	// CDPC eliminates conflicts: true
+	// CDPC relieves the bus: true
+}
+
+// ExampleComputeHints shows the three-stage CDPC pipeline of §5 on a
+// hand-built program: compile (layout + summaries), compute hints, and
+// inspect the per-page colors the OS would receive.
+func ExampleComputeHints() {
+	const elems = 8 * 512 // 8 pages
+	a := &repro.Array{Name: "a", ElemSize: 8, Elems: elems}
+	b := &repro.Array{Name: "b", ElemSize: 8, Elems: elems}
+	prog := &repro.Program{
+		Name:   "example",
+		Arrays: []*repro.Array{a, b},
+		Phases: []*repro.Phase{{Name: "main", Occurrences: 1, Nests: []*repro.Nest{{
+			Name: "sweep", Parallel: true, Iterations: 8, InnerIters: 512,
+			Accesses: []repro.Access{
+				{Array: a, Kind: repro.Load, OuterStride: 512, InnerStride: 1},
+				{Array: b, Kind: repro.Store, OuterStride: 512, InnerStride: 1},
+			},
+			WorkPerIter: 4,
+			Sched:       repro.Schedule{Kind: repro.Even},
+		}}}},
+	}
+	machine := repro.BaseMachine(2, 64) // 2 CPUs, 16KB cache, 4 colors
+	summary, err := repro.Compile(prog, machine, repro.CompileOptions{})
+	if err != nil {
+		panic(err)
+	}
+	hints, err := repro.ComputeHints(prog, summary, machine)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d pages hinted across %d colors\n", len(hints.Order), hints.NumColors)
+	fmt.Printf("first page color: %d\n", hints.Colors[hints.Order[0]])
+	// Output:
+	// 17 pages hinted across 4 colors
+	// first page color: 0
+}
+
+// ExampleWorkloads lists the bundled SPEC95fp analogs.
+func ExampleWorkloads() {
+	for _, w := range repro.Workloads()[:3] {
+		fmt.Printf("%s (%.0f MB in the paper)\n", w.Name, w.PaperDataMB)
+	}
+	// Output:
+	// tomcatv (14 MB in the paper)
+	// swim (14 MB in the paper)
+	// su2cor (23 MB in the paper)
+}

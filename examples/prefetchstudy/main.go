@@ -1,0 +1,57 @@
+// Prefetchstudy reproduces the §6.2 complementarity decomposition: on
+// tomcatv with four processors the paper measures CDPC alone at +29%,
+// prefetching alone at +24%, and the two combined at +88% — each
+// technique makes the other work better. This example runs the four
+// configurations and reports the same decomposition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	const cpus = 4
+	type cfg struct {
+		label    string
+		variant  repro.Variant
+		prefetch bool
+	}
+	configs := []cfg{
+		{"page coloring (baseline)", repro.PageColoring, false},
+		{"CDPC only", repro.CDPC, false},
+		{"prefetching only", repro.PageColoring, true},
+		{"CDPC + prefetching", repro.CDPC, true},
+	}
+
+	fmt.Printf("tomcatv on %d CPUs — CDPC and prefetching are complementary (§6.2)\n\n", cpus)
+	var base *repro.Result
+	for _, c := range configs {
+		res, err := repro.Run(repro.Spec{
+			Workload: "tomcatv",
+			CPUs:     cpus,
+			Variant:  c.variant,
+			Prefetch: c.prefetch,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", c.label, err)
+		}
+		if base == nil {
+			base = res
+		}
+		extra := ""
+		if pf := res.Total(func(s *repro.CPUStats) uint64 { return s.PrefetchesIssued }); pf > 0 {
+			extra = fmt.Sprintf("  (%d prefetches, %d dropped on TLB miss)",
+				pf, res.Total(func(s *repro.CPUStats) uint64 { return s.PrefetchesDropped }))
+		}
+		fmt.Printf("  %-26s %8.1f Mcycles  speedup %+5.1f%%%s\n",
+			c.label, float64(res.WallCycles)/1e6, 100*(res.Speedup(base)-1), extra)
+	}
+	fmt.Println("\npaper (tomcatv, 4 CPUs): CDPC +29%, prefetching +24%, combined +88%")
+	fmt.Println("note: prefetching alone can LOSE here because the page-coloring baseline")
+	fmt.Println("displaces prefetched lines before use and doubles bus traffic — the exact")
+	fmt.Println("mechanism §6.2 gives for why CDPC improves prefetching. The combined run")
+	fmt.Println("being far better than the sum of parts is the paper's complementarity claim.")
+}

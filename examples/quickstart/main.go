@@ -1,0 +1,56 @@
+// Quickstart: run the paper's headline comparison on one bundled
+// workload — page coloring versus compiler-directed page coloring on an
+// 8-CPU machine — using only the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	meta, err := repro.WorkloadByName("tomcatv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := repro.BaseMachine(8, repro.DefaultScale)
+
+	// Baseline: IRIX-style page coloring.
+	baseProg := meta.Build(repro.DefaultScale)
+	if _, err := repro.Compile(baseProg, machine, repro.CompileOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	base, err := repro.Simulate(baseProg, machine, repro.SimOptions{Policy: repro.PolicyPageColoring})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// CDPC: compile, compute hints from the access-pattern summary, and
+	// hand them to the simulated OS through the madvise-like interface.
+	prog := meta.Build(repro.DefaultScale)
+	summary, err := repro.Compile(prog, machine, repro.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hints, err := repro.ComputeHints(prog, summary, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cdpc, err := repro.Simulate(prog, machine, repro.SimOptions{
+		Policy: repro.PolicyPageColoring,
+		Hints:  hints,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tomcatv on 8 CPUs (%d page colors)\n", machine.Colors())
+	fmt.Printf("  page coloring: %8.1f Mcycles  MCPI %.2f  bus %.0f%%\n",
+		float64(base.WallCycles)/1e6, base.MCPI(), 100*base.BusUtilization())
+	fmt.Printf("  CDPC:          %8.1f Mcycles  MCPI %.2f  bus %.0f%%\n",
+		float64(cdpc.WallCycles)/1e6, cdpc.MCPI(), 100*cdpc.BusUtilization())
+	fmt.Printf("  speedup:       %.2fx (%d of %d page hints honored)\n",
+		cdpc.Speedup(base), cdpc.HonoredHints, cdpc.HintedFaults)
+}

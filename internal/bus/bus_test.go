@@ -1,0 +1,117 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUncontendedTransfer(t *testing.T) {
+	b := New(3.0, 8) // base machine: 1.2 GB/s at 400 MHz
+	done := b.Acquire(100, 128, Data)
+	// 128 bytes at 3 B/cycle = ceil(42.67) = 43 cycles + 8 overhead.
+	if want := uint64(100 + 8 + 43); done != want {
+		t.Errorf("done = %d, want %d", done, want)
+	}
+	if b.AvgWait() != 0 {
+		t.Errorf("unexpected queueing on idle bus: %v", b.AvgWait())
+	}
+}
+
+func TestContentionQueues(t *testing.T) {
+	b := New(4.0, 0)
+	d1 := b.Acquire(0, 64, Data) // holds [0,16)
+	d2 := b.Acquire(0, 64, Data) // must wait until 16
+	if d1 != 16 || d2 != 32 {
+		t.Errorf("done = %d,%d; want 16,32", d1, d2)
+	}
+	if b.AvgWait() != 8 { // (0 + 16) / 2
+		t.Errorf("AvgWait = %v, want 8", b.AvgWait())
+	}
+}
+
+func TestLateRequestDoesNotQueue(t *testing.T) {
+	b := New(4.0, 0)
+	b.Acquire(0, 64, Data)           // busy until 16
+	done := b.Acquire(100, 64, Data) // bus long idle
+	if done != 116 {
+		t.Errorf("done = %d, want 116", done)
+	}
+}
+
+func TestUpgradeHasNoDataCycles(t *testing.T) {
+	b := New(4.0, 8)
+	done := b.Acquire(0, 0, Upgrade)
+	if done != 8 {
+		t.Errorf("upgrade done = %d, want overhead only (8)", done)
+	}
+	if b.Occupancy(Upgrade) != 8 || b.Occupancy(Data) != 0 {
+		t.Error("occupancy not attributed to Upgrade")
+	}
+}
+
+func TestOccupancyCategories(t *testing.T) {
+	b := New(4.0, 0)
+	b.Acquire(0, 64, Data)
+	b.Acquire(0, 64, Writeback)
+	b.Acquire(0, 64, Writeback)
+	if b.Occupancy(Data) != 16 || b.Occupancy(Writeback) != 32 {
+		t.Errorf("occupancy data=%d wb=%d, want 16/32", b.Occupancy(Data), b.Occupancy(Writeback))
+	}
+	if b.Transactions(Writeback) != 2 {
+		t.Errorf("writeback count = %d, want 2", b.Transactions(Writeback))
+	}
+	if b.TotalOccupied() != 48 {
+		t.Errorf("total = %d, want 48", b.TotalOccupied())
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	b := New(1.0, 0)
+	b.Acquire(0, 100, Data)
+	if u := b.Utilization(50); u != 1 {
+		t.Errorf("utilization should clamp to 1, got %v", u)
+	}
+	if u := b.Utilization(200); u != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	if u := b.Utilization(0); u != 0 {
+		t.Errorf("zero horizon utilization = %v, want 0", u)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(4.0, 2)
+	b.Acquire(0, 64, Data)
+	b.Reset()
+	if b.TotalOccupied() != 0 || b.AvgWait() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	if done := b.Acquire(0, 0, Upgrade); done != 2 {
+		t.Errorf("bus still busy after Reset: done=%d", done)
+	}
+}
+
+func TestMonotonicCompletionProperty(t *testing.T) {
+	// Back-to-back transactions complete in issue order and never overlap.
+	f := func(sizes []uint8) bool {
+		b := New(3.0, 4)
+		var prev uint64
+		for i, s := range sizes {
+			done := b.Acquire(uint64(i), int(s), Data)
+			if done <= prev {
+				return false
+			}
+			prev = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Data.String() != "data" || Writeback.String() != "writeback" || Upgrade.String() != "upgrade" {
+		t.Error("unexpected Category strings")
+	}
+}

@@ -1,0 +1,157 @@
+// Package cache implements the set-associative cache model used for both
+// the on-chip (virtually indexed) and external (physically indexed)
+// caches, and a fully-associative shadow cache used to split replacement
+// misses into conflict and capacity misses.
+package cache
+
+import (
+	"repro/internal/arch"
+)
+
+// way is one line slot; ways within a set are ordered most-recently-used
+// first, so eviction always takes the last element.
+type way struct {
+	lineAddr uint64 // line-aligned address; zero is valid so track presence
+	valid    bool
+	dirty    bool
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with true
+// LRU replacement. It is indexed by whatever address is passed in —
+// virtual for on-chip caches, physical for the external cache — which is
+// exactly the distinction that makes page colors matter (§2.1).
+type Cache struct {
+	Geom arch.CacheGeometry
+	sets [][]way
+
+	// counters
+	Accesses uint64
+	Hits     uint64
+}
+
+// New creates an empty cache with the given geometry.
+func New(g arch.CacheGeometry) *Cache {
+	sets := make([][]way, g.Sets())
+	backing := make([]way, g.Sets()*g.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*g.Assoc : (i+1)*g.Assoc : (i+1)*g.Assoc]
+	}
+	return &Cache{Geom: g, sets: sets}
+}
+
+// Result reports the outcome of an Access.
+type Result struct {
+	Hit         bool
+	Evicted     bool   // a valid line was displaced
+	VictimAddr  uint64 // line address of the displaced line
+	VictimDirty bool   // displaced line requires a writeback
+}
+
+// Access looks up addr, allocating on miss, and returns the outcome.
+// write marks the (resulting) line dirty.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.Accesses++
+	la := c.Geom.LineAddr(addr)
+	set := c.sets[c.Geom.SetOf(addr)]
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == la {
+			c.Hits++
+			w := set[i]
+			w.dirty = w.dirty || write
+			copy(set[1:i+1], set[:i]) // move to MRU
+			set[0] = w
+			return Result{Hit: true}
+		}
+	}
+	// Miss: evict LRU way.
+	last := len(set) - 1
+	res := Result{}
+	if set[last].valid {
+		res.Evicted = true
+		res.VictimAddr = set[last].lineAddr
+		res.VictimDirty = set[last].dirty
+	}
+	copy(set[1:], set[:last])
+	set[0] = way{lineAddr: la, valid: true, dirty: write}
+	return res
+}
+
+// Probe reports whether addr is present without disturbing LRU state.
+func (c *Cache) Probe(addr uint64) bool {
+	la := c.Geom.LineAddr(addr)
+	set := c.sets[c.Geom.SetOf(addr)]
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line if present, returning (present, dirty).
+// Used by the coherence protocol when another CPU writes the line.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	la := c.Geom.LineAddr(addr)
+	set := c.sets[c.Geom.SetOf(addr)]
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == la {
+			dirty = set[i].dirty
+			copy(set[i:], set[i+1:]) // compact, keeping LRU order
+			set[len(set)-1] = way{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Clean clears the dirty bit of addr's line if present (after a writeback
+// or a downgrade to shared state).
+func (c *Cache) Clean(addr uint64) {
+	la := c.Geom.LineAddr(addr)
+	set := c.sets[c.Geom.SetOf(addr)]
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == la {
+			set[i].dirty = false
+			return
+		}
+	}
+}
+
+// MarkDirty sets the dirty bit of addr's line if present without
+// touching LRU state; used when an on-chip dirty victim is written back
+// into the (inclusive) external cache.
+func (c *Cache) MarkDirty(addr uint64) {
+	la := c.Geom.LineAddr(addr)
+	set := c.sets[c.Geom.SetOf(addr)]
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == la {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// Flush empties the cache (program start).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+}
+
+// Utilization returns the fraction of sets holding at least one valid
+// line; the paper's Figure 3 argument is that sparse access patterns
+// leave external-cache regions unused.
+func (c *Cache) Utilization() float64 {
+	used := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				used++
+				break
+			}
+		}
+	}
+	return float64(used) / float64(len(c.sets))
+}

@@ -1,0 +1,257 @@
+// Package coherence implements an invalidation-based (MESI-style)
+// coherence directory over the per-CPU external caches, plus the
+// word-granularity bookkeeping needed to classify coherence misses into
+// true and false sharing following Dubois et al., the classification the
+// paper's Figure 2 memory-system graph uses (§4.1).
+//
+// The directory is the single source of truth for which CPUs hold a line;
+// the simulator mirrors its invalidation decisions into the per-CPU cache
+// models.
+package coherence
+
+import "fmt"
+
+// Class classifies the outcome of a memory access at the external-cache
+// level.
+type Class uint8
+
+const (
+	// Hit: the line was present in the requesting CPU's external cache.
+	Hit Class = iota
+	// Cold: first access to the line by any CPU.
+	Cold
+	// TrueShare: miss caused by invalidation, and the word accessed was
+	// written by another CPU — genuine communication.
+	TrueShare
+	// FalseShare: miss caused by invalidation of a line whose accessed
+	// word was not written by another CPU — an artifact of line size.
+	FalseShare
+	// Replacement: the CPU once held the line and lost it to its own
+	// eviction; split into conflict/capacity by the caller's shadow cache.
+	Replacement
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Hit:
+		return "hit"
+	case Cold:
+		return "cold"
+	case TrueShare:
+		return "true-share"
+	case FalseShare:
+		return "false-share"
+	case Replacement:
+		return "replacement"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+const wordSize = 8 // classification granularity (double-precision words)
+
+// lineState tracks one physical cache line.
+type lineState struct {
+	owners     uint64 // bitmask of CPUs holding the line
+	dirtyOwner int8   // CPU holding it modified, -1 if none
+	// wordWriter[i] is the CPU that last wrote word i, -1 if never.
+	wordWriter []int8
+	// lostTo[cpu] is the CPU whose write invalidated cpu's copy, -1 when
+	// the copy was lost to cpu's own eviction (or never held).
+	lostTo []int8
+	// held[cpu] records that cpu has held the line at some point, to
+	// distinguish Replacement from Cold per-CPU: the paper counts a
+	// first-touch by a CPU of a line another CPU already fetched as a
+	// replacement-class (shared-data distribution) miss only when the
+	// requester lost it; an outright first touch by this CPU with no
+	// invalidation is treated as Cold for this CPU.
+	held uint64
+}
+
+// Outcome describes what the protocol did for one access.
+type Outcome struct {
+	Class       Class
+	DirtyRemote bool  // data supplied by another CPU's cache (higher latency)
+	Invalidated []int // CPUs whose copies were invalidated (write path)
+	Upgrade     bool  // write hit on a shared line: ownership-only bus transaction
+}
+
+// Directory tracks all lines. Not safe for concurrent use; the simulator
+// is single-threaded event-driven.
+type Directory struct {
+	ncpu     int
+	lineSize uint64
+	lines    map[uint64]*lineState
+
+	// scratch to avoid per-access allocation
+	invalScratch []int
+}
+
+// New creates a directory for ncpu CPUs and the given external-cache line
+// size in bytes.
+func New(ncpu, lineSize int) *Directory {
+	if ncpu <= 0 || ncpu > 64 {
+		panic(fmt.Sprintf("coherence: ncpu %d out of range [1,64]", ncpu))
+	}
+	return &Directory{
+		ncpu:         ncpu,
+		lineSize:     uint64(lineSize),
+		lines:        make(map[uint64]*lineState),
+		invalScratch: make([]int, 0, ncpu),
+	}
+}
+
+func (d *Directory) lineOf(addr uint64) uint64 { return addr &^ (d.lineSize - 1) }
+
+func (d *Directory) state(la uint64) *lineState {
+	s, ok := d.lines[la]
+	if !ok {
+		s = &lineState{
+			dirtyOwner: -1,
+			wordWriter: make([]int8, d.lineSize/wordSize),
+			lostTo:     make([]int8, d.ncpu),
+		}
+		for i := range s.wordWriter {
+			s.wordWriter[i] = -1
+		}
+		for i := range s.lostTo {
+			s.lostTo[i] = -1
+		}
+		d.lines[la] = s
+	}
+	return s
+}
+
+// classifyMiss determines the miss class for cpu accessing word w of line s.
+func (d *Directory) classifyMiss(s *lineState, cpu int, word int) Class {
+	if s.held == 0 && s.owners == 0 {
+		return Cold
+	}
+	if s.held&(1<<uint(cpu)) == 0 {
+		// This CPU never held the line; another CPU touched it first.
+		// If the word was produced by another CPU this is communication.
+		if w := s.wordWriter[word]; w >= 0 && int(w) != cpu {
+			return TrueShare
+		}
+		return Cold
+	}
+	if inv := s.lostTo[cpu]; inv >= 0 {
+		if w := s.wordWriter[word]; w >= 0 && int(w) != cpu {
+			return TrueShare
+		}
+		return FalseShare
+	}
+	return Replacement
+}
+
+// wordIndex clamps the accessed word within the line.
+func (d *Directory) wordIndex(addr uint64) int {
+	return int((addr % d.lineSize) / wordSize)
+}
+
+// Access performs the protocol action for cpu touching addr. present
+// reports whether the requesting CPU's external cache currently holds the
+// line (the simulator knows; the directory double-checks its mirror).
+func (d *Directory) Access(cpu int, addr uint64, write bool) Outcome {
+	la := d.lineOf(addr)
+	s := d.state(la)
+	word := d.wordIndex(addr)
+	bit := uint64(1) << uint(cpu)
+
+	var out Outcome
+	if s.owners&bit != 0 {
+		out.Class = Hit
+		if write && s.owners != bit {
+			// Write hit on a shared line: upgrade + invalidate others.
+			out.Upgrade = true
+			out.Invalidated = d.invalidateOthers(s, cpu)
+		}
+	} else {
+		out.Class = d.classifyMiss(s, cpu, word)
+		if s.dirtyOwner >= 0 && int(s.dirtyOwner) != cpu {
+			out.DirtyRemote = true
+		}
+		if write {
+			out.Invalidated = d.invalidateOthers(s, cpu)
+		} else if s.dirtyOwner >= 0 && int(s.dirtyOwner) != cpu {
+			// Read of a dirty remote line: owner downgrades to shared,
+			// memory (and requester) get the data.
+			s.dirtyOwner = -1
+		}
+		s.owners |= bit
+		s.held |= bit
+		s.lostTo[cpu] = -1
+	}
+
+	if write {
+		s.dirtyOwner = int8(cpu)
+		s.wordWriter[word] = int8(cpu)
+	}
+	return out
+}
+
+// invalidateOthers removes every owner except cpu, recording cpu as the
+// invalidator, and returns the list of invalidated CPUs.
+func (d *Directory) invalidateOthers(s *lineState, cpu int) []int {
+	d.invalScratch = d.invalScratch[:0]
+	for p := 0; p < d.ncpu; p++ {
+		if p == cpu {
+			continue
+		}
+		if s.owners&(1<<uint(p)) != 0 {
+			s.owners &^= 1 << uint(p)
+			s.lostTo[p] = int8(cpu)
+			d.invalScratch = append(d.invalScratch, p)
+		}
+	}
+	if len(d.invalScratch) == 0 {
+		return nil
+	}
+	// Copy: callers may retain across Access calls in principle.
+	out := make([]int, len(d.invalScratch))
+	copy(out, d.invalScratch)
+	return out
+}
+
+// Evict records that cpu's external cache displaced the line containing
+// addr (capacity/conflict, not coherence); a later re-fetch by cpu is a
+// Replacement miss.
+func (d *Directory) Evict(cpu int, addr uint64) {
+	la := d.lineOf(addr)
+	s, ok := d.lines[la]
+	if !ok {
+		return
+	}
+	bit := uint64(1) << uint(cpu)
+	if s.owners&bit == 0 {
+		return
+	}
+	s.owners &^= bit
+	s.lostTo[cpu] = -1 // self-inflicted loss
+	if int(s.dirtyOwner) == cpu {
+		s.dirtyOwner = -1 // written back to memory
+	}
+}
+
+// Holders returns how many CPUs currently hold addr's line; for tests.
+func (d *Directory) Holders(addr uint64) int {
+	s, ok := d.lines[d.lineOf(addr)]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for b := s.owners; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Forget drops all protocol state for the line containing addr; used
+// when a page is recolored and its old frame's lines cease to exist.
+func (d *Directory) Forget(addr uint64) {
+	delete(d.lines, d.lineOf(addr))
+}
+
+// Reset drops all line state (between independent runs).
+func (d *Directory) Reset() { d.lines = make(map[uint64]*lineState) }

@@ -1,0 +1,184 @@
+package coherence
+
+import "testing"
+
+const line = 128
+
+func TestColdMiss(t *testing.T) {
+	d := New(4, line)
+	out := d.Access(0, 0x1000, false)
+	if out.Class != Cold {
+		t.Errorf("class = %v, want cold", out.Class)
+	}
+	if out.DirtyRemote || out.Upgrade || out.Invalidated != nil {
+		t.Errorf("unexpected protocol action: %+v", out)
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	d := New(4, line)
+	d.Access(0, 0x1000, false)
+	if out := d.Access(0, 0x1040, false); out.Class != Hit {
+		t.Errorf("same-line access class = %v, want hit", out.Class)
+	}
+}
+
+func TestReadSharing(t *testing.T) {
+	d := New(4, line)
+	d.Access(0, 0x1000, false)
+	out := d.Access(1, 0x1000, false)
+	// CPU1 never held the line and the word was never written: cold.
+	if out.Class != Cold {
+		t.Errorf("class = %v, want cold", out.Class)
+	}
+	if d.Holders(0x1000) != 2 {
+		t.Errorf("holders = %d, want 2", d.Holders(0x1000))
+	}
+}
+
+func TestTrueSharingOnProducedWord(t *testing.T) {
+	d := New(4, line)
+	d.Access(0, 0x1000, true) // CPU0 produces word 0
+	out := d.Access(1, 0x1000, false)
+	if out.Class != TrueShare {
+		t.Errorf("class = %v, want true-share", out.Class)
+	}
+	if !out.DirtyRemote {
+		t.Error("dirty line should be supplied by remote cache")
+	}
+}
+
+func TestFalseSharingOnUnrelatedWord(t *testing.T) {
+	d := New(4, line)
+	// CPU1 reads word 8 of the line, CPU0 writes word 0, CPU1 re-reads word 8.
+	d.Access(1, 0x1040, false)
+	out0 := d.Access(0, 0x1000, true)
+	if len(out0.Invalidated) != 1 || out0.Invalidated[0] != 1 {
+		t.Fatalf("write should invalidate CPU1, got %+v", out0)
+	}
+	out1 := d.Access(1, 0x1040, false)
+	if out1.Class != FalseShare {
+		t.Errorf("class = %v, want false-share", out1.Class)
+	}
+}
+
+func TestTrueSharingAfterInvalidation(t *testing.T) {
+	d := New(4, line)
+	d.Access(1, 0x1000, false) // CPU1 reads word 0
+	d.Access(0, 0x1000, true)  // CPU0 writes word 0, invalidating CPU1
+	out := d.Access(1, 0x1000, false)
+	if out.Class != TrueShare {
+		t.Errorf("class = %v, want true-share", out.Class)
+	}
+}
+
+func TestUpgradeOnWriteHitShared(t *testing.T) {
+	d := New(4, line)
+	d.Access(0, 0x1000, false)
+	d.Access(1, 0x1000, false)
+	out := d.Access(0, 0x1000, true)
+	if out.Class != Hit || !out.Upgrade {
+		t.Errorf("write hit on shared line: %+v, want hit+upgrade", out)
+	}
+	if len(out.Invalidated) != 1 || out.Invalidated[0] != 1 {
+		t.Errorf("invalidated = %v, want [1]", out.Invalidated)
+	}
+}
+
+func TestNoUpgradeOnExclusiveWriteHit(t *testing.T) {
+	d := New(4, line)
+	d.Access(0, 0x1000, true)
+	out := d.Access(0, 0x1000, true)
+	if out.Class != Hit || out.Upgrade {
+		t.Errorf("exclusive write hit: %+v, want plain hit", out)
+	}
+}
+
+func TestEvictionLeadsToReplacementMiss(t *testing.T) {
+	d := New(4, line)
+	d.Access(0, 0x1000, false)
+	d.Evict(0, 0x1000)
+	out := d.Access(0, 0x1000, false)
+	if out.Class != Replacement {
+		t.Errorf("class = %v, want replacement", out.Class)
+	}
+}
+
+func TestEvictOfDirtyLineCleansIt(t *testing.T) {
+	d := New(4, line)
+	d.Access(0, 0x1000, true)
+	d.Evict(0, 0x1000) // writeback to memory
+	out := d.Access(1, 0x1000, false)
+	if out.DirtyRemote {
+		t.Error("line was written back; should come from memory")
+	}
+}
+
+func TestReadDowngradesDirtyOwner(t *testing.T) {
+	d := New(4, line)
+	d.Access(0, 0x1000, true)
+	d.Access(1, 0x1000, false) // downgrade CPU0 to shared-clean
+	out := d.Access(2, 0x1000, false)
+	if out.DirtyRemote {
+		t.Error("second reader should be served from memory after downgrade")
+	}
+}
+
+func TestWriteMissInvalidatesAllSharers(t *testing.T) {
+	d := New(8, line)
+	for cpu := 0; cpu < 4; cpu++ {
+		d.Access(cpu, 0x2000, false)
+	}
+	out := d.Access(5, 0x2000, true)
+	if len(out.Invalidated) != 4 {
+		t.Errorf("invalidated %d CPUs, want 4", len(out.Invalidated))
+	}
+	if d.Holders(0x2000) != 1 {
+		t.Errorf("holders = %d, want 1", d.Holders(0x2000))
+	}
+}
+
+func TestEvictUnknownLineIsNoop(t *testing.T) {
+	d := New(2, line)
+	d.Evict(0, 0xdead000) // must not panic
+	d.Access(0, 0x1000, false)
+	d.Evict(1, 0x1000) // CPU1 doesn't hold it
+	if d.Holders(0x1000) != 1 {
+		t.Error("evict by non-holder changed ownership")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Two CPUs alternately writing the same word: every access after the
+	// first should be a true-sharing miss with remote supply.
+	d := New(2, line)
+	d.Access(0, 0x3000, true)
+	for i := 0; i < 10; i++ {
+		cpu := (i + 1) % 2
+		out := d.Access(cpu, 0x3000, true)
+		if out.Class != TrueShare {
+			t.Fatalf("iter %d: class = %v, want true-share", i, out.Class)
+		}
+		if !out.DirtyRemote {
+			t.Fatalf("iter %d: expected dirty-remote supply", i)
+		}
+	}
+}
+
+func TestResetForgetsState(t *testing.T) {
+	d := New(2, line)
+	d.Access(0, 0x1000, true)
+	d.Reset()
+	if out := d.Access(1, 0x1000, false); out.Class != Cold {
+		t.Errorf("class after reset = %v, want cold", out.Class)
+	}
+}
+
+func TestNewPanicsOnTooManyCPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 65 CPUs")
+		}
+	}()
+	New(65, line)
+}

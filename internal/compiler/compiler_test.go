@@ -1,0 +1,274 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// stencilProgram builds a two-array stencil: forall i, inner j:
+// b[i*64+j] = a[i*64+j-1] + a[i*64+j] + a[i*64+j+1].
+func stencilProgram() *ir.Program {
+	a := &ir.Array{Name: "a", ElemSize: 8, Elems: 64 * 64}
+	b := &ir.Array{Name: "b", ElemSize: 8, Elems: 64 * 64}
+	nest := &ir.Nest{
+		Name:       "stencil",
+		Parallel:   true,
+		Iterations: 64,
+		InnerIters: 64,
+		Accesses: []ir.Access{
+			{Array: a, Kind: ir.Load, OuterStride: 64, InnerStride: 1, Offset: -1},
+			{Array: a, Kind: ir.Load, OuterStride: 64, InnerStride: 1},
+			{Array: a, Kind: ir.Load, OuterStride: 64, InnerStride: 1, Offset: 1},
+			{Array: b, Kind: ir.Store, OuterStride: 64, InnerStride: 1},
+		},
+		WorkPerIter: 3,
+		Sched:       ir.Schedule{Kind: ir.Even},
+	}
+	return &ir.Program{
+		Name:   "stencil",
+		Arrays: []*ir.Array{a, b},
+		Phases: []*ir.Phase{{Name: "main", Occurrences: 1, Nests: []*ir.Nest{nest}}},
+	}
+}
+
+func TestLayoutAligned(t *testing.T) {
+	prog := stencilProgram()
+	if err := Layout(prog, DefaultLayout(128, 32<<10, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range prog.Arrays {
+		if a.Base == 0 {
+			t.Errorf("array %s not placed", a.Name)
+		}
+		if a.Base%128 != 0 {
+			t.Errorf("array %s base %#x not line-aligned", a.Name, a.Base)
+		}
+	}
+	// Arrays must not overlap.
+	a, b := prog.Arrays[0], prog.Arrays[1]
+	if a.EndAddr() > b.Base && b.EndAddr() > a.Base {
+		t.Errorf("arrays overlap: %v %v", a, b)
+	}
+	if prog.CodeBase < b.EndAddr() {
+		t.Error("code segment overlaps data")
+	}
+	if prog.CodeBase%4096 != 0 {
+		t.Error("code segment not page-aligned")
+	}
+}
+
+func TestLayoutUnalignedSplitsLines(t *testing.T) {
+	prog := stencilProgram()
+	opts := LayoutOptions{Align: false, Pad: false, LineSize: 128, PageSize: 4096}
+	if err := Layout(prog, opts); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Arrays[1].Base%128 == 0 {
+		t.Error("unaligned layout produced an aligned second array")
+	}
+}
+
+func TestLayoutPaddingSeparatesGroupAccessedStarts(t *testing.T) {
+	prog := stencilProgram()
+	l1 := 8 << 10
+	if err := Layout(prog, DefaultLayout(128, l1, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	a, b := prog.Arrays[0], prog.Arrays[1]
+	if a.Base%uint64(l1) == b.Base%uint64(l1) {
+		t.Errorf("group-accessed arrays start at same on-chip location: %#x %#x", a.Base, b.Base)
+	}
+}
+
+func TestLayoutRejectsBadOptions(t *testing.T) {
+	if err := Layout(stencilProgram(), LayoutOptions{}); err == nil {
+		t.Error("zero options accepted")
+	}
+}
+
+func TestSummarizePartitions(t *testing.T) {
+	prog := stencilProgram()
+	Layout(prog, DefaultLayout(128, 32<<10, 4096))
+	sum := Summarize(prog)
+	// Two arrays, each with a single (sched, stride) signature.
+	if len(sum.Partitions) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(sum.Partitions))
+	}
+	for _, ps := range sum.Partitions {
+		if ps.UnitElems != 64 || ps.Iterations != 64 {
+			t.Errorf("partition %s unit=%d iters=%d, want 64/64", ps.Array.Name, ps.UnitElems, ps.Iterations)
+		}
+	}
+}
+
+func TestSummarizeCommPatterns(t *testing.T) {
+	sum := Summarize(stencilProgram())
+	offsets := map[int]bool{}
+	for _, c := range sum.Comms {
+		if c.Array.Name != "a" {
+			t.Errorf("comm on %s, want a", c.Array.Name)
+		}
+		offsets[c.OffsetElems] = true
+	}
+	if !offsets[-1] || !offsets[1] {
+		t.Errorf("comm offsets = %v, want ±1", offsets)
+	}
+}
+
+func TestSummarizeGroups(t *testing.T) {
+	sum := Summarize(stencilProgram())
+	if len(sum.Groups) != 1 || sum.Groups[0] != (GroupAccess{A: "a", B: "b"}) {
+		t.Errorf("groups = %v, want [{a b}]", sum.Groups)
+	}
+	if !sum.Grouped("b", "a") || sum.Grouped("a", "zzz") {
+		t.Error("Grouped lookup broken")
+	}
+}
+
+func TestSummarizeSkipsUnanalyzable(t *testing.T) {
+	prog := stencilProgram()
+	prog.Arrays[0].Unanalyzable = true
+	sum := Summarize(prog)
+	for _, ps := range sum.Partitions {
+		if ps.Array.Name == "a" {
+			t.Error("unanalyzable array got a partition summary")
+		}
+	}
+	if len(sum.Partitions) != 1 {
+		t.Errorf("partitions = %d, want 1", len(sum.Partitions))
+	}
+}
+
+func TestSummarizeSkipsSequentialNests(t *testing.T) {
+	prog := stencilProgram()
+	prog.Phases[0].Nests[0].Parallel = false
+	sum := Summarize(prog)
+	if len(sum.Partitions) != 0 {
+		t.Errorf("sequential nest produced %d partitions", len(sum.Partitions))
+	}
+	// Group info is still collected: it feeds padding.
+	if len(sum.Groups) != 1 {
+		t.Errorf("groups = %d, want 1", len(sum.Groups))
+	}
+}
+
+func TestSummarizeDeduplicates(t *testing.T) {
+	prog := stencilProgram()
+	// Clone the nest into a second phase: identical signatures must not
+	// duplicate summaries.
+	prog.Phases = append(prog.Phases, &ir.Phase{
+		Name: "again", Occurrences: 2, Nests: prog.Phases[0].Nests,
+	})
+	sum := Summarize(prog)
+	if len(sum.Partitions) != 2 {
+		t.Errorf("partitions = %d, want 2 (deduplicated)", len(sum.Partitions))
+	}
+}
+
+func TestRegionContiguityAndCoverage(t *testing.T) {
+	prog := stencilProgram()
+	Layout(prog, DefaultLayout(128, 32<<10, 4096))
+	sum := Summarize(prog)
+	ps := sum.Partitions[0]
+	var prevHi uint64
+	for cpu := 0; cpu < 4; cpu++ {
+		lo, hi := ps.Region(4, cpu)
+		if lo >= hi {
+			t.Fatalf("cpu %d empty region", cpu)
+		}
+		if cpu > 0 && lo != prevHi {
+			t.Errorf("cpu %d region starts at %#x, want %#x (contiguous)", cpu, lo, prevHi)
+		}
+		prevHi = hi
+	}
+	if want := ps.Array.EndAddr(); prevHi != want {
+		t.Errorf("last region ends at %#x, want %#x", prevHi, want)
+	}
+}
+
+func TestInsertPrefetches(t *testing.T) {
+	prog := stencilProgram()
+	n := InsertPrefetches(prog, DefaultPrefetch())
+	if n != 4 {
+		t.Errorf("marked %d accesses, want 4", n)
+	}
+	// Body estimate: 4 accesses + 3 work = 7 cycles; 220/7+1 = 32, capped
+	// at InnerIters/2 = 32.
+	for _, ac := range prog.Phases[0].Nests[0].Accesses {
+		if !ac.Prefetch || ac.PrefetchDistance != 32 {
+			t.Errorf("access on %s: prefetch=%v dist=%d, want 32", ac.Array.Name, ac.Prefetch, ac.PrefetchDistance)
+		}
+	}
+}
+
+func TestPrefetchDistanceScalesWithBody(t *testing.T) {
+	heavy := stencilProgram()
+	heavy.Phases[0].Nests[0].WorkPerIter = 100
+	InsertPrefetches(heavy, DefaultPrefetch())
+	light := stencilProgram()
+	InsertPrefetches(light, DefaultPrefetch())
+	dh := heavy.Phases[0].Nests[0].Accesses[0].PrefetchDistance
+	dl := light.Phases[0].Nests[0].Accesses[0].PrefetchDistance
+	if dh >= dl {
+		t.Errorf("heavy-body distance %d should be below light-body %d", dh, dl)
+	}
+	if dh < 1 {
+		t.Errorf("distance must be at least 1, got %d", dh)
+	}
+}
+
+func TestInsertPrefetchesSkipsNonStreaming(t *testing.T) {
+	prog := stencilProgram()
+	prog.Phases[0].Nests[0].Accesses[0].InnerStride = 0
+	n := InsertPrefetches(prog, DefaultPrefetch())
+	if n != 3 {
+		t.Errorf("marked %d, want 3 (register-resident access skipped)", n)
+	}
+	if prog.Phases[0].Nests[0].Accesses[0].Prefetch {
+		t.Error("zero-stride access prefetched")
+	}
+}
+
+func TestTiledNestGetsShortDistance(t *testing.T) {
+	prog := stencilProgram()
+	prog.Phases[0].Nests[0].Tiled = true
+	InsertPrefetches(prog, DefaultPrefetch())
+	if d := prog.Phases[0].Nests[0].Accesses[0].PrefetchDistance; d != 0 {
+		t.Errorf("tiled distance = %d, want 0 (issued too late to help)", d)
+	}
+}
+
+func TestClearPrefetches(t *testing.T) {
+	prog := stencilProgram()
+	InsertPrefetches(prog, DefaultPrefetch())
+	ClearPrefetches(prog)
+	for _, ac := range prog.Phases[0].Nests[0].Accesses {
+		if ac.Prefetch || ac.PrefetchDistance != 0 {
+			t.Error("prefetch marks survived ClearPrefetches")
+		}
+	}
+}
+
+func TestGroupAccessesIncludesInitPhase(t *testing.T) {
+	prog := stencilProgram()
+	c := &ir.Array{Name: "c", ElemSize: 8, Elems: 64}
+	prog.Arrays = append(prog.Arrays, c)
+	prog.Init = &ir.Phase{Name: "init", Occurrences: 1, Nests: []*ir.Nest{{
+		Name: "init", Parallel: true, Iterations: 8, InnerIters: 8,
+		Accesses: []ir.Access{
+			{Array: c, Kind: ir.Store, OuterStride: 8, InnerStride: 1},
+			{Array: prog.Arrays[0], Kind: ir.Store, OuterStride: 8, InnerStride: 1},
+		},
+	}}}
+	groups := GroupAccesses(prog)
+	found := false
+	for _, g := range groups {
+		if g == (GroupAccess{A: "a", B: "c"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("init-phase group not recorded: %v", groups)
+	}
+}

@@ -1,0 +1,544 @@
+// Package core implements compiler-directed page coloring (CDPC), the
+// paper's contribution: the run-time algorithm of §5.2 that turns the
+// compiler's access-pattern summaries plus machine-specific parameters
+// into a preferred color for each virtual page. The resulting hints are
+// handed to the operating system through vm.AddressSpace.Advise (the
+// paper's single madvise-like system call) or realized by touching pages
+// in hint order on top of a bin-hopping policy (the Digital UNIX path).
+//
+// The five steps, following the paper exactly:
+//
+//  1. Create the uniform access segments: maximal virtual-address ranges
+//     accessed by a single set of processors, computed from the array
+//     partitioning and communication summaries and start-up parameters.
+//  2. Order the uniform access sets (groups of segments with identical
+//     processor sets) along a greedy path that clusters each processor's
+//     pages: sets with overlapping processor sets are placed adjacently.
+//  3. Order the segments within each set so that group-accessed arrays
+//     land near each other.
+//  4. Order the pages within each segment cyclically, choosing the start
+//     point to space the starting locations of conflicting segments
+//     across the range of colors.
+//  5. Assign colors to the final page sequence in round-robin order.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+)
+
+// Params are the machine-specific inputs known only at start-up time
+// (§5, stage 2): processor count, cache configuration, page size.
+type Params struct {
+	NumCPUs   int
+	NumColors int
+	PageSize  int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.NumCPUs <= 0 || p.NumCPUs > 64 {
+		return fmt.Errorf("core: NumCPUs %d out of range [1,64]", p.NumCPUs)
+	}
+	if p.NumColors <= 0 {
+		return fmt.Errorf("core: NumColors must be positive, got %d", p.NumColors)
+	}
+	if p.PageSize <= 0 || p.PageSize&(p.PageSize-1) != 0 {
+		return fmt.Errorf("core: PageSize %d must be a positive power of two", p.PageSize)
+	}
+	return nil
+}
+
+// Segment is a uniform access segment: a run of consecutive virtual
+// pages of one array, all accessed by the same set of processors.
+type Segment struct {
+	Array  *ir.Array
+	LoVPN  uint64 // first page, inclusive
+	HiVPN  uint64 // last page, exclusive
+	CPUSet uint64 // bitmask of accessing processors
+}
+
+// Pages returns the segment length in pages.
+func (s Segment) Pages() int { return int(s.HiVPN - s.LoVPN) }
+
+// String implements fmt.Stringer.
+func (s Segment) String() string {
+	return fmt.Sprintf("%s[%d,%d) cpus=%#x", s.Array.Name, s.LoVPN, s.HiVPN, s.CPUSet)
+}
+
+// Hints is the CDPC output: the page ordering and the per-page colors.
+type Hints struct {
+	// Order lists virtual page numbers in coloring order; adjacent pages
+	// get adjacent colors. This is also the touch order used for the
+	// Digital UNIX bin-hopping emulation (§5.3).
+	Order []uint64
+	// Colors maps each ordered page to its preferred color.
+	Colors map[uint64]int
+	// Segments records the step-1 segmentation, in final placement order
+	// (exported for the Figure 4/5 visualizations and for tests).
+	Segments []Segment
+
+	NumColors int
+}
+
+// Options tunes algorithm variants for the ablation benchmarks; the
+// zero value is the full paper algorithm.
+type Options struct {
+	// DisableCyclicStart skips step 4 (pages laid in ascending order).
+	DisableCyclicStart bool
+	// DisableGroupOrdering skips step 3 (segments within a set ordered by
+	// virtual address only).
+	DisableGroupOrdering bool
+	// DisableSetOrdering skips step 2 (sets ordered by first appearance).
+	DisableSetOrdering bool
+	// ImprovedSetOrdering replaces the paper's step-2 insertion rule
+	// (place each remaining set after the single node with maximum
+	// processor-set overlap) with a position search that minimizes the
+	// incremental clustering cost — an extension beyond the paper; the
+	// quality tests show it narrowing the greedy-vs-optimal gap on
+	// adversarial instances while matching the paper's heuristic on the
+	// chain-structured sets real partitionings produce.
+	ImprovedSetOrdering bool
+}
+
+// ComputeHints runs the full CDPC algorithm.
+func ComputeHints(prog *ir.Program, sum *compiler.Summary, p Params) (*Hints, error) {
+	return ComputeHintsOpt(prog, sum, p, Options{})
+}
+
+// ComputeHintsOpt runs CDPC with algorithm variants selectable for
+// ablation studies.
+func ComputeHintsOpt(prog *ir.Program, sum *compiler.Summary, p Params, opts Options) (*Hints, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	segs := UniformSegments(prog, sum, p) // step 1
+	sets := groupByCPUSet(segs)
+	orderSets(sets, opts) // step 2
+	for _, set := range sets {
+		orderSegments(set.segments, sum, opts) // step 3
+	}
+	h := &Hints{Colors: make(map[uint64]int), NumColors: p.NumColors}
+	placeAndColor(h, sets, sum, opts) // steps 4 and 5
+	return h, nil
+}
+
+// UniformSegments implements step 1: it splits every analyzable array
+// into maximal page runs with a uniform processor set, derived from the
+// partition summaries (widened by the communication patterns). Arrays
+// without summaries — unanalyzable or purely sequential — produce no
+// segments and keep the OS default mapping, as in the paper's su2cor
+// discussion (§6.1).
+func UniformSegments(prog *ir.Program, sum *compiler.Summary, p Params) []Segment {
+	pageSize := uint64(p.PageSize)
+	var segs []Segment
+	for _, a := range prog.Arrays {
+		var parts []compiler.PartitionSummary
+		for _, ps := range sum.Partitions {
+			if ps.Array == a {
+				parts = append(parts, ps)
+			}
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		loReach, hiReach := sum.CommReach(a)
+		commLo := uint64(loReach * a.ElemSize)
+		commHi := uint64(hiReach * a.ElemSize)
+		rotate := sum.Rotates(a)
+		loVPN := a.Base / pageSize
+		hiVPN := (a.EndAddr() + pageSize - 1) / pageSize
+		prevSet := uint64(0)
+		runStart := loVPN
+		for vpn := loVPN; vpn <= hiVPN; vpn++ {
+			var set uint64
+			if vpn < hiVPN {
+				set = pageCPUSet(vpn, pageSize, parts, commLo, commHi, rotate, p.NumCPUs)
+			}
+			if vpn == loVPN {
+				prevSet = set
+				continue
+			}
+			if set != prevSet || vpn == hiVPN {
+				if prevSet != 0 {
+					segs = append(segs, Segment{Array: a, LoVPN: runStart, HiVPN: vpn, CPUSet: prevSet})
+				}
+				runStart = vpn
+				prevSet = set
+			}
+		}
+	}
+	return segs
+}
+
+// pageCPUSet computes the set of processors accessing the page [vpn*ps,
+// (vpn+1)*ps) under all partition summaries, each widened by the signed
+// communication reach: a negative shift extends a processor's region
+// downward, a positive shift upward. With rotate communication (§5.1),
+// the widening wraps around the array, linking the first and last
+// processors' boundary pages.
+func pageCPUSet(vpn, pageSize uint64, parts []compiler.PartitionSummary, commLo, commHi uint64, rotate bool, ncpu int) uint64 {
+	pLo := vpn * pageSize
+	pHi := pLo + pageSize
+	var set uint64
+	for _, ps := range parts {
+		aLo := ps.Array.Base
+		aHi := ps.Array.EndAddr()
+		for cpu := 0; cpu < ncpu; cpu++ {
+			lo, hi := ps.Region(ncpu, cpu)
+			if lo >= hi {
+				continue
+			}
+			member := false
+			if lo-aLo >= commLo {
+				lo -= commLo
+			} else {
+				if rotate {
+					// Downward reach wraps to the array tail.
+					wrap := commLo - (lo - aLo)
+					if aHi-wrap < pHi && pLo < aHi {
+						member = true
+					}
+				}
+				lo = aLo
+			}
+			over := uint64(0)
+			hi += commHi
+			if hi > aHi {
+				over = hi - aHi
+				hi = aHi
+			}
+			if rotate && over > 0 {
+				// Wraps to the array head.
+				if aLo < pHi && pLo < aLo+over {
+					member = true
+				}
+			}
+			if lo < pHi && pLo < hi {
+				member = true
+			}
+			if member {
+				set |= 1 << uint(cpu)
+			}
+		}
+	}
+	return set
+}
+
+// accessSet groups the segments sharing one processor set (a node of the
+// step-2 graph).
+type accessSet struct {
+	cpuSet   uint64
+	segments []Segment
+}
+
+func groupByCPUSet(segs []Segment) []*accessSet {
+	index := map[uint64]*accessSet{}
+	var sets []*accessSet
+	for _, s := range segs {
+		as, ok := index[s.CPUSet]
+		if !ok {
+			as = &accessSet{cpuSet: s.CPUSet}
+			index[s.CPUSet] = as
+			sets = append(sets, as)
+		}
+		as.segments = append(as.segments, s)
+	}
+	return sets
+}
+
+// orderSets implements step 2: build a path over the access-set graph
+// (edges between intersecting processor sets) that clusters each
+// processor's pages. The paper's heuristic: start from a singleton set,
+// greedily extend to an unvisited adjacent node; nodes outside the
+// one-or-two-member subgraph are inserted next to the visited node with
+// maximal processor-set overlap.
+func orderSets(sets []*accessSet, opts Options) {
+	if opts.DisableSetOrdering || len(sets) < 2 {
+		return
+	}
+	// Deterministic starting order: by popcount, then by set value.
+	sort.Slice(sets, func(i, j int) bool {
+		pi, pj := bits.OnesCount64(sets[i].cpuSet), bits.OnesCount64(sets[j].cpuSet)
+		if pi != pj {
+			return pi < pj
+		}
+		return sets[i].cpuSet < sets[j].cpuSet
+	})
+
+	small := func(s *accessSet) bool { return bits.OnesCount64(s.cpuSet) <= 2 }
+	visited := make([]bool, len(sets))
+	var path []*accessSet
+
+	// Greedy path over the small-set subgraph.
+	cur := -1
+	for i, s := range sets {
+		if small(s) {
+			cur = i
+			break
+		}
+	}
+	for cur >= 0 {
+		visited[cur] = true
+		path = append(path, sets[cur])
+		next := -1
+		bestOverlap := 0
+		for i, s := range sets {
+			if visited[i] || !small(s) {
+				continue
+			}
+			if ov := bits.OnesCount64(s.cpuSet & sets[cur].cpuSet); ov > bestOverlap {
+				bestOverlap, next = ov, i
+			}
+		}
+		if next < 0 {
+			// No adjacent unvisited small node; take the next small one.
+			for i, s := range sets {
+				if !visited[i] && small(s) {
+					next = i
+					break
+				}
+			}
+		}
+		cur = next
+	}
+
+	// Insert the remaining (large) sets. The paper's rule places each
+	// next to the path node with the maximum processor-set overlap; the
+	// improved variant searches all insertion points for the one that
+	// grows the clustering cost least.
+	for i, s := range sets {
+		if visited[i] {
+			continue
+		}
+		var bestPos int
+		if opts.ImprovedSetOrdering {
+			bestPos = bestInsertion(path, s)
+		} else {
+			bestOverlap := -1
+			for pos, ps := range path {
+				if ov := bits.OnesCount64(s.cpuSet & ps.cpuSet); ov > bestOverlap {
+					bestOverlap, bestPos = ov, pos
+				}
+			}
+		}
+		path = append(path, nil)
+		copy(path[bestPos+2:], path[bestPos+1:])
+		path[bestPos+1] = s
+		visited[i] = true
+	}
+	copy(sets, path)
+}
+
+// bestInsertion returns the index after which inserting s into path
+// yields the lowest clustering cost (ties to the earliest position).
+func bestInsertion(path []*accessSet, s *accessSet) int {
+	trial := make([]*accessSet, 0, len(path)+1)
+	best, bestCost := len(path)-1, int(^uint(0)>>1)
+	for pos := 0; pos < len(path); pos++ {
+		trial = trial[:0]
+		trial = append(trial, path[:pos+1]...)
+		trial = append(trial, s)
+		trial = append(trial, path[pos+1:]...)
+		if c := pathClusteringCost(trial); c < bestCost {
+			bestCost, best = c, pos
+		}
+	}
+	return best
+}
+
+// pathClusteringCost is the step-2 objective: for each processor, the
+// span of path positions whose sets contain it, minus the count of such
+// sets (0 = the processor's sets are contiguous).
+func pathClusteringCost(path []*accessSet) int {
+	var union uint64
+	for _, s := range path {
+		union |= s.cpuSet
+	}
+	cost := 0
+	for union != 0 {
+		cpu := bits.TrailingZeros64(union)
+		union &^= 1 << uint(cpu)
+		lo, hi, n := len(path), -1, 0
+		for i, s := range path {
+			if s.cpuSet&(1<<uint(cpu)) != 0 {
+				if i < lo {
+					lo = i
+				}
+				if i > hi {
+					hi = i
+				}
+				n++
+			}
+		}
+		if n > 0 {
+			cost += (hi - lo + 1) - n
+		}
+	}
+	return cost
+}
+
+// orderSegments implements step 3: within an access set, build a greedy
+// path over segments with edges given by the group-access information,
+// so arrays used together are adjacent; ties go to the smallest virtual
+// address, the paper's tie-break.
+func orderSegments(segs []Segment, sum *compiler.Summary, opts Options) {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].LoVPN < segs[j].LoVPN })
+	if opts.DisableGroupOrdering || len(segs) < 3 {
+		return
+	}
+	visited := make([]bool, len(segs))
+	out := make([]Segment, 0, len(segs))
+	cur := 0 // smallest virtual address
+	for {
+		visited[cur] = true
+		out = append(out, segs[cur])
+		next := -1
+		for i := range segs {
+			if visited[i] {
+				continue
+			}
+			if segs[i].Array != segs[cur].Array && sum.Grouped(segs[i].Array.Name, segs[cur].Array.Name) {
+				next = i
+				break // segs sorted by address: first match is smallest
+			}
+		}
+		if next < 0 {
+			for i := range segs {
+				if !visited[i] {
+					next = i
+					break
+				}
+			}
+		}
+		if next < 0 {
+			break
+		}
+		cur = next
+	}
+	copy(segs, out)
+}
+
+// placeAndColor implements steps 4 and 5: walk the ordered segments,
+// choose each segment's cyclic start point to keep the starting
+// locations of conflicting segments apart in color space, and assign
+// colors round-robin over the final page sequence.
+// placedSegment records where a segment's first page landed in color
+// space, for later segments' conflict checks.
+type placedSegment struct {
+	seg        Segment
+	startColor int // color of the segment's first virtual page
+}
+
+func placeAndColor(h *Hints, sets []*accessSet, sum *compiler.Summary, opts Options) {
+	var done []placedSegment
+	cursor := 0
+	c := h.NumColors
+	for _, set := range sets {
+		for _, seg := range set.segments {
+			// A page straddling two arrays appears in both arrays'
+			// segments; it keeps the color of its first placement.
+			pages := make([]uint64, 0, seg.Pages())
+			for vpn := seg.LoVPN; vpn < seg.HiVPN; vpn++ {
+				if _, dup := h.Colors[vpn]; !dup {
+					pages = append(pages, vpn)
+				}
+			}
+			n := len(pages)
+			if n == 0 {
+				continue
+			}
+			rot := 0
+			if !opts.DisableCyclicStart {
+				rot = chooseRotation(seg, n, cursor, c, done, sum)
+			}
+			// Page order: seg pages rotated left by rot; colors follow
+			// cursor round-robin.
+			for k := 0; k < n; k++ {
+				vpn := pages[(rot+k)%n]
+				color := (cursor + k) % c
+				h.Order = append(h.Order, vpn)
+				h.Colors[vpn] = color
+			}
+			firstPageColor := (cursor + ((n - rot) % n)) % c
+			done = append(done, placedSegment{seg: seg, startColor: firstPageColor})
+			h.Segments = append(h.Segments, seg)
+			cursor = (cursor + n) % c
+		}
+	}
+}
+
+// chooseRotation picks the step-4 cyclic start point: among all
+// rotations, maximize the minimum circular color distance between this
+// segment's first page and the first pages of already-placed conflicting
+// segments. Two segments conflict when (1) their arrays are used in the
+// same loops, (2) their processor sets intersect, and (3) they (would)
+// partially overlap in the cache (§5.2 step 4).
+func chooseRotation(seg Segment, n, cursor, colors int, done []placedSegment, sum *compiler.Summary) int {
+	var rivals []int // start colors of conflicting placed segments
+	for _, d := range done {
+		if d.seg.CPUSet&seg.CPUSet == 0 {
+			continue
+		}
+		sameArray := d.seg.Array == seg.Array
+		if !sameArray && !sum.Grouped(d.seg.Array.Name, seg.Array.Name) {
+			continue
+		}
+		// Overlap in the cache: color ranges intersect. A segment of n
+		// pages starting at cursor covers min(n, colors) colors.
+		if !colorRangesOverlap(d.startColor, d.seg.Pages(), cursor, n, colors) {
+			continue
+		}
+		rivals = append(rivals, d.startColor)
+	}
+	if len(rivals) == 0 {
+		return 0
+	}
+	bestRot, bestDist := 0, -1
+	for rot := 0; rot < n; rot++ {
+		first := (cursor + ((n - rot) % n)) % colors
+		dist := colors
+		for _, r := range rivals {
+			if d := circDist(first, r, colors); d < dist {
+				dist = d
+			}
+		}
+		if dist > bestDist {
+			bestDist, bestRot = dist, rot
+		}
+	}
+	return bestRot
+}
+
+// colorRangesOverlap reports whether two circular color ranges intersect.
+func colorRangesOverlap(start1, len1, start2, len2, c int) bool {
+	if len1 >= c || len2 >= c {
+		return true
+	}
+	// Normalize and check on the circle.
+	s1, s2 := start1%c, start2%c
+	for _, pair := range [][2]int{{s1, s2}, {s2, s1}} {
+		a, al := pair[0], len1
+		b := pair[1]
+		if pair[0] == s2 {
+			al = len2
+		}
+		if (b-a+c)%c < al {
+			return true
+		}
+	}
+	return false
+}
+
+// circDist is the circular distance between two colors.
+func circDist(a, b, c int) int {
+	d := (a - b + c) % c
+	if d > c-d {
+		d = c - d
+	}
+	return d
+}

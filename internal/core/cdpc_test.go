@@ -1,0 +1,452 @@
+package core
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+)
+
+const pageSize = 4096
+
+// twoArrayProgram reproduces the flavor of the paper's Figure 4 example:
+// two arrays, partitioned across the CPUs with boundary communication.
+func twoArrayProgram(elemsPerArray, iters, inner int) *ir.Program {
+	a := &ir.Array{Name: "a", ElemSize: 8, Elems: elemsPerArray}
+	b := &ir.Array{Name: "b", ElemSize: 8, Elems: elemsPerArray}
+	unit := elemsPerArray / iters
+	nest := &ir.Nest{
+		Name:       "sweep",
+		Parallel:   true,
+		Iterations: iters,
+		InnerIters: inner,
+		Accesses: []ir.Access{
+			{Array: a, Kind: ir.Load, OuterStride: unit, InnerStride: 1},
+			{Array: a, Kind: ir.Load, OuterStride: unit, InnerStride: 1, Offset: 1},
+			{Array: b, Kind: ir.Store, OuterStride: unit, InnerStride: 1},
+		},
+		WorkPerIter: 2,
+		Sched:       ir.Schedule{Kind: ir.Even},
+	}
+	prog := &ir.Program{
+		Name:   "fig4",
+		Arrays: []*ir.Array{a, b},
+		Phases: []*ir.Phase{{Name: "main", Occurrences: 1, Nests: []*ir.Nest{nest}}},
+	}
+	compiler.Layout(prog, compiler.DefaultLayout(128, 8<<10, pageSize))
+	return prog
+}
+
+func hintsFor(t *testing.T, prog *ir.Program, ncpu, colors int, opts Options) *Hints {
+	t.Helper()
+	sum := compiler.Summarize(prog)
+	h, err := ComputeHintsOpt(prog, sum, Params{NumCPUs: ncpu, NumColors: colors, PageSize: pageSize}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{NumCPUs: 0, NumColors: 16, PageSize: 4096},
+		{NumCPUs: 65, NumColors: 16, PageSize: 4096},
+		{NumCPUs: 4, NumColors: 0, PageSize: 4096},
+		{NumCPUs: 4, NumColors: 16, PageSize: 1000},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("accepted %+v", p)
+		}
+	}
+	if err := (Params{NumCPUs: 8, NumColors: 64, PageSize: 4096}).Validate(); err != nil {
+		t.Errorf("rejected valid params: %v", err)
+	}
+}
+
+func TestUniformSegmentsPartition(t *testing.T) {
+	// 4 CPUs, 2 arrays of 32 pages each; no communication. Each array
+	// splits into 4 segments of 8 pages with singleton CPU sets.
+	prog := twoArrayProgram(32*512, 32, 512)
+	prog.Phases[0].Nests[0].Accesses = prog.Phases[0].Nests[0].Accesses[:1] // drop comm + b
+	sum := compiler.Summarize(prog)
+	segs := UniformSegments(prog, sum, Params{NumCPUs: 4, NumColors: 16, PageSize: pageSize})
+	if len(segs) != 4 {
+		t.Fatalf("segments = %d, want 4: %v", len(segs), segs)
+	}
+	for i, s := range segs {
+		if s.Pages() != 8 {
+			t.Errorf("segment %d pages = %d, want 8", i, s.Pages())
+		}
+		if bits.OnesCount64(s.CPUSet) != 1 {
+			t.Errorf("segment %d cpu set %#x, want singleton", i, s.CPUSet)
+		}
+	}
+}
+
+func TestUniformSegmentsBoundarySharing(t *testing.T) {
+	// With +1 communication, boundary pages are accessed by two CPUs:
+	// segments alternate singleton / pair sets. Use an unpadded layout so
+	// array b stays page-aligned and only a's communication creates
+	// shared pages.
+	prog := twoArrayProgram(32*512, 32, 512)
+	compiler.Layout(prog, compiler.LayoutOptions{Align: true, Pad: false, LineSize: 128, PageSize: pageSize})
+	sum := compiler.Summarize(prog)
+	segs := UniformSegments(prog, sum, Params{NumCPUs: 4, NumColors: 16, PageSize: pageSize})
+	var pairSegs, singleSegs int
+	for _, s := range segs {
+		switch bits.OnesCount64(s.CPUSet) {
+		case 1:
+			singleSegs++
+		case 2:
+			pairSegs++
+		default:
+			t.Errorf("unexpected cpu set %#x", s.CPUSet)
+		}
+	}
+	// Array a: 4 chunks with 3 internal boundaries → 3 pair segments.
+	if pairSegs != 3 {
+		t.Errorf("pair segments = %d, want 3", pairSegs)
+	}
+	if singleSegs == 0 {
+		t.Error("no singleton segments")
+	}
+}
+
+func TestUnanalyzableArrayGetsNoHints(t *testing.T) {
+	prog := twoArrayProgram(32*512, 32, 512)
+	prog.Arrays[1].Unanalyzable = true
+	h := hintsFor(t, prog, 4, 16, Options{})
+	bpages := map[uint64]bool{}
+	b := prog.Arrays[1]
+	for vpn := b.Base / pageSize; vpn < (b.EndAddr()+pageSize-1)/pageSize; vpn++ {
+		bpages[vpn] = true
+	}
+	for _, vpn := range h.Order {
+		if bpages[vpn] {
+			t.Fatalf("hint emitted for unanalyzable array page %d", vpn)
+		}
+	}
+}
+
+func TestHintsCoverAllAnalyzablePages(t *testing.T) {
+	prog := twoArrayProgram(64*512, 64, 512)
+	h := hintsFor(t, prog, 8, 32, Options{})
+	want := 0
+	for _, a := range prog.Arrays {
+		want += int((a.EndAddr()+pageSize-1)/pageSize - a.Base/pageSize)
+	}
+	if len(h.Order) != want {
+		t.Errorf("ordered pages = %d, want %d", len(h.Order), want)
+	}
+	if len(h.Colors) != want {
+		t.Errorf("colored pages = %d, want %d", len(h.Colors), want)
+	}
+}
+
+func TestOrderHasNoDuplicates(t *testing.T) {
+	prog := twoArrayProgram(64*512, 64, 512)
+	h := hintsFor(t, prog, 8, 32, Options{})
+	seen := map[uint64]bool{}
+	for _, vpn := range h.Order {
+		if seen[vpn] {
+			t.Fatalf("page %d appears twice in order", vpn)
+		}
+		seen[vpn] = true
+	}
+}
+
+func TestColorsFollowOrderRoundRobin(t *testing.T) {
+	prog := twoArrayProgram(64*512, 64, 512)
+	h := hintsFor(t, prog, 8, 32, Options{})
+	for i, vpn := range h.Order {
+		if h.Colors[vpn] != i%h.NumColors {
+			t.Fatalf("order[%d] (vpn %d) color = %d, want %d", i, vpn, h.Colors[vpn], i%h.NumColors)
+		}
+	}
+}
+
+func TestPerCPUDataSpreadsAcrossColors(t *testing.T) {
+	// The first objective of §5.2: data accessed by each processor maps
+	// as contiguously as possible in color space. With per-CPU data ≤
+	// cache, every page of a CPU should get a distinct color.
+	ncpu, colors := 4, 32
+	// 2 arrays × 32 pages / 4 cpus = 16 pages per cpu + boundaries ≤ 32 colors.
+	prog := twoArrayProgram(32*512, 32, 512)
+	h := hintsFor(t, prog, ncpu, colors, Options{})
+	sum := compiler.Summarize(prog)
+	segs := UniformSegments(prog, sum, Params{NumCPUs: ncpu, NumColors: colors, PageSize: pageSize})
+	for cpu := 0; cpu < ncpu; cpu++ {
+		used := map[int]int{}
+		for _, s := range segs {
+			if s.CPUSet&(1<<uint(cpu)) == 0 {
+				continue
+			}
+			for vpn := s.LoVPN; vpn < s.HiVPN; vpn++ {
+				used[h.Colors[vpn]]++
+			}
+		}
+		for color, count := range used {
+			if count > 1 {
+				t.Errorf("cpu %d: color %d used by %d pages (conflict)", cpu, color, count)
+			}
+		}
+	}
+}
+
+func TestCyclicStartSeparatesConflictingStarts(t *testing.T) {
+	// Second objective of §5.2: starting locations of group-accessed
+	// arrays get different colors. Force per-CPU data > colors so the
+	// two arrays' chunks overlap in color space.
+	ncpu, colors := 2, 8
+	prog := twoArrayProgram(32*512, 32, 512) // 32 pages per array, 16/cpu
+	h := hintsFor(t, prog, ncpu, colors, Options{})
+	a, b := prog.Arrays[0], prog.Arrays[1]
+	ca := h.Colors[a.Base/pageSize]
+	cb := h.Colors[b.Base/pageSize]
+	if ca == cb {
+		t.Errorf("group-accessed array starts share color %d", ca)
+	}
+
+	// Ablation: with cyclic start disabled the starts collide (this is
+	// what the ablation bench measures).
+	h2 := hintsFor(t, prog, ncpu, colors, Options{DisableCyclicStart: true})
+	ca2 := h2.Colors[a.Base/pageSize]
+	cb2 := h2.Colors[b.Base/pageSize]
+	if ca2 != cb2 {
+		t.Skipf("layout happened to separate starts without step 4 (ca=%d cb=%d)", ca2, cb2)
+	}
+}
+
+func TestSetOrderingClustersProcessors(t *testing.T) {
+	// Pages of CPU 0 should be contiguous in the order: the singleton
+	// {0} set and the pair {0,1} boundary set must be adjacent, not
+	// separated by {2}, {3}...
+	prog := twoArrayProgram(32*512, 32, 512)
+	h := hintsFor(t, prog, 4, 64, Options{})
+	// Find positions of pages accessed (solely or partly) by CPU 0.
+	sum := compiler.Summarize(prog)
+	segs := UniformSegments(prog, sum, Params{NumCPUs: 4, NumColors: 64, PageSize: pageSize})
+	cpu0 := map[uint64]bool{}
+	for _, s := range segs {
+		if s.CPUSet&1 != 0 {
+			for vpn := s.LoVPN; vpn < s.HiVPN; vpn++ {
+				cpu0[vpn] = true
+			}
+		}
+	}
+	pos := map[uint64]int{}
+	for i, vpn := range h.Order {
+		pos[vpn] = i
+	}
+	lo, hi := len(h.Order), -1
+	n := 0
+	for vpn := range cpu0 {
+		p, ok := pos[vpn]
+		if !ok {
+			t.Fatalf("page %d missing from order", vpn)
+		}
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+		n++
+	}
+	// Clustering quality: the span occupied by CPU 0's pages should not
+	// be much larger than the page count (allow boundary-pair slack).
+	if hi-lo+1 > n*2 {
+		t.Errorf("cpu0 pages spread over span %d for %d pages; poor clustering", hi-lo+1, n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prog1 := twoArrayProgram(64*512, 64, 512)
+	prog2 := twoArrayProgram(64*512, 64, 512)
+	h1 := hintsFor(t, prog1, 8, 32, Options{})
+	h2 := hintsFor(t, prog2, 8, 32, Options{})
+	if len(h1.Order) != len(h2.Order) {
+		t.Fatal("nondeterministic order length")
+	}
+	for i := range h1.Order {
+		if h1.Order[i] != h2.Order[i] {
+			t.Fatalf("order differs at %d: %d vs %d", i, h1.Order[i], h2.Order[i])
+		}
+	}
+}
+
+func TestSingleCPU(t *testing.T) {
+	prog := twoArrayProgram(16*512, 16, 512)
+	h := hintsFor(t, prog, 1, 16, Options{})
+	if len(h.Order) == 0 {
+		t.Fatal("no hints for single CPU")
+	}
+	for _, s := range h.Segments {
+		if s.CPUSet != 1 {
+			t.Errorf("segment %v has non-singleton set on 1 CPU", s)
+		}
+	}
+}
+
+func TestNoSummariesYieldsEmptyHints(t *testing.T) {
+	prog := twoArrayProgram(16*512, 16, 512)
+	for _, a := range prog.Arrays {
+		a.Unanalyzable = true
+	}
+	h := hintsFor(t, prog, 4, 16, Options{})
+	if len(h.Order) != 0 {
+		t.Errorf("hints for fully unanalyzable program: %d pages", len(h.Order))
+	}
+}
+
+func TestColorRangesOverlap(t *testing.T) {
+	cases := []struct {
+		s1, l1, s2, l2, c int
+		want              bool
+	}{
+		{0, 4, 4, 4, 16, false},
+		{0, 4, 2, 4, 16, true},
+		{14, 4, 0, 2, 16, true},  // wraps
+		{14, 4, 2, 2, 16, false}, // wrap ends at 2
+		{0, 16, 8, 1, 16, true},  // full circle
+		{5, 1, 5, 1, 16, true},
+	}
+	for _, tc := range cases {
+		if got := colorRangesOverlap(tc.s1, tc.l1, tc.s2, tc.l2, tc.c); got != tc.want {
+			t.Errorf("overlap(%d,%d,%d,%d,%d) = %v, want %v", tc.s1, tc.l1, tc.s2, tc.l2, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestCircDist(t *testing.T) {
+	if circDist(0, 15, 16) != 1 {
+		t.Error("wrap distance")
+	}
+	if circDist(3, 3, 16) != 0 {
+		t.Error("zero distance")
+	}
+	if circDist(0, 8, 16) != 8 {
+		t.Error("max distance")
+	}
+}
+
+func TestRotateCommunicationWrapsSegments(t *testing.T) {
+	// Periodic stencil: a[i-1] and a[i+1] with Wrap. CPU 0's first page
+	// must also be in CPU p-1's set (and vice versa), unlike plain shift.
+	build := func(wrap bool) *ir.Program {
+		a := &ir.Array{Name: "a", ElemSize: 8, Elems: 32 * 512}
+		b := &ir.Array{Name: "b", ElemSize: 8, Elems: 32 * 512}
+		nest := &ir.Nest{
+			Name: "periodic", Parallel: true, Iterations: 32, InnerIters: 512,
+			Accesses: []ir.Access{
+				{Array: a, Kind: ir.Load, OuterStride: 512, InnerStride: 1, Offset: -512, Wrap: wrap},
+				{Array: a, Kind: ir.Load, OuterStride: 512, InnerStride: 1, Offset: 512, Wrap: wrap},
+				{Array: b, Kind: ir.Store, OuterStride: 512, InnerStride: 1},
+			},
+			WorkPerIter: 2,
+			Sched:       ir.Schedule{Kind: ir.Even},
+		}
+		prog := &ir.Program{Name: "periodic", Arrays: []*ir.Array{a, b},
+			Phases: []*ir.Phase{{Name: "main", Occurrences: 1, Nests: []*ir.Nest{nest}}}}
+		compiler.Layout(prog, compiler.LayoutOptions{Align: true, LineSize: 128, PageSize: pageSize})
+		return prog
+	}
+
+	const ncpu = 4
+	setsOf := func(prog *ir.Program) map[uint64]uint64 {
+		sum := compiler.Summarize(prog)
+		segs := UniformSegments(prog, sum, Params{NumCPUs: ncpu, NumColors: 16, PageSize: pageSize})
+		out := map[uint64]uint64{}
+		for _, s := range segs {
+			if s.Array.Name != "a" {
+				continue
+			}
+			for vpn := s.LoVPN; vpn < s.HiVPN; vpn++ {
+				out[vpn] |= s.CPUSet
+			}
+		}
+		return out
+	}
+
+	wrapped := setsOf(build(true))
+	plain := setsOf(build(false))
+
+	a := build(true).Arrays[0]
+	first := a.Base / pageSize
+	last := (a.EndAddr() - 1) / pageSize
+	lastCPU := uint64(1) << (ncpu - 1)
+	if wrapped[first]&lastCPU == 0 {
+		t.Errorf("rotate: first page set %#x misses CPU %d", wrapped[first], ncpu-1)
+	}
+	if wrapped[last]&1 == 0 {
+		t.Errorf("rotate: last page set %#x misses CPU 0", wrapped[last])
+	}
+	if plain[first]&lastCPU != 0 || plain[last]&1 != 0 {
+		t.Errorf("plain shift must not wrap: first=%#x last=%#x", plain[first], plain[last])
+	}
+}
+
+func TestWrapVAddr(t *testing.T) {
+	a := &ir.Array{Name: "x", ElemSize: 8, Elems: 100, Base: 0x10000}
+	ac := ir.Access{Array: a, OuterStride: 10, InnerStride: 1, Offset: -5, Wrap: true}
+	if got := ac.VAddr(0, 0); got != 0x10000+95*8 {
+		t.Errorf("wrap below: %#x, want element 95", got)
+	}
+	ac2 := ir.Access{Array: a, OuterStride: 10, InnerStride: 1, Offset: 5, Wrap: true}
+	if got := ac2.VAddr(9, 9); got != 0x10000+4*8 {
+		t.Errorf("wrap above: %#x, want element 4 (104 mod 100)", got)
+	}
+}
+
+func TestQualityEvaluation(t *testing.T) {
+	// 2 arrays x 32 pages on 4 CPUs with 32 colors: per-CPU ~16 pages +
+	// boundaries should land on distinct colors (balance 1.0).
+	prog := twoArrayProgram(32*512, 32, 512)
+	h := hintsFor(t, prog, 4, 32, Options{})
+	q := h.Evaluate(4)
+	if len(q.PerCPU) != 4 {
+		t.Fatalf("per-cpu entries = %d", len(q.PerCPU))
+	}
+	for cpu, c := range q.PerCPU {
+		if c.Pages == 0 {
+			t.Errorf("cpu %d has no pages", cpu)
+		}
+		if c.MaxLoad > 1 {
+			t.Errorf("cpu %d: max load %d, want 1 (fits in colors)", cpu, c.MaxLoad)
+		}
+	}
+	if q.WorstBalance() != 1.0 {
+		t.Errorf("worst balance = %.2f, want 1.0", q.WorstBalance())
+	}
+	if !strings.Contains(q.String(), "cpu00") {
+		t.Error("String() missing per-CPU rows")
+	}
+}
+
+func TestQualityOversubscribed(t *testing.T) {
+	// Same data on only 8 colors: per-CPU ~17 pages over 8 colors means
+	// max load ≥ 3 somewhere but balance should stay reasonable.
+	prog := twoArrayProgram(32*512, 32, 512)
+	h := hintsFor(t, prog, 4, 8, Options{})
+	q := h.Evaluate(4)
+	for cpu, c := range q.PerCPU {
+		if c.ColorsUsed != 8 {
+			t.Errorf("cpu %d uses %d colors, want all 8", cpu, c.ColorsUsed)
+		}
+	}
+	if q.WorstBalance() < 0.5 {
+		t.Errorf("worst balance %.2f too uneven", q.WorstBalance())
+	}
+}
+
+func TestSharedWith(t *testing.T) {
+	prog := twoArrayProgram(32*512, 32, 512) // +1 comm on array a
+	h := hintsFor(t, prog, 4, 32, Options{})
+	// Interior CPUs share boundary pages with neighbors.
+	if h.SharedWith(1) == 0 {
+		t.Error("cpu 1 should share boundary pages")
+	}
+}

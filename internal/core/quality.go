@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Quality quantifies a hint set against the §5.2 objectives: how evenly
+// each processor's pages spread across the colors (objective 1), and
+// whether group-accessed starting locations were separated (objective 2
+// is visible as MaxLoad staying near ceil(pages/colors)).
+type Quality struct {
+	NumCPUs   int
+	NumColors int
+
+	// PerCPU[i] summarizes processor i's color histogram.
+	PerCPU []CPUQuality
+}
+
+// CPUQuality is one processor's color-balance summary.
+type CPUQuality struct {
+	Pages      int     // pages the processor accesses (incl. shared)
+	ColorsUsed int     // distinct colors among them
+	MaxLoad    int     // most pages on any single color
+	Balance    float64 // ideal max load / actual max load, 1.0 = perfect
+}
+
+// Evaluate computes the quality of hints against the step-1 segments
+// recorded in them.
+func (h *Hints) Evaluate(ncpu int) *Quality {
+	q := &Quality{NumCPUs: ncpu, NumColors: h.NumColors, PerCPU: make([]CPUQuality, ncpu)}
+	for cpu := 0; cpu < ncpu; cpu++ {
+		hist := make([]int, h.NumColors)
+		pages := 0
+		for _, seg := range h.Segments {
+			if seg.CPUSet&(1<<uint(cpu)) == 0 {
+				continue
+			}
+			for vpn := seg.LoVPN; vpn < seg.HiVPN; vpn++ {
+				color, ok := h.Colors[vpn]
+				if !ok {
+					continue
+				}
+				hist[color]++
+				pages++
+			}
+		}
+		cq := CPUQuality{Pages: pages}
+		for _, n := range hist {
+			if n > 0 {
+				cq.ColorsUsed++
+			}
+			if n > cq.MaxLoad {
+				cq.MaxLoad = n
+			}
+		}
+		if cq.MaxLoad > 0 {
+			ideal := (pages + h.NumColors - 1) / h.NumColors
+			cq.Balance = float64(ideal) / float64(cq.MaxLoad)
+		}
+		q.PerCPU[cpu] = cq
+	}
+	return q
+}
+
+// WorstBalance returns the minimum per-CPU balance (1.0 = every
+// processor's pages spread perfectly).
+func (q *Quality) WorstBalance() float64 {
+	worst := 1.0
+	for _, c := range q.PerCPU {
+		if c.Pages > 0 && c.Balance < worst {
+			worst = c.Balance
+		}
+	}
+	return worst
+}
+
+// String renders a per-CPU summary table.
+func (q *Quality) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hint quality (%d colors):\n", q.NumColors)
+	for cpu, c := range q.PerCPU {
+		fmt.Fprintf(&b, "  cpu%02d: %3d pages on %2d colors, max %d per color (balance %.2f)\n",
+			cpu, c.Pages, c.ColorsUsed, c.MaxLoad, c.Balance)
+	}
+	return b.String()
+}
+
+// SharedWith reports how many of cpu's pages it shares with other
+// processors (boundary pages), a measure of communication exposure.
+func (h *Hints) SharedWith(cpu int) int {
+	shared := 0
+	for _, seg := range h.Segments {
+		if seg.CPUSet&(1<<uint(cpu)) == 0 {
+			continue
+		}
+		if bits.OnesCount64(seg.CPUSet) > 1 {
+			shared += seg.Pages()
+		}
+	}
+	return shared
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// clusteringCost measures how well an access-set ordering clusters each
+// processor's pages: for each CPU, the span of positions of sets
+// containing it minus the number of such sets (0 = perfectly
+// contiguous). Lower is better — it is the quantity the paper's step-2
+// path heuristic tries to minimize.
+func clusteringCost(order []*accessSet, ncpu int) int {
+	cost := 0
+	for cpu := 0; cpu < ncpu; cpu++ {
+		lo, hi, n := len(order), -1, 0
+		for i, s := range order {
+			if s.cpuSet&(1<<uint(cpu)) != 0 {
+				if i < lo {
+					lo = i
+				}
+				if i > hi {
+					hi = i
+				}
+				n++
+			}
+		}
+		if n > 0 {
+			cost += (hi - lo + 1) - n
+		}
+	}
+	return cost
+}
+
+// bestCost brute-forces all permutations of the sets (≤ 8!).
+func bestCost(sets []*accessSet, ncpu int) int {
+	n := len(sets)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 1 << 30
+	var recurse func(k int)
+	ordered := make([]*accessSet, n)
+	recurse = func(k int) {
+		if k == n {
+			for i, p := range perm {
+				ordered[i] = sets[p]
+			}
+			if c := clusteringCost(ordered, ncpu); c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return best
+}
+
+// TestSetOrderingNearOptimal compares the paper's greedy step-2
+// heuristic against exhaustive search on small random instances: the
+// greedy ordering must stay close to the optimal clustering cost. This
+// quantifies the "simple heuristic" claim of §5.2.
+func TestSetOrderingNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const ncpu = 6
+	var totalGreedy, totalBest int
+	for trial := 0; trial < 60; trial++ {
+		k := 3 + rng.Intn(5) // 3-7 sets
+		seen := map[uint64]bool{}
+		var sets []*accessSet
+		for len(sets) < k {
+			// Typical CDPC sets: singletons and small runs of adjacent CPUs.
+			start := rng.Intn(ncpu)
+			width := 1 + rng.Intn(3)
+			var mask uint64
+			for c := start; c < start+width && c < ncpu; c++ {
+				mask |= 1 << uint(c)
+			}
+			if mask == 0 || seen[mask] {
+				continue
+			}
+			seen[mask] = true
+			sets = append(sets, &accessSet{cpuSet: mask})
+		}
+		optimal := bestCost(sets, ncpu)
+
+		greedy := make([]*accessSet, len(sets))
+		copy(greedy, sets)
+		orderSets(greedy, Options{})
+		g := clusteringCost(greedy, ncpu)
+
+		if g < optimal {
+			t.Fatalf("trial %d: greedy %d beat 'optimal' %d — brute force broken", trial, g, optimal)
+		}
+		totalGreedy += g
+		totalBest += optimal
+	}
+	t.Logf("greedy total cost %d vs optimal %d over 60 instances", totalGreedy, totalBest)
+	// Allow slack: the greedy heuristic should stay within 2x of optimal
+	// plus a small constant on these instance sizes.
+	if totalGreedy > 2*totalBest+30 {
+		t.Errorf("greedy clustering cost %d too far above optimal %d", totalGreedy, totalBest)
+	}
+}
+
+// TestClusteringCostMetric sanity-checks the metric itself.
+func TestClusteringCostMetric(t *testing.T) {
+	mk := func(masks ...uint64) []*accessSet {
+		out := make([]*accessSet, len(masks))
+		for i, m := range masks {
+			out[i] = &accessSet{cpuSet: m}
+		}
+		return out
+	}
+	// Perfectly clustered: {0}, {0,1}, {1} — each CPU's sets contiguous.
+	if c := clusteringCost(mk(1, 3, 2), 2); c != 0 {
+		t.Errorf("clustered cost = %d, want 0", c)
+	}
+	// Split: {0}, {1}, {0} — CPU 0 spans 3 positions with 2 sets.
+	if c := clusteringCost(mk(1, 2, 1), 2); c != 1 {
+		t.Errorf("split cost = %d, want 1", c)
+	}
+}
+
+// TestImprovedSetOrderingBeatsGreedy: the extension's cost-minimizing
+// insertion must never do worse than the paper's max-overlap insertion,
+// and should close most of the gap to optimal on small instances.
+func TestImprovedSetOrderingBeatsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const ncpu = 6
+	var paperTotal, improvedTotal, optTotal int
+	for trial := 0; trial < 60; trial++ {
+		k := 3 + rng.Intn(5)
+		seen := map[uint64]bool{}
+		var sets []*accessSet
+		for len(sets) < k {
+			start := rng.Intn(ncpu)
+			width := 1 + rng.Intn(3)
+			var mask uint64
+			for c := start; c < start+width && c < ncpu; c++ {
+				mask |= 1 << uint(c)
+			}
+			if mask == 0 || seen[mask] {
+				continue
+			}
+			seen[mask] = true
+			sets = append(sets, &accessSet{cpuSet: mask})
+		}
+		optTotal += bestCost(sets, ncpu)
+
+		paper := make([]*accessSet, len(sets))
+		copy(paper, sets)
+		orderSets(paper, Options{})
+		paperTotal += clusteringCost(paper, ncpu)
+
+		improved := make([]*accessSet, len(sets))
+		copy(improved, sets)
+		orderSets(improved, Options{ImprovedSetOrdering: true})
+		improvedTotal += clusteringCost(improved, ncpu)
+	}
+	t.Logf("paper=%d improved=%d optimal=%d over 60 instances", paperTotal, improvedTotal, optTotal)
+	if improvedTotal > paperTotal {
+		t.Errorf("improved ordering (%d) worse than the paper's greedy (%d)", improvedTotal, paperTotal)
+	}
+}
+
+func TestImprovedSetOrderingEndToEnd(t *testing.T) {
+	prog := twoArrayProgram(64*512, 64, 512)
+	h1 := hintsFor(t, prog, 8, 32, Options{ImprovedSetOrdering: true})
+	if len(h1.Order) == 0 {
+		t.Fatal("no hints with improved ordering")
+	}
+	// Still a valid coloring: no duplicates, colors in range.
+	seen := map[uint64]bool{}
+	for _, vpn := range h1.Order {
+		if seen[vpn] {
+			t.Fatal("duplicate page")
+		}
+		seen[vpn] = true
+		if c := h1.Colors[vpn]; c < 0 || c >= h1.NumColors {
+			t.Fatalf("color %d out of range", c)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ExtDynamic is the extension study the paper calls out as open: "to
+// our knowledge, the performance of dynamic policies for multiprocessors
+// has not been studied" (§2.1). It compares page coloring, dynamic
+// recoloring on top of page coloring, and CDPC on the conflict-heavy
+// workloads, reporting the recoloring counts and overheads alongside the
+// end-to-end times.
+func ExtDynamic(o ExpOptions) (string, error) {
+	var b strings.Builder
+	b.WriteString("Extension — dynamic page recoloring vs CDPC (base machine)\n")
+	b.WriteString("The dynamic policy detects conflicts reactively (per-page miss counters)\n")
+	b.WriteString("and moves pages at run time, paying copy + TLB-shootdown + invalidation\n")
+	b.WriteString("costs; CDPC places pages correctly before the first fault.\n\n")
+
+	names := []string{"tomcatv", "swim", "hydro2d"}
+	if o.Quick {
+		names = names[:1]
+	}
+	cpus := []int{4, 8, 16}
+	if o.Quick {
+		cpus = []int{8}
+	}
+
+	type row struct {
+		workload                string
+		p                       int
+		base, dyn, cdpc         *sim.Result
+		recolorings, dynKernelM float64
+	}
+	var rows []row
+	for _, name := range names {
+		for _, p := range cpus {
+			base, err := Run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: PageColoring})
+			if err != nil {
+				return "", err
+			}
+			dyn, err := Run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: DynamicRecoloring})
+			if err != nil {
+				return "", err
+			}
+			cdpc, err := Run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: CDPC})
+			if err != nil {
+				return "", err
+			}
+			rows = append(rows, row{
+				workload:    name,
+				p:           p,
+				base:        base,
+				dyn:         dyn,
+				cdpc:        cdpc,
+				recolorings: float64(dyn.Total(func(s *sim.CPUStats) uint64 { return s.Recolorings })),
+				dynKernelM:  float64(dyn.Total(func(s *sim.CPUStats) uint64 { return s.KernelCycles })) / 1e6,
+			})
+		}
+	}
+
+	fmt.Fprintf(&b, "%-8s %-4s %12s %12s %12s %10s %10s %9s\n",
+		"workload", "cpus", "coloring(M)", "dynamic(M)", "cdpc(M)", "dyn-speedup", "cdpc-speedup", "recolors*")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-4d %12.1f %12.1f %12.1f %10.2f %10.2f %9.0f\n",
+			r.workload, r.p,
+			float64(r.base.WallCycles)/1e6,
+			float64(r.dyn.WallCycles)/1e6,
+			float64(r.cdpc.WallCycles)/1e6,
+			r.dyn.Speedup(r.base),
+			r.cdpc.Speedup(r.base),
+			r.recolorings)
+	}
+	b.WriteString("\n*recolors is occurrence-weighted like all steady-state counters.\n")
+	b.WriteString("The dynamic policy recovers part of CDPC's benefit where conflicts are\n")
+	b.WriteString("detectable and fixable, but converges reactively and pays per-move costs;\n")
+	b.WriteString("CDPC's compile-time knowledge gets the mapping right before the first miss.\n")
+	return b.String(), nil
+}
+
+// ExtPadding reproduces the §2.2 padding argument: compiler padding
+// staggers array starts across the external cache in the VIRTUAL address
+// space, so it eliminates conflicts under page coloring (which preserves
+// virtual layout in color space) but is erased by bin hopping, whose
+// fault-order coloring makes "pads that are larger than a page size
+// ineffective".
+func ExtPadding(o ExpOptions) (string, error) {
+	names := []string{"tomcatv", "swim"}
+	if o.Quick {
+		names = names[:1]
+	}
+	cpus := []int{8, 16}
+	if o.Quick {
+		cpus = cpus[:1]
+	}
+
+	var b strings.Builder
+	b.WriteString("Extension — the §2.2 padding baseline vs the OS page mapping policy\n\n")
+	t := fmt.Sprintf("%-8s %-4s %12s %12s %12s %12s %12s %10s %10s\n",
+		"workload", "cpus", "coloring(M)", "+padding(M)", "binhop(M)", "+padding(M)", "cdpc(M)", "pad/colr", "pad/binhop")
+	b.WriteString(t)
+	for _, name := range names {
+		for _, p := range cpus {
+			results := map[Variant]*sim.Result{}
+			for _, v := range []Variant{PageColoring, PaddedColoring, BinHopping, PaddedBinHopping, CDPC} {
+				r, err := Run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: v})
+				if err != nil {
+					return "", err
+				}
+				results[v] = r
+			}
+			mc := func(v Variant) float64 { return float64(results[v].WallCycles) / 1e6 }
+			fmt.Fprintf(&b, "%-8s %-4d %12.1f %12.1f %12.1f %12.1f %12.1f %10.2f %10.2f\n",
+				name, p,
+				mc(PageColoring), mc(PaddedColoring), mc(BinHopping), mc(PaddedBinHopping), mc(CDPC),
+				results[PaddedColoring].Speedup(results[PageColoring]),
+				results[PaddedBinHopping].Speedup(results[BinHopping]))
+		}
+	}
+	b.WriteString("\npadding speeds up page coloring (the virtual staggering survives the\n")
+	b.WriteString("mapping). Under bin hopping the DESIGNED effect is erased — page-sized\n")
+	b.WriteString("pads cannot steer fault-order coloring — leaving only an uncontrolled\n")
+	b.WriteString("perturbation of the fault interleaving, which can swing either way (the\n")
+	b.WriteString("§2.1 unpredictability of racing faults). Either way, padding cannot\n")
+	b.WriteString("replace a mapping-aware technique like CDPC (§2.2).\n")
+	return b.String(), nil
+}

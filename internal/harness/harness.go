@@ -1,0 +1,315 @@
+// Package harness assembles full experiment runs: it builds a workload,
+// runs the compiler pipeline (layout, summaries, optional prefetch
+// insertion), computes CDPC hints when requested, constructs the machine
+// and executes the simulation. Every table and figure reproduction in
+// cmd/experiments and bench_test.go goes through this package.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Variant selects the page mapping configuration under test.
+type Variant string
+
+// The variants the paper compares.
+const (
+	// PageColoring is IRIX's native policy (§2.1).
+	PageColoring Variant = "page-coloring"
+	// BinHopping is Digital UNIX's native policy (§2.1).
+	BinHopping Variant = "bin-hopping"
+	// BinHoppingUnaligned is bin hopping with data structures neither
+	// aligned nor padded (the fourth bar of Figure 9).
+	BinHoppingUnaligned Variant = "bin-hopping-unaligned"
+	// CDPC installs compiler hints through the madvise-style kernel
+	// interface over a page-coloring fallback (the IRIX implementation,
+	// §5.3).
+	CDPC Variant = "cdpc"
+	// CDPCTouch realizes CDPC by touching pages in hint order on top of
+	// bin hopping, with all faults serialized at startup (the Digital
+	// UNIX implementation, §5.3).
+	CDPCTouch Variant = "cdpc-touch"
+	// ColoringTouch realizes page coloring the same way: pages touched in
+	// ascending virtual order over bin hopping (used for Figure 9, where
+	// both non-native policies are emulated this way on the AlphaServer).
+	ColoringTouch Variant = "coloring-touch"
+	// DynamicRecoloring is the run-time alternative of §2.1/§2.2: page
+	// coloring plus miss-counter conflict detection and page moves, with
+	// the multiprocessor costs the paper predicts (copy, TLB shootdowns,
+	// invalidations). An extension study — the paper notes this had not
+	// been evaluated on multiprocessors.
+	DynamicRecoloring Variant = "dynamic-recoloring"
+	// PaddedColoring is the §2.2 compiler padding baseline over page
+	// coloring: array starts staggered across the external cache in the
+	// virtual address space, which coloring faithfully transfers to the
+	// physical cache.
+	PaddedColoring Variant = "padded-coloring"
+	// PaddedBinHopping is the same padding over bin hopping, where the
+	// paper predicts page-sized pads are ineffective (§2.2).
+	PaddedBinHopping Variant = "padded-bin-hopping"
+)
+
+// Variants lists all supported variants.
+func Variants() []Variant {
+	return []Variant{PageColoring, BinHopping, BinHoppingUnaligned, CDPC, CDPCTouch, ColoringTouch, DynamicRecoloring, PaddedColoring, PaddedBinHopping}
+}
+
+// MachineKind selects a machine preset.
+type MachineKind string
+
+// Machine presets.
+const (
+	// BaseMachine is the SimOS configuration of §3.2.
+	BaseMachine MachineKind = "base"
+	// AlphaMachine is the AlphaServer 8400 configuration of §7.
+	AlphaMachine MachineKind = "alpha"
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	Workload string
+	Scale    int // machine+data scale divisor; 0 → workloads.DefaultScale
+	CPUs     int
+	Machine  MachineKind // "" → base
+	Variant  Variant     // "" → page coloring
+	Prefetch bool        // compiler-inserted prefetching (§6.2)
+
+	// L2Override replaces the external-cache geometry (Figure 7 sweeps).
+	L2Override *arch.CacheGeometry
+
+	// ConfigOverride replaces the whole machine configuration (custom
+	// machines loaded from JSON); Machine/Scale/CPUs are then ignored
+	// except that NumCPUs is taken from the override.
+	ConfigOverride *arch.Config
+
+	// CDPCOptions selects algorithm ablations (bench_ablation).
+	CDPCOptions core.Options
+	// DisableClassification turns off conflict/capacity splitting.
+	DisableClassification bool
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Scale == 0 {
+		s.Scale = workloads.DefaultScale
+	}
+	if s.CPUs == 0 {
+		s.CPUs = 1
+	}
+	if s.Machine == "" {
+		s.Machine = BaseMachine
+	}
+	if s.Variant == "" {
+		s.Variant = PageColoring
+	}
+	return s
+}
+
+// Config resolves the machine configuration for a spec.
+func (s Spec) Config() arch.Config {
+	s = s.withDefaults()
+	if s.ConfigOverride != nil {
+		return *s.ConfigOverride
+	}
+	var cfg arch.Config
+	if s.Machine == AlphaMachine {
+		cfg = arch.Alpha(s.CPUs, s.Scale)
+	} else {
+		cfg = arch.Base(s.CPUs, s.Scale)
+	}
+	if s.L2Override != nil {
+		cfg = cfg.WithL2(*s.L2Override)
+	}
+	return cfg
+}
+
+// Prepare builds the workload program and runs the compiler pipeline for
+// a spec, returning the program, its summary, and the machine config.
+func Prepare(s Spec) (*ir.Program, *compiler.Summary, arch.Config, error) {
+	s = s.withDefaults()
+	meta, err := workloads.ByName(s.Workload)
+	if err != nil {
+		return nil, nil, arch.Config{}, err
+	}
+	prog := meta.Build(s.Scale)
+	cfg := s.Config()
+
+	layout := compiler.DefaultLayout(cfg.L2.LineSize, cfg.L1D.Size, cfg.PageSize)
+	switch s.Variant {
+	case BinHoppingUnaligned:
+		layout.Align = false
+		layout.Pad = false
+	case PaddedColoring, PaddedBinHopping:
+		layout.ExternalPad = true
+		layout.ExternalCacheSize = cfg.L2.Size
+	}
+	if err := compiler.Layout(prog, layout); err != nil {
+		return nil, nil, arch.Config{}, err
+	}
+	if s.Prefetch {
+		compiler.InsertPrefetches(prog, compiler.DefaultPrefetch())
+	}
+	return prog, compiler.Summarize(prog), cfg, nil
+}
+
+// Run executes one spec end to end.
+func Run(s Spec) (*sim.Result, error) {
+	s = s.withDefaults()
+	prog, sum, cfg, err := Prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	return runPrepared(prog, sum, cfg, s)
+}
+
+// RunProgram executes a custom (e.g. text-format) program under the
+// spec's machine and variant; the Workload field is ignored. The program
+// goes through the same compiler pipeline as the bundled workloads.
+func RunProgram(prog *ir.Program, s Spec) (*sim.Result, error) {
+	s = s.withDefaults()
+	cfg := s.Config()
+	layout := compiler.DefaultLayout(cfg.L2.LineSize, cfg.L1D.Size, cfg.PageSize)
+	switch s.Variant {
+	case BinHoppingUnaligned:
+		layout.Align = false
+		layout.Pad = false
+	case PaddedColoring, PaddedBinHopping:
+		layout.ExternalPad = true
+		layout.ExternalCacheSize = cfg.L2.Size
+	}
+	if err := compiler.Layout(prog, layout); err != nil {
+		return nil, err
+	}
+	if s.Prefetch {
+		compiler.InsertPrefetches(prog, compiler.DefaultPrefetch())
+	}
+	return runPrepared(prog, compiler.Summarize(prog), cfg, s)
+}
+
+// runPrepared maps the variant to simulator options and runs.
+func runPrepared(prog *ir.Program, sum *compiler.Summary, cfg arch.Config, s Spec) (*sim.Result, error) {
+	opts := sim.Options{Config: cfg, DisableClassification: s.DisableClassification}
+	colors := cfg.Colors()
+
+	needHints := s.Variant == CDPC || s.Variant == CDPCTouch
+	var hints *core.Hints
+	if needHints {
+		var err error
+		hints, err = core.ComputeHintsOpt(prog, sum, core.Params{
+			NumCPUs:   cfg.NumCPUs,
+			NumColors: colors,
+			PageSize:  cfg.PageSize,
+		}, s.CDPCOptions)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	switch s.Variant {
+	case PageColoring:
+		opts.Policy = vm.PageColoring{Colors: colors}
+	case BinHopping, BinHoppingUnaligned:
+		opts.Policy = &vm.BinHopping{Colors: colors}
+	case CDPC:
+		opts.Policy = vm.PageColoring{Colors: colors} // fallback for unhinted pages
+		opts.Hints = hints.Colors
+	case CDPCTouch:
+		opts.Policy = &vm.BinHopping{Colors: colors}
+		opts.TouchOrder = hints.Order
+	case ColoringTouch:
+		opts.Policy = &vm.BinHopping{Colors: colors}
+		opts.TouchOrder = ascendingDataPages(prog, cfg.PageSize)
+	case DynamicRecoloring:
+		opts.Policy = vm.PageColoring{Colors: colors}
+		policy := vm.DefaultRecolorPolicy()
+		opts.Recolor = &policy
+	case PaddedColoring:
+		opts.Policy = vm.PageColoring{Colors: colors}
+	case PaddedBinHopping:
+		opts.Policy = &vm.BinHopping{Colors: colors}
+	default:
+		return nil, fmt.Errorf("harness: unknown variant %q", s.Variant)
+	}
+
+	m, err := sim.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	res.Policy = string(s.Variant)
+	if s.Prefetch {
+		res.Policy += "+pf"
+	}
+	return res, nil
+}
+
+// ascendingDataPages lists every data page in virtual-address order: the
+// touch order that reproduces page coloring on a bin-hopping kernel.
+func ascendingDataPages(prog *ir.Program, pageSize int) []uint64 {
+	var vpns []uint64
+	ps := uint64(pageSize)
+	for _, a := range prog.Arrays {
+		for vpn := a.Base / ps; vpn*ps < a.EndAddr(); vpn++ {
+			if len(vpns) > 0 && vpns[len(vpns)-1] == vpn {
+				continue // arrays sharing a boundary page
+			}
+			vpns = append(vpns, vpn)
+		}
+	}
+	return vpns
+}
+
+// FastRun executes a spec on the cache-counting-only fast simulator
+// (SimOS's high-speed mode, §3.2): miss counts without timing.
+func FastRun(s Spec) (*sim.FastResult, error) {
+	s = s.withDefaults()
+	prog, sum, cfg, err := Prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.Options{Config: cfg}
+	colors := cfg.Colors()
+	switch s.Variant {
+	case BinHopping, BinHoppingUnaligned:
+		opts.Policy = &vm.BinHopping{Colors: colors}
+	case CDPC:
+		h, err := core.ComputeHintsOpt(prog, sum, core.Params{NumCPUs: cfg.NumCPUs, NumColors: colors, PageSize: cfg.PageSize}, s.CDPCOptions)
+		if err != nil {
+			return nil, err
+		}
+		opts.Policy = vm.PageColoring{Colors: colors}
+		opts.Hints = h.Colors
+	default:
+		opts.Policy = vm.PageColoring{Colors: colors}
+	}
+	return sim.FastRun(prog, opts)
+}
+
+// Hints computes the CDPC hints for a spec without running the simulator
+// (the access-map tool and algorithm examples use this).
+func Hints(s Spec) (*core.Hints, *ir.Program, error) {
+	s = s.withDefaults()
+	prog, sum, cfg, err := Prepare(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := core.ComputeHintsOpt(prog, sum, core.Params{
+		NumCPUs:   cfg.NumCPUs,
+		NumColors: cfg.Colors(),
+		PageSize:  cfg.PageSize,
+	}, s.CDPCOptions)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, prog, nil
+}

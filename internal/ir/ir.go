@@ -1,0 +1,299 @@
+// Package ir defines the affine loop-nest program representation shared
+// by the compiler analyses and the machine simulator. A Program is the
+// single source of truth: the same loop nests that generate the
+// per-processor reference streams executed by the simulator are the ones
+// the compiler summarizes for CDPC, so "the compiler knows the access
+// pattern" (§5.1) is genuine rather than asserted.
+//
+// The model captures exactly what the paper's technique consumes: arrays,
+// statically scheduled parallel loops over a distributed dimension, affine
+// per-iteration accesses (element = OuterStride·i + InnerStride·j +
+// Offset), boundary communication, and phase structure with occurrence
+// weights (§3.2's representative execution windows).
+package ir
+
+import "fmt"
+
+// Array is one program data structure, laid out contiguously in the
+// virtual address space by the compiler's layout pass.
+type Array struct {
+	Name     string
+	ElemSize int // bytes per element (8 = double precision)
+	Elems    int // total elements
+
+	// Base is the virtual base address; zero until the layout pass runs.
+	Base uint64
+
+	// Unanalyzable marks arrays whose accesses the compiler could not
+	// summarize (su2cor's pathology, §6.1): CDPC skips them, and their
+	// mapping may conflict with the hinted arrays.
+	Unanalyzable bool
+}
+
+// SizeBytes returns the array's total footprint.
+func (a *Array) SizeBytes() int { return a.ElemSize * a.Elems }
+
+// EndAddr returns one past the last byte (after layout).
+func (a *Array) EndAddr() uint64 { return a.Base + uint64(a.SizeBytes()) }
+
+// String implements fmt.Stringer.
+func (a *Array) String() string {
+	return fmt.Sprintf("%s[%d x %dB @ %#x]", a.Name, a.Elems, a.ElemSize, a.Base)
+}
+
+// RefKind distinguishes loads from stores.
+type RefKind uint8
+
+const (
+	// Load is a read access.
+	Load RefKind = iota
+	// Store is a write access.
+	Store
+)
+
+// Access is one affine array reference inside a nest body. For outer
+// (distributed) iteration i and inner iteration j it touches element
+// OuterStride·i + InnerStride·j + Offset.
+type Access struct {
+	Array *Array
+	Kind  RefKind
+
+	OuterStride int
+	InnerStride int
+	Offset      int
+
+	// Wrap makes the element index wrap modulo the array size instead of
+	// clamping at the boundaries — periodic boundary conditions, which
+	// the compiler summarizes as rotate communication (§5.1).
+	Wrap bool
+
+	// Prefetch is set by the compiler's prefetch pass (§6.2) for
+	// references its locality analysis predicts will miss.
+	Prefetch bool
+	// PrefetchDistance is the number of inner iterations of lead time the
+	// software pipeline achieved; tiled nests get too little (applu).
+	PrefetchDistance int
+}
+
+// Element returns the element index touched at (i, j).
+func (ac Access) Element(i, j int) int {
+	return ac.OuterStride*i + ac.InnerStride*j + ac.Offset
+}
+
+// VAddr returns the virtual address touched at (i, j). Out-of-range
+// element indices wrap modulo the array for Wrap accesses (periodic
+// boundaries → rotate communication) and clamp otherwise (modeling
+// Fortran boundary conditionals without burdening the affine form).
+func (ac Access) VAddr(i, j int) uint64 {
+	e := ac.Element(i, j)
+	if ac.Wrap {
+		e %= ac.Array.Elems
+		if e < 0 {
+			e += ac.Array.Elems
+		}
+	} else {
+		if e < 0 {
+			e = 0
+		}
+		if e >= ac.Array.Elems {
+			e = ac.Array.Elems - 1
+		}
+	}
+	return ac.Array.Base + uint64(e*ac.Array.ElemSize)
+}
+
+// PartitionKind is the static scheduling policy for a parallel nest
+// (§5.1: even and blocked partitions are the supported policies).
+type PartitionKind uint8
+
+const (
+	// Blocked gives each processor ceil(N/p) consecutive iterations.
+	Blocked PartitionKind = iota
+	// Even gives each processor either floor(N/p) or ceil(N/p)
+	// consecutive iterations, as close to equal as possible.
+	Even
+)
+
+// String implements fmt.Stringer.
+func (k PartitionKind) String() string {
+	if k == Blocked {
+		return "blocked"
+	}
+	return "even"
+}
+
+// Schedule is the compiler's static assignment of a nest's distributed
+// iterations to processors.
+type Schedule struct {
+	Kind PartitionKind
+	// Reverse assigns chunks from processor p-1 down to 0 (§5.1's reverse
+	// partitions).
+	Reverse bool
+}
+
+// Span returns the half-open iteration range [lo, hi) that cpu executes
+// out of n iterations on p processors.
+func (s Schedule) Span(n, p, cpu int) (lo, hi int) {
+	if p <= 0 || cpu < 0 || cpu >= p {
+		return 0, 0
+	}
+	chunk := cpu
+	if s.Reverse {
+		chunk = p - 1 - cpu
+	}
+	switch s.Kind {
+	case Blocked:
+		size := (n + p - 1) / p
+		lo = chunk * size
+		hi = lo + size
+	default: // Even
+		base, rem := n/p, n%p
+		lo = chunk*base + min(chunk, rem)
+		hi = lo + base
+		if chunk < rem {
+			hi++
+		}
+	}
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Nest is one loop nest: a distributed outer loop of Iterations trips,
+// an inner loop of InnerIters trips, and a body of affine accesses.
+type Nest struct {
+	Name string
+
+	// Parallel marks nests the compiler parallelized. Suppressed marks
+	// nests that are parallelizable but executed by the master alone
+	// because their grain is too fine (apsi, wave5 — §4.1).
+	Parallel   bool
+	Suppressed bool
+
+	Iterations int // outer (distributed) trip count
+	InnerIters int // inner trip count per outer iteration
+
+	Accesses []Access
+
+	// WorkPerIter is the non-memory instruction count per inner iteration.
+	WorkPerIter int
+
+	// Tiled marks nests whose loop tiling (introduced to cut
+	// synchronization) inhibits prefetch software-pipelining (applu, §6.2).
+	Tiled bool
+
+	// InstFootprint is the bytes of instruction text executed per inner
+	// iteration; zero means the loop body fits trivially in the I-cache
+	// and the instruction stream is not simulated (all but fpppp).
+	InstFootprint int
+
+	Sched Schedule
+}
+
+// Validate checks internal consistency.
+func (n *Nest) Validate() error {
+	if n.Iterations <= 0 || n.InnerIters <= 0 {
+		return fmt.Errorf("ir: nest %q has non-positive trip counts", n.Name)
+	}
+	if len(n.Accesses) == 0 && n.InstFootprint == 0 {
+		return fmt.Errorf("ir: nest %q has no accesses", n.Name)
+	}
+	if n.Suppressed && !n.Parallel {
+		return fmt.Errorf("ir: nest %q suppressed but not parallel", n.Name)
+	}
+	for _, ac := range n.Accesses {
+		if ac.Array == nil {
+			return fmt.Errorf("ir: nest %q has access with nil array", n.Name)
+		}
+	}
+	return nil
+}
+
+// Phase is a region of the steady state with a repetition weight (§3.2).
+type Phase struct {
+	Name        string
+	Occurrences int
+	Nests       []*Nest
+}
+
+// Program is a whole application.
+type Program struct {
+	Name   string
+	Arrays []*Array
+	Phases []*Phase
+
+	// Init, if non-nil, is the initialization phase: executed once before
+	// measurement begins (it takes the first-touch page faults; §3.2
+	// notes initialization is excluded from the steady state).
+	Init *Phase
+
+	// CodeBase/CodeSize describe the instruction segment (used by nests
+	// with InstFootprint > 0).
+	CodeBase uint64
+	CodeSize int
+}
+
+// Validate checks the whole program.
+func (p *Program) Validate() error {
+	if len(p.Arrays) == 0 {
+		return fmt.Errorf("ir: program %q has no arrays", p.Name)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("ir: program %q has no phases", p.Name)
+	}
+	seen := map[string]bool{}
+	for _, a := range p.Arrays {
+		if a.ElemSize <= 0 || a.Elems <= 0 {
+			return fmt.Errorf("ir: array %s has non-positive size", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("ir: duplicate array name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	phases := p.Phases
+	if p.Init != nil {
+		phases = append([]*Phase{p.Init}, phases...)
+	}
+	for _, ph := range phases {
+		if ph.Occurrences <= 0 {
+			return fmt.Errorf("ir: phase %q has occurrences %d", ph.Name, ph.Occurrences)
+		}
+		for _, n := range ph.Nests {
+			if err := n.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DataBytes returns the total data footprint (Table 1's "data set size").
+func (p *Program) DataBytes() int {
+	total := 0
+	for _, a := range p.Arrays {
+		total += a.SizeBytes()
+	}
+	return total
+}
+
+// ArrayByName returns the named array or nil.
+func (p *Program) ArrayByName(name string) *Array {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

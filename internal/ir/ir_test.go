@@ -1,0 +1,359 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestScheduleBlockedSpans(t *testing.T) {
+	s := Schedule{Kind: Blocked}
+	// 33 iterations on 16 CPUs: applu's pathology — ceil = 3, so only 11
+	// CPUs get work (§4.1: "16 processors do not execute such loops more
+	// efficiently than 11").
+	busy := 0
+	total := 0
+	for cpu := 0; cpu < 16; cpu++ {
+		lo, hi := s.Span(33, 16, cpu)
+		if hi > lo {
+			busy++
+			total += hi - lo
+		}
+	}
+	if busy != 11 {
+		t.Errorf("busy CPUs = %d, want 11", busy)
+	}
+	if total != 33 {
+		t.Errorf("covered iterations = %d, want 33", total)
+	}
+}
+
+func TestScheduleEvenSpans(t *testing.T) {
+	s := Schedule{Kind: Even}
+	// 10 iterations on 4 CPUs: 3,3,2,2.
+	want := [][2]int{{0, 3}, {3, 6}, {6, 8}, {8, 10}}
+	for cpu, w := range want {
+		lo, hi := s.Span(10, 4, cpu)
+		if lo != w[0] || hi != w[1] {
+			t.Errorf("cpu %d span = [%d,%d), want [%d,%d)", cpu, lo, hi, w[0], w[1])
+		}
+	}
+}
+
+func TestScheduleReverse(t *testing.T) {
+	fwd := Schedule{Kind: Even}
+	rev := Schedule{Kind: Even, Reverse: true}
+	for cpu := 0; cpu < 4; cpu++ {
+		flo, fhi := fwd.Span(10, 4, cpu)
+		rlo, rhi := rev.Span(10, 4, 3-cpu)
+		if flo != rlo || fhi != rhi {
+			t.Errorf("reverse mismatch at cpu %d", cpu)
+		}
+	}
+}
+
+func TestSchedulePartitionProperty(t *testing.T) {
+	// Property: spans of all CPUs are disjoint, ordered and cover [0, n).
+	f := func(n16 uint16, p8 uint8) bool {
+		n := int(n16%2000) + 1
+		p := int(p8%16) + 1
+		for _, s := range []Schedule{{Kind: Blocked}, {Kind: Even}, {Kind: Even, Reverse: true}, {Kind: Blocked, Reverse: true}} {
+			covered := 0
+			spans := make([][2]int, 0, p)
+			for cpu := 0; cpu < p; cpu++ {
+				lo, hi := s.Span(n, p, cpu)
+				if lo > hi || lo < 0 || hi > n {
+					return false
+				}
+				covered += hi - lo
+				spans = append(spans, [2]int{lo, hi})
+			}
+			if covered != n {
+				return false
+			}
+			// Disjointness: sort by lo and check no overlap.
+			for i := range spans {
+				for j := range spans {
+					if i == j || spans[i][0] == spans[i][1] || spans[j][0] == spans[j][1] {
+						continue
+					}
+					if spans[i][0] < spans[j][1] && spans[j][0] < spans[i][1] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpanDegenerateInputs(t *testing.T) {
+	s := Schedule{Kind: Blocked}
+	if lo, hi := s.Span(10, 0, 0); lo != 0 || hi != 0 {
+		t.Error("zero processors should yield empty span")
+	}
+	if lo, hi := s.Span(10, 4, 7); lo != 0 || hi != 0 {
+		t.Error("out-of-range cpu should yield empty span")
+	}
+}
+
+func TestAccessVAddrClamped(t *testing.T) {
+	a := &Array{Name: "x", ElemSize: 8, Elems: 100, Base: 0x10000}
+	ac := Access{Array: a, OuterStride: 10, InnerStride: 1, Offset: -5}
+	if got := ac.VAddr(0, 0); got != 0x10000 {
+		t.Errorf("negative element should clamp to base, got %#x", got)
+	}
+	ac2 := Access{Array: a, OuterStride: 10, InnerStride: 1, Offset: 5}
+	if got := ac2.VAddr(99, 99); got != 0x10000+99*8 {
+		t.Errorf("overflow element should clamp to last, got %#x", got)
+	}
+}
+
+func testProgram() *Program {
+	a := &Array{Name: "a", ElemSize: 8, Elems: 1024, Base: 0}
+	b := &Array{Name: "b", ElemSize: 8, Elems: 1024, Base: 8192}
+	nest := &Nest{
+		Name:       "sweep",
+		Parallel:   true,
+		Iterations: 32,
+		InnerIters: 32,
+		Accesses: []Access{
+			{Array: a, Kind: Load, OuterStride: 32, InnerStride: 1},
+			{Array: b, Kind: Store, OuterStride: 32, InnerStride: 1},
+		},
+		WorkPerIter: 4,
+		Sched:       Schedule{Kind: Even},
+	}
+	return &Program{
+		Name:   "test",
+		Arrays: []*Array{a, b},
+		Phases: []*Phase{{Name: "main", Occurrences: 1, Nests: []*Nest{nest}}},
+	}
+}
+
+func TestNestStreamRefCount(t *testing.T) {
+	prog := testProgram()
+	n := prog.Phases[0].Nests[0]
+	// 4 CPUs, 32 iterations each with 32 inner iters and 2 accesses:
+	// each CPU emits 8*32*2 = 512 refs.
+	for cpu := 0; cpu < 4; cpu++ {
+		if got := NestRefs(prog, n, 4, cpu); got != 512 {
+			t.Errorf("cpu %d refs = %d, want 512", cpu, got)
+		}
+	}
+}
+
+func TestSequentialNestRunsOnMaster(t *testing.T) {
+	prog := testProgram()
+	n := prog.Phases[0].Nests[0]
+	n.Parallel = false
+	if got := NestRefs(prog, n, 4, 0); got != 2048 {
+		t.Errorf("master refs = %d, want 2048", got)
+	}
+	for cpu := 1; cpu < 4; cpu++ {
+		if got := NestRefs(prog, n, 4, cpu); got != 0 {
+			t.Errorf("slave cpu %d refs = %d, want 0", cpu, got)
+		}
+	}
+}
+
+func TestSuppressedNestRunsOnMaster(t *testing.T) {
+	prog := testProgram()
+	n := prog.Phases[0].Nests[0]
+	n.Suppressed = true
+	if got := NestRefs(prog, n, 4, 0); got != 2048 {
+		t.Errorf("master refs = %d, want 2048", got)
+	}
+	if got := NestRefs(prog, n, 4, 1); got != 0 {
+		t.Errorf("slave refs = %d, want 0", got)
+	}
+}
+
+func TestStreamAddressesAreDisjointAcrossCPUs(t *testing.T) {
+	prog := testProgram()
+	n := prog.Phases[0].Nests[0]
+	seen := map[uint64]int{}
+	var r trace.Ref
+	for cpu := 0; cpu < 4; cpu++ {
+		s := NestStream(prog, n, 4, cpu)
+		for s.Next(&r) {
+			if prev, ok := seen[r.VAddr]; ok && prev != cpu {
+				t.Fatalf("address %#x touched by CPUs %d and %d", r.VAddr, prev, cpu)
+			}
+			seen[r.VAddr] = cpu
+		}
+	}
+	if len(seen) != 2048 {
+		t.Errorf("distinct addresses = %d, want 2048", len(seen))
+	}
+}
+
+func TestWorkAttachedOncePerInnerIteration(t *testing.T) {
+	prog := testProgram()
+	n := prog.Phases[0].Nests[0]
+	s := NestStream(prog, n, 4, 0)
+	var r trace.Ref
+	var work uint64
+	for s.Next(&r) {
+		work += uint64(r.Work)
+	}
+	// 8 outer * 32 inner * 4 work = 1024.
+	if work != 1024 {
+		t.Errorf("total work = %d, want 1024", work)
+	}
+}
+
+func TestPrefetchEmissionLineCrossing(t *testing.T) {
+	// With an inner stride spanning a full prefetch line (16 elems × 8 B
+	// = 128 B), every inner iteration targets a new line and emits.
+	prog := testProgram()
+	n := prog.Phases[0].Nests[0]
+	n.Accesses[0].InnerStride = 16
+	n.Accesses[0].OuterStride = 16 * 32
+	n.Accesses[0].Prefetch = true
+	n.Accesses[0].PrefetchDistance = 8
+	s := NestStream(prog, n, 4, 0)
+	var r trace.Ref
+	prefetches, demands := 0, 0
+	for s.Next(&r) {
+		switch r.Kind {
+		case trace.Prefetch:
+			prefetches++
+		case trace.Read:
+			demands++
+		}
+	}
+	// Per outer iteration: inner j in [0,24) gets a prefetch (j+8 < 32).
+	if prefetches != 8*24 {
+		t.Errorf("prefetches = %d, want 192", prefetches)
+	}
+	if demands != 8*32 {
+		t.Errorf("demand reads = %d, want 256", demands)
+	}
+}
+
+func TestPrefetchEmissionOncePerLine(t *testing.T) {
+	// Unit-stride stream: one prefetch per 16 elements (128-B line), not
+	// one per element.
+	prog := testProgram()
+	n := prog.Phases[0].Nests[0]
+	n.Accesses[0].Prefetch = true
+	n.Accesses[0].PrefetchDistance = 8
+	s := NestStream(prog, n, 1, 0)
+	var r trace.Ref
+	prefetches := 0
+	for s.Next(&r) {
+		if r.Kind == trace.Prefetch {
+			prefetches++
+			if e := (int(r.VAddr) - int(n.Accesses[0].Array.Base)) / 8; e%16 != 0 {
+				t.Fatalf("prefetch target element %d not line-leading", e)
+			}
+		}
+	}
+	// 32 outer iterations cover 32 elements each; targets j+8 with
+	// element ≡ 0 (mod 16): two per outer iteration (32·i+16 at j=16-8,
+	// and 32·i+0 is never a target since j+8 ≥ 8). Expect in [32, 64].
+	if prefetches == 0 || prefetches > 64 {
+		t.Errorf("prefetches = %d, want one per line (≤64)", prefetches)
+	}
+}
+
+func TestPrefetchTargetsFutureAddress(t *testing.T) {
+	prog := testProgram()
+	n := prog.Phases[0].Nests[0]
+	n.Accesses[0].InnerStride = 16 // every iteration crosses a line
+	n.Accesses[0].OuterStride = 16 * 32
+	n.Accesses[0].Prefetch = true
+	n.Accesses[0].PrefetchDistance = 4
+	s := NestStream(prog, n, 1, 0)
+	var r trace.Ref
+	// First emitted ref is the prefetch for (i=0, j=4).
+	if !s.Next(&r) || r.Kind != trace.Prefetch {
+		t.Fatalf("first ref = %+v, want prefetch", r)
+	}
+	want := n.Accesses[0].VAddr(0, 4)
+	if r.VAddr != want {
+		t.Errorf("prefetch addr = %#x, want %#x", r.VAddr, want)
+	}
+}
+
+func TestInstructionStream(t *testing.T) {
+	prog := testProgram()
+	prog.CodeBase = 1 << 30
+	prog.CodeSize = 1024
+	n := prog.Phases[0].Nests[0]
+	n.InstFootprint = 128 // 4 I-refs per inner iteration
+	s := NestStream(prog, n, 1, 0)
+	var r trace.Ref
+	inst := 0
+	for s.Next(&r) {
+		if r.Kind == trace.Inst {
+			inst++
+			if r.VAddr < prog.CodeBase || r.VAddr >= prog.CodeBase+uint64(prog.CodeSize) {
+				t.Fatalf("inst fetch outside code segment: %#x", r.VAddr)
+			}
+		}
+	}
+	if want := 32 * 32 * 4; inst != want {
+		t.Errorf("inst refs = %d, want %d", inst, want)
+	}
+}
+
+func TestTouchedPagesPartition(t *testing.T) {
+	prog := testProgram()
+	// CPU 0 of 4 touches the first quarter of both arrays: elements
+	// [0,256) of each → bytes [0,2048) of a and [8192,10240) of b.
+	pages := TouchedPages(prog, 4, 0, 4096)
+	if !pages[0] || !pages[2] {
+		t.Errorf("expected pages 0 and 2, got %v", pages)
+	}
+	if pages[1] || pages[3] {
+		t.Errorf("unexpected pages: %v", pages)
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	prog := testProgram()
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	bad := testProgram()
+	bad.Phases[0].Nests[0].Iterations = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	bad2 := testProgram()
+	bad2.Arrays = append(bad2.Arrays, &Array{Name: "a", ElemSize: 8, Elems: 1})
+	if err := bad2.Validate(); err == nil {
+		t.Error("duplicate array name accepted")
+	}
+	bad3 := testProgram()
+	bad3.Phases[0].Occurrences = 0
+	if err := bad3.Validate(); err == nil {
+		t.Error("zero occurrences accepted")
+	}
+	bad4 := testProgram()
+	bad4.Phases[0].Nests[0].Suppressed = true
+	bad4.Phases[0].Nests[0].Parallel = false
+	if err := bad4.Validate(); err == nil {
+		t.Error("suppressed non-parallel nest accepted")
+	}
+}
+
+func TestDataBytes(t *testing.T) {
+	prog := testProgram()
+	if got := prog.DataBytes(); got != 2*1024*8 {
+		t.Errorf("DataBytes = %d, want 16384", got)
+	}
+}
+
+func TestArrayByName(t *testing.T) {
+	prog := testProgram()
+	if prog.ArrayByName("b") == nil || prog.ArrayByName("zzz") != nil {
+		t.Error("ArrayByName lookup broken")
+	}
+}

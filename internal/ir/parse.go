@@ -1,0 +1,418 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Text program format: a line-oriented notation for writing workloads
+// without Go code, consumed by the cmd/ tools (`cdpcsim -program f.cdp`).
+// The grammar mirrors the IR one-to-one:
+//
+//	# comment
+//	program NAME
+//	code BYTES                       (optional instruction segment)
+//	array NAME elems=N [elemsize=8] [unanalyzable]
+//
+//	init parallel iters=N inner=M [work=W] [sched=even|blocked[,reverse]]
+//	  store NAME outer=S [inner=1] [offset=0] [wrap]
+//
+//	phase NAME occurs=K
+//	  nest NAME parallel|sequential|suppressed iters=N inner=M [work=W]
+//	       [sched=...] [tiled] [instfootprint=B]
+//	    load NAME outer=S [inner=1] [offset=0] [wrap] [prefetch=D]
+//	    store NAME ...
+//
+// Indentation is decorative; structure comes from the keywords. Parse
+// reports errors with line numbers.
+
+// Parse reads a program in the text format.
+func Parse(r io.Reader) (*Program, error) {
+	p := &parser{
+		prog:   &Program{},
+		arrays: map[string]*Array{},
+	}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		if err := p.line(text); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// ParseString parses a program from a string.
+func ParseString(s string) (*Program, error) { return Parse(strings.NewReader(s)) }
+
+type parser struct {
+	prog   *Program
+	arrays map[string]*Array
+
+	phase *Phase // current phase (or the init phase)
+	nest  *Nest  // current nest
+}
+
+func (p *parser) line(text string) error {
+	fields := strings.Fields(text)
+	keyword, rest := fields[0], fields[1:]
+	switch keyword {
+	case "program":
+		if len(rest) != 1 {
+			return fmt.Errorf("program wants exactly a name")
+		}
+		p.prog.Name = rest[0]
+		return nil
+	case "code":
+		if len(rest) != 1 {
+			return fmt.Errorf("code wants a byte count")
+		}
+		n, err := strconv.Atoi(rest[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad code size %q", rest[0])
+		}
+		p.prog.CodeSize = n
+		return nil
+	case "array":
+		return p.array(rest)
+	case "init":
+		ph := &Phase{Name: "init", Occurrences: 1}
+		p.prog.Init = ph
+		p.phase = ph
+		return p.nestDecl(append([]string{"first-touch"}, rest...))
+	case "phase":
+		return p.phaseDecl(rest)
+	case "nest":
+		if p.phase == nil {
+			return fmt.Errorf("nest outside a phase")
+		}
+		return p.nestDecl(rest)
+	case "load", "store":
+		return p.access(keyword, rest)
+	default:
+		return fmt.Errorf("unknown keyword %q", keyword)
+	}
+}
+
+func (p *parser) array(rest []string) error {
+	if len(rest) < 2 {
+		return fmt.Errorf("array wants a name and elems=N")
+	}
+	a := &Array{Name: rest[0], ElemSize: 8}
+	for _, tok := range rest[1:] {
+		key, val, hasVal := cut(tok)
+		switch key {
+		case "elems":
+			n, err := atoiPos(val, hasVal)
+			if err != nil {
+				return fmt.Errorf("array %s: %w", a.Name, err)
+			}
+			a.Elems = n
+		case "elemsize":
+			n, err := atoiPos(val, hasVal)
+			if err != nil {
+				return fmt.Errorf("array %s: %w", a.Name, err)
+			}
+			a.ElemSize = n
+		case "unanalyzable":
+			a.Unanalyzable = true
+		default:
+			return fmt.Errorf("array %s: unknown attribute %q", a.Name, tok)
+		}
+	}
+	if a.Elems <= 0 {
+		return fmt.Errorf("array %s: elems required", a.Name)
+	}
+	if p.arrays[a.Name] != nil {
+		return fmt.Errorf("duplicate array %q", a.Name)
+	}
+	p.arrays[a.Name] = a
+	p.prog.Arrays = append(p.prog.Arrays, a)
+	return nil
+}
+
+func (p *parser) phaseDecl(rest []string) error {
+	if len(rest) < 1 {
+		return fmt.Errorf("phase wants a name")
+	}
+	ph := &Phase{Name: rest[0], Occurrences: 1}
+	for _, tok := range rest[1:] {
+		key, val, hasVal := cut(tok)
+		if key != "occurs" {
+			return fmt.Errorf("phase %s: unknown attribute %q", ph.Name, tok)
+		}
+		n, err := atoiPos(val, hasVal)
+		if err != nil {
+			return fmt.Errorf("phase %s: %w", ph.Name, err)
+		}
+		ph.Occurrences = n
+	}
+	p.prog.Phases = append(p.prog.Phases, ph)
+	p.phase = ph
+	p.nest = nil
+	return nil
+}
+
+func (p *parser) nestDecl(rest []string) error {
+	if len(rest) < 2 {
+		return fmt.Errorf("nest wants a name and a parallelism mode")
+	}
+	n := &Nest{Name: rest[0], InnerIters: 1}
+	for _, tok := range rest[1:] {
+		key, val, hasVal := cut(tok)
+		switch key {
+		case "parallel":
+			n.Parallel = true
+		case "sequential":
+			n.Parallel = false
+		case "suppressed":
+			n.Parallel = true
+			n.Suppressed = true
+		case "tiled":
+			n.Tiled = true
+		case "iters":
+			v, err := atoiPos(val, hasVal)
+			if err != nil {
+				return fmt.Errorf("nest %s: %w", n.Name, err)
+			}
+			n.Iterations = v
+		case "inner":
+			v, err := atoiPos(val, hasVal)
+			if err != nil {
+				return fmt.Errorf("nest %s: %w", n.Name, err)
+			}
+			n.InnerIters = v
+		case "work":
+			v, err := atoiPos(val, hasVal)
+			if err != nil {
+				return fmt.Errorf("nest %s: %w", n.Name, err)
+			}
+			n.WorkPerIter = v
+		case "instfootprint":
+			v, err := atoiPos(val, hasVal)
+			if err != nil {
+				return fmt.Errorf("nest %s: %w", n.Name, err)
+			}
+			n.InstFootprint = v
+		case "sched":
+			if !hasVal {
+				return fmt.Errorf("nest %s: sched wants a value", n.Name)
+			}
+			sched, err := parseSched(val)
+			if err != nil {
+				return fmt.Errorf("nest %s: %w", n.Name, err)
+			}
+			n.Sched = sched
+		default:
+			return fmt.Errorf("nest %s: unknown attribute %q", n.Name, tok)
+		}
+	}
+	p.phase.Nests = append(p.phase.Nests, n)
+	p.nest = n
+	return nil
+}
+
+func (p *parser) access(kind string, rest []string) error {
+	if p.nest == nil {
+		return fmt.Errorf("%s outside a nest", kind)
+	}
+	if len(rest) < 1 {
+		return fmt.Errorf("%s wants an array name", kind)
+	}
+	a := p.arrays[rest[0]]
+	if a == nil {
+		return fmt.Errorf("%s of unknown array %q", kind, rest[0])
+	}
+	ac := Access{Array: a, InnerStride: 1}
+	if kind == "store" {
+		ac.Kind = Store
+	}
+	for _, tok := range rest[1:] {
+		key, val, hasVal := cut(tok)
+		switch key {
+		case "outer":
+			v, err := atoiPos(val, hasVal)
+			if err != nil {
+				return err
+			}
+			ac.OuterStride = v
+		case "inner":
+			v, err := atoiAny(val, hasVal)
+			if err != nil {
+				return err
+			}
+			ac.InnerStride = v
+		case "offset":
+			v, err := atoiAny(val, hasVal)
+			if err != nil {
+				return err
+			}
+			ac.Offset = v
+		case "wrap":
+			ac.Wrap = true
+		case "prefetch":
+			v, err := atoiAny(val, hasVal)
+			if err != nil {
+				return err
+			}
+			ac.Prefetch = true
+			ac.PrefetchDistance = v
+		default:
+			return fmt.Errorf("%s %s: unknown attribute %q", kind, a.Name, tok)
+		}
+	}
+	p.nest.Accesses = append(p.nest.Accesses, ac)
+	return nil
+}
+
+func parseSched(val string) (Schedule, error) {
+	var s Schedule
+	for _, part := range strings.Split(val, ",") {
+		switch part {
+		case "even":
+			s.Kind = Even
+		case "blocked":
+			s.Kind = Blocked
+		case "reverse":
+			s.Reverse = true
+		default:
+			return s, fmt.Errorf("unknown sched %q", part)
+		}
+	}
+	return s, nil
+}
+
+func cut(tok string) (key, val string, hasVal bool) {
+	if i := strings.IndexByte(tok, '='); i >= 0 {
+		return tok[:i], tok[i+1:], true
+	}
+	return tok, "", false
+}
+
+func atoiPos(val string, hasVal bool) (int, error) {
+	n, err := atoiAny(val, hasVal)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("value %q must be positive", val)
+	}
+	return n, nil
+}
+
+func atoiAny(val string, hasVal bool) (int, error) {
+	if !hasVal {
+		return 0, fmt.Errorf("missing value")
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", val)
+	}
+	return n, nil
+}
+
+// Format renders a program in the text format; Parse(Format(p)) is
+// structurally identical to p (array bases are layout products and are
+// not serialized).
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	if p.CodeSize > 0 {
+		fmt.Fprintf(&b, "code %d\n", p.CodeSize)
+	}
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "array %s elems=%d", a.Name, a.Elems)
+		if a.ElemSize != 8 {
+			fmt.Fprintf(&b, " elemsize=%d", a.ElemSize)
+		}
+		if a.Unanalyzable {
+			b.WriteString(" unanalyzable")
+		}
+		b.WriteByte('\n')
+	}
+	if p.Init != nil && len(p.Init.Nests) == 1 {
+		n := p.Init.Nests[0]
+		b.WriteString("init")
+		formatNestAttrs(&b, n)
+		b.WriteByte('\n')
+		formatAccesses(&b, n)
+	}
+	for _, ph := range p.Phases {
+		fmt.Fprintf(&b, "phase %s occurs=%d\n", ph.Name, ph.Occurrences)
+		for _, n := range ph.Nests {
+			fmt.Fprintf(&b, "  nest %s", n.Name)
+			formatNestAttrs(&b, n)
+			b.WriteByte('\n')
+			formatAccesses(&b, n)
+		}
+	}
+	return b.String()
+}
+
+func formatNestAttrs(b *strings.Builder, n *Nest) {
+	switch {
+	case n.Suppressed:
+		b.WriteString(" suppressed")
+	case n.Parallel:
+		b.WriteString(" parallel")
+	default:
+		b.WriteString(" sequential")
+	}
+	fmt.Fprintf(b, " iters=%d inner=%d", n.Iterations, n.InnerIters)
+	if n.WorkPerIter > 0 {
+		fmt.Fprintf(b, " work=%d", n.WorkPerIter)
+	}
+	sched := []string{n.Sched.Kind.String()}
+	if n.Sched.Reverse {
+		sched = append(sched, "reverse")
+	}
+	sort.Strings(sched[1:])
+	fmt.Fprintf(b, " sched=%s", strings.Join(sched, ","))
+	if n.Tiled {
+		b.WriteString(" tiled")
+	}
+	if n.InstFootprint > 0 {
+		fmt.Fprintf(b, " instfootprint=%d", n.InstFootprint)
+	}
+}
+
+func formatAccesses(b *strings.Builder, n *Nest) {
+	for _, ac := range n.Accesses {
+		kind := "load"
+		if ac.Kind == Store {
+			kind = "store"
+		}
+		fmt.Fprintf(b, "    %s %s outer=%d", kind, ac.Array.Name, ac.OuterStride)
+		if ac.InnerStride != 1 {
+			fmt.Fprintf(b, " inner=%d", ac.InnerStride)
+		}
+		if ac.Offset != 0 {
+			fmt.Fprintf(b, " offset=%d", ac.Offset)
+		}
+		if ac.Wrap {
+			b.WriteString(" wrap")
+		}
+		if ac.Prefetch {
+			fmt.Fprintf(b, " prefetch=%d", ac.PrefetchDistance)
+		}
+		b.WriteByte('\n')
+	}
+}

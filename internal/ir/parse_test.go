@@ -1,0 +1,164 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+# A small stencil in the text format.
+program mini
+code 16384
+
+array a elems=4096
+array b elems=4096
+array idx elems=512 elemsize=4 unanalyzable
+
+init parallel iters=16 inner=256 work=1 sched=even
+  store a outer=256
+  store b outer=256
+
+phase main occurs=50
+  nest sweep parallel iters=16 inner=256 work=12 sched=even
+    load a outer=256 offset=-1
+    load a outer=256
+    load a outer=256 offset=1 wrap
+    store b outer=256
+  nest gather parallel iters=16 inner=32 work=6 sched=blocked,reverse tiled
+    load idx outer=256 inner=8
+    store b outer=256
+phase tail occurs=2
+  nest finish sequential iters=1 inner=256 instfootprint=4096
+    load b outer=256 prefetch=8
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := ParseString(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mini" || p.CodeSize != 16384 {
+		t.Errorf("header: %q %d", p.Name, p.CodeSize)
+	}
+	if len(p.Arrays) != 3 {
+		t.Fatalf("arrays = %d", len(p.Arrays))
+	}
+	idx := p.ArrayByName("idx")
+	if idx == nil || !idx.Unanalyzable || idx.ElemSize != 4 {
+		t.Errorf("idx = %+v", idx)
+	}
+	if p.Init == nil || len(p.Init.Nests) != 1 || !p.Init.Nests[0].Parallel {
+		t.Error("init phase wrong")
+	}
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %d", len(p.Phases))
+	}
+	main := p.Phases[0]
+	if main.Occurrences != 50 || len(main.Nests) != 2 {
+		t.Errorf("main = %d occurs, %d nests", main.Occurrences, len(main.Nests))
+	}
+	sweep := main.Nests[0]
+	if len(sweep.Accesses) != 4 {
+		t.Fatalf("sweep accesses = %d", len(sweep.Accesses))
+	}
+	if !sweep.Accesses[2].Wrap || sweep.Accesses[2].Offset != 1 {
+		t.Errorf("wrap access = %+v", sweep.Accesses[2])
+	}
+	gather := main.Nests[1]
+	if gather.Sched.Kind != Blocked || !gather.Sched.Reverse || !gather.Tiled {
+		t.Errorf("gather sched = %+v tiled=%v", gather.Sched, gather.Tiled)
+	}
+	if gather.Accesses[0].InnerStride != 8 {
+		t.Errorf("gather stride = %d", gather.Accesses[0].InnerStride)
+	}
+	finish := p.Phases[1].Nests[0]
+	if finish.Parallel || finish.InstFootprint != 4096 {
+		t.Errorf("finish = %+v", finish)
+	}
+	if !finish.Accesses[0].Prefetch || finish.Accesses[0].PrefetchDistance != 8 {
+		t.Errorf("prefetch access = %+v", finish.Accesses[0])
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	p1, err := ParseString(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p1)
+	p2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse of formatted program failed: %v\n%s", err, text)
+	}
+	if Format(p2) != text {
+		t.Errorf("format not a fixed point:\n--- first ---\n%s--- second ---\n%s", text, Format(p2))
+	}
+	// Structural spot checks survive the round trip.
+	if p2.Phases[0].Nests[1].Sched.Reverse != true {
+		t.Error("reverse lost in round trip")
+	}
+	if !p2.Phases[0].Nests[0].Accesses[2].Wrap {
+		t.Error("wrap lost in round trip")
+	}
+	if p2.Init == nil {
+		t.Error("init lost in round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown keyword":  "program x\nfrobnicate y\n",
+		"dup array":        "program x\narray a elems=8\narray a elems=8\n",
+		"unknown array":    "program x\narray a elems=8\nphase p occurs=1\nnest n parallel iters=1 inner=1\nload zz outer=1\n",
+		"access w/o nest":  "program x\narray a elems=8\nload a outer=1\n",
+		"nest w/o phase":   "program x\narray a elems=8\nnest n parallel iters=1 inner=1\n",
+		"bad int":          "program x\narray a elems=zonk\n",
+		"negative iters":   "program x\narray a elems=8\nphase p occurs=1\nnest n parallel iters=-4 inner=1\nload a outer=1\n",
+		"bad sched":        "program x\narray a elems=8\nphase p occurs=1\nnest n parallel iters=1 inner=1 sched=zigzag\nload a outer=1\n",
+		"no accesses":      "program x\narray a elems=8\nphase p occurs=1\nnest n parallel iters=1 inner=1\n",
+		"unknown nestattr": "program x\narray a elems=8\nphase p occurs=1\nnest n parallel iters=1 inner=1 color=7\nload a outer=1\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: accepted\n%s", name, src)
+		}
+	}
+}
+
+func TestParsedProgramRuns(t *testing.T) {
+	// End-to-end: a parsed program must stream references.
+	p, err := ParseString(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assign bases manually (normally the compiler layout does this).
+	base := uint64(4096)
+	for _, a := range p.Arrays {
+		a.Base = base
+		base += uint64(a.SizeBytes()) + 4096
+	}
+	p.CodeBase = base
+	total := 0
+	for _, ph := range p.Phases {
+		for _, n := range ph.Nests {
+			total += NestRefs(p, n, 4, 0)
+		}
+	}
+	if total == 0 {
+		t.Error("parsed program generates no references")
+	}
+}
+
+func TestFormatWorkloadStyle(t *testing.T) {
+	// Formatting must not emit lines Parse rejects, even for edge attrs.
+	p, err := ParseString("program t\narray a elems=16\nphase p occurs=3\nnest n suppressed iters=2 inner=2\nload a outer=2 inner=-1 offset=-3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseString(Format(p)); err != nil {
+		t.Fatalf("negative attrs break round trip: %v\n%s", err, Format(p))
+	}
+	if !strings.Contains(Format(p), "suppressed") {
+		t.Error("suppressed not serialized")
+	}
+}

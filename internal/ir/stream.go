@@ -1,0 +1,159 @@
+package ir
+
+import "repro/internal/trace"
+
+// iCacheLine is the granularity at which the instruction stream is
+// emitted for nests with a significant instruction footprint.
+const iCacheLine = 32
+
+// prefetchLine is the external-cache line size the compiler schedules
+// prefetches for: one prefetch per line, not per element (the compiler
+// knows the target machine's line size; §6.2's algorithm prefetches only
+// references likely to miss, and unrolls so each line is prefetched once).
+const prefetchLine = 128
+
+// NestStream returns cpu's reference stream for nest n executed on p
+// processors. Sequential and suppressed nests run entirely on CPU 0; the
+// other CPUs get an empty stream and the simulator charges their idle
+// time as sequential or suppressed overhead (§4.1).
+//
+// Per inner iteration the stream emits, in order: software prefetches
+// (for accesses the compiler marked, at their pipelined lead distance),
+// instruction fetches (if the nest has an InstFootprint), and the demand
+// accesses. The nest's WorkPerIter non-memory instructions ride on the
+// first reference of each inner iteration.
+func NestStream(prog *Program, n *Nest, p, cpu int) trace.Stream {
+	lo, hi := nestSpan(n, p, cpu)
+	if lo >= hi {
+		return trace.Empty
+	}
+	cur := &nestCursor{prog: prog, nest: n, i: lo, hi: hi}
+	return trace.FuncStream(cur.next)
+}
+
+// nestSpan returns cpu's outer-iteration range.
+func nestSpan(n *Nest, p, cpu int) (lo, hi int) {
+	if !n.Parallel || n.Suppressed || p == 1 {
+		if cpu == 0 {
+			return 0, n.Iterations
+		}
+		return 0, 0
+	}
+	return n.Sched.Span(n.Iterations, p, cpu)
+}
+
+// NestRefs returns the total references cpu will emit for the nest;
+// used for quick workload sizing in tests and the harness.
+func NestRefs(prog *Program, n *Nest, p, cpu int) int {
+	s := NestStream(prog, n, p, cpu)
+	return trace.Count(s)
+}
+
+// nestCursor is the lazy interpreter state for one (nest, cpu).
+type nestCursor struct {
+	prog *Program
+	nest *Nest
+
+	i, hi int // outer iteration cursor and bound
+	j     int // inner iteration
+	stage int // 0 = prefetches, 1 = inst fetches, 2 = demand accesses
+	k     int // index within stage
+
+	instOff   int // cyclic cursor into the code segment
+	instLeft  int // bytes of code still to fetch this iteration
+	firstWork bool
+}
+
+func (c *nestCursor) next(r *trace.Ref) bool {
+	n := c.nest
+	for c.i < c.hi {
+		switch c.stage {
+		case 0: // software prefetches
+			for c.k < len(n.Accesses) {
+				ac := n.Accesses[c.k]
+				c.k++
+				if !ac.Prefetch {
+					continue
+				}
+				jf := c.j + ac.PrefetchDistance
+				if jf >= n.InnerIters {
+					continue // pipeline drain: no prefetch issued
+				}
+				// One prefetch per cache line: emit only when the target
+				// is the first element of its line for this stream.
+				strideBytes := ac.InnerStride * ac.Array.ElemSize
+				if strideBytes < 0 {
+					strideBytes = -strideBytes
+				}
+				if strideBytes < prefetchLine {
+					off := (ac.Element(c.i, jf) * ac.Array.ElemSize) % prefetchLine
+					if off >= strideBytes {
+						continue
+					}
+				}
+				*r = trace.Ref{Kind: trace.Prefetch, VAddr: ac.VAddr(c.i, jf), Size: uint8(ac.Array.ElemSize)}
+				return true
+			}
+			c.stage, c.k = 1, 0
+			c.instLeft = n.InstFootprint
+			c.firstWork = true
+		case 1: // instruction fetches
+			if c.instLeft > 0 && c.prog.CodeSize > 0 {
+				*r = trace.Ref{Kind: trace.Inst, VAddr: c.prog.CodeBase + uint64(c.instOff), Size: 4, Work: iCacheLine / 4}
+				c.instOff = (c.instOff + iCacheLine) % c.prog.CodeSize
+				c.instLeft -= iCacheLine
+				return true
+			}
+			c.stage, c.k = 2, 0
+		case 2: // demand accesses
+			if c.k < len(n.Accesses) {
+				ac := n.Accesses[c.k]
+				c.k++
+				kind := trace.Read
+				if ac.Kind == Store {
+					kind = trace.Write
+				}
+				var work uint32
+				if c.firstWork {
+					work = uint32(n.WorkPerIter)
+					c.firstWork = false
+				}
+				*r = trace.Ref{Kind: kind, VAddr: ac.VAddr(c.i, c.j), Size: uint8(ac.Array.ElemSize), Work: work}
+				return true
+			}
+			// Inner iteration done.
+			c.stage, c.k = 0, 0
+			c.j++
+			if c.j >= n.InnerIters {
+				c.j = 0
+				c.i++
+			}
+			// A body with no accesses and no code would spin forever;
+			// Validate rejects it, but guard anyway.
+			if len(n.Accesses) == 0 && n.InstFootprint == 0 {
+				c.i = c.hi
+			}
+		}
+	}
+	return false
+}
+
+// TouchedPages returns the set of virtual page numbers cpu touches while
+// executing the program's steady state on p processors. This drives the
+// Figure 3 / Figure 5 access-pattern plots without running the timing
+// simulator.
+func TouchedPages(prog *Program, p, cpu, pageSize int) map[uint64]bool {
+	pages := make(map[uint64]bool)
+	var r trace.Ref
+	for _, ph := range prog.Phases {
+		for _, n := range ph.Nests {
+			s := NestStream(prog, n, p, cpu)
+			for s.Next(&r) {
+				if r.Kind == trace.Read || r.Kind == trace.Write {
+					pages[r.VAddr/uint64(pageSize)] = true
+				}
+			}
+		}
+	}
+	return pages
+}

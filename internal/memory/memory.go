@@ -1,0 +1,100 @@
+// Package memory implements the physical frame allocator: free frames are
+// kept in per-color pools so the virtual-memory subsystem can honor a
+// policy's (or CDPC's) preferred color. Under memory pressure a request
+// falls back to the richest other pool — the paper's "the operating
+// system ... may not be able to honor the hints if the machine is under
+// memory pressure" (§5, step 3).
+package memory
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when no free frame exists in any pool.
+var ErrOutOfMemory = errors.New("memory: out of physical frames")
+
+// Allocator hands out physical frames grouped by page color.
+type Allocator struct {
+	numColors int
+	free      [][]uint64 // per color, LIFO of frame numbers
+	totalFree int
+
+	// Honored counts allocations that got the preferred color; Fallback
+	// counts those that did not (pressure or exhausted pool).
+	Honored  uint64
+	Fallback uint64
+}
+
+// New creates an allocator over totalFrames frames spread round-robin
+// across numColors colors (frame f has color f % numColors, the natural
+// layout of contiguous physical memory under a physically indexed cache).
+func New(totalFrames, numColors int) *Allocator {
+	if totalFrames <= 0 || numColors <= 0 {
+		panic(fmt.Sprintf("memory: bad sizes frames=%d colors=%d", totalFrames, numColors))
+	}
+	a := &Allocator{
+		numColors: numColors,
+		free:      make([][]uint64, numColors),
+		totalFree: totalFrames,
+	}
+	per := totalFrames/numColors + 1
+	for c := range a.free {
+		a.free[c] = make([]uint64, 0, per)
+	}
+	// Push in descending order so pops return ascending frame numbers.
+	for f := totalFrames - 1; f >= 0; f-- {
+		c := f % numColors
+		a.free[c] = append(a.free[c], uint64(f))
+	}
+	return a
+}
+
+// NumColors returns the color count the allocator was built with.
+func (a *Allocator) NumColors() int { return a.numColors }
+
+// FreeFrames returns the total number of free frames.
+func (a *Allocator) FreeFrames() int { return a.totalFree }
+
+// FreeOfColor returns the number of free frames of color c.
+func (a *Allocator) FreeOfColor(c int) int { return len(a.free[c%a.numColors]) }
+
+// ColorOf returns the color of a frame number.
+func (a *Allocator) ColorOf(frame uint64) int { return int(frame % uint64(a.numColors)) }
+
+// Alloc returns a free frame, preferring the given color. honored reports
+// whether the preference was satisfied.
+func (a *Allocator) Alloc(preferredColor int) (frame uint64, honored bool, err error) {
+	if a.totalFree == 0 {
+		return 0, false, ErrOutOfMemory
+	}
+	c := ((preferredColor % a.numColors) + a.numColors) % a.numColors
+	if pool := a.free[c]; len(pool) > 0 {
+		frame = pool[len(pool)-1]
+		a.free[c] = pool[:len(pool)-1]
+		a.totalFree--
+		a.Honored++
+		return frame, true, nil
+	}
+	// Pressure fallback: take from the richest pool to keep future
+	// preferences satisfiable.
+	best, bestLen := -1, 0
+	for i, pool := range a.free {
+		if len(pool) > bestLen {
+			best, bestLen = i, len(pool)
+		}
+	}
+	pool := a.free[best]
+	frame = pool[len(pool)-1]
+	a.free[best] = pool[:len(pool)-1]
+	a.totalFree--
+	a.Fallback++
+	return frame, false, nil
+}
+
+// Release returns a frame to its color pool.
+func (a *Allocator) Release(frame uint64) {
+	c := a.ColorOf(frame)
+	a.free[c] = append(a.free[c], frame)
+	a.totalFree++
+}

@@ -1,0 +1,119 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPreferredColorHonored(t *testing.T) {
+	a := New(64, 8)
+	f, honored, err := a.Alloc(3)
+	if err != nil || !honored {
+		t.Fatalf("Alloc = (%d,%v,%v)", f, honored, err)
+	}
+	if a.ColorOf(f) != 3 {
+		t.Errorf("color = %d, want 3", a.ColorOf(f))
+	}
+	if a.Honored != 1 || a.Fallback != 0 {
+		t.Errorf("counters honored=%d fallback=%d", a.Honored, a.Fallback)
+	}
+}
+
+func TestFallbackOnExhaustedColor(t *testing.T) {
+	a := New(16, 8) // 2 frames per color
+	a.Alloc(0)
+	a.Alloc(0)
+	f, honored, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if honored {
+		t.Error("exhausted color reported honored")
+	}
+	if a.ColorOf(f) == 0 {
+		t.Error("fallback returned a frame of the exhausted color")
+	}
+	if a.Fallback != 1 {
+		t.Errorf("Fallback = %d, want 1", a.Fallback)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	a := New(4, 2)
+	for i := 0; i < 4; i++ {
+		if _, _, err := a.Alloc(0); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, _, err := a.Alloc(0); err != ErrOutOfMemory {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestReleaseRecycles(t *testing.T) {
+	a := New(8, 8) // one frame per color
+	f, _, _ := a.Alloc(5)
+	a.Release(f)
+	f2, honored, err := a.Alloc(5)
+	if err != nil || !honored || f2 != f {
+		t.Errorf("recycled alloc = (%d,%v,%v), want (%d,true,nil)", f2, honored, err, f)
+	}
+}
+
+func TestNegativeAndLargeColorWrap(t *testing.T) {
+	a := New(64, 8)
+	f, honored, _ := a.Alloc(11) // 11 % 8 = 3
+	if !honored || a.ColorOf(f) != 3 {
+		t.Errorf("wrapped color = %d honored=%v, want 3,true", a.ColorOf(f), honored)
+	}
+	f2, honored2, _ := a.Alloc(-1) // wraps to 7
+	if !honored2 || a.ColorOf(f2) != 7 {
+		t.Errorf("negative color = %d honored=%v, want 7,true", a.ColorOf(f2), honored2)
+	}
+}
+
+func TestFramesAreUniqueProperty(t *testing.T) {
+	f := func(prefs []uint8) bool {
+		a := New(128, 16)
+		seen := map[uint64]bool{}
+		for _, p := range prefs {
+			fr, _, err := a.Alloc(int(p))
+			if err != nil {
+				return a.FreeFrames() == 0
+			}
+			if seen[fr] {
+				return false
+			}
+			seen[fr] = true
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorDistributionEven(t *testing.T) {
+	a := New(64, 8)
+	for c := 0; c < 8; c++ {
+		if got := a.FreeOfColor(c); got != 8 {
+			t.Errorf("color %d has %d free frames, want 8", c, got)
+		}
+	}
+}
+
+func TestFreeFramesAccounting(t *testing.T) {
+	a := New(32, 4)
+	if a.FreeFrames() != 32 {
+		t.Fatalf("FreeFrames = %d, want 32", a.FreeFrames())
+	}
+	f, _, _ := a.Alloc(1)
+	if a.FreeFrames() != 31 {
+		t.Errorf("FreeFrames after alloc = %d, want 31", a.FreeFrames())
+	}
+	a.Release(f)
+	if a.FreeFrames() != 32 {
+		t.Errorf("FreeFrames after release = %d, want 32", a.FreeFrames())
+	}
+}

@@ -1,0 +1,120 @@
+// Package report renders simulation results in machine-readable forms
+// (CSV and JSON) for external plotting and analysis, complementing the
+// human-readable tables of internal/textplot.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Row flattens one simulation result into named scalar metrics.
+type Row struct {
+	Workload string  `json:"workload"`
+	Machine  string  `json:"machine"`
+	Policy   string  `json:"policy"`
+	CPUs     int     `json:"cpus"`
+	Prefetch bool    `json:"prefetch"`
+	Wall     uint64  `json:"wall_cycles"`
+	Combined uint64  `json:"combined_cycles"`
+	MCPI     float64 `json:"mcpi"`
+	BusUtil  float64 `json:"bus_utilization"`
+
+	Instructions   uint64 `json:"instructions"`
+	ExecCycles     uint64 `json:"exec_cycles"`
+	MemStall       uint64 `json:"mem_stall_cycles"`
+	Overhead       uint64 `json:"overhead_cycles"`
+	L2Misses       uint64 `json:"l2_misses"`
+	ColdMisses     uint64 `json:"cold_misses"`
+	ConflictMisses uint64 `json:"conflict_misses"`
+	CapacityMisses uint64 `json:"capacity_misses"`
+	TrueSharing    uint64 `json:"true_sharing_misses"`
+	FalseSharing   uint64 `json:"false_sharing_misses"`
+	PageFaults     uint64 `json:"page_faults"`
+	HintedFaults   uint64 `json:"hinted_faults"`
+	HonoredHints   uint64 `json:"honored_hints"`
+	Recolorings    uint64 `json:"recolorings"`
+}
+
+// FromResult flattens a result.
+func FromResult(r *sim.Result, prefetch bool) Row {
+	tot := func(f func(*sim.CPUStats) uint64) uint64 { return r.Total(f) }
+	return Row{
+		Workload: r.Workload,
+		Machine:  r.Machine,
+		Policy:   r.Policy,
+		CPUs:     r.NumCPUs,
+		Prefetch: prefetch,
+		Wall:     r.WallCycles,
+		Combined: r.CombinedCycles(),
+		MCPI:     r.MCPI(),
+		BusUtil:  r.BusUtilization(),
+
+		Instructions:   tot(func(s *sim.CPUStats) uint64 { return s.Instructions }),
+		ExecCycles:     tot(func(s *sim.CPUStats) uint64 { return s.ExecCycles }),
+		MemStall:       tot((*sim.CPUStats).MemStallCycles),
+		Overhead:       tot((*sim.CPUStats).OverheadCycles),
+		L2Misses:       tot(func(s *sim.CPUStats) uint64 { return s.L2Misses }),
+		ColdMisses:     tot(func(s *sim.CPUStats) uint64 { return s.ColdMisses }),
+		ConflictMisses: tot(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
+		CapacityMisses: tot(func(s *sim.CPUStats) uint64 { return s.CapacityMisses }),
+		TrueSharing:    tot(func(s *sim.CPUStats) uint64 { return s.TrueShareMisses }),
+		FalseSharing:   tot(func(s *sim.CPUStats) uint64 { return s.FalseShareMisses }),
+		PageFaults:     r.PageFaults,
+		HintedFaults:   r.HintedFaults,
+		HonoredHints:   r.HonoredHints,
+		Recolorings:    tot(func(s *sim.CPUStats) uint64 { return s.Recolorings }),
+	}
+}
+
+// csvHeader lists the columns in Row field order.
+var csvHeader = []string{
+	"workload", "machine", "policy", "cpus", "prefetch",
+	"wall_cycles", "combined_cycles", "mcpi", "bus_utilization",
+	"instructions", "exec_cycles", "mem_stall_cycles", "overhead_cycles",
+	"l2_misses", "cold_misses", "conflict_misses", "capacity_misses",
+	"true_sharing_misses", "false_sharing_misses",
+	"page_faults", "hinted_faults", "honored_hints", "recolorings",
+}
+
+func (r Row) record() []string {
+	return []string{
+		r.Workload, r.Machine, r.Policy,
+		fmt.Sprint(r.CPUs), fmt.Sprint(r.Prefetch),
+		fmt.Sprint(r.Wall), fmt.Sprint(r.Combined),
+		fmt.Sprintf("%.4f", r.MCPI), fmt.Sprintf("%.4f", r.BusUtil),
+		fmt.Sprint(r.Instructions), fmt.Sprint(r.ExecCycles),
+		fmt.Sprint(r.MemStall), fmt.Sprint(r.Overhead),
+		fmt.Sprint(r.L2Misses), fmt.Sprint(r.ColdMisses),
+		fmt.Sprint(r.ConflictMisses), fmt.Sprint(r.CapacityMisses),
+		fmt.Sprint(r.TrueSharing), fmt.Sprint(r.FalseSharing),
+		fmt.Sprint(r.PageFaults), fmt.Sprint(r.HintedFaults),
+		fmt.Sprint(r.HonoredHints), fmt.Sprint(r.Recolorings),
+	}
+}
+
+// WriteCSV emits a header plus one record per row.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r.record()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the rows as a JSON array.
+func WriteJSON(w io.Writer, rows []Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

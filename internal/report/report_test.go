@@ -1,0 +1,88 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleResult() *sim.Result {
+	r := &sim.Result{
+		Workload:   "tomcatv",
+		Machine:    "simos-1/16",
+		Policy:     "cdpc",
+		NumCPUs:    2,
+		WallCycles: 1000,
+		PerCPU:     make([]sim.CPUStats, 2),
+	}
+	r.PerCPU[0].Instructions = 100
+	r.PerCPU[0].ExecCycles = 100
+	r.PerCPU[0].StallCapacity = 50
+	r.PerCPU[0].L2Misses = 5
+	r.PerCPU[1].Instructions = 200
+	r.PerCPU[1].ExecCycles = 200
+	return r
+}
+
+func TestFromResult(t *testing.T) {
+	row := FromResult(sampleResult(), true)
+	if row.Workload != "tomcatv" || row.CPUs != 2 || !row.Prefetch {
+		t.Errorf("identity fields wrong: %+v", row)
+	}
+	if row.Instructions != 300 {
+		t.Errorf("instructions = %d, want 300", row.Instructions)
+	}
+	if row.Combined != 2000 {
+		t.Errorf("combined = %d, want 2000", row.Combined)
+	}
+	if row.MemStall != 50 || row.L2Misses != 5 {
+		t.Errorf("stall/miss totals wrong: %+v", row)
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	rows := []Row{FromResult(sampleResult(), false)}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d, want header + 1", len(records))
+	}
+	if len(records[0]) != len(records[1]) {
+		t.Errorf("header width %d != record width %d", len(records[0]), len(records[1]))
+	}
+	if records[1][0] != "tomcatv" {
+		t.Errorf("first field = %q", records[1][0])
+	}
+	// Header column count must match the Row record.
+	if len(records[0]) != len(rows[0].record()) {
+		t.Error("header/record mismatch")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rows := []Row{FromResult(sampleResult(), false)}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Row
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0] != rows[0] {
+		t.Errorf("round trip mismatch: %+v", decoded)
+	}
+	if !strings.Contains(buf.String(), `"wall_cycles": 1000`) {
+		t.Error("expected snake_case JSON keys")
+	}
+}

@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/coherence"
+	"repro/internal/trace"
+)
+
+// step processes one reference on CPU c, advancing its clock.
+func (m *Machine) step(c *cpuState, r *trace.Ref) error {
+	switch r.Kind {
+	case trace.Prefetch:
+		return m.stepPrefetch(c, r)
+	case trace.Inst:
+		return m.stepInst(c, r)
+	default:
+		return m.stepData(c, r)
+	}
+}
+
+// stepData handles a demand load or store.
+func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
+	work := uint64(r.Work) + 1 // the memory instruction itself plus its arithmetic
+	c.stats.Instructions += work
+	c.stats.ExecCycles += work
+	c.clock += work
+
+	// Address translation: TLB, then the page table (possibly faulting).
+	vpn := r.VAddr / uint64(m.cfg.PageSize)
+	if !c.tlb.Lookup(vpn) {
+		c.stats.TLBMisses++
+		c.stats.KernelCycles += uint64(m.cfg.TLBMissCycles)
+		c.clock += uint64(m.cfg.TLBMissCycles)
+	}
+	paddr, faulted, err := m.as.Translate(r.VAddr, c.id)
+	if err != nil {
+		return fmt.Errorf("sim: cpu %d: %w", c.id, err)
+	}
+	if faulted {
+		c.stats.PageFaults++
+		c.stats.KernelCycles += uint64(m.cfg.PageFaultCycles)
+		c.clock += uint64(m.cfg.PageFaultCycles)
+	}
+
+	write := r.Kind == trace.Write
+	l1 := c.l1d.Access(r.VAddr, write)
+	if l1.Evicted && l1.VictimDirty {
+		// The on-chip victim is written back into the inclusive external
+		// cache (no bus traffic, no stall).
+		if vp, ok := m.as.TranslateNoFault(l1.VictimAddr); ok {
+			c.l2.MarkDirty(vp)
+		}
+	}
+	if l1.Hit && !write {
+		return nil // on-chip load hit: 1 cycle, already charged
+	}
+
+	// External-cache level. Stores always check the directory so that
+	// upgrades and invalidations of shared lines are modeled even on
+	// on-chip hits (inclusion guarantees the line is in L2 as well).
+	out := m.dir.Access(c.id, paddr, write)
+	m.applyInvalidations(paddr, out.Invalidated)
+
+	shadowHit := false
+	if !m.opts.DisableClassification {
+		shadowHit = c.shadow.Access(paddr)
+	}
+	res := c.l2.Access(paddr, write)
+	m.handleL2Eviction(c, res.Evicted, res.VictimAddr, res.VictimDirty)
+
+	if res.Hit {
+		if out.Upgrade {
+			done := m.bus.Acquire(c.clock, 0, bus.Upgrade)
+			c.stats.StallUpgrade += done - c.clock
+			c.stats.Upgrades++
+			c.clock = done
+		}
+		if !l1.Hit {
+			la := m.cfg.L2.LineAddr(paddr)
+			if ready, pending := c.pending[la]; pending {
+				delete(c.pending, la)
+				c.stats.PrefetchedHits++
+				if ready > c.clock {
+					c.stats.StallPrefetch += ready - c.clock
+					c.clock = ready
+				}
+			}
+			c.stats.StallOnChip += uint64(m.cfg.L2HitCycles)
+			c.clock += uint64(m.cfg.L2HitCycles)
+		}
+		return nil
+	}
+
+	// Full external-cache miss.
+	stall := m.missCycles(c, paddr, out.DirtyRemote)
+	m.chargeMiss(c, out.Class, shadowHit, stall)
+	c.clock += stall
+	if m.recolorer != nil {
+		return m.maybeRecolor(c, r.VAddr)
+	}
+	return nil
+}
+
+// stepInst handles an instruction fetch (one on-chip I-cache line worth
+// of instructions; r.Work carries the instruction count).
+func (m *Machine) stepInst(c *cpuState, r *trace.Ref) error {
+	work := uint64(r.Work)
+	c.stats.Instructions += work
+	c.stats.ExecCycles += work
+	c.clock += work
+
+	if c.l1i.Access(r.VAddr, false).Hit {
+		return nil
+	}
+	paddr, faulted, err := m.as.Translate(r.VAddr, c.id)
+	if err != nil {
+		return fmt.Errorf("sim: cpu %d (inst): %w", c.id, err)
+	}
+	if faulted {
+		c.stats.PageFaults++
+		c.stats.KernelCycles += uint64(m.cfg.PageFaultCycles)
+		c.clock += uint64(m.cfg.PageFaultCycles)
+	}
+	m.dir.Access(c.id, paddr, false)
+	if !m.opts.DisableClassification {
+		c.shadow.Access(paddr)
+	}
+	res := c.l2.Access(paddr, false)
+	m.handleL2Eviction(c, res.Evicted, res.VictimAddr, res.VictimDirty)
+	if res.Hit {
+		// fpppp's signature cost: instruction fetches served by the
+		// external cache (§4.1).
+		c.stats.StallInst += uint64(m.cfg.L2HitCycles)
+		c.clock += uint64(m.cfg.L2HitCycles)
+		return nil
+	}
+	c.stats.L2Misses++
+	stall := m.missCycles(c, paddr, false)
+	c.stats.StallInst += stall
+	c.clock += stall
+	return nil
+}
+
+// stepPrefetch handles a non-binding software prefetch (§6.2): dropped on
+// a TLB miss, at most MaxOutstandingPrefetches in flight (one more stalls
+// the CPU), fills the external cache only.
+func (m *Machine) stepPrefetch(c *cpuState, r *trace.Ref) error {
+	c.stats.Instructions++
+	c.stats.ExecCycles++
+	c.clock++
+
+	vpn := r.VAddr / uint64(m.cfg.PageSize)
+	if !c.tlb.Probe(vpn) {
+		c.stats.PrefetchesDropped++
+		return nil
+	}
+	paddr, ok := m.as.TranslateNoFault(r.VAddr)
+	if !ok {
+		c.stats.PrefetchesDropped++
+		return nil
+	}
+	la := m.cfg.L2.LineAddr(paddr)
+	if _, inflight := c.pending[la]; inflight || c.l2.Probe(paddr) {
+		return nil // already resident or already coming
+	}
+
+	// Enforce the outstanding-prefetch limit: issuing a fifth prefetch
+	// stalls the processor until a slot frees up.
+	c.pruneOutstanding()
+	if len(c.outstanding) >= m.cfg.MaxOutstandingPrefetches {
+		earliest := c.outstanding[0]
+		for _, t := range c.outstanding[1:] {
+			if t < earliest {
+				earliest = t
+			}
+		}
+		if earliest > c.clock {
+			c.stats.StallPrefetch += earliest - c.clock
+			c.clock = earliest
+		}
+		c.pruneOutstanding()
+	}
+
+	out := m.dir.Access(c.id, paddr, false)
+	m.applyInvalidations(paddr, out.Invalidated)
+	latency := uint64(m.cfg.MemCycles)
+	if out.DirtyRemote {
+		latency = uint64(m.cfg.RemoteCycles)
+	}
+	done := m.bus.Acquire(c.clock, m.cfg.L2.LineSize, bus.Data)
+	queue := done - c.clock - m.bus.HoldCycles(m.cfg.L2.LineSize)
+	arrival := c.clock + queue + latency + c.memJitter(m.cfg.MemJitterCycles)
+
+	if !m.opts.DisableClassification {
+		c.shadow.Access(paddr)
+	}
+	res := c.l2.Access(paddr, false)
+	m.handleL2Eviction(c, res.Evicted, res.VictimAddr, res.VictimDirty)
+
+	c.pending[la] = arrival
+	c.outstanding = append(c.outstanding, arrival)
+	c.stats.PrefetchesIssued++
+	return nil
+}
+
+// pruneOutstanding drops completed prefetches from the in-flight list.
+func (c *cpuState) pruneOutstanding() {
+	live := c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if t > c.clock {
+			live = append(live, t)
+		}
+	}
+	c.outstanding = live
+}
+
+// missCycles charges the bus transaction for a line fetch and returns
+// the total stall: queueing delay plus the (contention-free) latency
+// plus a small deterministic jitter modeling DRAM timing variance.
+func (m *Machine) missCycles(c *cpuState, paddr uint64, dirtyRemote bool) uint64 {
+	if m.missTrace != nil {
+		m.missTrace(c.id, c.clock, paddr)
+	}
+	latency := uint64(m.cfg.MemCycles)
+	if dirtyRemote {
+		latency = uint64(m.cfg.RemoteCycles)
+		c.stats.RemoteSupplies++
+	}
+	done := m.bus.Acquire(c.clock, m.cfg.L2.LineSize, bus.Data)
+	queue := done - c.clock - m.bus.HoldCycles(m.cfg.L2.LineSize)
+	c.stats.BusQueueCycles += queue
+	return queue + latency + c.memJitter(m.cfg.MemJitterCycles)
+}
+
+// memJitter returns a deterministic per-CPU, per-miss latency
+// perturbation in [0, bound).
+func (c *cpuState) memJitter(bound int) uint64 {
+	if bound <= 0 {
+		return 0
+	}
+	h := uint64(c.id)*0x9e3779b97f4a7c15 + c.stats.L2Misses*0x2545f4914f6cdd1d
+	h ^= h >> 33
+	return (h * 0x5851f42d4c957f2d >> 48) % uint64(bound)
+}
+
+// chargeMiss books a data miss's stall into the right class bucket.
+func (m *Machine) chargeMiss(c *cpuState, class coherence.Class, shadowHit bool, stall uint64) {
+	c.stats.L2Misses++
+	switch class {
+	case coherence.Cold:
+		c.stats.ColdMisses++
+		c.stats.StallCold += stall
+	case coherence.TrueShare:
+		c.stats.TrueShareMisses++
+		c.stats.StallTrue += stall
+	case coherence.FalseShare:
+		c.stats.FalseShareMisses++
+		c.stats.StallFalse += stall
+	default: // Replacement (or a directory/cache disagreement: count it here)
+		if shadowHit {
+			c.stats.ConflictMisses++
+			c.stats.StallConflict += stall
+		} else {
+			c.stats.CapacityMisses++
+			c.stats.StallCapacity += stall
+		}
+	}
+}
+
+// applyInvalidations mirrors directory invalidations into the other CPUs'
+// external caches, shadow caches and (via the reverse map) their
+// virtually indexed on-chip caches, preserving inclusion.
+func (m *Machine) applyInvalidations(paddr uint64, cpus []int) {
+	if len(cpus) == 0 {
+		return
+	}
+	vaddr, haveV := m.as.ReverseVAddr(paddr)
+	la := m.cfg.L2.LineAddr(paddr)
+	for _, p := range cpus {
+		o := m.cpus[p]
+		o.l2.Invalidate(paddr)
+		o.shadow.Remove(paddr)
+		delete(o.pending, la)
+		if haveV {
+			o.l1d.Invalidate(vaddr)
+			o.l1i.Invalidate(vaddr)
+		}
+	}
+}
+
+// handleL2Eviction keeps the directory, the on-chip caches (inclusion)
+// and the write-back traffic consistent with an external-cache eviction.
+func (m *Machine) handleL2Eviction(c *cpuState, evicted bool, victim uint64, dirty bool) {
+	if !evicted {
+		return
+	}
+	m.dir.Evict(c.id, victim)
+	delete(c.pending, m.cfg.L2.LineAddr(victim))
+	if vaddr, ok := m.as.ReverseVAddr(victim); ok {
+		// Inclusion: every on-chip line within the evicted external line
+		// must go. On-chip lines are smaller; invalidate each.
+		step := uint64(m.cfg.L1D.LineSize)
+		for off := uint64(0); off < uint64(m.cfg.L2.LineSize); off += step {
+			c.l1d.Invalidate(vaddr + off)
+			c.l1i.Invalidate(vaddr + off)
+		}
+	}
+	if dirty {
+		// Write-back buffers hide the latency from the processor as long
+		// as an entry is free; a full buffer stalls the CPU until the
+		// oldest write-back's bus transaction completes.
+		if n := m.cfg.WriteBufferEntries; n > 0 {
+			live := c.writeBuffer[:0]
+			for _, t := range c.writeBuffer {
+				if t > c.clock {
+					live = append(live, t)
+				}
+			}
+			c.writeBuffer = live
+			if len(c.writeBuffer) >= n {
+				oldest := c.writeBuffer[0]
+				for _, t := range c.writeBuffer[1:] {
+					if t < oldest {
+						oldest = t
+					}
+				}
+				c.stats.StallWriteBuffer += oldest - c.clock
+				c.clock = oldest
+			}
+		}
+		done := m.bus.Acquire(c.clock, m.cfg.L2.LineSize, bus.Writeback)
+		if m.cfg.WriteBufferEntries > 0 {
+			c.writeBuffer = append(c.writeBuffer, done)
+		}
+	}
+}

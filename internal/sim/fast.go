@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+)
+
+// Fast mode reproduces SimOS's simulator-speed/detail tradeoff (§3.2):
+// "SimOS contains a set of simulators that trade off different
+// simulation speeds against the level of simulation detail." The fast
+// simulator counts cache events only — no bus, no coherence protocol, no
+// cycle accounting — and is used to position workloads and validate
+// configurations before paying for the detailed model, exactly as the
+// paper used the high-speed simulator to reach the steady state.
+
+// FastResult reports the cache-event counts of a fast run.
+type FastResult struct {
+	Workload string
+	NumCPUs  int
+
+	Refs       uint64 // demand data references executed
+	L1Hits     uint64
+	L2Hits     uint64
+	L2Misses   uint64
+	PageFaults uint64
+	TLBMisses  uint64
+
+	// PagesTouched is the total resident data footprint in pages.
+	PagesTouched int
+}
+
+// MissRatio returns external-cache misses per demand reference.
+func (f *FastResult) MissRatio() float64 {
+	if f.Refs == 0 {
+		return 0
+	}
+	return float64(f.L2Misses) / float64(f.Refs)
+}
+
+// FastRun executes the program's steady state (init + phases, once each)
+// on a cache-counting-only model: per-CPU L1/L2 and TLB, the same page
+// mapping machinery as the detailed simulator, but no timing, bus or
+// coherence. It runs one CPU's stream at a time — without a protocol,
+// interleaving cannot change the counts a CPU observes in its own
+// caches. Typically 5-10x faster than Machine.Run.
+func FastRun(prog *ir.Program, opts Options) (*FastResult, error) {
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := New(opts) // reuse VM construction (policy, hints, allocator)
+	if err != nil {
+		return nil, err
+	}
+	as := m.as
+	if opts.Hints != nil {
+		as.Advise(opts.Hints)
+	}
+	if opts.TouchOrder != nil {
+		if _, err := as.TouchInOrder(opts.TouchOrder, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	type fastCPU struct {
+		l1  *cache.Cache
+		l2  *cache.Cache
+		tlb *tlb.TLB
+	}
+	cpus := make([]fastCPU, cfg.NumCPUs)
+	for i := range cpus {
+		cpus[i] = fastCPU{
+			l1:  cache.New(cfg.L1D),
+			l2:  cache.New(cfg.L2),
+			tlb: tlb.New(cfg.TLBEntries),
+		}
+	}
+
+	res := &FastResult{Workload: prog.Name, NumCPUs: cfg.NumCPUs}
+	step := func(cpu int, vaddr uint64, write bool) error {
+		res.Refs++
+		c := &cpus[cpu]
+		if !c.tlb.Lookup(vaddr / uint64(cfg.PageSize)) {
+			res.TLBMisses++
+		}
+		paddr, faulted, err := as.Translate(vaddr, cpu)
+		if err != nil {
+			return err
+		}
+		if faulted {
+			res.PageFaults++
+		}
+		if c.l1.Access(vaddr, write).Hit {
+			res.L1Hits++
+			return nil
+		}
+		if c.l2.Access(paddr, write).Hit {
+			res.L2Hits++
+			return nil
+		}
+		res.L2Misses++
+		return nil
+	}
+
+	phases := prog.Phases
+	if prog.Init != nil {
+		phases = append([]*ir.Phase{prog.Init}, prog.Phases...)
+	}
+	var r trace.Ref
+	for _, ph := range phases {
+		for _, n := range ph.Nests {
+			for cpu := 0; cpu < cfg.NumCPUs; cpu++ {
+				s := ir.NestStream(prog, n, cfg.NumCPUs, cpu)
+				for s.Next(&r) {
+					if r.Kind != trace.Read && r.Kind != trace.Write {
+						continue
+					}
+					if err := step(cpu, r.VAddr, r.Kind == trace.Write); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	res.PagesTouched = as.MappedPages()
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package sim
+
+import "repro/internal/ir"
+
+// PhaseSample records one phase occurrence's counts, used by the
+// representative-execution-window validation (§3.2): the method is sound
+// only if different occurrences of a phase behave alike.
+type PhaseSample struct {
+	Phase        string
+	Instructions uint64
+	L2Misses     uint64
+	WallCycles   uint64
+}
+
+// SamplePhases executes the program's initialization and warm-up passes,
+// then runs the steady-state phase sequence `repeats` times, recording
+// each phase occurrence separately. This is the measurement behind the
+// paper's claim that "in all but one case the standard deviation of both
+// the number of instructions and the miss rate is less than 1% of the
+// mean".
+func (m *Machine) SamplePhases(prog *ir.Program, repeats int) ([][]PhaseSample, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if m.opts.Hints != nil {
+		m.as.Advise(m.opts.Hints)
+	}
+	if prog.Init != nil {
+		for _, n := range prog.Init.Nests {
+			if err := m.runNest(prog, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// One warm-up pass, as in Run.
+	for _, ph := range prog.Phases {
+		for _, n := range ph.Nests {
+			if err := m.runNest(prog, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	samples := make([][]PhaseSample, len(prog.Phases))
+	for r := 0; r < repeats; r++ {
+		for pi, ph := range prog.Phases {
+			var instBefore, missBefore uint64
+			for _, c := range m.cpus {
+				instBefore += c.stats.Instructions
+				missBefore += c.stats.L2Misses
+			}
+			wallBefore := m.wallClock()
+			for _, n := range ph.Nests {
+				if err := m.runNest(prog, n); err != nil {
+					return nil, err
+				}
+			}
+			var inst, miss uint64
+			for _, c := range m.cpus {
+				inst += c.stats.Instructions
+				miss += c.stats.L2Misses
+			}
+			samples[pi] = append(samples[pi], PhaseSample{
+				Phase:        ph.Name,
+				Instructions: inst - instBefore,
+				L2Misses:     miss - missBefore,
+				WallCycles:   m.wallClock() - wallBefore,
+			})
+		}
+	}
+	return samples, nil
+}

@@ -1,0 +1,391 @@
+// Package sim is the machine simulator that stands in for the paper's
+// SimOS environment (§3.2): an event-driven, trace-driven model of a
+// bus-based shared-memory multiprocessor. Each CPU has virtually indexed
+// on-chip caches and a physically indexed external cache; the external
+// caches are kept coherent by an invalidation protocol and share a
+// finite-bandwidth split-transaction bus. Virtual-to-physical mappings
+// come from the vm subsystem, so page mapping policy decides where pages
+// land in the external caches — the mechanism the whole paper is about.
+//
+// The simulator executes an ir.Program's phase structure directly:
+// parallel nests run on all CPUs interleaved in global time order
+// (a min-clock event loop), sequential and suppressed nests run on the
+// master while the slaves' idle time is charged to the matching overhead
+// bucket, and per-phase statistics are weighted by phase occurrence
+// counts, the paper's representative-execution-window method (§3.2).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/ir"
+	"repro/internal/memory"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Config arch.Config
+
+	// Policy constructs the page mapping policy; nil defaults to page
+	// coloring (IRIX's policy, the paper's base configuration).
+	Policy vm.Policy
+
+	// Hints, if non-nil, is installed through the address space's Advise
+	// call before execution (the CDPC path).
+	Hints map[uint64]int
+
+	// TouchOrder, if non-nil, faults these pages in order on CPU 0 before
+	// execution — the paper's Digital UNIX emulation of page coloring and
+	// CDPC on top of bin hopping (§5.3). The serialized fault time is
+	// charged to the master's kernel bucket.
+	TouchOrder []uint64
+
+	// SkipWarmup skips the unmeasured warm-up pass over the phases; unit
+	// tests use it, experiments leave it off so cold misses are discarded
+	// as in the paper (§3.2).
+	SkipWarmup bool
+
+	// DisableClassification turns off the shadow-cache conflict/capacity
+	// split (replacement misses all count as capacity); the ablation
+	// benchmark measures its simulation cost.
+	DisableClassification bool
+
+	// Recolor, if non-nil, enables the dynamic page recoloring policy the
+	// paper contrasts CDPC against (§2.1/§2.2): conflicting pages are
+	// detected by miss counters and moved to colder colors at run time,
+	// paying copy, TLB-shootdown and invalidation costs.
+	Recolor *vm.RecolorPolicy
+
+	// ExhaustColors drains the free-frame pools of the given colors
+	// before execution, simulating memory pressure: faults preferring
+	// those colors fall back to other pools and CDPC hints go unhonored
+	// (§5 step 3: the OS "may not be able to honor the hints if the
+	// machine is under memory pressure").
+	ExhaustColors []int
+}
+
+// Machine is a configured simulator instance.
+type Machine struct {
+	cfg   arch.Config
+	as    *vm.AddressSpace
+	bus   *bus.Bus
+	dir   *coherence.Directory
+	alloc *memory.Allocator
+	cpus  []*cpuState
+
+	// recolorer is non-nil when dynamic recoloring is enabled.
+	recolorer *recolorAdapter
+
+	opts Options
+
+	// missTrace, when set (tests only), observes every full external
+	// cache miss as (cpu, issue cycle).
+	missTrace func(cpu int, at uint64, paddr uint64)
+
+	// regions counts parallel regions executed, seeding the per-region
+	// dispatch-order variation.
+	regions uint64
+}
+
+// cpuState is one processor's private state.
+type cpuState struct {
+	id    int
+	clock uint64
+
+	l1d    *cache.Cache
+	l1i    *cache.Cache
+	l2     *cache.Cache
+	tlb    *tlb.TLB
+	shadow *cache.Shadow
+
+	// Prefetch engine: completion times of in-flight prefetches and the
+	// arrival time of each prefetched line not yet demanded.
+	outstanding []uint64
+	pending     map[uint64]uint64 // L2 line address -> arrival time
+
+	// writeBuffer holds the bus-completion times of in-flight
+	// write-backs; a full buffer stalls the CPU until the oldest drains.
+	writeBuffer []uint64
+
+	stats CPUStats
+}
+
+// New builds a machine for the given options.
+func New(opts Options) (*Machine, error) {
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	frames := cfg.MemoryMB << 20 / cfg.PageSize
+	alloc := memory.New(frames, cfg.Colors())
+	policy := opts.Policy
+	if policy == nil {
+		policy = vm.PageColoring{Colors: cfg.Colors()}
+	}
+	m := &Machine{
+		cfg:   cfg,
+		as:    vm.NewAddressSpace(cfg.PageSize, alloc, policy),
+		bus:   bus.New(cfg.BusBytesPerCycle, cfg.BusOverhead),
+		dir:   coherence.New(cfg.NumCPUs, cfg.L2.LineSize),
+		alloc: alloc,
+		opts:  opts,
+	}
+	if opts.Recolor != nil {
+		m.recolorer = newRecolorAdapter(m.as, cfg.NumCPUs, *opts.Recolor, cfg.PageSize)
+	}
+	for _, color := range opts.ExhaustColors {
+		for alloc.FreeOfColor(color) > 0 {
+			if _, _, err := alloc.Alloc(color); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < cfg.NumCPUs; i++ {
+		m.cpus = append(m.cpus, &cpuState{
+			id:      i,
+			l1d:     cache.New(cfg.L1D),
+			l1i:     cache.New(cfg.L1I),
+			l2:      cache.New(cfg.L2),
+			tlb:     tlb.New(cfg.TLBEntries),
+			shadow:  cache.NewShadow(cfg.L2.Lines(), cfg.L2.LineSize),
+			pending: make(map[uint64]uint64),
+		})
+	}
+	return m, nil
+}
+
+// AddressSpace exposes the simulated application's address space (the
+// access-map tool reads page colors from it).
+func (m *Machine) AddressSpace() *vm.AddressSpace { return m.as }
+
+// Run executes prog's steady state and returns the weighted result.
+func (m *Machine) Run(prog *ir.Program) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if m.opts.Hints != nil {
+		m.as.Advise(m.opts.Hints)
+	}
+	if m.opts.TouchOrder != nil {
+		faults, err := m.as.TouchInOrder(m.opts.TouchOrder, 0)
+		if err != nil {
+			return nil, fmt.Errorf("sim: touch-order faulting: %w", err)
+		}
+		// All faults are serialized on the master at startup — the §5.3
+		// drawback of the user-level Digital UNIX implementation.
+		m.cpus[0].stats.KernelCycles += uint64(faults) * uint64(m.cfg.PageFaultCycles)
+		m.cpus[0].stats.PageFaults += uint64(faults)
+		m.cpus[0].clock += uint64(faults) * uint64(m.cfg.PageFaultCycles)
+	}
+
+	// Initialization: executed once, unmeasured; this is where first-touch
+	// page faults happen for programs with an init phase.
+	if prog.Init != nil {
+		for _, n := range prog.Init.Nests {
+			if err := m.runNest(prog, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Warm-up pass: run every phase once and discard the stats, the
+	// paper's "discard the results from the first phases executed with
+	// the detailed simulator" (§3.2).
+	if !m.opts.SkipWarmup {
+		for _, ph := range prog.Phases {
+			for _, n := range ph.Nests {
+				if err := m.runNest(prog, n); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	res := &Result{
+		Workload: prog.Name,
+		Machine:  m.cfg.Name,
+		Policy:   m.as.PolicyName(),
+		NumCPUs:  m.cfg.NumCPUs,
+		PerCPU:   make([]CPUStats, m.cfg.NumCPUs),
+	}
+
+	// Measured pass: each phase once, weighted by its occurrence count.
+	for _, ph := range prog.Phases {
+		before := make([]CPUStats, len(m.cpus))
+		for i, c := range m.cpus {
+			before[i] = c.stats
+		}
+		busBefore := [3]uint64{m.bus.Occupancy(bus.Data), m.bus.Occupancy(bus.Writeback), m.bus.Occupancy(bus.Upgrade)}
+		wallBefore := m.wallClock()
+
+		for _, n := range ph.Nests {
+			if err := m.runNest(prog, n); err != nil {
+				return nil, err
+			}
+		}
+
+		w := uint64(ph.Occurrences)
+		for i, c := range m.cpus {
+			delta := c.stats.sub(before[i])
+			res.PerCPU[i].add(&delta, w)
+		}
+		res.Bus.DataCycles += (m.bus.Occupancy(bus.Data) - busBefore[0]) * w
+		res.Bus.WritebackCycles += (m.bus.Occupancy(bus.Writeback) - busBefore[1]) * w
+		res.Bus.UpgradeCycles += (m.bus.Occupancy(bus.Upgrade) - busBefore[2]) * w
+		res.WallCycles += (m.wallClock() - wallBefore) * w
+	}
+
+	res.PageFaults = m.as.Faults
+	res.HintedFaults = m.as.HintedFaults
+	res.HonoredHints = m.as.HonoredHints
+	return res, nil
+}
+
+// wallClock returns the current global time (all CPUs are synchronized
+// at nest boundaries, so any CPU's clock works; use the max defensively).
+func (m *Machine) wallClock() uint64 {
+	var w uint64
+	for _, c := range m.cpus {
+		if c.clock > w {
+			w = c.clock
+		}
+	}
+	return w
+}
+
+// runNest executes one nest to the barrier at its end.
+func (m *Machine) runNest(prog *ir.Program, n *ir.Nest) error {
+	p := m.cfg.NumCPUs
+	start := m.wallClock()
+	// Bring lagging CPUs up to the region start; they were idle waiting
+	// for the master (e.g. after serialized touch-order faulting).
+	for _, c := range m.cpus {
+		if c.clock < start {
+			c.stats.SequentialCycles += start - c.clock
+			c.clock = start
+		}
+	}
+
+	if !n.Parallel || n.Suppressed || p == 1 {
+		// Master executes alone; slaves spin.
+		master := m.cpus[0]
+		if err := m.runStream(master, ir.NestStream(prog, n, p, 0)); err != nil {
+			return err
+		}
+		end := master.clock
+		for _, c := range m.cpus[1:] {
+			idle := end - start
+			switch {
+			case n.Suppressed:
+				c.stats.SuppressedCycles += idle
+			default:
+				c.stats.SequentialCycles += idle
+			}
+			c.clock = end
+		}
+		return nil
+	}
+
+	// Parallel region: master forks, everyone runs its partition, then a
+	// barrier synchronizes.
+	fork := uint64(m.cfg.ForkCycles)
+	skew := uint64(m.cfg.ForkSkewCycles)
+	m.regions++
+	streams := make([]trace.Stream, p)
+	for cpu := 0; cpu < p; cpu++ {
+		// The master releases slaves one at a time and in no fixed order
+		// (spin-wait wakeups race): CPU i starts a pseudo-random fraction
+		// of the dispatch window later, varying per region. Identical
+		// per-CPU cache layouts (CDPC) would otherwise keep every CPU's
+		// hit-run/miss-burst phases aligned region after region, driving
+		// worst-case bus convoys no real machine sustains.
+		lag := fork
+		if skew > 0 && p > 1 {
+			h := (uint64(cpu)+1)*0x9e3779b97f4a7c15 ^ m.regions*0xbf58476d1ce4e5b9
+			h ^= h >> 29
+			lag += (h * 0x94d049bb133111eb >> 40) % (uint64(p) * skew)
+		}
+		m.cpus[cpu].clock = start + lag
+		m.cpus[cpu].stats.SyncCycles += lag
+		streams[cpu] = ir.NestStream(prog, n, p, cpu)
+	}
+	if err := m.runParallel(streams); err != nil {
+		return err
+	}
+
+	// Barrier: everyone waits for the slowest, then pays the software
+	// barrier cost.
+	var maxT uint64
+	for _, c := range m.cpus {
+		if c.clock > maxT {
+			maxT = c.clock
+		}
+	}
+	for _, c := range m.cpus {
+		c.stats.ImbalanceCycles += maxT - c.clock
+		c.stats.SyncCycles += uint64(m.cfg.BarrierCycles)
+		c.clock = maxT + uint64(m.cfg.BarrierCycles)
+	}
+	return nil
+}
+
+// runStream drains one CPU's stream (sequential regions).
+func (m *Machine) runStream(c *cpuState, s trace.Stream) error {
+	var r trace.Ref
+	for s.Next(&r) {
+		if err := m.step(c, &r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runParallel interleaves the per-CPU streams in global time order: the
+// CPU with the smallest clock processes its next reference. This is what
+// makes bus contention and coherence interactions honest.
+func (m *Machine) runParallel(streams []trace.Stream) error {
+	type runner struct {
+		c    *cpuState
+		s    trace.Stream
+		r    trace.Ref
+		done bool
+	}
+	runners := make([]runner, len(streams))
+	active := 0
+	for i := range streams {
+		runners[i] = runner{c: m.cpus[i], s: streams[i]}
+		if !runners[i].s.Next(&runners[i].r) {
+			runners[i].done = true
+		} else {
+			active++
+		}
+	}
+	for active > 0 {
+		// Linear min scan: CPU counts are ≤ 64 and usually ≤ 16, where a
+		// scan beats heap bookkeeping.
+		best := -1
+		for i := range runners {
+			if runners[i].done {
+				continue
+			}
+			if best < 0 || runners[i].c.clock < runners[best].c.clock {
+				best = i
+			}
+		}
+		ru := &runners[best]
+		if err := m.step(ru.c, &ru.r); err != nil {
+			return err
+		}
+		if !ru.s.Next(&ru.r) {
+			ru.done = true
+			active--
+		}
+	}
+	return nil
+}

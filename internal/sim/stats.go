@@ -1,0 +1,231 @@
+package sim
+
+// CPUStats is one processor's cycle and event accounting. Cycle buckets
+// partition the processor's total time the same way the paper's Figure 2
+// does: useful execution, memory stall (split by miss class), and the
+// overheads (kernel, sync, load imbalance, sequential, suppressed).
+type CPUStats struct {
+	Instructions uint64
+
+	// ExecCycles is useful execution including L1 hits (1 cycle each).
+	ExecCycles uint64
+
+	// Memory stall buckets (data side).
+	StallOnChip   uint64 // L1 miss that hit in the external cache
+	StallCold     uint64
+	StallConflict uint64
+	StallCapacity uint64
+	StallTrue     uint64 // true-sharing communication misses
+	StallFalse    uint64 // false-sharing communication misses
+	StallUpgrade  uint64 // ownership upgrades on shared lines
+	StallPrefetch uint64 // stalled issuing a 5th prefetch or awaiting arrival
+	StallInst     uint64 // instruction fetch misses (fpppp)
+	// StallWriteBuffer counts cycles stalled on a full write-back buffer.
+	StallWriteBuffer uint64
+
+	// Overheads.
+	KernelCycles     uint64 // TLB refills and page faults
+	SyncCycles       uint64 // fork + barrier software cost
+	ImbalanceCycles  uint64 // waiting at barriers for slower processors
+	SequentialCycles uint64 // slave idle while master runs serial code
+	SuppressedCycles uint64 // slave idle while master runs suppressed loops
+
+	// Event counters.
+	L2Misses          uint64
+	ColdMisses        uint64
+	ConflictMisses    uint64
+	CapacityMisses    uint64
+	TrueShareMisses   uint64
+	FalseShareMisses  uint64
+	Upgrades          uint64
+	PrefetchesIssued  uint64
+	PrefetchesDropped uint64 // TLB-unmapped pages (§6.2)
+	PrefetchedHits    uint64 // demand refs that found a prefetch in flight or landed
+	TLBMisses         uint64
+	PageFaults        uint64
+	RemoteSupplies    uint64 // misses served dirty from another CPU's cache
+	BusQueueCycles    uint64 // queueing component of miss stalls
+	Recolorings       uint64 // dynamic-policy page moves triggered by this CPU
+}
+
+// MemStallCycles returns all cycles lost to the memory system.
+func (s *CPUStats) MemStallCycles() uint64 {
+	return s.StallOnChip + s.StallCold + s.StallConflict + s.StallCapacity +
+		s.StallTrue + s.StallFalse + s.StallUpgrade + s.StallPrefetch + s.StallInst +
+		s.StallWriteBuffer
+}
+
+// ReplacementStall returns stall cycles from capacity+conflict misses,
+// the paper's "replacement misses" category.
+func (s *CPUStats) ReplacementStall() uint64 {
+	return s.StallConflict + s.StallCapacity
+}
+
+// OverheadCycles returns all non-application cycles.
+func (s *CPUStats) OverheadCycles() uint64 {
+	return s.KernelCycles + s.SyncCycles + s.ImbalanceCycles + s.SequentialCycles + s.SuppressedCycles
+}
+
+// TotalCycles returns the processor's accounted time.
+func (s *CPUStats) TotalCycles() uint64 {
+	return s.ExecCycles + s.MemStallCycles() + s.OverheadCycles()
+}
+
+// MCPI returns memory cycles per instruction, the paper's §4.1 metric:
+// memory stall during useful execution divided by instructions.
+func (s *CPUStats) MCPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.MemStallCycles()) / float64(s.Instructions)
+}
+
+// add accumulates o (scaled by weight) into s.
+func (s *CPUStats) add(o *CPUStats, weight uint64) {
+	s.Instructions += o.Instructions * weight
+	s.ExecCycles += o.ExecCycles * weight
+	s.StallOnChip += o.StallOnChip * weight
+	s.StallCold += o.StallCold * weight
+	s.StallConflict += o.StallConflict * weight
+	s.StallCapacity += o.StallCapacity * weight
+	s.StallTrue += o.StallTrue * weight
+	s.StallFalse += o.StallFalse * weight
+	s.StallUpgrade += o.StallUpgrade * weight
+	s.StallPrefetch += o.StallPrefetch * weight
+	s.StallInst += o.StallInst * weight
+	s.StallWriteBuffer += o.StallWriteBuffer * weight
+	s.KernelCycles += o.KernelCycles * weight
+	s.SyncCycles += o.SyncCycles * weight
+	s.ImbalanceCycles += o.ImbalanceCycles * weight
+	s.SequentialCycles += o.SequentialCycles * weight
+	s.SuppressedCycles += o.SuppressedCycles * weight
+	s.L2Misses += o.L2Misses * weight
+	s.ColdMisses += o.ColdMisses * weight
+	s.ConflictMisses += o.ConflictMisses * weight
+	s.CapacityMisses += o.CapacityMisses * weight
+	s.TrueShareMisses += o.TrueShareMisses * weight
+	s.FalseShareMisses += o.FalseShareMisses * weight
+	s.Upgrades += o.Upgrades * weight
+	s.PrefetchesIssued += o.PrefetchesIssued * weight
+	s.PrefetchesDropped += o.PrefetchesDropped * weight
+	s.PrefetchedHits += o.PrefetchedHits * weight
+	s.TLBMisses += o.TLBMisses * weight
+	s.PageFaults += o.PageFaults * weight
+	s.RemoteSupplies += o.RemoteSupplies * weight
+	s.BusQueueCycles += o.BusQueueCycles * weight
+	s.Recolorings += o.Recolorings * weight
+}
+
+// sub returns s - o (used for phase deltas).
+func (s CPUStats) sub(o CPUStats) CPUStats {
+	d := CPUStats{}
+	d.Instructions = s.Instructions - o.Instructions
+	d.ExecCycles = s.ExecCycles - o.ExecCycles
+	d.StallOnChip = s.StallOnChip - o.StallOnChip
+	d.StallCold = s.StallCold - o.StallCold
+	d.StallConflict = s.StallConflict - o.StallConflict
+	d.StallCapacity = s.StallCapacity - o.StallCapacity
+	d.StallTrue = s.StallTrue - o.StallTrue
+	d.StallFalse = s.StallFalse - o.StallFalse
+	d.StallUpgrade = s.StallUpgrade - o.StallUpgrade
+	d.StallPrefetch = s.StallPrefetch - o.StallPrefetch
+	d.StallInst = s.StallInst - o.StallInst
+	d.StallWriteBuffer = s.StallWriteBuffer - o.StallWriteBuffer
+	d.KernelCycles = s.KernelCycles - o.KernelCycles
+	d.SyncCycles = s.SyncCycles - o.SyncCycles
+	d.ImbalanceCycles = s.ImbalanceCycles - o.ImbalanceCycles
+	d.SequentialCycles = s.SequentialCycles - o.SequentialCycles
+	d.SuppressedCycles = s.SuppressedCycles - o.SuppressedCycles
+	d.L2Misses = s.L2Misses - o.L2Misses
+	d.ColdMisses = s.ColdMisses - o.ColdMisses
+	d.ConflictMisses = s.ConflictMisses - o.ConflictMisses
+	d.CapacityMisses = s.CapacityMisses - o.CapacityMisses
+	d.TrueShareMisses = s.TrueShareMisses - o.TrueShareMisses
+	d.FalseShareMisses = s.FalseShareMisses - o.FalseShareMisses
+	d.Upgrades = s.Upgrades - o.Upgrades
+	d.PrefetchesIssued = s.PrefetchesIssued - o.PrefetchesIssued
+	d.PrefetchesDropped = s.PrefetchesDropped - o.PrefetchesDropped
+	d.PrefetchedHits = s.PrefetchedHits - o.PrefetchedHits
+	d.TLBMisses = s.TLBMisses - o.TLBMisses
+	d.PageFaults = s.PageFaults - o.PageFaults
+	d.RemoteSupplies = s.RemoteSupplies - o.RemoteSupplies
+	d.BusQueueCycles = s.BusQueueCycles - o.BusQueueCycles
+	d.Recolorings = s.Recolorings - o.Recolorings
+	return d
+}
+
+// BusStats is the weighted bus occupancy accounting.
+type BusStats struct {
+	DataCycles      uint64
+	WritebackCycles uint64
+	UpgradeCycles   uint64
+}
+
+// Total returns all occupied cycles.
+func (b BusStats) Total() uint64 { return b.DataCycles + b.WritebackCycles + b.UpgradeCycles }
+
+// Result is the outcome of simulating one workload's steady state.
+type Result struct {
+	Workload string
+	Machine  string
+	Policy   string
+	NumCPUs  int
+
+	// WallCycles is the weighted steady-state wall-clock time.
+	WallCycles uint64
+	// PerCPU holds each processor's weighted stats.
+	PerCPU []CPUStats
+	// Bus holds the weighted bus occupancy.
+	Bus BusStats
+
+	// HintedFaults / HonoredHints carry the VM hint effectiveness through
+	// to the experiment reports.
+	PageFaults   uint64
+	HintedFaults uint64
+	HonoredHints uint64
+}
+
+// CombinedCycles is the paper's Figure 2 metric: the sum of execution
+// time over all processors (constant across CPU counts = linear speedup).
+func (r *Result) CombinedCycles() uint64 {
+	return r.WallCycles * uint64(r.NumCPUs)
+}
+
+// Total returns the sum of a per-CPU statistic over all processors.
+func (r *Result) Total(f func(*CPUStats) uint64) uint64 {
+	var t uint64
+	for i := range r.PerCPU {
+		t += f(&r.PerCPU[i])
+	}
+	return t
+}
+
+// MCPI returns the aggregate memory-cycles-per-instruction.
+func (r *Result) MCPI() float64 {
+	inst := r.Total(func(s *CPUStats) uint64 { return s.Instructions })
+	if inst == 0 {
+		return 0
+	}
+	return float64(r.Total((*CPUStats).MemStallCycles)) / float64(inst)
+}
+
+// BusUtilization returns the fraction of the steady state the bus was
+// occupied.
+func (r *Result) BusUtilization() float64 {
+	if r.WallCycles == 0 {
+		return 0
+	}
+	u := float64(r.Bus.Total()) / float64(r.WallCycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Speedup returns base.WallCycles / r.WallCycles.
+func (r *Result) Speedup(base *Result) float64 {
+	if r.WallCycles == 0 {
+		return 0
+	}
+	return float64(base.WallCycles) / float64(r.WallCycles)
+}

@@ -1,0 +1,159 @@
+// Package textplot renders the experiment output: fixed-width tables and
+// horizontal ASCII bar charts standing in for the paper's figures.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v (floats with %.2f).
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar renders a single horizontal bar of the given value scaled so that
+// maxValue occupies width characters.
+func Bar(value, maxValue float64, width int) string {
+	if maxValue <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / maxValue * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// StackedBar renders segments (label rune, value) as one bar scaled to
+// maxValue over width characters, e.g. "EEEEMMMKK".
+func StackedBar(segments []Segment, maxValue float64, width int) string {
+	if maxValue <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	used := 0
+	for _, s := range segments {
+		n := int(s.Value / maxValue * float64(width))
+		if used+n > width {
+			n = width - used
+		}
+		if n < 0 {
+			n = 0
+		}
+		b.WriteString(strings.Repeat(string(s.Glyph), n))
+		used += n
+	}
+	return b.String()
+}
+
+// Segment is one component of a stacked bar.
+type Segment struct {
+	Glyph rune
+	Value float64
+}
+
+// BarChart renders labeled bars with a shared scale and the numeric
+// value appended.
+type BarChart struct {
+	width int
+	max   float64
+	rows  []barRow
+}
+
+type barRow struct {
+	label    string
+	segments []Segment
+	total    float64
+	note     string
+}
+
+// NewBarChart creates a chart whose longest bar spans width characters.
+func NewBarChart(width int) *BarChart { return &BarChart{width: width} }
+
+// Add appends a stacked bar.
+func (c *BarChart) Add(label string, note string, segments ...Segment) {
+	total := 0.0
+	for _, s := range segments {
+		total += s.Value
+	}
+	if total > c.max {
+		c.max = total
+	}
+	c.rows = append(c.rows, barRow{label: label, segments: segments, total: total, note: note})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	labelW := 0
+	for _, r := range c.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	var b strings.Builder
+	for _, r := range c.rows {
+		fmt.Fprintf(&b, "%-*s |%-*s| %s\n", labelW, r.label,
+			c.width, StackedBar(r.segments, c.max, c.width), r.note)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("a", 1)
+	tb.Row("longer-name", 123456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	// All rows share the same width.
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("line %d wider than header: %q", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Error("missing separator row")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("x")
+	tb.Row(3.14159)
+	tb.Row(float32(2.5))
+	out := tb.String()
+	if !strings.Contains(out, "3.14") || strings.Contains(out, "3.14159") {
+		t.Errorf("float64 not formatted to 2 places:\n%s", out)
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Errorf("float32 not formatted:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Errorf("Bar should clamp, got %q", got)
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 10, 10) != "" {
+		t.Error("degenerate bars should be empty")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	segs := []Segment{{Glyph: 'A', Value: 5}, {Glyph: 'B', Value: 5}}
+	got := StackedBar(segs, 10, 10)
+	if got != "AAAAABBBBB" {
+		t.Errorf("StackedBar = %q", got)
+	}
+	// Overflow clamps to width.
+	if got := StackedBar([]Segment{{Glyph: 'X', Value: 100}}, 10, 10); len(got) != 10 {
+		t.Errorf("StackedBar overflow = %q", got)
+	}
+	if StackedBar(segs, 0, 10) != "" {
+		t.Error("zero max should yield empty bar")
+	}
+}
+
+func TestBarChartSharedScale(t *testing.T) {
+	c := NewBarChart(20)
+	c.Add("small", "1", Segment{Glyph: '#', Value: 1})
+	c.Add("big", "2", Segment{Glyph: '#', Value: 2})
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	small := strings.Count(lines[0], "#")
+	big := strings.Count(lines[1], "#")
+	if big != 20 {
+		t.Errorf("largest bar = %d chars, want full width 20", big)
+	}
+	if small != 10 {
+		t.Errorf("half-value bar = %d chars, want 10", small)
+	}
+	if !strings.HasSuffix(lines[0], "1") || !strings.HasSuffix(lines[1], "2") {
+		t.Error("notes missing")
+	}
+}
+
+func TestBarChartLabelAlignment(t *testing.T) {
+	c := NewBarChart(8)
+	c.Add("a", "", Segment{Glyph: '#', Value: 1})
+	c.Add("abcdef", "", Segment{Glyph: '#', Value: 1})
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	if strings.Index(lines[0], "|") != strings.Index(lines[1], "|") {
+		t.Errorf("bars not aligned:\n%s", c.String())
+	}
+}

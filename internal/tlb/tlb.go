@@ -1,0 +1,82 @@
+// Package tlb models a per-CPU translation lookaside buffer with LRU
+// replacement. TLB refills are charged as kernel time (the paper's kernel
+// overhead is "primarily servicing TLB faults", §4.1), and software
+// prefetches to unmapped pages are dropped rather than faulting (§6.2).
+package tlb
+
+import "container/list"
+
+// TLB is a fully-associative, LRU translation buffer keyed by virtual
+// page number.
+type TLB struct {
+	entries int
+	index   map[uint64]*list.Element
+	order   *list.List // front = MRU
+
+	Lookups uint64
+	Misses  uint64
+}
+
+// New creates a TLB with the given number of entries.
+func New(entries int) *TLB {
+	if entries <= 0 {
+		panic("tlb: entries must be positive")
+	}
+	return &TLB{
+		entries: entries,
+		index:   make(map[uint64]*list.Element, entries),
+		order:   list.New(),
+	}
+}
+
+// Lookup touches vpn and reports whether a translation was present;
+// on a miss the translation is installed (hardware refill semantics are
+// charged by the caller).
+func (t *TLB) Lookup(vpn uint64) bool {
+	t.Lookups++
+	if e, ok := t.index[vpn]; ok {
+		t.order.MoveToFront(e)
+		return true
+	}
+	t.Misses++
+	if t.order.Len() >= t.entries {
+		lru := t.order.Back()
+		delete(t.index, lru.Value.(uint64))
+		t.order.Remove(lru)
+	}
+	t.index[vpn] = t.order.PushFront(vpn)
+	return false
+}
+
+// Probe reports whether vpn is mapped without refilling or touching LRU
+// state; used to decide whether a prefetch is dropped.
+func (t *TLB) Probe(vpn uint64) bool {
+	_, ok := t.index[vpn]
+	return ok
+}
+
+// Invalidate drops the translation for vpn if present (single-page
+// shootdown during a recoloring).
+func (t *TLB) Invalidate(vpn uint64) {
+	if e, ok := t.index[vpn]; ok {
+		delete(t.index, vpn)
+		t.order.Remove(e)
+	}
+}
+
+// Flush empties the TLB (context switch / recoloring).
+func (t *TLB) Flush() {
+	t.index = make(map[uint64]*list.Element, t.entries)
+	t.order.Init()
+}
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int { return t.order.Len() }
+
+// MissRate returns misses/lookups.
+func (t *TLB) MissRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Lookups)
+}

@@ -1,0 +1,128 @@
+package trace
+
+// Reuse-distance analysis: the LRU stack distance of each reference is
+// the number of distinct cache lines touched since the line's previous
+// access. The resulting histogram gives the miss ratio of a
+// fully-associative LRU cache of ANY size in one pass — the working-set
+// curves that justify the paper's capacity-vs-conflict split (§4.1) and
+// this repository's scaled data-set sizes (DESIGN.md).
+//
+// The computation uses the classic timestamp + Fenwick-tree algorithm:
+// O(n log n) over the reference count.
+
+// DistanceHistogram buckets stack distances by powers of two:
+// Buckets[i] counts references with distance in [2^i, 2^(i+1)), except
+// Buckets[0] which counts distances 0 and 1. Cold counts first-ever
+// accesses (infinite distance).
+type DistanceHistogram struct {
+	Buckets []uint64
+	Cold    uint64
+	Total   uint64
+}
+
+// MissRatioAt returns the miss ratio of a fully-associative LRU cache
+// holding `lines` lines: the fraction of references whose stack distance
+// is ≥ lines (bucket granularity makes this an upper-bound estimate).
+func (h *DistanceHistogram) MissRatioAt(lines int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	misses := h.Cold
+	for i, n := range h.Buckets {
+		lo := 1 << uint(i)
+		if i == 0 {
+			lo = 0
+		}
+		if lo >= lines {
+			misses += n
+		}
+	}
+	return float64(misses) / float64(h.Total)
+}
+
+// fenwick is a binary indexed tree over reference timestamps; a 1 marks
+// the most recent access of some line.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over [0, i].
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// grow doubles the tree capacity, preserving marks.
+func (f *fenwick) grow() *fenwick {
+	old := f
+	nf := newFenwick((len(old.tree) - 1) * 2)
+	// Recover point values by prefix-sum differencing.
+	prev := 0
+	for i := 0; i < len(old.tree)-1; i++ {
+		s := old.sum(i)
+		if v := s - prev; v != 0 {
+			nf.add(i, v)
+		}
+		prev = s
+	}
+	return nf
+}
+
+// LineDistances computes the stack-distance histogram of s at the given
+// line granularity.
+func LineDistances(s Stream, lineSize int) *DistanceHistogram {
+	h := &DistanceHistogram{Buckets: make([]uint64, 40)}
+	mask := ^uint64(lineSize - 1)
+	lastAccess := make(map[uint64]int) // line -> timestamp of latest access
+	ft := newFenwick(1 << 12)
+	t := 0
+	var r Ref
+	for s.Next(&r) {
+		if !r.Kind.IsData() || r.Kind == Prefetch {
+			continue
+		}
+		h.Total++
+		line := r.VAddr & mask
+		if t+1 >= len(ft.tree) {
+			ft = ft.grow()
+		}
+		if prev, seen := lastAccess[line]; seen {
+			// Distinct lines touched strictly after prev = marks in
+			// (prev, t): each line's latest access is marked once.
+			dist := ft.sum(t) - ft.sum(prev)
+			h.bucket(dist)
+			ft.add(prev, -1)
+		} else {
+			h.Cold++
+		}
+		ft.add(t, 1)
+		lastAccess[line] = t
+		t++
+	}
+	return h
+}
+
+func (h *DistanceHistogram) bucket(dist int) {
+	i := 0
+	for v := dist; v > 1; v >>= 1 {
+		i++
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// DistinctLines returns the number of distinct lines (the footprint).
+func (h *DistanceHistogram) DistinctLines() uint64 { return h.Cold }

@@ -1,0 +1,109 @@
+// Package trace defines the memory-reference model shared by the workload
+// interpreter and the machine simulator. A workload is executed as a set
+// of per-CPU reference streams; the simulator consumes them in timestamp
+// order and charges cache, bus and memory costs.
+package trace
+
+import "fmt"
+
+// Kind classifies a reference.
+type Kind uint8
+
+const (
+	// Read is a data load.
+	Read Kind = iota
+	// Write is a data store.
+	Write
+	// Inst is an instruction fetch (fpppp is bound by these, §4.1).
+	Inst
+	// Prefetch is a non-binding software prefetch (R10000-style, §6.2):
+	// dropped on a TLB miss, fills the external cache only.
+	Prefetch
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Inst:
+		return "inst"
+	case Prefetch:
+		return "prefetch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsData reports whether the reference touches the data segment.
+func (k Kind) IsData() bool { return k != Inst }
+
+// Ref is a single memory reference in a CPU's instruction stream.
+type Ref struct {
+	Kind  Kind
+	VAddr uint64 // virtual address
+	Size  uint8  // bytes (8 for double-precision array elements)
+	// Work is the number of non-memory instructions executed since the
+	// previous reference; the simulator charges them at 1 cycle each.
+	Work uint32
+}
+
+// Stream produces the reference sequence of one CPU for one execution
+// region. Next returns false when the region is exhausted.
+type Stream interface {
+	Next(r *Ref) bool
+}
+
+// SliceStream adapts a []Ref to a Stream; used heavily in tests.
+type SliceStream struct {
+	Refs []Ref
+	pos  int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(r *Ref) bool {
+	if s.pos >= len(s.Refs) {
+		return false
+	}
+	*r = s.Refs[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// FuncStream adapts a generator function to a Stream.
+type FuncStream func(r *Ref) bool
+
+// Next implements Stream.
+func (f FuncStream) Next(r *Ref) bool { return f(r) }
+
+// Empty is a Stream that yields nothing (idle CPU in a region).
+var Empty Stream = FuncStream(func(*Ref) bool { return false })
+
+// Concat chains streams end to end.
+func Concat(streams ...Stream) Stream {
+	i := 0
+	return FuncStream(func(r *Ref) bool {
+		for i < len(streams) {
+			if streams[i].Next(r) {
+				return true
+			}
+			i++
+		}
+		return false
+	})
+}
+
+// Count drains s and returns the number of references; for tests.
+func Count(s Stream) int {
+	var r Ref
+	n := 0
+	for s.Next(&r) {
+		n++
+	}
+	return n
+}

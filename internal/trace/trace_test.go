@@ -1,0 +1,198 @@
+package trace
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		Read:     "read",
+		Write:    "write",
+		Inst:     "inst",
+		Prefetch: "prefetch",
+		Kind(99): "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestIsData(t *testing.T) {
+	if Inst.IsData() {
+		t.Error("Inst reported as data")
+	}
+	for _, k := range []Kind{Read, Write, Prefetch} {
+		if !k.IsData() {
+			t.Errorf("%v should be data", k)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := &SliceStream{Refs: []Ref{{VAddr: 1}, {VAddr: 2}}}
+	var r Ref
+	if !s.Next(&r) || r.VAddr != 1 {
+		t.Fatalf("first = %+v", r)
+	}
+	if !s.Next(&r) || r.VAddr != 2 {
+		t.Fatalf("second = %+v", r)
+	}
+	if s.Next(&r) {
+		t.Error("stream should be exhausted")
+	}
+	s.Reset()
+	if !s.Next(&r) || r.VAddr != 1 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var r Ref
+	if Empty.Next(&r) {
+		t.Error("Empty yielded a ref")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := &SliceStream{Refs: []Ref{{VAddr: 1}}}
+	b := &SliceStream{Refs: []Ref{{VAddr: 2}, {VAddr: 3}}}
+	c := Concat(a, Empty, b)
+	var got []uint64
+	var r Ref
+	for c.Next(&r) {
+		got = append(got, r.VAddr)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("Concat order = %v", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	if got := Count(&SliceStream{Refs: make([]Ref, 7)}); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	if got := Count(Empty); got != 0 {
+		t.Errorf("Count(Empty) = %d", got)
+	}
+}
+
+func TestFuncStream(t *testing.T) {
+	n := 0
+	s := FuncStream(func(r *Ref) bool {
+		if n >= 3 {
+			return false
+		}
+		r.VAddr = uint64(n)
+		n++
+		return true
+	})
+	if got := Count(s); got != 3 {
+		t.Errorf("FuncStream count = %d", got)
+	}
+}
+
+func refs(addrs ...uint64) Stream {
+	rs := make([]Ref, len(addrs))
+	for i, a := range addrs {
+		rs[i] = Ref{Kind: Read, VAddr: a, Size: 8}
+	}
+	return &SliceStream{Refs: rs}
+}
+
+func TestLineDistancesCold(t *testing.T) {
+	h := LineDistances(refs(0, 64, 128), 64)
+	if h.Cold != 3 || h.Total != 3 {
+		t.Errorf("cold=%d total=%d, want 3/3", h.Cold, h.Total)
+	}
+	if h.DistinctLines() != 3 {
+		t.Errorf("footprint = %d", h.DistinctLines())
+	}
+}
+
+func TestLineDistancesImmediateReuse(t *testing.T) {
+	// 0, 0: second access has distance 0 (no distinct lines between).
+	h := LineDistances(refs(0, 8), 64) // same line
+	if h.Cold != 1 {
+		t.Fatalf("cold = %d", h.Cold)
+	}
+	if h.Buckets[0] != 1 {
+		t.Errorf("distance-0 bucket = %d, want 1", h.Buckets[0])
+	}
+	// A 1-line cache captures the reuse: miss ratio = cold / total.
+	if got := h.MissRatioAt(1); got != 0.5 {
+		t.Errorf("MissRatioAt(1) = %v, want 0.5", got)
+	}
+}
+
+func TestLineDistancesInterleaved(t *testing.T) {
+	// A B A: A's reuse distance is 1 (B in between).
+	h := LineDistances(refs(0, 64, 0), 64)
+	if h.Buckets[1]+h.Buckets[0] != 1 {
+		t.Errorf("buckets = %v, want one small-distance reuse", h.Buckets)
+	}
+	// Cache of 2 lines holds A across B: only the 2 cold misses remain.
+	if got := h.MissRatioAt(4); got != 2.0/3.0 {
+		t.Errorf("MissRatioAt(4) = %v, want 2/3", got)
+	}
+}
+
+func TestLineDistancesCyclicSweep(t *testing.T) {
+	// Sweep N lines repeatedly: reuse distance is always N-1 distinct
+	// lines, so caches smaller than N miss everything and caches ≥ N hit
+	// everything after the cold pass.
+	const n = 64
+	var addrs []uint64
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < n; i++ {
+			addrs = append(addrs, uint64(i*64))
+		}
+	}
+	h := LineDistances(refs(addrs...), 64)
+	if h.Cold != n {
+		t.Fatalf("cold = %d, want %d", h.Cold, n)
+	}
+	if got := h.MissRatioAt(2 * n); got != float64(n)/float64(3*n) {
+		t.Errorf("large cache miss ratio = %v, want cold-only %v", got, 1.0/3.0)
+	}
+	if got := h.MissRatioAt(2); got != 1.0 {
+		t.Errorf("tiny cache miss ratio = %v, want 1.0", got)
+	}
+}
+
+func TestLineDistancesGrowth(t *testing.T) {
+	// Force several Fenwick growths and verify against a brute-force LRU
+	// stack.
+	var addrs []uint64
+	for i := 0; i < 20000; i++ {
+		addrs = append(addrs, uint64((i*7919)%512)*64)
+	}
+	h := LineDistances(refs(addrs...), 64)
+	if h.Total != 20000 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	if h.Cold != 512 {
+		t.Errorf("cold = %d, want 512 distinct lines", h.Cold)
+	}
+	// Every non-cold distance must be < 512.
+	var beyond uint64
+	for i, n := range h.Buckets {
+		if 1<<uint(i) >= 1024 {
+			beyond += n
+		}
+	}
+	if beyond != 0 {
+		t.Errorf("%d distances beyond the 512-line footprint", beyond)
+	}
+}
+
+func TestLineDistancesSkipsNonData(t *testing.T) {
+	s := &SliceStream{Refs: []Ref{
+		{Kind: Inst, VAddr: 0},
+		{Kind: Prefetch, VAddr: 64},
+		{Kind: Read, VAddr: 128},
+	}}
+	h := LineDistances(s, 64)
+	if h.Total != 1 {
+		t.Errorf("total = %d, want 1 (inst and prefetch skipped)", h.Total)
+	}
+}

@@ -1,0 +1,132 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func recolorSpace() (*AddressSpace, *Recolorer) {
+	as := space(PageColoring{Colors: 4}, 64, 4)
+	return as, NewRecolorer(as, 2, RecolorPolicy{MissThreshold: 4, MaxRecolorings: 2})
+}
+
+func TestRecolorMovesPage(t *testing.T) {
+	as, _ := recolorSpace()
+	as.Translate(0, 0)
+	before, _ := as.ColorOf(0)
+	if err := as.Recolor(0, (before+2)%4); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := as.ColorOf(0)
+	if after != (before+2)%4 {
+		t.Errorf("color after recolor = %d, want %d", after, (before+2)%4)
+	}
+	// Translation still works and reverse map follows.
+	paddr, faulted, err := as.Translate(100, 0)
+	if err != nil || faulted {
+		t.Fatalf("translate after recolor: %v %v", faulted, err)
+	}
+	if va, ok := as.ReverseVAddr(paddr); !ok || va != 100 {
+		t.Errorf("reverse map broken after recolor: %d %v", va, ok)
+	}
+}
+
+func TestRecolorUnmappedFails(t *testing.T) {
+	as, _ := recolorSpace()
+	if err := as.Recolor(42, 1); err == nil {
+		t.Error("recolor of unmapped page accepted")
+	}
+}
+
+func TestRecolorReleasesOldFrame(t *testing.T) {
+	alloc := memory.New(8, 4)
+	as := NewAddressSpace(4096, alloc, PageColoring{Colors: 4})
+	as.Translate(0, 0)
+	free := alloc.FreeFrames()
+	if err := as.Recolor(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.FreeFrames() != free {
+		t.Errorf("free frames = %d, want %d (old frame must be released)", alloc.FreeFrames(), free)
+	}
+}
+
+func TestObserveMissTriggersAtThreshold(t *testing.T) {
+	as, r := recolorSpace()
+	as.Translate(0, 0)
+	for i := 0; i < 3; i++ {
+		ev, err := r.ObserveMiss(0, 0)
+		if err != nil || ev != nil {
+			t.Fatalf("miss %d: premature recoloring %v %v", i, ev, err)
+		}
+	}
+	ev, err := r.ObserveMiss(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil {
+		t.Fatal("threshold crossed but no recoloring")
+	}
+	if ev.VPN != 0 || ev.OldColor == ev.NewColor {
+		t.Errorf("event = %+v", ev)
+	}
+	if r.Recolorings != 1 {
+		t.Errorf("Recolorings = %d", r.Recolorings)
+	}
+}
+
+func TestObserveMissPicksColdestColor(t *testing.T) {
+	as, r := recolorSpace()
+	// Map pages on colors 0 and 1 and heat them; color 2/3 stay cold.
+	as.Translate(0*4096, 0) // color 0
+	as.Translate(1*4096, 0) // color 1
+	for i := 0; i < 3; i++ {
+		r.ObserveMiss(0, 0)
+		r.ObserveMiss(0, 4096)
+	}
+	ev, _ := r.ObserveMiss(0, 0) // 4th miss on page 0 triggers
+	if ev == nil {
+		t.Fatal("no recoloring")
+	}
+	if ev.NewColor == 0 || ev.NewColor == 1 {
+		t.Errorf("moved to hot color %d, want a cold one", ev.NewColor)
+	}
+}
+
+func TestPingPongGuard(t *testing.T) {
+	as, r := recolorSpace()
+	as.Translate(0, 0)
+	moved := 0
+	for i := 0; i < 40; i++ {
+		ev, err := r.ObserveMiss(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			moved++
+		}
+	}
+	if moved > 2 {
+		t.Errorf("page moved %d times, guard allows 2", moved)
+	}
+	if r.Suppressed == 0 {
+		t.Error("guard never engaged")
+	}
+}
+
+func TestObserveMissUnmappedIsNoop(t *testing.T) {
+	_, r := recolorSpace()
+	ev, err := r.ObserveMiss(0, 999*4096)
+	if err != nil || ev != nil {
+		t.Errorf("unmapped miss produced %v %v", ev, err)
+	}
+}
+
+func TestZeroPolicyGetsDefaults(t *testing.T) {
+	as, _ := recolorSpace()
+	r := NewRecolorer(as, 1, RecolorPolicy{})
+	if r.policy.MissThreshold == 0 {
+		t.Error("zero policy not defaulted")
+	}
+}

@@ -1,0 +1,230 @@
+// Package vm implements the simulated operating system's virtual-memory
+// subsystem: per-application address spaces, the page-fault path, and the
+// page mapping policies the paper compares — page coloring (IRIX-style),
+// bin hopping (Digital UNIX-style), and the madvise-like hint interface
+// CDPC uses (§2.1, §5.3). It also provides the "touch pages in a chosen
+// order on top of bin hopping" emulation the paper used on Digital UNIX.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// Policy chooses a preferred page color at fault time. Implementations
+// must be deterministic given the fault sequence they observe; the
+// bin-hopping "race" between concurrently faulting CPUs is reproduced by
+// the simulator's event interleaving, which determines fault order.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// PreferredColor returns the color to request for vpn faulted by cpu.
+	PreferredColor(vpn uint64, cpu int) int
+}
+
+// PageColoring maps consecutive virtual pages to consecutive colors, so
+// conflicts occur only between pages whose virtual addresses differ by a
+// multiple of the cache-set span (IRIX, Windows NT).
+type PageColoring struct {
+	Colors int
+}
+
+// Name implements Policy.
+func (PageColoring) Name() string { return "page-coloring" }
+
+// PreferredColor implements Policy.
+func (p PageColoring) PreferredColor(vpn uint64, _ int) int {
+	return int(vpn % uint64(p.Colors))
+}
+
+// BinHopping cycles through colors in the order page faults occur,
+// exploiting temporal locality (Digital UNIX). The single shared counter
+// is what makes the policy non-deterministic on a real multiprocessor:
+// concurrent faults race for the next bin. Here fault order is the
+// simulator's deterministic event order, which plays the same role.
+type BinHopping struct {
+	Colors int
+	next   int
+}
+
+// Name implements Policy.
+func (*BinHopping) Name() string { return "bin-hopping" }
+
+// PreferredColor implements Policy.
+func (b *BinHopping) PreferredColor(uint64, int) int {
+	c := b.next
+	b.next = (b.next + 1) % b.Colors
+	return c
+}
+
+// AddressSpace is one application's virtual address space: a page table
+// filled lazily by page faults, a mapping policy, and an optional hint
+// table installed through the Advise call (the paper's single-system-call
+// interface, §5.3).
+type AddressSpace struct {
+	pageSize uint64
+	alloc    *memory.Allocator
+	policy   Policy
+
+	pages  map[uint64]uint64 // vpn -> frame
+	frames map[uint64]uint64 // frame -> vpn (reverse map for cache invalidation)
+	hints  map[uint64]int    // vpn -> preferred color
+	occ    []int             // mapped pages per color (recoloring heuristics)
+
+	// Statistics.
+	Faults       uint64 // total page faults taken
+	HintedFaults uint64 // faults whose vpn had a CDPC hint
+	HonoredHints uint64 // hinted faults that got the hinted color
+}
+
+// NewAddressSpace creates an empty address space backed by alloc.
+func NewAddressSpace(pageSize int, alloc *memory.Allocator, policy Policy) *AddressSpace {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("vm: bad page size %d", pageSize))
+	}
+	return &AddressSpace{
+		pageSize: uint64(pageSize),
+		alloc:    alloc,
+		policy:   policy,
+		pages:    make(map[uint64]uint64),
+		frames:   make(map[uint64]uint64),
+		hints:    make(map[uint64]int),
+		occ:      make([]int, alloc.NumColors()),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (as *AddressSpace) PageSize() int { return int(as.pageSize) }
+
+// PolicyName returns the active mapping policy's name.
+func (as *AddressSpace) PolicyName() string { return as.policy.Name() }
+
+// VPN returns the virtual page number of vaddr.
+func (as *AddressSpace) VPN(vaddr uint64) uint64 { return vaddr / as.pageSize }
+
+// Advise installs preferred colors for a set of virtual pages. It mirrors
+// the paper's madvise extension: hints are suggestions consulted at fault
+// time; pages already mapped are unaffected.
+func (as *AddressSpace) Advise(hints map[uint64]int) {
+	for vpn, color := range hints {
+		as.hints[vpn] = color
+	}
+}
+
+// Translate returns the physical address for vaddr, taking a page fault
+// (and allocating a frame) if the page is unmapped. faulted reports
+// whether a fault occurred, so the caller can charge kernel time.
+func (as *AddressSpace) Translate(vaddr uint64, cpu int) (paddr uint64, faulted bool, err error) {
+	vpn := vaddr / as.pageSize
+	frame, ok := as.pages[vpn]
+	if !ok {
+		frame, err = as.fault(vpn, cpu)
+		if err != nil {
+			return 0, true, err
+		}
+		faulted = true
+	}
+	return frame*as.pageSize + vaddr%as.pageSize, faulted, nil
+}
+
+// fault services a page fault for vpn.
+func (as *AddressSpace) fault(vpn uint64, cpu int) (uint64, error) {
+	as.Faults++
+	var preferred int
+	if color, ok := as.hints[vpn]; ok {
+		as.HintedFaults++
+		preferred = color
+	} else {
+		preferred = as.policy.PreferredColor(vpn, cpu)
+	}
+	frame, honored, err := as.alloc.Alloc(preferred)
+	if err != nil {
+		return 0, fmt.Errorf("vm: fault on vpn %d: %w", vpn, err)
+	}
+	if _, hinted := as.hints[vpn]; hinted && honored {
+		as.HonoredHints++
+	}
+	as.pages[vpn] = frame
+	as.frames[frame] = vpn
+	as.occ[as.alloc.ColorOf(frame)]++
+	return frame, nil
+}
+
+// Occupancy returns the number of mapped pages of the given color.
+func (as *AddressSpace) Occupancy(color int) int {
+	return as.occ[((color%len(as.occ))+len(as.occ))%len(as.occ)]
+}
+
+// TranslateNoFault translates vaddr without taking a page fault; ok is
+// false when the page is unmapped. Software prefetches use this path:
+// a prefetch to an unmapped page is dropped, never faulted (§6.2).
+func (as *AddressSpace) TranslateNoFault(vaddr uint64) (paddr uint64, ok bool) {
+	frame, ok := as.pages[vaddr/as.pageSize]
+	if !ok {
+		return 0, false
+	}
+	return frame*as.pageSize + vaddr%as.pageSize, true
+}
+
+// ReverseVAddr maps a physical address back to the virtual address of
+// the same byte; ok is false for frames this address space does not own.
+// The simulator uses it to mirror external-cache invalidations into the
+// virtually indexed on-chip caches.
+func (as *AddressSpace) ReverseVAddr(paddr uint64) (vaddr uint64, ok bool) {
+	vpn, ok := as.frames[paddr/as.pageSize]
+	if !ok {
+		return 0, false
+	}
+	return vpn*as.pageSize + paddr%as.pageSize, true
+}
+
+// Touch faults vpn in if needed; used by the touch-order emulation and by
+// warm-up code. It reports whether a fault occurred.
+func (as *AddressSpace) Touch(vpn uint64, cpu int) (bool, error) {
+	if _, ok := as.pages[vpn]; ok {
+		return false, nil
+	}
+	_, err := as.fault(vpn, cpu)
+	return true, err
+}
+
+// TouchInOrder faults the given pages in sequence. Combined with a
+// BinHopping policy this reproduces the paper's Digital UNIX
+// implementation of both page coloring and CDPC: "selectively touch the
+// pages in a specific order that will generate the desired mapping"
+// (§5.3). The serialization cost (all faults up front, on one CPU) is the
+// drawback the paper notes; the caller charges it.
+func (as *AddressSpace) TouchInOrder(vpns []uint64, cpu int) (faults int, err error) {
+	for _, vpn := range vpns {
+		faulted, err := as.Touch(vpn, cpu)
+		if err != nil {
+			return faults, err
+		}
+		if faulted {
+			faults++
+		}
+	}
+	return faults, nil
+}
+
+// Mapped reports whether vpn has a frame.
+func (as *AddressSpace) Mapped(vpn uint64) bool {
+	_, ok := as.pages[vpn]
+	return ok
+}
+
+// ColorOf returns the color of vpn's frame; ok is false if unmapped.
+func (as *AddressSpace) ColorOf(vpn uint64) (int, bool) {
+	frame, mapped := as.pages[vpn]
+	if !mapped {
+		return 0, false
+	}
+	return as.alloc.ColorOf(frame), true
+}
+
+// MappedPages returns the number of resident pages.
+func (as *AddressSpace) MappedPages() int { return len(as.pages) }
+
+// HintCount returns the number of installed hints.
+func (as *AddressSpace) HintCount() int { return len(as.hints) }

@@ -1,0 +1,366 @@
+package workloads
+
+import "repro/internal/ir"
+
+// Tomcatv models 101.tomcatv: a 2D vectorized mesh-generation code with
+// seven large square arrays swept by 5-point stencils every timestep.
+// Its per-CPU chunks of all seven arrays start at the same page color
+// under page coloring (array sizes are whole multiples of the cache
+// span), producing the severe conflict behaviour of Figures 3 and 6.
+func Tomcatv(scale int) *ir.Program {
+	n := grid(14<<20, 7, scale)
+	as := arrays("tc", 7, n)
+	x, y, rx, ry, aa, dd, d := as[0], as[1], as[2], as[3], as[4], as[5], as[6]
+	main := &ir.Phase{Name: "timestep", Occurrences: 100, Nests: []*ir.Nest{
+		stencilNest("rhs", n, n, []*ir.Array{x, y}, []*ir.Array{rx, ry}, 36),
+		sweepNest("lhs", n, n, []*ir.Array{x, y, rx, ry}, []*ir.Array{aa, dd}, 30),
+		sweepNest("solve", n, n, []*ir.Array{aa, dd, rx, ry}, []*ir.Array{d}, 24),
+		sweepNest("update", n, n, []*ir.Array{d, rx, ry}, []*ir.Array{x, y}, 18),
+	}}
+	return &ir.Program{
+		Name:   "tomcatv",
+		Arrays: as,
+		Init:   initPhase(n, n, as),
+		Phases: []*ir.Phase{main},
+	}
+}
+
+// Swim models 102.swim: shallow-water finite differences over thirteen
+// arrays in three sweeps (CALC1/2/3) per timestep. Its 512×512 arrays
+// are exact multiples of the external-cache span, so under page coloring
+// every array's chunk for a given CPU lands on the same colors — the
+// pathology behind its extreme mapping sensitivity and 2.6x CDPC win on
+// the AlphaServer (§7). We size each array to exactly one cache span.
+func Swim(scale int) *ir.Program {
+	span := (1 << 20) / scale // external-cache span, tracks arch.Base
+	if span < 16<<10 {
+		span = 16 << 10
+	}
+	unit := 64
+	iters := span / 8 / unit
+	as := bandArrays("sw", 13, iters, unit)
+	u, v, p := as[0], as[1], as[2]
+	unew, vnew, pnew := as[3], as[4], as[5]
+	uold, vold, pold := as[6], as[7], as[8]
+	cu, cv, z, h := as[9], as[10], as[11], as[12]
+	main := &ir.Phase{Name: "timestep", Occurrences: 120, Nests: []*ir.Nest{
+		stencilNest("calc1", iters, unit, []*ir.Array{u, v, p}, []*ir.Array{cu, cv, z, h}, 42),
+		stencilNest("calc2", iters, unit, []*ir.Array{cu, cv, z, h, uold, vold, pold}, []*ir.Array{unew, vnew, pnew}, 48),
+		sweepNest("calc3", iters, unit, []*ir.Array{unew, vnew, pnew, u, v, p}, []*ir.Array{uold, vold, pold}, 24),
+		sweepNest("copyback", iters, unit, []*ir.Array{unew, vnew, pnew}, []*ir.Array{u, v, p}, 12),
+	}}
+	return &ir.Program{
+		Name:   "swim",
+		Arrays: as,
+		Init:   initPhase(iters, unit, as),
+		Phases: []*ir.Phase{main},
+	}
+}
+
+// Su2cor models 103.su2cor: quantum-physics Monte Carlo where the gauge
+// arrays are analyzable but the fermion vectors are accessed through
+// index permutations the compiler cannot summarize. CDPC maps only the
+// gauge arrays, and "the mapping happens to conflict with the other data
+// structures" (§6.1) — the paper's one slight regression.
+func Su2cor(scale int) *ir.Program {
+	n := grid(23<<20, 6, scale)
+	as := arrays("su", 6, n)
+	g0, g1, g2, g3 := as[0], as[1], as[2], as[3]
+	f0, f1 := as[4], as[5]
+	f0.Unanalyzable = true
+	f1.Unanalyzable = true
+	gather := &ir.Nest{
+		Name:       "gather",
+		Parallel:   true,
+		Iterations: n,
+		InnerIters: n / 8,
+		Accesses: []ir.Access{
+			// Strided gather over the fermion vectors: the pattern the
+			// compiler's affine analysis gives up on.
+			{Array: f0, Kind: ir.Load, OuterStride: n, InnerStride: 8},
+			{Array: f1, Kind: ir.Store, OuterStride: n, InnerStride: 8},
+			colRef(g0, ir.Load, n, 0, 0),
+		},
+		WorkPerIter: 30,
+		Sched:       ir.Schedule{Kind: ir.Even},
+	}
+	main := &ir.Phase{Name: "sweep", Occurrences: 60, Nests: []*ir.Nest{
+		stencilNest("gauge", n, n, []*ir.Array{g0, g1}, []*ir.Array{g2, g3}, 36),
+		gather,
+		sweepNest("measure", n, n, []*ir.Array{g2, g3}, []*ir.Array{g0, g1}, 24),
+	}}
+	return &ir.Program{
+		Name:   "su2cor",
+		Arrays: as,
+		Init:   initPhase(n, n, as),
+		Phases: []*ir.Phase{main},
+	}
+}
+
+// Hydro2d models 104.hydro2d: Navier-Stokes on a 2D grid with ten
+// arrays, each half a cache span (so pairs of arrays collide in color
+// space under page coloring); its 8 MB data set is the first to fit the
+// aggregate cache, so CDPC wins from two processors (§6.1).
+func Hydro2d(scale int) *ir.Program {
+	span := (1 << 20) / scale
+	if span < 16<<10 {
+		span = 16 << 10
+	}
+	unit := 64
+	iters := span / 2 / 8 / unit // half-span arrays
+	as := bandArrays("hy", 10, iters, unit)
+	main := &ir.Phase{Name: "timestep", Occurrences: 100, Nests: []*ir.Nest{
+		stencilNest("advect", iters, unit, as[0:3], as[3:5], 36),
+		stencilNest("pressure", iters, unit, as[3:6], as[6:8], 36),
+		sweepNest("viscosity", iters, unit, as[6:9], as[9:10], 24),
+		sweepNest("update", iters, unit, []*ir.Array{as[9], as[3]}, as[0:3], 18),
+	}}
+	return &ir.Program{
+		Name:   "hydro2d",
+		Arrays: as,
+		Init:   initPhase(iters, unit, as),
+		Phases: []*ir.Phase{main},
+	}
+}
+
+// Mgrid models 107.mgrid: multigrid V-cycles over a level hierarchy.
+// High reuse at the fine level keeps replacement misses low, so CDPC
+// shows only slight improvements at eight or more processors (§6.1).
+func Mgrid(scale int) *ir.Program {
+	n := grid(7<<20, 4, scale) // fine level; coarse levels are fractions
+	u := &ir.Array{Name: "mg_u", ElemSize: 8, Elems: n * n}
+	v := &ir.Array{Name: "mg_v", ElemSize: 8, Elems: n * n}
+	r := &ir.Array{Name: "mg_r", ElemSize: 8, Elems: n * n}
+	c1 := &ir.Array{Name: "mg_c1", ElemSize: 8, Elems: (n / 2) * (n / 2)}
+	c2 := &ir.Array{Name: "mg_c2", ElemSize: 8, Elems: (n / 4) * (n / 4)}
+	restrictNest := &ir.Nest{
+		Name:       "restrict",
+		Parallel:   true,
+		Iterations: n / 2,
+		InnerIters: n / 2,
+		Accesses: []ir.Access{
+			// Read every other fine point, write the coarse grid.
+			{Array: r, Kind: ir.Load, OuterStride: 2 * n, InnerStride: 2},
+			{Array: c1, Kind: ir.Store, OuterStride: n / 2, InnerStride: 1},
+		},
+		WorkPerIter: 18,
+		Sched:       ir.Schedule{Kind: ir.Even},
+	}
+	coarse := &ir.Nest{
+		Name:       "coarse-relax",
+		Parallel:   true,
+		Iterations: n / 4,
+		InnerIters: n / 4,
+		Accesses: []ir.Access{
+			{Array: c1, Kind: ir.Load, OuterStride: n / 4, InnerStride: 1},
+			{Array: c2, Kind: ir.Store, OuterStride: n / 4, InnerStride: 1},
+		},
+		WorkPerIter: 18,
+		Sched:       ir.Schedule{Kind: ir.Even},
+	}
+	main := &ir.Phase{Name: "vcycle", Occurrences: 40, Nests: []*ir.Nest{
+		stencilNest("relax", n, n, []*ir.Array{u, r}, []*ir.Array{v}, 60),
+		stencilNest("residual", n, n, []*ir.Array{v, u}, []*ir.Array{r}, 60),
+		restrictNest,
+		coarse,
+		sweepNest("prolong", n, n, []*ir.Array{v}, []*ir.Array{u}, 30),
+	}}
+	return &ir.Program{
+		Name:   "mgrid",
+		Arrays: []*ir.Array{u, v, r, c1, c2},
+		Init:   initPhase(n, n, []*ir.Array{u, v, r}),
+		Phases: []*ir.Phase{main},
+	}
+}
+
+// Applu models 110.applu: SSOR on a 3D grid whose parallel loops have
+// only 33 iterations (so 16 processors are no better than 11, §4.1) and
+// whose tiling — introduced to cut synchronization — prevents prefetch
+// software-pipelining (§6.2). Its 31 MB data set keeps it capacity-bound
+// on the 1 MB configuration; CDPC only pays off at 4 MB (§6.1).
+func Applu(scale int) *ir.Program {
+	const iters = 33
+	unit := (31 << 20) / scale / 5 / 8 / iters
+	unit = (unit / 512) * 512 // page-align the partition unit
+	if unit < 512 {
+		unit = 512
+	}
+	elems := unit * iters
+	as := make([]*ir.Array, 5)
+	names := []string{"ap_a", "ap_b", "ap_c", "ap_u", "ap_rsd"}
+	for i := range as {
+		as[i] = &ir.Array{Name: names[i], ElemSize: 8, Elems: elems}
+	}
+	mk := func(name string, srcs, dsts []*ir.Array) *ir.Nest {
+		var acc []ir.Access
+		for _, s := range srcs {
+			acc = append(acc, ir.Access{Array: s, Kind: ir.Load, OuterStride: unit, InnerStride: 1})
+		}
+		for _, d := range dsts {
+			acc = append(acc, ir.Access{Array: d, Kind: ir.Store, OuterStride: unit, InnerStride: 1})
+		}
+		return &ir.Nest{
+			Name:        name,
+			Parallel:    true,
+			Iterations:  iters,
+			InnerIters:  unit,
+			Accesses:    acc,
+			WorkPerIter: 54,
+			Tiled:       true,
+			Sched:       ir.Schedule{Kind: ir.Blocked},
+		}
+	}
+	initN := mk("touch", nil, as)
+	initN.Tiled = false
+	main := &ir.Phase{Name: "ssor", Occurrences: 50, Nests: []*ir.Nest{
+		mk("jacld", []*ir.Array{as[0], as[1], as[3]}, []*ir.Array{as[4]}),
+		mk("blts", []*ir.Array{as[4], as[2]}, []*ir.Array{as[3]}),
+		mk("rhs", []*ir.Array{as[3], as[0]}, []*ir.Array{as[1], as[2]}),
+	}}
+	return &ir.Program{
+		Name:   "applu",
+		Arrays: as,
+		Init:   &ir.Phase{Name: "init", Occurrences: 1, Nests: []*ir.Nest{initN}},
+		Phases: []*ir.Phase{main},
+	}
+}
+
+// Turb3d models 125.turb3d: a turbulence FFT code with four distinct
+// phases occurring 11, 66, 100 and 120 times in the steady state (§3.2's
+// phase example). Transposes keep every sweep column-partitioned, giving
+// the good locality and small replacement-miss counts of Figure 6; its
+// power-of-two FFT arrays are span multiples (mild start-color
+// collisions that CDPC cleans up above four processors).
+func Turb3d(scale int) *ir.Program {
+	n := pow2Side(24<<20, 9, scale)
+	as := arrays("tb", 9, n)
+	u, v, w := as[0], as[1], as[2]
+	t0, t1, t2 := as[3], as[4], as[5]
+	ox, oy, oz := as[6], as[7], as[8]
+	phases := []*ir.Phase{
+		{Name: "fftx", Occurrences: 11, Nests: []*ir.Nest{
+			sweepNest("fftx", n, n, []*ir.Array{u, v, w}, []*ir.Array{ox, oy, oz}, 72),
+		}},
+		{Name: "transpose", Occurrences: 66, Nests: []*ir.Nest{
+			sweepNest("transpose", n, n, []*ir.Array{ox, oy, oz}, []*ir.Array{t0, t1, t2}, 18),
+		}},
+		{Name: "ffty", Occurrences: 100, Nests: []*ir.Nest{
+			sweepNest("ffty", n, n, []*ir.Array{t0, t1, t2}, []*ir.Array{t0, t1, t2}, 72),
+		}},
+		{Name: "nonlinear", Occurrences: 120, Nests: []*ir.Nest{
+			// Turbulence in a periodic box: the stencil wraps around the
+			// domain, which the compiler summarizes as rotate
+			// communication (§5.1).
+			periodic(stencilNest("nonlinear", n, n, []*ir.Array{t0, t1, t2}, []*ir.Array{u, v, w}, 60)),
+		}},
+	}
+	return &ir.Program{
+		Name:   "turb3d",
+		Arrays: as,
+		Init:   initPhase(n, n, as),
+		Phases: phases,
+	}
+}
+
+// Apsi models 141.apsi: a mesoscale weather code whose loop-level
+// parallelism is too fine-grained to exploit, so the compiler suppresses
+// it (the master runs the loops alone, §4.1): no speedup and no CDPC
+// sensitivity.
+func Apsi(scale int) *ir.Program {
+	n := grid(9<<20, 6, scale)
+	as := arrays("ap", 6, n)
+	suppress := func(nest *ir.Nest) *ir.Nest {
+		nest.Suppressed = true
+		return nest
+	}
+	main := &ir.Phase{Name: "timestep", Occurrences: 80, Nests: []*ir.Nest{
+		suppress(stencilNest("advection", n, n, as[0:2], as[2:4], 30)),
+		suppress(sweepNest("diffusion", n, n, as[2:4], as[4:6], 24)),
+		sweepNest("filter", n, n, as[4:5], as[5:6], 18), // the one coarse loop
+	}}
+	return &ir.Program{
+		Name:   "apsi",
+		Arrays: as,
+		Init:   initPhase(n, n, as),
+		Phases: []*ir.Phase{main},
+	}
+}
+
+// Fpppp models 145.fpppp: multi-electron integrals with essentially no
+// loop-level parallelism and a tiny data set; it is limited entirely by
+// instruction fetches served from the external cache and puts no load on
+// the bus (§4.1). Page mapping policy is irrelevant to it (Table 2 shows
+// identical times under every policy).
+func Fpppp(scale int) *ir.Program {
+	n := 32
+	a := &ir.Array{Name: "fp_ints", ElemSize: 8, Elems: n * n}
+	b := &ir.Array{Name: "fp_out", ElemSize: 8, Elems: n * n}
+	codeSize := 512 << 10 / scale
+	if codeSize < 16<<10 {
+		codeSize = 16 << 10
+	}
+	nest := &ir.Nest{
+		Name:       "integrals",
+		Parallel:   false,
+		Iterations: 8,
+		InnerIters: 16,
+		Accesses: []ir.Access{
+			{Array: a, Kind: ir.Load, OuterStride: n, InnerStride: 1},
+			{Array: b, Kind: ir.Store, OuterStride: n, InnerStride: 1},
+		},
+		WorkPerIter:   40,
+		InstFootprint: codeSize / 16, // the giant basic blocks walk the text
+	}
+	return &ir.Program{
+		Name:     "fpppp",
+		Arrays:   []*ir.Array{a, b},
+		Phases:   []*ir.Phase{{Name: "scf", Occurrences: 30, Nests: []*ir.Nest{nest}}},
+		CodeSize: codeSize,
+	}
+}
+
+// Wave5 models 146.wave5: a particle-in-cell plasma code. The particle
+// push scatters through index arrays (unanalyzable), parts of the field
+// solve are too fine-grained and run suppressed, and its 40 MB data set
+// dwarfs every cache configuration — so no page mapping policy moves it
+// much (§7).
+func Wave5(scale int) *ir.Program {
+	n := grid(40<<20, 8, scale)
+	as := arrays("wv", 8, n)
+	ex, ey := as[0], as[1]
+	px, py, vx, vy := as[2], as[3], as[4], as[5]
+	rho, phi := as[6], as[7]
+	for _, particle := range []*ir.Array{px, py, vx, vy} {
+		particle.Unanalyzable = true
+	}
+	push := &ir.Nest{
+		Name:       "push",
+		Parallel:   true,
+		Iterations: n,
+		InnerIters: n / 4,
+		Accesses: []ir.Access{
+			{Array: px, Kind: ir.Load, OuterStride: n, InnerStride: 4},
+			{Array: py, Kind: ir.Load, OuterStride: n, InnerStride: 4},
+			{Array: vx, Kind: ir.Store, OuterStride: n, InnerStride: 4},
+			{Array: vy, Kind: ir.Store, OuterStride: n, InnerStride: 4},
+			colRef(ex, ir.Load, n, 0, 0),
+			colRef(ey, ir.Load, n, 0, 0),
+		},
+		WorkPerIter: 36,
+		Sched:       ir.Schedule{Kind: ir.Even},
+	}
+	fieldFine := stencilNest("field-fine", n, n, []*ir.Array{rho}, []*ir.Array{phi}, 24)
+	fieldFine.Suppressed = true
+	main := &ir.Phase{Name: "step", Occurrences: 60, Nests: []*ir.Nest{
+		push,
+		fieldFine,
+		stencilNest("field", n, n, []*ir.Array{phi}, []*ir.Array{ex, ey}, 30),
+		sweepNest("deposit", n, n, []*ir.Array{ex, ey}, []*ir.Array{rho}, 18),
+	}}
+	return &ir.Program{
+		Name:   "wave5",
+		Arrays: as,
+		Init:   initPhase(n, n, []*ir.Array{ex, ey, rho, phi}),
+		Phases: []*ir.Phase{main},
+	}
+}

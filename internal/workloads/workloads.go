@@ -1,0 +1,243 @@
+// Package workloads defines ten synthetic analogs of the SPEC95fp
+// benchmark suite, written in the compiler IR. Each program reproduces
+// the traits the paper reports for its namesake — data-set size ratio
+// (Table 1), array count, phase structure, parallelism profile, and
+// pathologies (applu's 33-iteration loops and tiling, su2cor's
+// non-analyzable accesses, fpppp's instruction-bound sequential code,
+// apsi/wave5's suppressed fine-grain parallelism) — scaled down by the
+// same factor as the machine so that working-set : cache ratios match
+// the paper's (§3.1, Table 1).
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// DefaultScale divides the paper's data-set and cache sizes; 16 keeps
+// full experiment sweeps in seconds while preserving every ratio.
+const DefaultScale = 16
+
+// Meta describes a workload for the harness and the Table 1 report.
+type Meta struct {
+	Name string
+	// PaperDataMB is the reference data-set size from Table 1.
+	PaperDataMB float64
+	// SpecRefSeconds is the SPEC95 reference time used in ratio
+	// calculations (SparcStation 10 reference, per SPEC95).
+	SpecRefSeconds float64
+	// Traits summarizes the paper-reported behaviour being reproduced.
+	Traits string
+
+	Build func(scale int) *ir.Program
+}
+
+// Registry lists all ten workloads in SPEC95fp order.
+func Registry() []Meta {
+	return []Meta{
+		{"tomcatv", 14, 3700, "7 arrays; stencil; large CDPC win; bus-bound at 16p", Tomcatv},
+		{"swim", 14, 8600, "13 arrays; shallow water; CDPC win from 8p; alignment-sensitive", Swim},
+		{"su2cor", 23, 1400, "partially analyzable; CDPC slightly degrades", Su2cor},
+		{"hydro2d", 8, 2400, "stencil; CDPC win from 2p; fits 4MB cache", Hydro2d},
+		{"mgrid", 7, 1800, "multigrid levels; few replacement misses", Mgrid},
+		{"applu", 31, 2200, "33-iteration loops; tiled (prefetch-hostile); capacity-bound", Applu},
+		{"turb3d", 24, 4100, "4 phases x {11,66,100,120}; good locality", Turb3d},
+		{"apsi", 9, 2100, "fine-grain parallelism suppressed; no speedup", Apsi},
+		{"fpppp", 0.5, 9600, "no loop parallelism; instruction-bound", Fpppp},
+		{"wave5", 40, 3000, "particle scatter unanalyzable; suppressed loops", Wave5},
+	}
+}
+
+// ByName returns the named workload's metadata.
+func ByName(name string) (Meta, error) {
+	for _, m := range Registry() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Meta{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names returns all workload names, sorted as in the registry.
+func Names() []string {
+	var names []string
+	for _, m := range Registry() {
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// grid builds square arrays sized so that count arrays total
+// targetBytes/scale, with the side rounded to a multiple of 16 so that
+// partitions divide evenly across 1–16 CPUs.
+func grid(targetBytes, count, scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	bytesPer := targetBytes / scale / count
+	n := 16
+	for (n+16)*(n+16)*8 <= bytesPer {
+		n += 16
+	}
+	// Round to the NEAREST multiple of 16, not down: sizes track the
+	// paper's Table 1 targets more closely.
+	if over := n + 16; (over*over*8 - bytesPer) < (bytesPer - n*n*8) {
+		n = over
+	}
+	return n
+}
+
+// arrays builds count named square arrays of side n.
+func arrays(prefix string, count, n int) []*ir.Array {
+	out := make([]*ir.Array, count)
+	for i := range out {
+		out[i] = &ir.Array{Name: fmt.Sprintf("%s%d", prefix, i), ElemSize: 8, Elems: n * n}
+	}
+	return out
+}
+
+// colRef makes a column-partitioned access: element(i,j) = i·unit + j +
+// colOff·unit + rowOff, where i is the distributed column index and j the
+// position within the column (unit elements per column).
+func colRef(a *ir.Array, kind ir.RefKind, unit, colOff, rowOff int) ir.Access {
+	return ir.Access{Array: a, Kind: kind, OuterStride: unit, InnerStride: 1, Offset: colOff*unit + rowOff}
+}
+
+// pow2Side returns the power-of-two side closest to the grid() side for
+// the same target: arrays whose byte size is an exact multiple of the
+// cache span reproduce the start-color collisions behind the paper's
+// biggest CDPC wins (tomcatv, swim, turb3d).
+func pow2Side(targetBytes, count, scale int) int {
+	want := grid(targetBytes, count, scale)
+	n := 16
+	for n*2 <= want {
+		n *= 2
+	}
+	if 2*n-want < want-n {
+		n *= 2
+	}
+	return n
+}
+
+// stencilNest builds a parallel column sweep (iters columns of unit
+// elements) reading the given sources with a column stencil (i-1, i,
+// i+1) and writing the destinations.
+func stencilNest(name string, iters, unit int, srcs, dsts []*ir.Array, work int) *ir.Nest {
+	var acc []ir.Access
+	for _, s := range srcs {
+		acc = append(acc,
+			colRef(s, ir.Load, unit, 0, 0),
+			colRef(s, ir.Load, unit, -1, 0),
+			colRef(s, ir.Load, unit, 1, 0),
+		)
+	}
+	for _, d := range dsts {
+		acc = append(acc, colRef(d, ir.Store, unit, 0, 0))
+	}
+	return &ir.Nest{
+		Name:        name,
+		Parallel:    true,
+		Iterations:  iters,
+		InnerIters:  unit,
+		Accesses:    acc,
+		WorkPerIter: work,
+		Sched:       ir.Schedule{Kind: ir.Even},
+	}
+}
+
+// sweepNest builds a parallel column sweep with plain (no-stencil) reads
+// and writes.
+func sweepNest(name string, iters, unit int, srcs, dsts []*ir.Array, work int) *ir.Nest {
+	var acc []ir.Access
+	for _, s := range srcs {
+		acc = append(acc, colRef(s, ir.Load, unit, 0, 0))
+	}
+	for _, d := range dsts {
+		acc = append(acc, colRef(d, ir.Store, unit, 0, 0))
+	}
+	return &ir.Nest{
+		Name:        name,
+		Parallel:    true,
+		Iterations:  iters,
+		InnerIters:  unit,
+		Accesses:    acc,
+		WorkPerIter: work,
+		Sched:       ir.Schedule{Kind: ir.Even},
+	}
+}
+
+// periodic marks a nest's offset accesses as wrapping (periodic
+// boundary conditions → rotate communication, §5.1).
+func periodic(n *ir.Nest) *ir.Nest {
+	for i := range n.Accesses {
+		if n.Accesses[i].Offset != 0 {
+			n.Accesses[i].Wrap = true
+		}
+	}
+	return n
+}
+
+// initPhase builds the parallel first-touch initialization over all
+// arrays (SUIF parallelizes the init loops, so under bin hopping each
+// CPU's pages are faulted interleaved — the §2.1 fault-order effect).
+func initPhase(iters, unit int, as []*ir.Array) *ir.Phase {
+	var acc []ir.Access
+	for _, a := range as {
+		acc = append(acc, colRef(a, ir.Store, unit, 0, 0))
+	}
+	return &ir.Phase{
+		Name:        "init",
+		Occurrences: 1,
+		Nests: []*ir.Nest{{
+			Name:        "first-touch",
+			Parallel:    true,
+			Iterations:  iters,
+			InnerIters:  unit,
+			Accesses:    acc,
+			WorkPerIter: 1,
+			Sched:       ir.Schedule{Kind: ir.Even},
+		}},
+	}
+}
+
+// bandArrays builds count 1-D arrays of exactly iters·unit elements
+// each (for workloads whose arrays must hit an exact byte size).
+func bandArrays(prefix string, count, iters, unit int) []*ir.Array {
+	out := make([]*ir.Array, count)
+	for i := range out {
+		out[i] = &ir.Array{Name: fmt.Sprintf("%s%d", prefix, i), ElemSize: 8, Elems: iters * unit}
+	}
+	return out
+}
+
+// validateAll is a build-time sanity check used by tests.
+func validateAll(scale int) error {
+	for _, m := range Registry() {
+		p := m.Build(scale)
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// DataSetTable returns (name, bytes) pairs for the Table 1 report, in
+// registry order.
+func DataSetTable(scale int) []struct {
+	Name  string
+	Bytes int
+} {
+	var out []struct {
+		Name  string
+		Bytes int
+	}
+	for _, m := range Registry() {
+		p := m.Build(scale)
+		out = append(out, struct {
+			Name  string
+			Bytes int
+		}{m.Name, p.DataBytes()})
+	}
+	return out
+}

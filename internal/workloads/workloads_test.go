@@ -1,0 +1,285 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+func TestAllWorkloadsValidate(t *testing.T) {
+	for _, scale := range []int{1, 16, 32, 64} {
+		if err := validateAll(scale); err != nil {
+			t.Errorf("scale %d: %v", scale, err)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d", "apsi", "fpppp", "wave5"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("registry[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("swim")
+	if err != nil || m.Name != "swim" {
+		t.Errorf("ByName(swim) = %v, %v", m, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestDataSetSizeRatios(t *testing.T) {
+	// Table 1 shape: scaled sizes must preserve the paper's ordering and
+	// approximate ratios (rounding to grid multiples costs some accuracy).
+	sizes := map[string]int{}
+	for _, row := range DataSetTable(DefaultScale) {
+		sizes[row.Name] = row.Bytes
+	}
+	// wave5 (40MB) is the largest; fpppp (<1MB) the smallest.
+	for name, sz := range sizes {
+		if name == "wave5" {
+			continue
+		}
+		if sz > sizes["wave5"] {
+			t.Errorf("%s (%d) larger than wave5 (%d)", name, sz, sizes["wave5"])
+		}
+		if name != "fpppp" && sz < sizes["fpppp"] {
+			t.Errorf("%s (%d) smaller than fpppp (%d)", name, sz, sizes["fpppp"])
+		}
+	}
+	// applu (31MB) must exceed hydro2d (8MB) severalfold (paper: 3.9x;
+	// hydro2d is sized down to exact half-span arrays, widening this).
+	ratio := float64(sizes["applu"]) / float64(sizes["hydro2d"])
+	if ratio < 2.5 || ratio > 8 {
+		t.Errorf("applu/hydro2d ratio = %.2f, want in [2.5,8]", ratio)
+	}
+}
+
+func TestScaledSizesNearTargets(t *testing.T) {
+	for _, m := range Registry() {
+		if m.Name == "fpppp" {
+			continue // deliberately tiny
+		}
+		p := m.Build(DefaultScale)
+		target := m.PaperDataMB * (1 << 20) / DefaultScale
+		got := float64(p.DataBytes())
+		if got < 0.4*target || got > 1.3*target {
+			t.Errorf("%s: %d bytes, target %.0f (paper %.1fMB / %d)", m.Name, p.DataBytes(), target, m.PaperDataMB, DefaultScale)
+		}
+	}
+}
+
+func TestAppluHas33Iterations(t *testing.T) {
+	p := Applu(DefaultScale)
+	for _, ph := range p.Phases {
+		for _, n := range ph.Nests {
+			if n.Iterations != 33 {
+				t.Errorf("applu nest %s has %d iterations, want 33", n.Name, n.Iterations)
+			}
+			if !n.Tiled {
+				t.Errorf("applu nest %s not tiled", n.Name)
+			}
+		}
+	}
+}
+
+func TestTurb3dPhaseStructure(t *testing.T) {
+	p := Turb3d(DefaultScale)
+	occ := []int{}
+	for _, ph := range p.Phases {
+		occ = append(occ, ph.Occurrences)
+	}
+	want := []int{11, 66, 100, 120}
+	if len(occ) != 4 {
+		t.Fatalf("turb3d phases = %d, want 4", len(occ))
+	}
+	for i := range want {
+		if occ[i] != want[i] {
+			t.Errorf("phase %d occurs %d times, want %d", i, occ[i], want[i])
+		}
+	}
+}
+
+func TestSu2corPartialAnalyzability(t *testing.T) {
+	p := Su2cor(DefaultScale)
+	unanalyzable := 0
+	for _, a := range p.Arrays {
+		if a.Unanalyzable {
+			unanalyzable++
+		}
+	}
+	if unanalyzable == 0 || unanalyzable == len(p.Arrays) {
+		t.Errorf("su2cor must be partially analyzable, got %d/%d", unanalyzable, len(p.Arrays))
+	}
+	compiler.Layout(p, compiler.DefaultLayout(128, 32<<10, 4096))
+	sum := compiler.Summarize(p)
+	for _, ps := range sum.Partitions {
+		if ps.Array.Unanalyzable {
+			t.Errorf("summary for unanalyzable array %s", ps.Array.Name)
+		}
+	}
+	if len(sum.Partitions) == 0 {
+		t.Error("su2cor's gauge arrays should be summarized")
+	}
+}
+
+func TestApsiSuppression(t *testing.T) {
+	p := Apsi(DefaultScale)
+	suppressed, parallel := 0, 0
+	for _, n := range p.Phases[0].Nests {
+		if n.Suppressed {
+			suppressed++
+		} else if n.Parallel {
+			parallel++
+		}
+	}
+	if suppressed < 2 {
+		t.Errorf("apsi suppressed nests = %d, want ≥ 2", suppressed)
+	}
+	if parallel == 0 {
+		t.Error("apsi should retain at least one coarse parallel loop")
+	}
+}
+
+func TestFppppInstructionBound(t *testing.T) {
+	p := Fpppp(DefaultScale)
+	if p.CodeSize == 0 {
+		t.Fatal("fpppp has no code segment")
+	}
+	n := p.Phases[0].Nests[0]
+	if n.Parallel {
+		t.Error("fpppp must have no loop-level parallelism")
+	}
+	if n.InstFootprint == 0 {
+		t.Error("fpppp must have an instruction footprint")
+	}
+	if p.DataBytes() > 64<<10 {
+		t.Errorf("fpppp data %d bytes, want tiny", p.DataBytes())
+	}
+}
+
+func TestTomcatvColorCollision(t *testing.T) {
+	// The trait the whole paper hinges on: tomcatv's arrays are whole
+	// multiples of the cache span, so under page coloring every array's
+	// chunk for a given CPU starts at the same color.
+	p := Tomcatv(DefaultScale)
+	compiler.Layout(p, compiler.DefaultLayout(128, 32<<10, 4096))
+	colors := 16 // 1MB/16 cache, 4KB pages
+	c0 := int(p.Arrays[0].Base / 4096 % uint64(colors))
+	same := 0
+	for _, a := range p.Arrays[1:] {
+		if int(a.Base/4096%uint64(colors)) == c0 {
+			same++
+		}
+	}
+	if same < len(p.Arrays)-2 {
+		t.Errorf("only %d/%d arrays share the start color; collision trait lost", same+1, len(p.Arrays))
+	}
+}
+
+func TestWorkloadsStreamable(t *testing.T) {
+	// Every workload must actually generate references on every CPU that
+	// the schedule assigns work, at several CPU counts.
+	for _, m := range Registry() {
+		p := m.Build(64) // small for speed
+		compiler.Layout(p, compiler.DefaultLayout(128, 8<<10, 4096))
+		for _, ncpu := range []int{1, 4} {
+			total := 0
+			var r trace.Ref
+			for _, ph := range p.Phases {
+				for _, n := range ph.Nests {
+					for cpu := 0; cpu < ncpu; cpu++ {
+						s := ir.NestStream(p, n, ncpu, cpu)
+						for s.Next(&r) {
+							total++
+						}
+					}
+				}
+			}
+			if total == 0 {
+				t.Errorf("%s on %d cpus: no references", m.Name, ncpu)
+			}
+		}
+	}
+}
+
+func TestGridDivisibility(t *testing.T) {
+	for _, m := range Registry() {
+		p := m.Build(DefaultScale)
+		for _, ph := range p.Phases {
+			for _, n := range ph.Nests {
+				if !n.Parallel || n.Name == "gather" || n.Name == "push" {
+					continue
+				}
+				if m.Name == "applu" {
+					continue // 33 iterations is the point
+				}
+				if m.Name == "mgrid" && n.Iterations < 64 {
+					continue // coarse levels are legitimately small
+				}
+				if n.Iterations%16 != 0 {
+					t.Errorf("%s/%s: %d iterations not divisible by 16", m.Name, n.Name, n.Iterations)
+				}
+			}
+		}
+	}
+}
+
+func TestTurb3dHasRotateCommunication(t *testing.T) {
+	p := Turb3d(DefaultScale)
+	compiler.Layout(p, compiler.DefaultLayout(128, 8<<10, 4096))
+	sum := compiler.Summarize(p)
+	rotates := 0
+	for _, c := range sum.Comms {
+		if c.Rotate {
+			rotates++
+		}
+	}
+	if rotates == 0 {
+		t.Error("turb3d's periodic stencil should summarize as rotate communication")
+	}
+}
+
+func TestReversePartitionSummaries(t *testing.T) {
+	// Reverse partitions (§5.1) flow through the summarizer: a reverse
+	// nest produces a summary whose regions are the mirror image of the
+	// forward ones. (Reverse assignment remaps data to processors, which
+	// none of the bundled SPEC analogs do; the feature is exercised here
+	// and by the simulator's random-program invariants.)
+	p := Hydro2d(DefaultScale)
+	rev := p.Phases[0].Nests[3]
+	rev.Sched = ir.Schedule{Kind: ir.Even, Reverse: true}
+	compiler.Layout(p, compiler.DefaultLayout(128, 8<<10, 4096))
+	sum := compiler.Summarize(p)
+	var fwd, mirror *compiler.PartitionSummary
+	for i := range sum.Partitions {
+		ps := &sum.Partitions[i]
+		if ps.Array.Name != "hy0" {
+			continue
+		}
+		if ps.Sched.Reverse {
+			mirror = ps
+		} else {
+			fwd = ps
+		}
+	}
+	if fwd == nil || mirror == nil {
+		t.Fatal("expected both forward and reverse summaries for hy0")
+	}
+	fl, fh := fwd.Region(4, 0)
+	ml, mh := mirror.Region(4, 3)
+	if fl != ml || fh != mh {
+		t.Errorf("reverse cpu3 region [%d,%d) != forward cpu0 region [%d,%d)", ml, mh, fl, fh)
+	}
+}
