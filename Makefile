@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The scheduler is the only concurrent subsystem; run its package (and
+# the simulator it drives) under the race detector.
+race:
+	$(GO) test -race ./internal/harness/...
+
+# Scheduler + simulator benchmarks, plus the machine-readable
+# BENCH_harness.json dump (serial vs pooled Figure 6).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkParallelExperiments|BenchmarkSimulatorThroughput' -benchtime 3x .
+	WRITE_BENCH=1 $(GO) test -run TestWriteHarnessBench -v .
+
+verify:
+	./scripts/verify.sh

@@ -1,0 +1,109 @@
+// Scheduler benchmarks: serial vs pooled execution of a full experiment
+// through the harness scheduler, plus a machine-readable dump
+// (BENCH_harness.json) for tracking across commits.
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// fig6QuickSims is the number of simulations one quick Figure 6 render
+// performs: 3 workloads x 2 CPU counts x 2 variants.
+const fig6QuickSims = 12
+
+// BenchmarkParallelExperiments compares a fully serial Figure 6 (quick)
+// against the same experiment on the memoizing worker pool. Each
+// iteration uses a fresh scheduler so memoization across iterations
+// cannot flatter the parallel number; within an iteration the scheduler
+// behaves exactly as cmd/experiments does.
+func BenchmarkParallelExperiments(b *testing.B) {
+	e, err := harness.ExperimentByID("fig6")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(harness.ExpOptions{Quick: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(fig6QuickSims*b.N)/b.Elapsed().Seconds(), "sims/sec")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := harness.ExpOptions{Quick: true, Runner: harness.NewScheduler(0)}
+			if _, err := e.Run(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(fig6QuickSims*b.N)/b.Elapsed().Seconds(), "sims/sec")
+	})
+}
+
+// harnessBench is the schema of BENCH_harness.json.
+type harnessBench struct {
+	Benchmark          string  `json:"benchmark"`
+	Workers            int     `json:"workers"`
+	SimsPerOp          int     `json:"sims_per_op"`
+	SerialNsPerOp      int64   `json:"serial_ns_per_op"`
+	ParallelNsPerOp    int64   `json:"parallel_ns_per_op"`
+	SerialSimsPerSec   float64 `json:"serial_sims_per_sec"`
+	ParallelSimsPerSec float64 `json:"parallel_sims_per_sec"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// TestWriteHarnessBench times serial vs pooled Figure 6 (quick) and
+// writes BENCH_harness.json next to the module root. Gated behind
+// WRITE_BENCH=1 (the Makefile `bench` target sets it) so the regular
+// test suite stays fast.
+func TestWriteHarnessBench(t *testing.T) {
+	if os.Getenv("WRITE_BENCH") == "" {
+		t.Skip("set WRITE_BENCH=1 to time the scheduler and write BENCH_harness.json")
+	}
+	e, err := harness.ExperimentByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(harness.ExpOptions{Quick: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pooled := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := harness.ExpOptions{Quick: true, Runner: harness.NewScheduler(0)}
+			if _, err := e.Run(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	perSec := func(r testing.BenchmarkResult) float64 {
+		return float64(fig6QuickSims) / (float64(r.NsPerOp()) / 1e9)
+	}
+	out := harnessBench{
+		Benchmark:          "fig6-quick",
+		Workers:            runtime.GOMAXPROCS(0),
+		SimsPerOp:          fig6QuickSims,
+		SerialNsPerOp:      serial.NsPerOp(),
+		ParallelNsPerOp:    pooled.NsPerOp(),
+		SerialSimsPerSec:   perSec(serial),
+		ParallelSimsPerSec: perSec(pooled),
+		Speedup:            float64(serial.NsPerOp()) / float64(pooled.NsPerOp()),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_harness.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serial %v/op, parallel %v/op, speedup %.2fx on %d workers",
+		serial.NsPerOp(), pooled.NsPerOp(), out.Speedup, out.Workers)
+}

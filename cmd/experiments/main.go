@@ -8,6 +8,12 @@
 //	experiments -id fig6     # one experiment
 //	experiments -quick       # reduced CPU counts and workload set
 //	experiments -list        # list experiment ids
+//	experiments -parallel=false   # force fully serial execution
+//	experiments -workers 4        # cap the simulation worker pool
+//
+// By default simulations run on a memoizing parallel scheduler sized to
+// GOMAXPROCS; output is byte-identical to a serial run (rendering is
+// decoupled from execution order, and results are deterministic).
 package main
 
 import (
@@ -22,11 +28,13 @@ import (
 
 func main() {
 	var (
-		id     = flag.String("id", "", "experiment id (empty = all)")
-		quick  = flag.Bool("quick", false, "reduced sweep for fast runs")
-		scale  = flag.Int("scale", 0, "machine+data scale divisor (0 = default 16)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		outDir = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+		id       = flag.String("id", "", "experiment id (empty = all)")
+		quick    = flag.Bool("quick", false, "reduced sweep for fast runs")
+		scale    = flag.Int("scale", 0, "machine+data scale divisor (0 = default 16)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		outDir   = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+		parallel = flag.Bool("parallel", true, "run simulations on a parallel worker pool with memoization")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -38,6 +46,11 @@ func main() {
 	}
 
 	opts := harness.ExpOptions{Scale: *scale, Quick: *quick}
+	if *parallel {
+		// One scheduler across all experiments: identical specs (e.g. the
+		// page-coloring baselines shared by Figures 2, 6 and 8) simulate once.
+		opts.Runner = harness.NewScheduler(*workers)
+	}
 	var exps []harness.Experiment
 	if *id != "" {
 		e, err := harness.ExperimentByID(*id)

@@ -7,6 +7,11 @@
 //	sweep -workloads tomcatv,swim -cpus 1,4,8,16 -variants page-coloring,cdpc
 //	sweep -workloads all -cpus 8 -variants all -format json > results.json
 //	sweep -workloads tomcatv -cpus 8 -variants cdpc -prefetch -machine alpha
+//	sweep -workloads all -cpus 1,8 -variants all -workers 8   # parallel grid
+//
+// The grid runs on a memoizing parallel worker pool by default
+// (-parallel=false forces serial); rows are always emitted in grid
+// order, so the output is identical either way.
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 		scale         = flag.Int("scale", workloads.DefaultScale, "scale divisor")
 		prefetch      = flag.Bool("prefetch", false, "enable compiler-inserted prefetching")
 		format        = flag.String("format", "csv", "output format (csv, json)")
+		parallel      = flag.Bool("parallel", true, "run the grid on a parallel worker pool")
+		workers       = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -55,11 +62,11 @@ func main() {
 		cpus = append(cpus, n)
 	}
 
-	var rows []report.Row
+	var specs []harness.Spec
 	for _, name := range names {
 		for _, p := range cpus {
 			for _, v := range variants {
-				res, err := harness.Run(harness.Spec{
+				specs = append(specs, harness.Spec{
 					Workload: strings.TrimSpace(name),
 					Scale:    *scale,
 					CPUs:     p,
@@ -67,13 +74,24 @@ func main() {
 					Variant:  v,
 					Prefetch: *prefetch,
 				})
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "sweep:", err)
-					os.Exit(1)
-				}
-				rows = append(rows, report.FromResult(res, *prefetch))
 			}
 		}
+	}
+
+	// Warm the grid on the worker pool, then emit rows in grid order from
+	// the memo cache: row order (and bytes) never depend on completion order.
+	sched := harness.NewScheduler(*workers)
+	if *parallel {
+		sched.Warm(specs)
+	}
+	var rows []report.Row
+	for _, s := range specs {
+		res, err := sched.Run(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, report.FromResult(res, *prefetch))
 	}
 
 	var err error

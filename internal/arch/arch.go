@@ -26,14 +26,19 @@ func (g CacheGeometry) Lines() int { return g.Size / g.LineSize }
 // Sets returns the number of sets.
 func (g CacheGeometry) Sets() int { return g.Size / (g.LineSize * g.Assoc) }
 
+// LineShift returns log2(LineSize). Validate guarantees the line size is
+// a power of two, so shifting by it replaces 64-bit division on the
+// simulator's per-reference hot path.
+func (g CacheGeometry) LineShift() uint { return Log2(g.LineSize) }
+
 // SetOf maps an address to its set index.
 func (g CacheGeometry) SetOf(addr uint64) int {
-	return int((addr / uint64(g.LineSize)) % uint64(g.Sets()))
+	return int((addr >> g.LineShift()) & uint64(g.Sets()-1))
 }
 
 // TagOf returns the tag for addr.
 func (g CacheGeometry) TagOf(addr uint64) uint64 {
-	return addr / uint64(g.LineSize) / uint64(g.Sets())
+	return addr >> g.LineShift() >> Log2(g.Sets())
 }
 
 // LineAddr returns addr rounded down to its line boundary.
@@ -41,8 +46,21 @@ func (g CacheGeometry) LineAddr(addr uint64) uint64 {
 	return addr &^ uint64(g.LineSize-1)
 }
 
+// Log2 returns log2(x) for a positive power of two x (0 otherwise).
+func Log2(x int) uint {
+	var s uint
+	for x > 1 {
+		x >>= 1
+		s++
+	}
+	return s
+}
+
 // Validate reports whether the geometry is internally consistent
-// (power-of-two sizes, line divides size, associativity sane).
+// (power-of-two sizes, line divides size, associativity sane). Requiring
+// a power-of-two set count here — once, at configuration time — is what
+// lets every address→set and address→page computation downstream be a
+// shift-and-mask instead of a 64-bit division.
 func (g CacheGeometry) Validate() error {
 	switch {
 	case g.Size <= 0 || g.LineSize <= 0 || g.Assoc <= 0:
@@ -53,6 +71,9 @@ func (g CacheGeometry) Validate() error {
 		return fmt.Errorf("arch: size %d not a power of two", g.Size)
 	case g.LineSize&(g.LineSize-1) != 0:
 		return fmt.Errorf("arch: line size %d not a power of two", g.LineSize)
+	}
+	if sets := g.Sets(); sets&(sets-1) != 0 {
+		return fmt.Errorf("arch: set count %d (size %d / line %d / assoc %d) not a power of two", sets, g.Size, g.LineSize, g.Assoc)
 	}
 	return nil
 }

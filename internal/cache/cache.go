@@ -24,6 +24,13 @@ type Cache struct {
 	Geom arch.CacheGeometry
 	sets [][]way
 
+	// Precomputed indexing: arch.Validate guarantees power-of-two line
+	// size and set count, so the per-access address→(line, set) split is
+	// a shift and a mask, never a 64-bit division.
+	lineShift uint
+	lineMask  uint64 // low bits within a line
+	setMask   uint64 // set index mask after the line shift
+
 	// counters
 	Accesses uint64
 	Hits     uint64
@@ -36,8 +43,19 @@ func New(g arch.CacheGeometry) *Cache {
 	for i := range sets {
 		sets[i] = backing[i*g.Assoc : (i+1)*g.Assoc : (i+1)*g.Assoc]
 	}
-	return &Cache{Geom: g, sets: sets}
+	return &Cache{
+		Geom:      g,
+		sets:      sets,
+		lineShift: g.LineShift(),
+		lineMask:  uint64(g.LineSize - 1),
+		setMask:   uint64(g.Sets() - 1),
+	}
 }
+
+// lineAddr and setOf are the division-free forms of Geom.LineAddr and
+// Geom.SetOf used on every access.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr &^ c.lineMask }
+func (c *Cache) setOf(addr uint64) uint64    { return (addr >> c.lineShift) & c.setMask }
 
 // Result reports the outcome of an Access.
 type Result struct {
@@ -51,8 +69,8 @@ type Result struct {
 // write marks the (resulting) line dirty.
 func (c *Cache) Access(addr uint64, write bool) Result {
 	c.Accesses++
-	la := c.Geom.LineAddr(addr)
-	set := c.sets[c.Geom.SetOf(addr)]
+	la := c.lineAddr(addr)
+	set := c.sets[c.setOf(addr)]
 	for i := range set {
 		if set[i].valid && set[i].lineAddr == la {
 			c.Hits++
@@ -78,8 +96,8 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 
 // Probe reports whether addr is present without disturbing LRU state.
 func (c *Cache) Probe(addr uint64) bool {
-	la := c.Geom.LineAddr(addr)
-	set := c.sets[c.Geom.SetOf(addr)]
+	la := c.lineAddr(addr)
+	set := c.sets[c.setOf(addr)]
 	for i := range set {
 		if set[i].valid && set[i].lineAddr == la {
 			return true
@@ -91,8 +109,8 @@ func (c *Cache) Probe(addr uint64) bool {
 // Invalidate removes addr's line if present, returning (present, dirty).
 // Used by the coherence protocol when another CPU writes the line.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
-	la := c.Geom.LineAddr(addr)
-	set := c.sets[c.Geom.SetOf(addr)]
+	la := c.lineAddr(addr)
+	set := c.sets[c.setOf(addr)]
 	for i := range set {
 		if set[i].valid && set[i].lineAddr == la {
 			dirty = set[i].dirty
@@ -107,8 +125,8 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // Clean clears the dirty bit of addr's line if present (after a writeback
 // or a downgrade to shared state).
 func (c *Cache) Clean(addr uint64) {
-	la := c.Geom.LineAddr(addr)
-	set := c.sets[c.Geom.SetOf(addr)]
+	la := c.lineAddr(addr)
+	set := c.sets[c.setOf(addr)]
 	for i := range set {
 		if set[i].valid && set[i].lineAddr == la {
 			set[i].dirty = false
@@ -121,8 +139,8 @@ func (c *Cache) Clean(addr uint64) {
 // touching LRU state; used when an on-chip dirty victim is written back
 // into the (inclusive) external cache.
 func (c *Cache) MarkDirty(addr uint64) {
-	la := c.Geom.LineAddr(addr)
-	set := c.sets[c.Geom.SetOf(addr)]
+	la := c.lineAddr(addr)
+	set := c.sets[c.setOf(addr)]
 	for i := range set {
 		if set[i].valid && set[i].lineAddr == la {
 			set[i].dirty = true

@@ -82,6 +82,7 @@ type Outcome struct {
 type Directory struct {
 	ncpu     int
 	lineSize uint64
+	lineMask uint64 // lineSize - 1; line size is a validated power of two
 	lines    map[uint64]*lineState
 
 	// scratch to avoid per-access allocation
@@ -97,6 +98,7 @@ func New(ncpu, lineSize int) *Directory {
 	return &Directory{
 		ncpu:         ncpu,
 		lineSize:     uint64(lineSize),
+		lineMask:     uint64(lineSize - 1),
 		lines:        make(map[uint64]*lineState),
 		invalScratch: make([]int, 0, ncpu),
 	}
@@ -147,7 +149,7 @@ func (d *Directory) classifyMiss(s *lineState, cpu int, word int) Class {
 
 // wordIndex clamps the accessed word within the line.
 func (d *Directory) wordIndex(addr uint64) int {
-	return int((addr % d.lineSize) / wordSize)
+	return int((addr & d.lineMask) / wordSize) // wordSize is a constant power of two
 }
 
 // Access performs the protocol action for cpu touching addr. present

@@ -20,6 +20,29 @@ type ExpOptions struct {
 	Scale int
 	// Quick restricts CPU counts and workloads for fast runs.
 	Quick bool
+	// Runner, when set, executes simulations through a memoizing
+	// parallel scheduler: each experiment warms its full spec set on the
+	// worker pool, then renders serially from the memo cache, so output
+	// is byte-identical to a serial run. Nil runs everything inline.
+	Runner *Scheduler
+}
+
+// run executes one spec, through the scheduler when one is configured.
+func (o ExpOptions) run(s Spec) (*sim.Result, error) {
+	if o.Runner != nil {
+		return o.Runner.Run(s)
+	}
+	return Run(s)
+}
+
+// warm pre-executes specs on the scheduler's pool so the render loop
+// that follows hits only memoized results. Errors are deliberately not
+// surfaced here: they reappear from run at the same deterministic point
+// a serial execution would fail. A no-op without a scheduler.
+func (o ExpOptions) warm(specs []Spec) {
+	if o.Runner != nil {
+		o.Runner.Warm(specs)
+	}
 }
 
 func (o ExpOptions) scale() int {
@@ -106,32 +129,39 @@ func Fig2(o ExpOptions) (string, error) {
 	b.WriteString("Figure 2 — High-level characterization (1MB-class direct-mapped cache, page coloring)\n")
 	b.WriteString("Bars: E=execution  M=memory stall  O=overhead; constant combined height = linear speedup\n\n")
 
-	breakdown := textplot.NewTable("workload", "cpus", "combined(Mcyc)", "exec%", "mem%", "kernel%", "imbal%", "seq%", "suppr%", "sync%", "MCPI", "bus%")
-	chart := textplot.NewBarChart(50)
+	var specs []Spec
 	for _, name := range o.workloadNames() {
 		for _, p := range o.cpuCounts() {
-			res, err := Run(Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring})
-			if err != nil {
-				return "", err
-			}
-			exec := res.Total(func(s *sim.CPUStats) uint64 { return s.ExecCycles })
-			mem := res.Total((*sim.CPUStats).MemStallCycles)
-			kernel := res.Total(func(s *sim.CPUStats) uint64 { return s.KernelCycles })
-			imbal := res.Total(func(s *sim.CPUStats) uint64 { return s.ImbalanceCycles })
-			seq := res.Total(func(s *sim.CPUStats) uint64 { return s.SequentialCycles })
-			sup := res.Total(func(s *sim.CPUStats) uint64 { return s.SuppressedCycles })
-			sync := res.Total(func(s *sim.CPUStats) uint64 { return s.SyncCycles })
-			comb := float64(res.CombinedCycles())
-			pct := func(x uint64) string { return fmt.Sprintf("%.1f", 100*float64(x)/comb) }
-			breakdown.Row(name, p, fmt.Sprintf("%.1f", comb/1e6),
-				pct(exec), pct(mem), pct(kernel), pct(imbal), pct(seq), pct(sup), pct(sync),
-				res.MCPI(), fmt.Sprintf("%.0f", 100*res.BusUtilization()))
-			chart.Add(fmt.Sprintf("%s p=%d", name, p), fmt.Sprintf("%.0f Mcyc", comb/1e6),
-				textplot.Segment{Glyph: 'E', Value: float64(exec)},
-				textplot.Segment{Glyph: 'M', Value: float64(mem)},
-				textplot.Segment{Glyph: 'O', Value: float64(kernel + imbal + seq + sup + sync)},
-			)
+			specs = append(specs, Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring})
 		}
+	}
+	o.warm(specs)
+
+	breakdown := textplot.NewTable("workload", "cpus", "combined(Mcyc)", "exec%", "mem%", "kernel%", "imbal%", "seq%", "suppr%", "sync%", "MCPI", "bus%")
+	chart := textplot.NewBarChart(50)
+	for _, spec := range specs {
+		name, p := spec.Workload, spec.CPUs
+		res, err := o.run(spec)
+		if err != nil {
+			return "", err
+		}
+		exec := res.Total(func(s *sim.CPUStats) uint64 { return s.ExecCycles })
+		mem := res.Total((*sim.CPUStats).MemStallCycles)
+		kernel := res.Total(func(s *sim.CPUStats) uint64 { return s.KernelCycles })
+		imbal := res.Total(func(s *sim.CPUStats) uint64 { return s.ImbalanceCycles })
+		seq := res.Total(func(s *sim.CPUStats) uint64 { return s.SequentialCycles })
+		sup := res.Total(func(s *sim.CPUStats) uint64 { return s.SuppressedCycles })
+		sync := res.Total(func(s *sim.CPUStats) uint64 { return s.SyncCycles })
+		comb := float64(res.CombinedCycles())
+		pct := func(x uint64) string { return fmt.Sprintf("%.1f", 100*float64(x)/comb) }
+		breakdown.Row(name, p, fmt.Sprintf("%.1f", comb/1e6),
+			pct(exec), pct(mem), pct(kernel), pct(imbal), pct(seq), pct(sup), pct(sync),
+			res.MCPI(), fmt.Sprintf("%.0f", 100*res.BusUtilization()))
+		chart.Add(fmt.Sprintf("%s p=%d", name, p), fmt.Sprintf("%.0f Mcyc", comb/1e6),
+			textplot.Segment{Glyph: 'E', Value: float64(exec)},
+			textplot.Segment{Glyph: 'M', Value: float64(mem)},
+			textplot.Segment{Glyph: 'O', Value: float64(kernel + imbal + seq + sup + sync)},
+		)
 	}
 	b.WriteString(chart.String())
 	b.WriteString("\n")
@@ -273,27 +303,36 @@ func Fig6(o ExpOptions) (string, error) {
 	var b strings.Builder
 	b.WriteString("Figure 6 — Impact of CDPC (direct-mapped 1MB-class cache)\n")
 	b.WriteString("Left bar: page coloring; right bar: CDPC. E=exec M=mem O=overhead\n\n")
-	t := textplot.NewTable("workload", "cpus", "coloring(Mcyc)", "cdpc(Mcyc)", "speedup", "repl-stall-cut%", "conflict-cut%")
-	chart := textplot.NewBarChart(48)
+	var specs []Spec
 	for _, name := range fig6Workloads(o) {
 		for _, p := range o.cpuCounts() {
-			base, err := Run(Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring})
-			if err != nil {
-				return "", err
-			}
-			cdpc, err := Run(Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: CDPC})
-			if err != nil {
-				return "", err
-			}
-			addComparisonBars(chart, name, p, base, cdpc)
-			t.Row(name, p,
-				fmt.Sprintf("%.1f", float64(base.CombinedCycles())/1e6),
-				fmt.Sprintf("%.1f", float64(cdpc.CombinedCycles())/1e6),
-				fmt.Sprintf("%.2f", cdpc.Speedup(base)),
-				cutPct(base.Total((*sim.CPUStats).ReplacementStall), cdpc.Total((*sim.CPUStats).ReplacementStall)),
-				cutPct(base.Total(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
-					cdpc.Total(func(s *sim.CPUStats) uint64 { return s.ConflictMisses })))
+			specs = append(specs,
+				Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring},
+				Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: CDPC})
 		}
+	}
+	o.warm(specs)
+
+	t := textplot.NewTable("workload", "cpus", "coloring(Mcyc)", "cdpc(Mcyc)", "speedup", "repl-stall-cut%", "conflict-cut%")
+	chart := textplot.NewBarChart(48)
+	for i := 0; i < len(specs); i += 2 {
+		name, p := specs[i].Workload, specs[i].CPUs
+		base, err := o.run(specs[i])
+		if err != nil {
+			return "", err
+		}
+		cdpc, err := o.run(specs[i+1])
+		if err != nil {
+			return "", err
+		}
+		addComparisonBars(chart, name, p, base, cdpc)
+		t.Row(name, p,
+			fmt.Sprintf("%.1f", float64(base.CombinedCycles())/1e6),
+			fmt.Sprintf("%.1f", float64(cdpc.CombinedCycles())/1e6),
+			fmt.Sprintf("%.2f", cdpc.Speedup(base)),
+			cutPct(base.Total((*sim.CPUStats).ReplacementStall), cdpc.Total((*sim.CPUStats).ReplacementStall)),
+			cutPct(base.Total(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
+				cdpc.Total(func(s *sim.CPUStats) uint64 { return s.ConflictMisses })))
 	}
 	b.WriteString(chart.String())
 	b.WriteString("\n")
@@ -343,25 +382,43 @@ func Fig7(o ExpOptions) (string, error) {
 		{"1MB-class 2-way", arch.CacheGeometry{Size: base.L2.Size, LineSize: base.L2.LineSize, Assoc: 2}},
 		{"4MB-class DM", arch.CacheGeometry{Size: base.L2.Size * 4, LineSize: base.L2.LineSize, Assoc: 1}},
 	}
-	t := textplot.NewTable("config", "workload", "cpus", "coloring(Mcyc)", "cdpc(Mcyc)", "speedup")
-	for _, cc := range configs {
-		geom := cc.geom
+	type cell struct {
+		label      string
+		base, cdpc Spec
+	}
+	var cells []cell
+	for i := range configs {
+		geom := &configs[i].geom
 		for _, name := range fig7Workloads(o) {
 			for _, p := range o.cpuCounts() {
-				baseRes, err := Run(Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring, L2Override: &geom})
-				if err != nil {
-					return "", err
-				}
-				cdpcRes, err := Run(Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: CDPC, L2Override: &geom})
-				if err != nil {
-					return "", err
-				}
-				t.Row(cc.label, name, p,
-					fmt.Sprintf("%.1f", float64(baseRes.CombinedCycles())/1e6),
-					fmt.Sprintf("%.1f", float64(cdpcRes.CombinedCycles())/1e6),
-					fmt.Sprintf("%.2f", cdpcRes.Speedup(baseRes)))
+				cells = append(cells, cell{
+					label: configs[i].label,
+					base:  Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring, L2Override: geom},
+					cdpc:  Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: CDPC, L2Override: geom},
+				})
 			}
 		}
+	}
+	specs := make([]Spec, 0, 2*len(cells))
+	for _, c := range cells {
+		specs = append(specs, c.base, c.cdpc)
+	}
+	o.warm(specs)
+
+	t := textplot.NewTable("config", "workload", "cpus", "coloring(Mcyc)", "cdpc(Mcyc)", "speedup")
+	for _, c := range cells {
+		baseRes, err := o.run(c.base)
+		if err != nil {
+			return "", err
+		}
+		cdpcRes, err := o.run(c.cdpc)
+		if err != nil {
+			return "", err
+		}
+		t.Row(c.label, c.base.Workload, c.base.CPUs,
+			fmt.Sprintf("%.1f", float64(baseRes.CombinedCycles())/1e6),
+			fmt.Sprintf("%.1f", float64(cdpcRes.CombinedCycles())/1e6),
+			fmt.Sprintf("%.2f", cdpcRes.Speedup(baseRes)))
 	}
 	b.WriteString(t.String())
 	return b.String(), nil
@@ -372,29 +429,33 @@ func Fig7(o ExpOptions) (string, error) {
 func Fig8(o ExpOptions) (string, error) {
 	var b strings.Builder
 	b.WriteString("Figure 8 — CDPC combined with prefetching (base machine)\n\n")
-	t := textplot.NewTable("workload", "cpus", "coloring", "cdpc", "pf-only", "cdpc+pf", "speedup(cdpc)", "speedup(pf)", "speedup(both)")
+	var specs []Spec
 	for _, name := range fig7Workloads(o) {
 		for _, p := range o.cpuCounts() {
-			variants := []Spec{
-				{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring},
-				{Workload: name, Scale: o.scale(), CPUs: p, Variant: CDPC},
-				{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring, Prefetch: true},
-				{Workload: name, Scale: o.scale(), CPUs: p, Variant: CDPC, Prefetch: true},
-			}
-			rs := make([]*sim.Result, len(variants))
-			for i, s := range variants {
-				r, err := Run(s)
-				if err != nil {
-					return "", err
-				}
-				rs[i] = r
-			}
-			mc := func(r *sim.Result) string { return fmt.Sprintf("%.1f", float64(r.CombinedCycles())/1e6) }
-			t.Row(name, p, mc(rs[0]), mc(rs[1]), mc(rs[2]), mc(rs[3]),
-				fmt.Sprintf("%.2f", rs[1].Speedup(rs[0])),
-				fmt.Sprintf("%.2f", rs[2].Speedup(rs[0])),
-				fmt.Sprintf("%.2f", rs[3].Speedup(rs[0])))
+			specs = append(specs,
+				Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring},
+				Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: CDPC},
+				Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: PageColoring, Prefetch: true},
+				Spec{Workload: name, Scale: o.scale(), CPUs: p, Variant: CDPC, Prefetch: true})
 		}
+	}
+	o.warm(specs)
+
+	t := textplot.NewTable("workload", "cpus", "coloring", "cdpc", "pf-only", "cdpc+pf", "speedup(cdpc)", "speedup(pf)", "speedup(both)")
+	for i := 0; i < len(specs); i += 4 {
+		rs := make([]*sim.Result, 4)
+		for j := range rs {
+			r, err := o.run(specs[i+j])
+			if err != nil {
+				return "", err
+			}
+			rs[j] = r
+		}
+		mc := func(r *sim.Result) string { return fmt.Sprintf("%.1f", float64(r.CombinedCycles())/1e6) }
+		t.Row(specs[i].Workload, specs[i].CPUs, mc(rs[0]), mc(rs[1]), mc(rs[2]), mc(rs[3]),
+			fmt.Sprintf("%.2f", rs[1].Speedup(rs[0])),
+			fmt.Sprintf("%.2f", rs[2].Speedup(rs[0])),
+			fmt.Sprintf("%.2f", rs[3].Speedup(rs[0])))
 	}
 	b.WriteString(t.String())
 	return b.String(), nil
@@ -412,12 +473,22 @@ func Fig9(o ExpOptions) (string, error) {
 	var b strings.Builder
 	b.WriteString("Figure 9 — AlphaServer-class validation (4MB-class direct-mapped cache)\n")
 	b.WriteString("Both coloring and CDPC are emulated by touch ordering over bin hopping, as on Digital UNIX.\n\n")
+	var specs []Spec
+	for _, name := range o.workloadNames() {
+		for _, p := range o.alphaCPUCounts() {
+			for _, v := range alphaVariants() {
+				specs = append(specs, Spec{Workload: name, Scale: o.scale(), CPUs: p, Machine: AlphaMachine, Variant: v})
+			}
+		}
+	}
+	o.warm(specs)
+
 	t := textplot.NewTable("workload", "cpus", "bin-hop(Mcyc)", "coloring(Mcyc)", "cdpc(Mcyc)", "unaligned(Mcyc)", "cdpc/binhop", "cdpc/coloring")
 	for _, name := range o.workloadNames() {
 		for _, p := range o.alphaCPUCounts() {
 			rs := map[Variant]*sim.Result{}
 			for _, v := range alphaVariants() {
-				r, err := Run(Spec{Workload: name, Scale: o.scale(), CPUs: p, Machine: AlphaMachine, Variant: v})
+				r, err := o.run(Spec{Workload: name, Scale: o.scale(), CPUs: p, Machine: AlphaMachine, Variant: v})
 				if err != nil {
 					return "", err
 				}
@@ -475,19 +546,29 @@ func Table2(o ExpOptions) (string, error) {
 	variants := []Variant{BinHopping, ColoringTouch, CDPCTouch}
 	names := o.workloadNames()
 
+	var specs []Spec
+	for _, name := range names {
+		for _, v := range variants {
+			specs = append(specs,
+				Spec{Workload: name, Scale: o.scale(), CPUs: 1, Machine: AlphaMachine, Variant: v},
+				Spec{Workload: name, Scale: o.scale(), CPUs: cpus, Machine: AlphaMachine, Variant: v})
+		}
+	}
+	o.warm(specs)
+
 	uniBest := map[string]*sim.Result{}
 	results := map[string]map[Variant]*sim.Result{}
 	for _, name := range names {
 		results[name] = map[Variant]*sim.Result{}
 		for _, v := range variants {
-			uni, err := Run(Spec{Workload: name, Scale: o.scale(), CPUs: 1, Machine: AlphaMachine, Variant: v})
+			uni, err := o.run(Spec{Workload: name, Scale: o.scale(), CPUs: 1, Machine: AlphaMachine, Variant: v})
 			if err != nil {
 				return "", err
 			}
 			if b, ok := uniBest[name]; !ok || uni.WallCycles < b.WallCycles {
 				uniBest[name] = uni
 			}
-			r, err := Run(Spec{Workload: name, Scale: o.scale(), CPUs: cpus, Machine: AlphaMachine, Variant: v})
+			r, err := o.run(Spec{Workload: name, Scale: o.scale(), CPUs: cpus, Machine: AlphaMachine, Variant: v})
 			if err != nil {
 				return "", err
 			}

@@ -29,6 +29,17 @@ func ExtDynamic(o ExpOptions) (string, error) {
 		cpus = []int{8}
 	}
 
+	var specs []Spec
+	for _, name := range names {
+		for _, p := range cpus {
+			specs = append(specs,
+				Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: PageColoring},
+				Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: DynamicRecoloring},
+				Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: CDPC})
+		}
+	}
+	o.warm(specs)
+
 	type row struct {
 		workload                string
 		p                       int
@@ -38,15 +49,15 @@ func ExtDynamic(o ExpOptions) (string, error) {
 	var rows []row
 	for _, name := range names {
 		for _, p := range cpus {
-			base, err := Run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: PageColoring})
+			base, err := o.run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: PageColoring})
 			if err != nil {
 				return "", err
 			}
-			dyn, err := Run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: DynamicRecoloring})
+			dyn, err := o.run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: DynamicRecoloring})
 			if err != nil {
 				return "", err
 			}
-			cdpc, err := Run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: CDPC})
+			cdpc, err := o.run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: CDPC})
 			if err != nil {
 				return "", err
 			}
@@ -97,6 +108,16 @@ func ExtPadding(o ExpOptions) (string, error) {
 		cpus = cpus[:1]
 	}
 
+	var specs []Spec
+	for _, name := range names {
+		for _, p := range cpus {
+			for _, v := range []Variant{PageColoring, PaddedColoring, BinHopping, PaddedBinHopping, CDPC} {
+				specs = append(specs, Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: v})
+			}
+		}
+	}
+	o.warm(specs)
+
 	var b strings.Builder
 	b.WriteString("Extension — the §2.2 padding baseline vs the OS page mapping policy\n\n")
 	t := fmt.Sprintf("%-8s %-4s %12s %12s %12s %12s %12s %10s %10s\n",
@@ -106,7 +127,7 @@ func ExtPadding(o ExpOptions) (string, error) {
 		for _, p := range cpus {
 			results := map[Variant]*sim.Result{}
 			for _, v := range []Variant{PageColoring, PaddedColoring, BinHopping, PaddedBinHopping, CDPC} {
-				r, err := Run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: v})
+				r, err := o.run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: v})
 				if err != nil {
 					return "", err
 				}

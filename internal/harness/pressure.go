@@ -27,7 +27,9 @@ func ExtPressure(o ExpOptions) (string, error) {
 	fmt.Fprintf(&b, "%s on %d CPUs; N of the machine's colors have empty frame pools.\n\n", name, cpus)
 	fmt.Fprintf(&b, "%-18s %12s %10s %12s\n", "exhausted colors", "wall(Mcyc)", "honored%", "vs coloring")
 
-	baseline, err := Run(Spec{Workload: name, Scale: o.Scale, CPUs: cpus, Variant: PageColoring})
+	// Only the baseline is a standard Spec; the pressured runs below need
+	// raw simulator access (ExhaustColors) and stay serial.
+	baseline, err := o.run(Spec{Workload: name, Scale: o.Scale, CPUs: cpus, Variant: PageColoring})
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,238 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// Scheduler runs Specs on a bounded worker pool and memoizes every
+// result, so that experiments sharing a configuration (the page-coloring
+// baselines of Figures 2, 6 and 8, the per-variant runs of Table 2) pay
+// for each simulation exactly once per process. Run is pure — a Spec
+// fully determines its Result — which is what makes both the
+// parallelism and the memoization sound.
+//
+// The intended shape is a run/render split: an experiment first Warms
+// the full set of Specs it will need (executed concurrently, completion
+// order irrelevant), then renders its output serially through Run, which
+// returns memoized results in the experiment's own deterministic order.
+// Output is therefore byte-identical to a fully serial execution.
+type Scheduler struct {
+	workers int
+
+	mu    sync.Mutex
+	memo  map[specKey]*memoEntry
+	progs map[progKey]*progEntry
+}
+
+// memoEntry is one memoized (possibly in-flight) simulation. done is
+// closed when res/err are valid; duplicate submissions of the same Spec
+// block on it instead of re-running.
+type memoEntry struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// progEntry is one memoized compiled program. Programs are immutable
+// after the compiler pipeline (Layout and InsertPrefetches assign bases
+// and prefetch streams once; the simulator only reads them), so a single
+// *ir.Program is safely shared by concurrent simulations.
+type progEntry struct {
+	done chan struct{}
+	prog *ir.Program
+	sum  *compiler.Summary
+	err  error
+}
+
+// specKey is the canonical, comparable form of a Spec: defaults applied
+// and pointer overrides flattened to value + presence flag.
+type specKey struct {
+	Workload              string
+	Scale                 int
+	CPUs                  int
+	Machine               MachineKind
+	Variant               Variant
+	Prefetch              bool
+	HasL2                 bool
+	L2                    arch.CacheGeometry
+	HasConfig             bool
+	Config                arch.Config
+	CDPCOptions           core.Options
+	DisableClassification bool
+}
+
+func keyOf(s Spec) specKey {
+	s = s.withDefaults()
+	k := specKey{
+		Workload:              s.Workload,
+		Scale:                 s.Scale,
+		CPUs:                  s.CPUs,
+		Machine:               s.Machine,
+		Variant:               s.Variant,
+		Prefetch:              s.Prefetch,
+		CDPCOptions:           s.CDPCOptions,
+		DisableClassification: s.DisableClassification,
+	}
+	if s.L2Override != nil {
+		k.HasL2, k.L2 = true, *s.L2Override
+	}
+	if s.ConfigOverride != nil {
+		k.HasConfig, k.Config = true, *s.ConfigOverride
+	}
+	return k
+}
+
+// progKey identifies a compiled program: the workload and scale that
+// build it plus everything the compiler pipeline depends on. Using the
+// resolved LayoutOptions value captures every layout-relevant machine
+// parameter (line size, L1 size, page size, external pad span) without
+// enumerating them here.
+type progKey struct {
+	Workload string
+	Scale    int
+	Layout   compiler.LayoutOptions
+	Prefetch bool
+}
+
+// NewScheduler creates a scheduler running at most workers simulations
+// concurrently; workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		workers: workers,
+		memo:    make(map[specKey]*memoEntry),
+		progs:   make(map[progKey]*progEntry),
+	}
+}
+
+// Workers reports the pool size.
+func (sc *Scheduler) Workers() int { return sc.workers }
+
+// Run returns the result for spec, computing it on the calling
+// goroutine if no memoized or in-flight run exists. Concurrent callers
+// with the same Spec coalesce onto one simulation.
+func (sc *Scheduler) Run(spec Spec) (*sim.Result, error) {
+	key := keyOf(spec)
+	sc.mu.Lock()
+	if e, ok := sc.memo[key]; ok {
+		sc.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	sc.memo[key] = e
+	sc.mu.Unlock()
+
+	e.res, e.err = sc.runSpec(spec)
+	close(e.done)
+	return e.res, e.err
+}
+
+// Warm executes the given specs on the worker pool and blocks until all
+// have completed. Errors are not returned here: they are memoized and
+// resurface from Run at the same (deterministic) point a serial
+// execution would hit them, keeping failure behaviour identical.
+func (sc *Scheduler) Warm(specs []Spec) {
+	if len(specs) == 0 {
+		return
+	}
+	n := sc.workers
+	if n > len(specs) {
+		n = len(specs)
+	}
+	if n <= 1 {
+		// Degenerate pool: stay on this goroutine so single-worker runs
+		// have exactly the serial execution profile.
+		for _, s := range specs {
+			sc.Run(s) //nolint:errcheck // resurfaces at render time
+		}
+		return
+	}
+	ch := make(chan Spec)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				sc.Run(s) //nolint:errcheck // resurfaces at render time
+			}
+		}()
+	}
+	for _, s := range specs {
+		ch <- s
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Runs reports how many distinct simulations the scheduler has executed
+// (or has in flight) — i.e. the memo cache size.
+func (sc *Scheduler) Runs() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.memo)
+}
+
+// runSpec is Run's slow path: prepare (through the program cache) and
+// simulate. It mirrors the package-level Run exactly.
+func (sc *Scheduler) runSpec(spec Spec) (*sim.Result, error) {
+	spec = spec.withDefaults()
+	prog, sum, cfg, err := sc.prepare(spec)
+	if err != nil {
+		return nil, err
+	}
+	return runPrepared(prog, sum, cfg, spec)
+}
+
+// prepare resolves the spec's compiled program through the shared
+// program cache, so parallel runs of the same workload don't redo the
+// build + compiler pipeline. The layout key makes variants that need a
+// different memory layout (unaligned, externally padded) compile their
+// own copy.
+func (sc *Scheduler) prepare(s Spec) (*ir.Program, *compiler.Summary, arch.Config, error) {
+	cfg := s.Config()
+	key := progKey{
+		Workload: s.Workload,
+		Scale:    s.Scale,
+		Layout:   layoutFor(s.Variant, cfg),
+		Prefetch: s.Prefetch,
+	}
+	sc.mu.Lock()
+	if e, ok := sc.progs[key]; ok {
+		sc.mu.Unlock()
+		<-e.done
+		return e.prog, e.sum, cfg, e.err
+	}
+	e := &progEntry{done: make(chan struct{})}
+	sc.progs[key] = e
+	sc.mu.Unlock()
+
+	e.prog, e.sum, _, e.err = Prepare(s)
+	close(e.done)
+	return e.prog, e.sum, cfg, e.err
+}
+
+// layoutFor returns the layout options Prepare selects for a variant
+// under a machine config. Kept in lockstep with Prepare/RunProgram.
+func layoutFor(v Variant, cfg arch.Config) compiler.LayoutOptions {
+	layout := compiler.DefaultLayout(cfg.L2.LineSize, cfg.L1D.Size, cfg.PageSize)
+	switch v {
+	case BinHoppingUnaligned:
+		layout.Align = false
+		layout.Pad = false
+	case PaddedColoring, PaddedBinHopping:
+		layout.ExternalPad = true
+		layout.ExternalCacheSize = cfg.L2.Size
+	}
+	return layout
+}

@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// schedulerSpecs is a mixed workload set covering every program-cache
+// class (default layout, unaligned, externally padded, prefetch) plus
+// duplicate entries, so warming exercises both memo coalescing and the
+// shared compiled-program path.
+func schedulerSpecs() []Spec {
+	return []Spec{
+		{Workload: "tomcatv", CPUs: 1, Variant: PageColoring},
+		{Workload: "tomcatv", CPUs: 2, Variant: CDPC},
+		{Workload: "tomcatv", CPUs: 2, Variant: CDPC}, // duplicate: must coalesce
+		{Workload: "swim", CPUs: 2, Variant: BinHopping},
+		{Workload: "swim", CPUs: 2, Variant: BinHoppingUnaligned},
+		{Workload: "swim", CPUs: 2, Variant: PaddedColoring},
+		{Workload: "applu", CPUs: 1, Variant: CDPC, Prefetch: true},
+		{Workload: "applu", CPUs: 2, Machine: AlphaMachine, Variant: CDPCTouch},
+	}
+}
+
+// TestSchedulerMatchesSerial is the determinism regression test: every
+// spec run through the parallel scheduler (twice) must produce a Result
+// identical field-for-field to a fresh serial Run.
+func TestSchedulerMatchesSerial(t *testing.T) {
+	specs := schedulerSpecs()
+	sched := NewScheduler(4)
+	sched.Warm(specs)
+
+	for _, s := range specs {
+		serial, err := Run(s)
+		if err != nil {
+			t.Fatalf("serial Run(%+v): %v", s, err)
+		}
+		pooled, err := sched.Run(s)
+		if err != nil {
+			t.Fatalf("scheduler Run(%+v): %v", s, err)
+		}
+		if !reflect.DeepEqual(serial, pooled) {
+			t.Errorf("scheduler result diverges from serial for %s/%s p=%d:\nserial: %+v\npooled: %+v",
+				s.Workload, s.Variant, s.CPUs, serial, pooled)
+		}
+		// And a second pass through the scheduler must return the very
+		// same memoized result.
+		again, err := sched.Run(s)
+		if err != nil {
+			t.Fatalf("second scheduler Run(%+v): %v", s, err)
+		}
+		if again != pooled {
+			t.Errorf("memo miss on repeat Run for %s/%s p=%d", s.Workload, s.Variant, s.CPUs)
+		}
+	}
+}
+
+// TestSchedulerMemoizes checks that duplicate specs coalesce onto one
+// simulation and that the memo is keyed on spec values, not pointers.
+func TestSchedulerMemoizes(t *testing.T) {
+	sched := NewScheduler(2)
+	specs := schedulerSpecs()
+	sched.Warm(specs)
+	distinct := map[specKey]bool{}
+	for _, s := range specs {
+		distinct[keyOf(s)] = true
+	}
+	if got := sched.Runs(); got != len(distinct) {
+		t.Errorf("scheduler ran %d simulations, want %d distinct", got, len(distinct))
+	}
+
+	// An L2 override spec built with a different *pointer* but the same
+	// geometry must hit the memo.
+	g1 := Spec{Workload: "tomcatv", CPUs: 1, Variant: PageColoring}.Config().L2
+	g2 := g1
+	r1, err := sched.Run(Spec{Workload: "tomcatv", CPUs: 1, Variant: PageColoring, L2Override: &g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sched.Run(Spec{Workload: "tomcatv", CPUs: 1, Variant: PageColoring, L2Override: &g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("equal-valued L2Override specs did not share a memo entry")
+	}
+}
+
+// TestSchedulerSharedProgramDeterminism pins the program-cache
+// guarantee: variants that share a compiled program (coloring and CDPC
+// of the same workload) must behave exactly as if each had compiled its
+// own, and repeated warms must not change anything.
+func TestSchedulerSharedProgramDeterminism(t *testing.T) {
+	specs := []Spec{
+		{Workload: "hydro2d", CPUs: 2, Variant: PageColoring},
+		{Workload: "hydro2d", CPUs: 2, Variant: CDPC},
+		{Workload: "hydro2d", CPUs: 2, Variant: DynamicRecoloring},
+	}
+	sched := NewScheduler(len(specs))
+	sched.Warm(specs)
+	sched.Warm(specs) // idempotent
+	for _, s := range specs {
+		serial, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := sched.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, pooled) {
+			t.Errorf("shared-program run diverges for %s", s.Variant)
+		}
+	}
+}
+
+// TestExperimentOutputIdentical renders a full experiment serially and
+// through the scheduler and requires byte-identical text.
+func TestExperimentOutputIdentical(t *testing.T) {
+	for _, id := range []string{"fig6", "table2"} {
+		e, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := e.Run(ExpOptions{Quick: true})
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		pooled, err := e.Run(ExpOptions{Quick: true, Runner: NewScheduler(4)})
+		if err != nil {
+			t.Fatalf("%s pooled: %v", id, err)
+		}
+		if serial != pooled {
+			t.Errorf("%s output differs between serial and scheduled runs:\n--- serial ---\n%s\n--- pooled ---\n%s",
+				id, serial, pooled)
+		}
+	}
+}
+
+// TestSchedulerErrorDeterminism: a bad spec must fail identically
+// through the scheduler, and the error must be memoized.
+func TestSchedulerErrorDeterminism(t *testing.T) {
+	bad := Spec{Workload: "no-such-workload", CPUs: 1}
+	_, serialErr := Run(bad)
+	if serialErr == nil {
+		t.Fatal("expected serial error")
+	}
+	sched := NewScheduler(2)
+	sched.Warm([]Spec{bad}) // must not panic or surface anything
+	_, err1 := sched.Run(bad)
+	_, err2 := sched.Run(bad)
+	if err1 == nil || err2 == nil {
+		t.Fatal("expected scheduler error")
+	}
+	if err1.Error() != serialErr.Error() || err1 != err2 {
+		t.Errorf("error not memoized deterministically: serial=%v pooled=%v, %v", serialErr, err1, err2)
+	}
+	if !strings.Contains(err1.Error(), "no-such-workload") {
+		t.Errorf("unexpected error: %v", err1)
+	}
+}

@@ -27,21 +27,31 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 	c.stats.ExecCycles += work
 	c.clock += work
 
-	// Address translation: TLB, then the page table (possibly faulting).
-	vpn := r.VAddr / uint64(m.cfg.PageSize)
+	// Address translation: TLB, then the one-entry translation cache,
+	// then the page table (possibly faulting). The cached (VPN → page
+	// base) entry short-circuits the page-table map lookup that would
+	// otherwise be paid on every reference; recoloring invalidates it.
+	vpn := r.VAddr >> m.pageShift
 	if !c.tlb.Lookup(vpn) {
 		c.stats.TLBMisses++
 		c.stats.KernelCycles += uint64(m.cfg.TLBMissCycles)
 		c.clock += uint64(m.cfg.TLBMissCycles)
 	}
-	paddr, faulted, err := m.as.Translate(r.VAddr, c.id)
-	if err != nil {
-		return fmt.Errorf("sim: cpu %d: %w", c.id, err)
-	}
-	if faulted {
-		c.stats.PageFaults++
-		c.stats.KernelCycles += uint64(m.cfg.PageFaultCycles)
-		c.clock += uint64(m.cfg.PageFaultCycles)
+	var paddr uint64
+	if c.tcData.valid && c.tcData.vpn == vpn {
+		paddr = c.tcData.pbase | (r.VAddr & m.pageMask)
+	} else {
+		pbase, faulted, err := m.as.TranslateVPN(vpn, c.id)
+		if err != nil {
+			return fmt.Errorf("sim: cpu %d: %w", c.id, err)
+		}
+		if faulted {
+			c.stats.PageFaults++
+			c.stats.KernelCycles += uint64(m.cfg.PageFaultCycles)
+			c.clock += uint64(m.cfg.PageFaultCycles)
+		}
+		c.tcData = transCache{vpn: vpn, pbase: pbase, valid: true}
+		paddr = pbase | (r.VAddr & m.pageMask)
 	}
 
 	write := r.Kind == trace.Write
@@ -114,14 +124,22 @@ func (m *Machine) stepInst(c *cpuState, r *trace.Ref) error {
 	if c.l1i.Access(r.VAddr, false).Hit {
 		return nil
 	}
-	paddr, faulted, err := m.as.Translate(r.VAddr, c.id)
-	if err != nil {
-		return fmt.Errorf("sim: cpu %d (inst): %w", c.id, err)
-	}
-	if faulted {
-		c.stats.PageFaults++
-		c.stats.KernelCycles += uint64(m.cfg.PageFaultCycles)
-		c.clock += uint64(m.cfg.PageFaultCycles)
+	vpn := r.VAddr >> m.pageShift
+	var paddr uint64
+	if c.tcInst.valid && c.tcInst.vpn == vpn {
+		paddr = c.tcInst.pbase | (r.VAddr & m.pageMask)
+	} else {
+		pbase, faulted, err := m.as.TranslateVPN(vpn, c.id)
+		if err != nil {
+			return fmt.Errorf("sim: cpu %d (inst): %w", c.id, err)
+		}
+		if faulted {
+			c.stats.PageFaults++
+			c.stats.KernelCycles += uint64(m.cfg.PageFaultCycles)
+			c.clock += uint64(m.cfg.PageFaultCycles)
+		}
+		c.tcInst = transCache{vpn: vpn, pbase: pbase, valid: true}
+		paddr = pbase | (r.VAddr & m.pageMask)
 	}
 	m.dir.Access(c.id, paddr, false)
 	if !m.opts.DisableClassification {
@@ -151,15 +169,22 @@ func (m *Machine) stepPrefetch(c *cpuState, r *trace.Ref) error {
 	c.stats.ExecCycles++
 	c.clock++
 
-	vpn := r.VAddr / uint64(m.cfg.PageSize)
+	vpn := r.VAddr >> m.pageShift
 	if !c.tlb.Probe(vpn) {
 		c.stats.PrefetchesDropped++
 		return nil
 	}
-	paddr, ok := m.as.TranslateNoFault(r.VAddr)
-	if !ok {
-		c.stats.PrefetchesDropped++
-		return nil
+	var paddr uint64
+	if c.tcData.valid && c.tcData.vpn == vpn {
+		paddr = c.tcData.pbase | (r.VAddr & m.pageMask)
+	} else {
+		pa, ok := m.as.TranslateNoFault(r.VAddr)
+		if !ok {
+			c.stats.PrefetchesDropped++
+			return nil
+		}
+		c.tcData = transCache{vpn: vpn, pbase: pa &^ m.pageMask, valid: true}
+		paddr = pa
 	}
 	la := m.cfg.L2.LineAddr(paddr)
 	if _, inflight := c.pending[la]; inflight || c.l2.Probe(paddr) {

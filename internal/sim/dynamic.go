@@ -79,6 +79,14 @@ func (m *Machine) applyRecoloring(c *cpuState, ev *RecolorEvent) {
 
 	for _, o := range m.cpus {
 		o.tlb.Invalidate(ev.VPN)
+		// The page moved to a new frame: drop any one-entry translation
+		// cache holding the stale mapping alongside the TLB entry.
+		if o.tcData.vpn == ev.VPN {
+			o.tcData.valid = false
+		}
+		if o.tcInst.vpn == ev.VPN {
+			o.tcInst.valid = false
+		}
 		if o != c {
 			o.stats.KernelCycles += shootdownCycles
 			o.clock += shootdownCycles

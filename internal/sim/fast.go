@@ -85,7 +85,7 @@ func FastRun(prog *ir.Program, opts Options) (*FastResult, error) {
 	step := func(cpu int, vaddr uint64, write bool) error {
 		res.Refs++
 		c := &cpus[cpu]
-		if !c.tlb.Lookup(vaddr / uint64(cfg.PageSize)) {
+		if !c.tlb.Lookup(vaddr >> m.pageShift) {
 			res.TLBMisses++
 		}
 		paddr, faulted, err := as.Translate(vaddr, cpu)

@@ -80,6 +80,11 @@ type Machine struct {
 	alloc *memory.Allocator
 	cpus  []*cpuState
 
+	// pageShift/pageMask are the division-free page-number split;
+	// arch.Validate guarantees the page size is a power of two.
+	pageShift uint
+	pageMask  uint64
+
 	// recolorer is non-nil when dynamic recoloring is enabled.
 	recolorer *recolorAdapter
 
@@ -92,6 +97,20 @@ type Machine struct {
 	// regions counts parallel regions executed, seeding the per-region
 	// dispatch-order variation.
 	regions uint64
+
+	// runners is the parallel event loop's reusable cursor buffer.
+	runners []runner
+}
+
+// transCache is a one-entry VPN→physical-page-base cache. On a TLB hit
+// the translation cannot have changed since the last reference to the
+// page (recoloring shoots both down together), so the full page-table
+// map lookup is skipped — the dominant cost of the per-reference hot
+// path once the caches warm up.
+type transCache struct {
+	vpn   uint64
+	pbase uint64
+	valid bool
 }
 
 // cpuState is one processor's private state.
@@ -104,6 +123,12 @@ type cpuState struct {
 	l2     *cache.Cache
 	tlb    *tlb.TLB
 	shadow *cache.Shadow
+
+	// tcData/tcInst are one-entry translation caches for the data and
+	// instruction streams (separate so code fetches do not thrash the
+	// data entry). Invalidated on page recoloring.
+	tcData transCache
+	tcInst transCache
 
 	// Prefetch engine: completion times of in-flight prefetches and the
 	// arrival time of each prefetched line not yet demanded.
@@ -130,12 +155,14 @@ func New(opts Options) (*Machine, error) {
 		policy = vm.PageColoring{Colors: cfg.Colors()}
 	}
 	m := &Machine{
-		cfg:   cfg,
-		as:    vm.NewAddressSpace(cfg.PageSize, alloc, policy),
-		bus:   bus.New(cfg.BusBytesPerCycle, cfg.BusOverhead),
-		dir:   coherence.New(cfg.NumCPUs, cfg.L2.LineSize),
-		alloc: alloc,
-		opts:  opts,
+		cfg:       cfg,
+		as:        vm.NewAddressSpace(cfg.PageSize, alloc, policy),
+		bus:       bus.New(cfg.BusBytesPerCycle, cfg.BusOverhead),
+		dir:       coherence.New(cfg.NumCPUs, cfg.L2.LineSize),
+		alloc:     alloc,
+		opts:      opts,
+		pageShift: arch.Log2(cfg.PageSize),
+		pageMask:  uint64(cfg.PageSize - 1),
 	}
 	if opts.Recolor != nil {
 		m.recolorer = newRecolorAdapter(m.as, cfg.NumCPUs, *opts.Recolor, cfg.PageSize)
@@ -346,17 +373,23 @@ func (m *Machine) runStream(c *cpuState, s trace.Stream) error {
 	return nil
 }
 
+// runner is one CPU's cursor in the parallel event loop; the trace.Ref
+// inside is reused for every reference so the loop allocates nothing.
+type runner struct {
+	c    *cpuState
+	s    trace.Stream
+	r    trace.Ref
+	done bool
+}
+
 // runParallel interleaves the per-CPU streams in global time order: the
 // CPU with the smallest clock processes its next reference. This is what
 // makes bus contention and coherence interactions honest.
 func (m *Machine) runParallel(streams []trace.Stream) error {
-	type runner struct {
-		c    *cpuState
-		s    trace.Stream
-		r    trace.Ref
-		done bool
+	if cap(m.runners) < len(streams) {
+		m.runners = make([]runner, len(streams))
 	}
-	runners := make([]runner, len(streams))
+	runners := m.runners[:len(streams)]
 	active := 0
 	for i := range streams {
 		runners[i] = runner{c: m.cpus[i], s: streams[i]}

@@ -4,17 +4,28 @@
 // prefetches to unmapped pages are dropped rather than faulting (§6.2).
 package tlb
 
-import "container/list"
-
 // TLB is a fully-associative, LRU translation buffer keyed by virtual
-// page number.
+// page number. The LRU order lives in a fixed array-backed doubly linked
+// list so that the simulator's per-reference lookup path allocates
+// nothing: entries are preallocated slots recycled through a free list,
+// exactly preserving true-LRU replacement order.
 type TLB struct {
 	entries int
-	index   map[uint64]*list.Element
-	order   *list.List // front = MRU
+	index   map[uint64]int // vpn -> slot
+	slots   []slot
+	head    int // MRU slot, -1 when empty
+	tail    int // LRU slot, -1 when empty
+	free    int // first free slot, -1 when full
+	used    int
 
 	Lookups uint64
 	Misses  uint64
+}
+
+// slot is one translation in the intrusive LRU list.
+type slot struct {
+	vpn        uint64
+	prev, next int // list neighbours (-1 = none); next chains the free list
 }
 
 // New creates a TLB with the given number of entries.
@@ -22,10 +33,49 @@ func New(entries int) *TLB {
 	if entries <= 0 {
 		panic("tlb: entries must be positive")
 	}
-	return &TLB{
+	t := &TLB{
 		entries: entries,
-		index:   make(map[uint64]*list.Element, entries),
-		order:   list.New(),
+		index:   make(map[uint64]int, entries),
+		slots:   make([]slot, entries),
+	}
+	t.reset()
+	return t
+}
+
+// reset re-chains every slot onto the free list and empties the index.
+func (t *TLB) reset() {
+	for i := range t.slots {
+		t.slots[i] = slot{prev: -1, next: i + 1}
+	}
+	t.slots[len(t.slots)-1].next = -1
+	t.head, t.tail, t.free, t.used = -1, -1, 0, 0
+}
+
+// unlink removes slot i from the LRU list.
+func (t *TLB) unlink(i int) {
+	s := &t.slots[i]
+	if s.prev >= 0 {
+		t.slots[s.prev].next = s.next
+	} else {
+		t.head = s.next
+	}
+	if s.next >= 0 {
+		t.slots[s.next].prev = s.prev
+	} else {
+		t.tail = s.prev
+	}
+}
+
+// pushFront makes slot i the MRU entry.
+func (t *TLB) pushFront(i int) {
+	s := &t.slots[i]
+	s.prev, s.next = -1, t.head
+	if t.head >= 0 {
+		t.slots[t.head].prev = i
+	}
+	t.head = i
+	if t.tail < 0 {
+		t.tail = i
 	}
 }
 
@@ -34,17 +84,32 @@ func New(entries int) *TLB {
 // charged by the caller).
 func (t *TLB) Lookup(vpn uint64) bool {
 	t.Lookups++
-	if e, ok := t.index[vpn]; ok {
-		t.order.MoveToFront(e)
+	// MRU fast path: a hit on the front entry needs no reordering and no
+	// map probe — the common case for the simulator's page-local streams.
+	if t.head >= 0 && t.slots[t.head].vpn == vpn {
+		return true
+	}
+	if i, ok := t.index[vpn]; ok {
+		if t.head != i {
+			t.unlink(i)
+			t.pushFront(i)
+		}
 		return true
 	}
 	t.Misses++
-	if t.order.Len() >= t.entries {
-		lru := t.order.Back()
-		delete(t.index, lru.Value.(uint64))
-		t.order.Remove(lru)
+	var i int
+	if t.free >= 0 {
+		i = t.free
+		t.free = t.slots[i].next
+		t.used++
+	} else {
+		i = t.tail // evict LRU
+		delete(t.index, t.slots[i].vpn)
+		t.unlink(i)
 	}
-	t.index[vpn] = t.order.PushFront(vpn)
+	t.slots[i].vpn = vpn
+	t.pushFront(i)
+	t.index[vpn] = i
 	return false
 }
 
@@ -58,20 +123,23 @@ func (t *TLB) Probe(vpn uint64) bool {
 // Invalidate drops the translation for vpn if present (single-page
 // shootdown during a recoloring).
 func (t *TLB) Invalidate(vpn uint64) {
-	if e, ok := t.index[vpn]; ok {
+	if i, ok := t.index[vpn]; ok {
 		delete(t.index, vpn)
-		t.order.Remove(e)
+		t.unlink(i)
+		t.slots[i].next = t.free
+		t.free = i
+		t.used--
 	}
 }
 
 // Flush empties the TLB (context switch / recoloring).
 func (t *TLB) Flush() {
-	t.index = make(map[uint64]*list.Element, t.entries)
-	t.order.Init()
+	clear(t.index)
+	t.reset()
 }
 
 // Len returns the number of resident translations.
-func (t *TLB) Len() int { return t.order.Len() }
+func (t *TLB) Len() int { return t.used }
 
 // MissRate returns misses/lookups.
 func (t *TLB) MissRate() float64 {

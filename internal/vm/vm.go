@@ -63,9 +63,11 @@ func (b *BinHopping) PreferredColor(uint64, int) int {
 // table installed through the Advise call (the paper's single-system-call
 // interface, §5.3).
 type AddressSpace struct {
-	pageSize uint64
-	alloc    *memory.Allocator
-	policy   Policy
+	pageSize  uint64
+	pageShift uint   // log2(pageSize); page size is a validated power of two
+	pageMask  uint64 // pageSize - 1
+	alloc     *memory.Allocator
+	policy    Policy
 
 	pages  map[uint64]uint64 // vpn -> frame
 	frames map[uint64]uint64 // frame -> vpn (reverse map for cache invalidation)
@@ -83,14 +85,20 @@ func NewAddressSpace(pageSize int, alloc *memory.Allocator, policy Policy) *Addr
 	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
 		panic(fmt.Sprintf("vm: bad page size %d", pageSize))
 	}
+	shift := uint(0)
+	for 1<<shift < pageSize {
+		shift++
+	}
 	return &AddressSpace{
-		pageSize: uint64(pageSize),
-		alloc:    alloc,
-		policy:   policy,
-		pages:    make(map[uint64]uint64),
-		frames:   make(map[uint64]uint64),
-		hints:    make(map[uint64]int),
-		occ:      make([]int, alloc.NumColors()),
+		pageSize:  uint64(pageSize),
+		pageShift: shift,
+		pageMask:  uint64(pageSize - 1),
+		alloc:     alloc,
+		policy:    policy,
+		pages:     make(map[uint64]uint64),
+		frames:    make(map[uint64]uint64),
+		hints:     make(map[uint64]int),
+		occ:       make([]int, alloc.NumColors()),
 	}
 }
 
@@ -101,7 +109,7 @@ func (as *AddressSpace) PageSize() int { return int(as.pageSize) }
 func (as *AddressSpace) PolicyName() string { return as.policy.Name() }
 
 // VPN returns the virtual page number of vaddr.
-func (as *AddressSpace) VPN(vaddr uint64) uint64 { return vaddr / as.pageSize }
+func (as *AddressSpace) VPN(vaddr uint64) uint64 { return vaddr >> as.pageShift }
 
 // Advise installs preferred colors for a set of virtual pages. It mirrors
 // the paper's madvise extension: hints are suggestions consulted at fault
@@ -116,7 +124,7 @@ func (as *AddressSpace) Advise(hints map[uint64]int) {
 // (and allocating a frame) if the page is unmapped. faulted reports
 // whether a fault occurred, so the caller can charge kernel time.
 func (as *AddressSpace) Translate(vaddr uint64, cpu int) (paddr uint64, faulted bool, err error) {
-	vpn := vaddr / as.pageSize
+	vpn := vaddr >> as.pageShift
 	frame, ok := as.pages[vpn]
 	if !ok {
 		frame, err = as.fault(vpn, cpu)
@@ -125,7 +133,23 @@ func (as *AddressSpace) Translate(vaddr uint64, cpu int) (paddr uint64, faulted 
 		}
 		faulted = true
 	}
-	return frame*as.pageSize + vaddr%as.pageSize, faulted, nil
+	return frame<<as.pageShift + vaddr&as.pageMask, faulted, nil
+}
+
+// TranslateVPN returns the physical base address of vpn's frame, taking
+// a page fault if unmapped. The simulator's per-CPU translation caches
+// are built on this: one page-table lookup services every subsequent
+// reference to the page until the cached entry is invalidated.
+func (as *AddressSpace) TranslateVPN(vpn uint64, cpu int) (pbase uint64, faulted bool, err error) {
+	frame, ok := as.pages[vpn]
+	if !ok {
+		frame, err = as.fault(vpn, cpu)
+		if err != nil {
+			return 0, true, err
+		}
+		faulted = true
+	}
+	return frame << as.pageShift, faulted, nil
 }
 
 // fault services a page fault for vpn.
@@ -160,11 +184,11 @@ func (as *AddressSpace) Occupancy(color int) int {
 // false when the page is unmapped. Software prefetches use this path:
 // a prefetch to an unmapped page is dropped, never faulted (§6.2).
 func (as *AddressSpace) TranslateNoFault(vaddr uint64) (paddr uint64, ok bool) {
-	frame, ok := as.pages[vaddr/as.pageSize]
+	frame, ok := as.pages[vaddr>>as.pageShift]
 	if !ok {
 		return 0, false
 	}
-	return frame*as.pageSize + vaddr%as.pageSize, true
+	return frame<<as.pageShift + vaddr&as.pageMask, true
 }
 
 // ReverseVAddr maps a physical address back to the virtual address of
@@ -172,11 +196,11 @@ func (as *AddressSpace) TranslateNoFault(vaddr uint64) (paddr uint64, ok bool) {
 // The simulator uses it to mirror external-cache invalidations into the
 // virtually indexed on-chip caches.
 func (as *AddressSpace) ReverseVAddr(paddr uint64) (vaddr uint64, ok bool) {
-	vpn, ok := as.frames[paddr/as.pageSize]
+	vpn, ok := as.frames[paddr>>as.pageShift]
 	if !ok {
 		return 0, false
 	}
-	return vpn*as.pageSize + paddr%as.pageSize, true
+	return vpn<<as.pageShift + paddr&as.pageMask, true
 }
 
 // Touch faults vpn in if needed; used by the touch-order emulation and by
