@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench audit verify
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,11 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallelExperiments|BenchmarkSimulatorThroughput' -benchtime 3x .
 	WRITE_BENCH=1 $(GO) test -run TestWriteHarnessBench -v .
+
+# Audited experiment sweep: every simulation's cycle/miss/bus
+# conservation invariants are checked; any violation exits non-zero.
+audit:
+	$(GO) run ./cmd/experiments -quick -audit
 
 verify:
 	./scripts/verify.sh

@@ -15,6 +15,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -128,10 +129,24 @@ func BenchmarkCompilerSummarize(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed
-// (references per second) on a uniprocessor tomcatv run.
+// (references per second) on a uniprocessor tomcatv run. Compared
+// against BenchmarkSimulatorThroughputObserved, it also guards the
+// observability layer's disabled-path overhead (untaken nil checks
+// only; the issue budget is <2%).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := harness.Run(harness.Spec{Workload: "tomcatv", CPUs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughputObserved is the same run with a fresh
+// collector and event ring attached — the price of full attribution.
+func BenchmarkSimulatorThroughputObserved(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		col := obs.NewCollector(obs.Options{Tracer: obs.NewRing(1024)})
+		if _, err := harness.Run(harness.Spec{Workload: "tomcatv", CPUs: 1, Obs: col}); err != nil {
 			b.Fatal(err)
 		}
 	}

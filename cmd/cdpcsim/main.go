@@ -19,6 +19,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/harness"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -35,6 +36,9 @@ func main() {
 		progFile = flag.String("program", "", "run a custom program from a text-format file instead of a bundled workload")
 		machFile = flag.String("machine-file", "", "load a custom machine configuration from a JSON file")
 		dumpMach = flag.Bool("dump-machine", false, "print the resolved machine configuration as JSON and exit")
+		attr     = flag.Bool("attr", false, "collect and print per-color/per-page miss attribution and the color-by-set miss heatmap")
+		traceN   = flag.Int("trace", 0, "keep the last N observability events (faults, hint outcomes, recolorings, conflict bursts) and print them")
+		audit    = flag.Bool("audit", false, "check conservation invariants after the run; violations exit non-zero")
 	)
 	flag.Parse()
 
@@ -45,6 +49,37 @@ func main() {
 		Machine:  harness.MachineKind(*machine),
 		Variant:  harness.Variant(*variant),
 		Prefetch: *prefetch,
+	}
+	var ring *obs.Ring
+	if *traceN > 0 {
+		ring = obs.NewRing(*traceN)
+	}
+	if *attr || ring != nil {
+		var o obs.Options
+		if ring != nil {
+			o.Tracer = ring // assign only when non-nil: a typed-nil Tracer is not a nil interface
+		}
+		spec.Obs = obs.NewCollector(o)
+	}
+	post := func(res *sim.Result) {
+		if *attr {
+			fmt.Println()
+			fmt.Print(spec.Obs.Report(10))
+		}
+		if ring != nil {
+			events := ring.Events()
+			fmt.Printf("\nevent trace (last %d of %d):\n", len(events), uint64(len(events))+ring.Dropped())
+			for _, e := range events {
+				fmt.Println(" ", e)
+			}
+		}
+		if *audit {
+			if vs := res.Audit(); len(vs) > 0 {
+				fmt.Fprintln(os.Stderr, "cdpcsim:", obs.AuditError(vs))
+				os.Exit(2)
+			}
+			fmt.Println("\naudit: all conservation invariants hold")
+		}
 	}
 	if *machFile != "" {
 		cfg, err := arch.LoadConfigFile(*machFile)
@@ -80,9 +115,13 @@ func main() {
 			os.Exit(1)
 		}
 		print(res, spec)
+		post(res)
 		return
 	}
 	if *fast {
+		if *attr || ring != nil || *audit {
+			fmt.Fprintln(os.Stderr, "cdpcsim: -attr/-trace/-audit need the full simulator; ignored in -fast mode")
+		}
 		if err := runFast(spec); err != nil {
 			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
 			os.Exit(1)
@@ -95,6 +134,7 @@ func main() {
 		os.Exit(1)
 	}
 	print(res, spec)
+	post(res)
 }
 
 // runFast positions the workload with the cache-counting simulator.

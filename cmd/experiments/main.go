@@ -35,6 +35,7 @@ func main() {
 		outDir   = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
 		parallel = flag.Bool("parallel", true, "run simulations on a parallel worker pool with memoization")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		audit    = flag.Bool("audit", false, "check conservation invariants on every simulation; violations exit non-zero")
 	)
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func main() {
 		return
 	}
 
-	opts := harness.ExpOptions{Scale: *scale, Quick: *quick}
+	opts := harness.ExpOptions{Scale: *scale, Quick: *quick, Audit: *audit}
 	if *parallel {
 		// One scheduler across all experiments: identical specs (e.g. the
 		// page-coloring baselines shared by Figures 2, 6 and 8) simulate once.

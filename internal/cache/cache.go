@@ -34,6 +34,18 @@ type Cache struct {
 	// counters
 	Accesses uint64
 	Hits     uint64
+
+	// prof, when enabled, records per-set miss/eviction/invalidation
+	// counts for the observability layer; nil by default so the hot path
+	// pays only an untaken branch on misses.
+	prof *SetProfile
+}
+
+// SetProfile holds per-set event counters, indexed by set number.
+type SetProfile struct {
+	Misses        []uint64 // allocations into the set (demand misses)
+	Evictions     []uint64 // valid lines displaced from the set
+	Invalidations []uint64 // lines removed by coherence actions
 }
 
 // New creates an empty cache with the given geometry.
@@ -70,7 +82,8 @@ type Result struct {
 func (c *Cache) Access(addr uint64, write bool) Result {
 	c.Accesses++
 	la := c.lineAddr(addr)
-	set := c.sets[c.setOf(addr)]
+	si := c.setOf(addr)
+	set := c.sets[si]
 	for i := range set {
 		if set[i].valid && set[i].lineAddr == la {
 			c.Hits++
@@ -91,6 +104,12 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	}
 	copy(set[1:], set[:last])
 	set[0] = way{lineAddr: la, valid: true, dirty: write}
+	if c.prof != nil {
+		c.prof.Misses[si]++
+		if res.Evicted {
+			c.prof.Evictions[si]++
+		}
+	}
 	return res
 }
 
@@ -116,6 +135,9 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 			dirty = set[i].dirty
 			copy(set[i:], set[i+1:]) // compact, keeping LRU order
 			set[len(set)-1] = way{}
+			if c.prof != nil {
+				c.prof.Invalidations[c.setOf(addr)]++
+			}
 			return true, dirty
 		}
 	}
@@ -156,6 +178,35 @@ func (c *Cache) Flush() {
 			set[i] = way{}
 		}
 	}
+}
+
+// EnableSetProfile starts per-set event counting (observability layer).
+func (c *Cache) EnableSetProfile() {
+	n := len(c.sets)
+	c.prof = &SetProfile{
+		Misses:        make([]uint64, n),
+		Evictions:     make([]uint64, n),
+		Invalidations: make([]uint64, n),
+	}
+}
+
+// Profile returns the per-set counters, nil unless EnableSetProfile was
+// called.
+func (c *Cache) Profile() *SetProfile { return c.prof }
+
+// SetOccupancy returns the fraction of valid ways in each set.
+func (c *Cache) SetOccupancy() []float64 {
+	occ := make([]float64, len(c.sets))
+	for si, set := range c.sets {
+		valid := 0
+		for i := range set {
+			if set[i].valid {
+				valid++
+			}
+		}
+		occ[si] = float64(valid) / float64(len(set))
+	}
+	return occ
 }
 
 // Utilization returns the fraction of sets holding at least one valid

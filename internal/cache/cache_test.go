@@ -231,3 +231,52 @@ func BenchmarkShadowAccess(b *testing.B) {
 		s.Access(addrs[i&4095])
 	}
 }
+
+func TestSetProfile(t *testing.T) {
+	c := New(dm(1<<10, 64)) // 16 sets
+	if c.Profile() != nil {
+		t.Fatal("profile should be nil before EnableSetProfile")
+	}
+	c.EnableSetProfile()
+	p := c.Profile()
+	if p == nil || len(p.Misses) != 16 {
+		t.Fatalf("profile = %+v, want 16 sets", p)
+	}
+
+	c.Access(0, false)     // miss, set 0
+	c.Access(0, false)     // hit: no profile change
+	c.Access(1<<10, false) // miss, set 0, evicts 0
+	c.Access(2*64, false)  // miss, set 2
+	if p.Misses[0] != 2 || p.Misses[2] != 1 {
+		t.Errorf("misses = %v", p.Misses)
+	}
+	if p.Evictions[0] != 1 || p.Evictions[2] != 0 {
+		t.Errorf("evictions = %v", p.Evictions)
+	}
+
+	c.Invalidate(2 * 64)
+	c.Invalidate(5 * 64) // not present: no count
+	if p.Invalidations[2] != 1 || p.Invalidations[5] != 0 {
+		t.Errorf("invalidations = %v", p.Invalidations)
+	}
+
+	occ := c.SetOccupancy()
+	if len(occ) != 16 {
+		t.Fatalf("occupancy sets = %d", len(occ))
+	}
+	// Direct-mapped: set 0 holds one line (full), set 2 was invalidated.
+	if occ[0] != 1 || occ[2] != 0 {
+		t.Errorf("occupancy = %v", occ)
+	}
+}
+
+func TestSetProfileDisabledIsFree(t *testing.T) {
+	// Without EnableSetProfile the hot path must not allocate or count.
+	c := New(dm(1<<10, 64))
+	c.Access(0, false)
+	c.Access(1<<10, false)
+	c.Invalidate(0)
+	if c.Profile() != nil {
+		t.Error("profile materialized without being enabled")
+	}
+}

@@ -75,6 +75,12 @@ type Outcome struct {
 	DirtyRemote bool  // data supplied by another CPU's cache (higher latency)
 	Invalidated []int // CPUs whose copies were invalidated (write path)
 	Upgrade     bool  // write hit on a shared line: ownership-only bus transaction
+	// Downgraded is the CPU whose dirty copy was flushed to memory to
+	// supply a read (the line stays cached there in shared, clean
+	// state); -1 when no downgrade happened. The simulator must clean
+	// that CPU's cached line, or its eventual eviction would charge a
+	// second writeback for data memory already holds.
+	Downgraded int
 }
 
 // Directory tracks all lines. Not safe for concurrent use; the simulator
@@ -161,7 +167,7 @@ func (d *Directory) Access(cpu int, addr uint64, write bool) Outcome {
 	word := d.wordIndex(addr)
 	bit := uint64(1) << uint(cpu)
 
-	var out Outcome
+	out := Outcome{Downgraded: -1}
 	if s.owners&bit != 0 {
 		out.Class = Hit
 		if write && s.owners != bit {
@@ -179,6 +185,7 @@ func (d *Directory) Access(cpu int, addr uint64, write bool) Outcome {
 		} else if s.dirtyOwner >= 0 && int(s.dirtyOwner) != cpu {
 			// Read of a dirty remote line: owner downgrades to shared,
 			// memory (and requester) get the data.
+			out.Downgraded = int(s.dirtyOwner)
 			s.dirtyOwner = -1
 		}
 		s.owners |= bit

@@ -182,3 +182,40 @@ func TestNewPanicsOnTooManyCPUs(t *testing.T) {
 	}()
 	New(65, line)
 }
+
+func TestDowngradeReportsDirtyOwner(t *testing.T) {
+	d := New(4, line)
+	d.Access(2, 0x1000, true) // CPU2 dirties the line
+	out := d.Access(0, 0x1000, false)
+	if !out.DirtyRemote {
+		t.Fatal("read of dirty remote line should be supplied by owner")
+	}
+	// The flush-to-memory that serves the read leaves the owner's cached
+	// copy clean; the simulator must be told which CPU to clean or the
+	// line's eventual eviction double-charges a writeback.
+	if out.Downgraded != 2 {
+		t.Errorf("Downgraded = %d, want 2", out.Downgraded)
+	}
+	// A second read sees a clean line: no downgrade.
+	if out := d.Access(1, 0x1000, false); out.Downgraded != -1 {
+		t.Errorf("clean supply Downgraded = %d, want -1", out.Downgraded)
+	}
+}
+
+func TestNoDowngradeOnWrite(t *testing.T) {
+	d := New(2, line)
+	d.Access(0, 0x2000, true)
+	// A write takes exclusive ownership via invalidation, not a
+	// downgrade: the previous owner's line is gone entirely.
+	out := d.Access(1, 0x2000, true)
+	if out.Downgraded != -1 {
+		t.Errorf("write Downgraded = %d, want -1", out.Downgraded)
+	}
+	if len(out.Invalidated) != 1 || out.Invalidated[0] != 0 {
+		t.Errorf("expected CPU0 invalidated, got %v", out.Invalidated)
+	}
+	// Cold accesses also report no downgrade (zero-value trap guard).
+	if out := d.Access(0, 0x9000, false); out.Downgraded != -1 {
+		t.Errorf("cold Downgraded = %d, want -1", out.Downgraded)
+	}
+}

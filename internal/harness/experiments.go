@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workloads"
@@ -25,14 +26,38 @@ type ExpOptions struct {
 	// worker pool, then renders serially from the memo cache, so output
 	// is byte-identical to a serial run. Nil runs everything inline.
 	Runner *Scheduler
+	// Audit, when set, checks every result's conservation invariants
+	// (sim.Result.Audit) and fails the experiment on any violation —
+	// silent counter drift becomes a hard error.
+	Audit bool
 }
 
-// run executes one spec, through the scheduler when one is configured.
+// run executes one spec, through the scheduler when one is configured,
+// and audits the result when auditing is on.
 func (o ExpOptions) run(s Spec) (*sim.Result, error) {
+	var res *sim.Result
+	var err error
 	if o.Runner != nil {
-		return o.Runner.Run(s)
+		res, err = o.Runner.Run(s)
+	} else {
+		res, err = Run(s)
 	}
-	return Run(s)
+	if err != nil {
+		return res, err
+	}
+	if err := o.audit(res); err != nil {
+		return res, fmt.Errorf("%s/%s on %d cpus: %w", s.Workload, s.Variant, s.CPUs, err)
+	}
+	return res, nil
+}
+
+// audit applies the conservation-invariant check to a result when
+// auditing is enabled; nil otherwise.
+func (o ExpOptions) audit(res *sim.Result) error {
+	if !o.Audit {
+		return nil
+	}
+	return obs.AuditError(res.Audit())
 }
 
 // warm pre-executes specs on the scheduler's pool so the render loop

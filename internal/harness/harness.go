@@ -12,6 +12,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -94,6 +95,13 @@ type Spec struct {
 	CDPCOptions core.Options
 	// DisableClassification turns off conflict/capacity splitting.
 	DisableClassification bool
+
+	// Obs, when non-nil, collects miss attribution and the structured
+	// event stream during the run (see internal/obs). Observation never
+	// changes the Result. The scheduler's memo cache ignores this field
+	// and runs instrumented specs directly, so a memoized result can
+	// never stand in for a run that was supposed to fill a collector.
+	Obs *obs.Collector
 }
 
 func (s Spec) withDefaults() Spec {
@@ -195,7 +203,7 @@ func RunProgram(prog *ir.Program, s Spec) (*sim.Result, error) {
 
 // runPrepared maps the variant to simulator options and runs.
 func runPrepared(prog *ir.Program, sum *compiler.Summary, cfg arch.Config, s Spec) (*sim.Result, error) {
-	opts := sim.Options{Config: cfg, DisableClassification: s.DisableClassification}
+	opts := sim.Options{Config: cfg, DisableClassification: s.DisableClassification, Obs: s.Obs}
 	colors := cfg.Colors()
 
 	needHints := s.Variant == CDPC || s.Variant == CDPCTouch

@@ -65,6 +65,9 @@ func ExtPressure(o ExpOptions) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		if err := o.audit(res); err != nil {
+			return "", fmt.Errorf("pressure run (%d exhausted colors): %w", n, err)
+		}
 		honored := 0.0
 		if res.HintedFaults > 0 {
 			honored = 100 * float64(res.HonoredHints) / float64(res.HintedFaults)

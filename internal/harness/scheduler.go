@@ -121,6 +121,12 @@ func (sc *Scheduler) Workers() int { return sc.workers }
 // goroutine if no memoized or in-flight run exists. Concurrent callers
 // with the same Spec coalesce onto one simulation.
 func (sc *Scheduler) Run(spec Spec) (*sim.Result, error) {
+	if spec.Obs != nil {
+		// Instrumented specs are never memoized: a cached result could
+		// not have filled this run's collector. The program cache is
+		// still shared (observation does not perturb compiled programs).
+		return sc.runSpec(spec)
+	}
 	key := keyOf(spec)
 	sc.mu.Lock()
 	if e, ok := sc.memo[key]; ok {

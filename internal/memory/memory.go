@@ -59,6 +59,15 @@ func (a *Allocator) FreeFrames() int { return a.totalFree }
 // FreeOfColor returns the number of free frames of color c.
 func (a *Allocator) FreeOfColor(c int) int { return len(a.free[c%a.numColors]) }
 
+// FreeByColor returns the free-frame count of every color pool.
+func (a *Allocator) FreeByColor() []int {
+	out := make([]int, a.numColors)
+	for c := range a.free {
+		out[c] = len(a.free[c])
+	}
+	return out
+}
+
 // ColorOf returns the color of a frame number.
 func (a *Allocator) ColorOf(frame uint64) int { return int(frame % uint64(a.numColors)) }
 

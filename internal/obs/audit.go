@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one failed conservation invariant, reported by the audit
+// pass after a run. The invariants turn silent accounting drift —
+// cycles booked twice, misses classified into no bucket, bus occupancy
+// exceeding wall time — into hard failures.
+type Violation struct {
+	// Check names the invariant, e.g. "cycle-conservation".
+	Check string
+	// Detail states the observed values.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Check + ": " + v.Detail }
+
+// AuditError converts a violation list into a single error, or nil when
+// the list is empty — the form command-line tools and the experiment
+// harness propagate.
+func AuditError(vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d invariant violation(s)", len(vs))
+	for _, v := range vs {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}

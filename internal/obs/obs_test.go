@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingWrapAndDropped(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Trace(Event{Kind: EvPageFault, VPN: uint64(i)})
+	}
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("len(Events) = %d, want 3", len(ev))
+	}
+	// Oldest-first: events 2,3,4 survive; 0 and 1 were overwritten.
+	for i, want := range []uint64{2, 3, 4} {
+		if ev[i].VPN != want {
+			t.Errorf("event %d vpn = %d, want %d", i, ev[i].VPN, want)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+}
+
+func TestRingUnderfill(t *testing.T) {
+	r := NewRing(8)
+	r.Trace(Event{Kind: EvRecolor, VPN: 7})
+	if got := r.Events(); len(got) != 1 || got[0].VPN != 7 {
+		t.Fatalf("Events = %+v, want single vpn=7", got)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestConflictBurstEmission(t *testing.T) {
+	ring := NewRing(16)
+	c := NewCollector(Options{Tracer: ring, BurstThreshold: 4})
+	c.Init(4, 64, 16)
+
+	// Three conflicts then a capacity miss: run resets, no burst.
+	for i := 0; i < 3; i++ {
+		c.RecordMiss(0, uint64(i), 5, 1, Conflict, 10)
+	}
+	c.RecordMiss(0, 3, 5, 1, Capacity, 10)
+	if n := len(ring.Events()); n != 0 {
+		t.Fatalf("burst emitted after broken run: %d events", n)
+	}
+
+	// Four consecutive conflicts on one page: exactly one burst event.
+	for i := 0; i < 4; i++ {
+		c.RecordMiss(1, uint64(10+i), 5, 1, Conflict, 10)
+	}
+	ev := ring.Events()
+	if len(ev) != 1 || ev[0].Kind != EvConflictBurst {
+		t.Fatalf("events = %+v, want one conflict-burst", ev)
+	}
+	if ev[0].VPN != 5 || ev[0].Count != 4 {
+		t.Errorf("burst event = %+v, want vpn=5 count=4", ev[0])
+	}
+
+	// Counter reset after emission: 4 more conflicts fire again.
+	for i := 0; i < 4; i++ {
+		c.RecordMiss(1, uint64(20+i), 5, 1, Conflict, 10)
+	}
+	if n := len(ring.Events()); n != 2 {
+		t.Errorf("second burst not emitted: %d events", n)
+	}
+}
+
+func TestAttributionAccounting(t *testing.T) {
+	c := NewCollector(Options{})
+	c.Init(2, 32, 16)
+	c.RecordMiss(0, 1, 4, 0, Cold, 100)
+	c.RecordMiss(0, 2, 4, 0, Conflict, 200)
+	c.RecordMiss(1, 3, 7, 1, InstFetch, 50)
+
+	pc := c.PerColor()
+	if pc[0][Cold] != 1 || pc[0][Conflict] != 1 || pc[1][InstFetch] != 1 {
+		t.Errorf("per-color counts wrong: %+v", pc)
+	}
+	if st := c.ColorStall(); st[0] != 300 || st[1] != 50 {
+		t.Errorf("per-color stall = %v, want [300 50]", st)
+	}
+	p := c.Page(4)
+	if p == nil || p.Misses.Total() != 2 || p.StallCycles != 300 {
+		t.Errorf("page 4 stats = %+v", p)
+	}
+	if c.Page(99) != nil {
+		t.Error("unknown page should be nil")
+	}
+}
+
+func TestTopPagesOrdering(t *testing.T) {
+	c := NewCollector(Options{})
+	c.Init(2, 32, 16)
+	// vpn 3: 3 misses; vpn 1 and 2: 1 miss each (tie broken by vpn).
+	for i := 0; i < 3; i++ {
+		c.RecordMiss(0, uint64(i), 3, 1, Capacity, 1)
+	}
+	c.RecordMiss(0, 10, 2, 0, Cold, 1)
+	c.RecordMiss(0, 11, 1, 1, Cold, 1)
+
+	top := c.TopPages(2)
+	if len(top) != 2 {
+		t.Fatalf("TopPages(2) returned %d", len(top))
+	}
+	if top[0].VPN != 3 {
+		t.Errorf("hottest page vpn = %d, want 3", top[0].VPN)
+	}
+	if top[1].VPN != 1 {
+		t.Errorf("tie should break to lower vpn, got %d", top[1].VPN)
+	}
+	if got := c.TopPages(100); len(got) != 3 {
+		t.Errorf("TopPages(100) = %d pages, want all 3", len(got))
+	}
+}
+
+func TestHeatDimensions(t *testing.T) {
+	c := NewCollector(Options{})
+	c.Init(4, 64, 16) // 4 colors x 16 sets per color
+	perSet := make([]uint64, 64)
+	perSet[0] = 5  // color 0, offset 0
+	perSet[17] = 9 // color 1, offset 1
+	perSet[63] = 1 // color 3, offset 15
+	rows := c.Heat(perSet)
+	if len(rows) != 4 || len(rows[0]) != 16 {
+		t.Fatalf("Heat dims = %dx%d, want 4x16", len(rows), len(rows[0]))
+	}
+	if rows[0][0] != 5 || rows[1][1] != 9 || rows[3][15] != 1 {
+		t.Errorf("Heat misplaced values: %+v", rows)
+	}
+}
+
+func TestAuditError(t *testing.T) {
+	if err := AuditError(nil); err != nil {
+		t.Errorf("AuditError(nil) = %v, want nil", err)
+	}
+	err := AuditError([]Violation{
+		{Check: "cycle-conservation", Detail: "cpu 0 drifted"},
+		{Check: "bus-occupancy", Detail: "over wall"},
+	})
+	if err == nil {
+		t.Fatal("AuditError should be non-nil for violations")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "2 invariant violation") ||
+		!strings.Contains(msg, "cycle-conservation") ||
+		!strings.Contains(msg, "bus-occupancy") {
+		t.Errorf("error message missing parts:\n%s", msg)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: EvPageFault, Cycle: 10, CPU: 1, VPN: 5, Color: 2}, "page-fault"},
+		{Event{Kind: EvHintHonored, VPN: 1}, "hint-honored"},
+		{Event{Kind: EvHintDenied, VPN: 1}, "hint-denied"},
+		{Event{Kind: EvRecolor, VPN: 1, Prev: 3, Color: 4}, "recolor"},
+		{Event{Kind: EvConflictBurst, VPN: 1, Count: 32}, "conflict-burst"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.String(); !strings.Contains(got, tc.want) {
+			t.Errorf("Event.String() = %q, want substring %q", got, tc.want)
+		}
+	}
+}
+
+func TestReportSmoke(t *testing.T) {
+	ring := NewRing(4)
+	c := NewCollector(Options{Tracer: ring})
+	c.Init(2, 32, 16)
+	c.RecordFault(0, 1, 4, 0, true, true)
+	c.RecordMiss(0, 2, 4, 0, Cold, 100)
+	c.RecordRecolor(0, 3, 4, 0, 1)
+	perSet := make([]uint64, 32)
+	perSet[3] = 7
+	c.RecordSetProfile(perSet, make([]uint64, 32), make([]uint64, 32), make([]float64, 32))
+	c.RecordAllocation([]int{1, 0}, []int{9, 10}, 1, 1, 1)
+
+	out := c.Report(5)
+	for _, want := range []string{"color", "hot pages", "heatmap", "recolorings 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Report missing %q:\n%s", want, out)
+		}
+	}
+	if c.Recolorings != 1 || c.Page(4).Color != 1 {
+		t.Errorf("recolor bookkeeping wrong: recolorings=%d color=%d",
+			c.Recolorings, c.Page(4).Color)
+	}
+}

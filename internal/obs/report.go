@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/textplot"
+)
+
+// Report renders the collector's attribution as text: the per-color
+// miss table (the Figure-4/5 view of where conflicts live), the topK
+// hottest pages, and the color×set miss heatmap built from the per-set
+// external-cache profile.
+func (c *Collector) Report(topK int) string {
+	var b strings.Builder
+
+	b.WriteString("per-color miss attribution:\n")
+	t := textplot.NewTable("color", "pages", "free", "cold", "conflict", "capacity", "true-sh", "false-sh", "inst", "total", "stall(K)")
+	for color := 0; color < len(c.perColor); color++ {
+		cc := &c.perColor[color]
+		mapped, free := "-", "-"
+		if color < len(c.ColorMapped) {
+			mapped = fmt.Sprint(c.ColorMapped[color])
+		}
+		if color < len(c.ColorFree) {
+			free = fmt.Sprint(c.ColorFree[color])
+		}
+		t.Row(color, mapped, free,
+			cc[Cold], cc[Conflict], cc[Capacity], cc[TrueShare], cc[FalseShare], cc[InstFetch],
+			cc.Total(), float64(c.perColorStall[color])/1e3)
+	}
+	b.WriteString(t.String())
+
+	if topK > 0 && len(c.pages) > 0 {
+		fmt.Fprintf(&b, "\nhot pages (top %d of %d missing pages):\n", topK, len(c.pages))
+		pt := textplot.NewTable("vpn", "color", "cold", "conflict", "capacity", "true-sh", "false-sh", "inst", "total", "stall(K)")
+		for _, p := range c.TopPages(topK) {
+			pt.Row(p.VPN, p.Color,
+				p.Misses[Cold], p.Misses[Conflict], p.Misses[Capacity],
+				p.Misses[TrueShare], p.Misses[FalseShare], p.Misses[InstFetch],
+				p.Misses.Total(), float64(p.StallCycles)/1e3)
+		}
+		b.WriteString(pt.String())
+	}
+
+	if heat := c.Heat(c.SetMisses); heat != nil {
+		b.WriteString("\nexternal-cache miss heatmap (rows: page colors; columns: sets within the color):\n")
+		labels := make([]string, len(heat))
+		for i := range labels {
+			labels[i] = fmt.Sprintf("c%02d", i)
+		}
+		b.WriteString(textplot.Heatmap(labels, heat, ""))
+	}
+
+	fmt.Fprintf(&b, "\nfaults %d (hinted %d, honored %d), recolorings %d\n",
+		c.Faults, c.HintedFault, c.HonoredHint, c.Recolorings)
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package obs
+
+import "fmt"
+
+// EventKind labels one structured observability event.
+type EventKind uint8
+
+// The event kinds.
+const (
+	// EvPageFault: an unhinted page fault was serviced.
+	EvPageFault EventKind = iota
+	// EvHintHonored: a hinted fault got its preferred color.
+	EvHintHonored
+	// EvHintDenied: a hinted fault fell back to another color (memory
+	// pressure on the preferred pool).
+	EvHintDenied
+	// EvRecolor: the dynamic policy moved a page (TLB shootdown on every
+	// CPU).
+	EvRecolor
+	// EvConflictBurst: one page took BurstThreshold conflict misses in a
+	// row — the signature of a mapping collision the coloring policy
+	// should have prevented.
+	EvConflictBurst
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvPageFault:
+		return "page-fault"
+	case EvHintHonored:
+		return "hint-honored"
+	case EvHintDenied:
+		return "hint-denied"
+	case EvRecolor:
+		return "recolor"
+	case EvConflictBurst:
+		return "conflict-burst"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of the structured event stream.
+type Event struct {
+	Kind  EventKind
+	Cycle uint64 // the acting CPU's clock when the event happened
+	CPU   int
+	VPN   uint64
+	Color int    // granted / new / bursting color
+	Prev  int    // recolor: the old color; -1 otherwise
+	Count uint64 // conflict-burst: conflict misses in the run
+}
+
+// String renders the event compactly for trace dumps.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvRecolor:
+		return fmt.Sprintf("@%-10d cpu%-2d %-14s vpn=%d color %d -> %d", e.Cycle, e.CPU, e.Kind, e.VPN, e.Prev, e.Color)
+	case EvConflictBurst:
+		return fmt.Sprintf("@%-10d cpu%-2d %-14s vpn=%d color=%d run=%d", e.Cycle, e.CPU, e.Kind, e.VPN, e.Color, e.Count)
+	default:
+		return fmt.Sprintf("@%-10d cpu%-2d %-14s vpn=%d color=%d", e.Cycle, e.CPU, e.Kind, e.VPN, e.Color)
+	}
+}
+
+// Tracer receives the event stream. Implementations must not call back
+// into the simulator.
+type Tracer interface {
+	Trace(Event)
+}
+
+// Ring is a fixed-capacity Tracer that keeps the most recent events and
+// counts what it had to drop — the sink for long runs where only the
+// tail matters.
+type Ring struct {
+	buf     []Event
+	next    int
+	filled  bool
+	dropped uint64
+}
+
+// NewRing creates a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Trace implements Tracer.
+func (r *Ring) Trace(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.filled = true
+	r.dropped++
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.filled {
+		out := make([]Event, len(r.buf))
+		copy(out, r.buf)
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped returns how many events fell off the front of the ring.
+func (r *Ring) Dropped() uint64 { return r.dropped }

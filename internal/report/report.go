@@ -1,6 +1,7 @@
 // Package report renders simulation results in machine-readable forms
 // (CSV and JSON) for external plotting and analysis, complementing the
-// human-readable tables of internal/textplot.
+// human-readable tables of internal/textplot. It also emits the
+// per-color and per-page attribution an obs.Collector gathers.
 package report
 
 import (
@@ -9,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -38,6 +40,16 @@ type Row struct {
 	HintedFaults   uint64 `json:"hinted_faults"`
 	HonoredHints   uint64 `json:"honored_hints"`
 	Recolorings    uint64 `json:"recolorings"`
+
+	InstMisses        uint64 `json:"inst_misses"`
+	Upgrades          uint64 `json:"upgrades"`
+	TLBMisses         uint64 `json:"tlb_misses"`
+	PrefetchesIssued  uint64 `json:"prefetches_issued"`
+	PrefetchesDropped uint64 `json:"prefetches_dropped"`
+	PrefetchedHits    uint64 `json:"prefetched_hits"`
+	RemoteSupplies    uint64 `json:"remote_supplies"`
+	BusQueueCycles    uint64 `json:"bus_queue_cycles"`
+	WriteBufferStall  uint64 `json:"write_buffer_stall"`
 }
 
 // FromResult flattens a result.
@@ -68,39 +80,88 @@ func FromResult(r *sim.Result, prefetch bool) Row {
 		HintedFaults:   r.HintedFaults,
 		HonoredHints:   r.HonoredHints,
 		Recolorings:    tot(func(s *sim.CPUStats) uint64 { return s.Recolorings }),
+
+		InstMisses:        tot(func(s *sim.CPUStats) uint64 { return s.InstMisses }),
+		Upgrades:          tot(func(s *sim.CPUStats) uint64 { return s.Upgrades }),
+		TLBMisses:         tot(func(s *sim.CPUStats) uint64 { return s.TLBMisses }),
+		PrefetchesIssued:  tot(func(s *sim.CPUStats) uint64 { return s.PrefetchesIssued }),
+		PrefetchesDropped: tot(func(s *sim.CPUStats) uint64 { return s.PrefetchesDropped }),
+		PrefetchedHits:    tot(func(s *sim.CPUStats) uint64 { return s.PrefetchedHits }),
+		RemoteSupplies:    tot(func(s *sim.CPUStats) uint64 { return s.RemoteSupplies }),
+		BusQueueCycles:    tot(func(s *sim.CPUStats) uint64 { return s.BusQueueCycles }),
+		WriteBufferStall:  tot(func(s *sim.CPUStats) uint64 { return s.StallWriteBuffer }),
 	}
 }
 
-// csvHeader lists the columns in Row field order.
-var csvHeader = []string{
-	"workload", "machine", "policy", "cpus", "prefetch",
-	"wall_cycles", "combined_cycles", "mcpi", "bus_utilization",
-	"instructions", "exec_cycles", "mem_stall_cycles", "overhead_cycles",
-	"l2_misses", "cold_misses", "conflict_misses", "capacity_misses",
-	"true_sharing_misses", "false_sharing_misses",
-	"page_faults", "hinted_faults", "honored_hints", "recolorings",
+// column couples a CSV header name with its Row formatter. Header and
+// record are both generated from this one table, so their order cannot
+// drift apart (the bug the old hand-maintained pair invited: counters
+// that CPUStats tracked but no column carried).
+type column struct {
+	name  string
+	value func(*Row) string
+}
+
+func u(f func(*Row) uint64) func(*Row) string {
+	return func(r *Row) string { return fmt.Sprint(f(r)) }
+}
+
+var columns = []column{
+	{"workload", func(r *Row) string { return r.Workload }},
+	{"machine", func(r *Row) string { return r.Machine }},
+	{"policy", func(r *Row) string { return r.Policy }},
+	{"cpus", func(r *Row) string { return fmt.Sprint(r.CPUs) }},
+	{"prefetch", func(r *Row) string { return fmt.Sprint(r.Prefetch) }},
+	{"wall_cycles", u(func(r *Row) uint64 { return r.Wall })},
+	{"combined_cycles", u(func(r *Row) uint64 { return r.Combined })},
+	{"mcpi", func(r *Row) string { return fmt.Sprintf("%.4f", r.MCPI) }},
+	{"bus_utilization", func(r *Row) string { return fmt.Sprintf("%.4f", r.BusUtil) }},
+	{"instructions", u(func(r *Row) uint64 { return r.Instructions })},
+	{"exec_cycles", u(func(r *Row) uint64 { return r.ExecCycles })},
+	{"mem_stall_cycles", u(func(r *Row) uint64 { return r.MemStall })},
+	{"overhead_cycles", u(func(r *Row) uint64 { return r.Overhead })},
+	{"l2_misses", u(func(r *Row) uint64 { return r.L2Misses })},
+	{"cold_misses", u(func(r *Row) uint64 { return r.ColdMisses })},
+	{"conflict_misses", u(func(r *Row) uint64 { return r.ConflictMisses })},
+	{"capacity_misses", u(func(r *Row) uint64 { return r.CapacityMisses })},
+	{"true_sharing_misses", u(func(r *Row) uint64 { return r.TrueSharing })},
+	{"false_sharing_misses", u(func(r *Row) uint64 { return r.FalseSharing })},
+	{"page_faults", u(func(r *Row) uint64 { return r.PageFaults })},
+	{"hinted_faults", u(func(r *Row) uint64 { return r.HintedFaults })},
+	{"honored_hints", u(func(r *Row) uint64 { return r.HonoredHints })},
+	{"recolorings", u(func(r *Row) uint64 { return r.Recolorings })},
+	{"inst_misses", u(func(r *Row) uint64 { return r.InstMisses })},
+	{"upgrades", u(func(r *Row) uint64 { return r.Upgrades })},
+	{"tlb_misses", u(func(r *Row) uint64 { return r.TLBMisses })},
+	{"prefetches_issued", u(func(r *Row) uint64 { return r.PrefetchesIssued })},
+	{"prefetches_dropped", u(func(r *Row) uint64 { return r.PrefetchesDropped })},
+	{"prefetched_hits", u(func(r *Row) uint64 { return r.PrefetchedHits })},
+	{"remote_supplies", u(func(r *Row) uint64 { return r.RemoteSupplies })},
+	{"bus_queue_cycles", u(func(r *Row) uint64 { return r.BusQueueCycles })},
+	{"write_buffer_stall", u(func(r *Row) uint64 { return r.WriteBufferStall })},
+}
+
+// Header returns the CSV column names in emission order.
+func Header() []string {
+	names := make([]string, len(columns))
+	for i, c := range columns {
+		names[i] = c.name
+	}
+	return names
 }
 
 func (r Row) record() []string {
-	return []string{
-		r.Workload, r.Machine, r.Policy,
-		fmt.Sprint(r.CPUs), fmt.Sprint(r.Prefetch),
-		fmt.Sprint(r.Wall), fmt.Sprint(r.Combined),
-		fmt.Sprintf("%.4f", r.MCPI), fmt.Sprintf("%.4f", r.BusUtil),
-		fmt.Sprint(r.Instructions), fmt.Sprint(r.ExecCycles),
-		fmt.Sprint(r.MemStall), fmt.Sprint(r.Overhead),
-		fmt.Sprint(r.L2Misses), fmt.Sprint(r.ColdMisses),
-		fmt.Sprint(r.ConflictMisses), fmt.Sprint(r.CapacityMisses),
-		fmt.Sprint(r.TrueSharing), fmt.Sprint(r.FalseSharing),
-		fmt.Sprint(r.PageFaults), fmt.Sprint(r.HintedFaults),
-		fmt.Sprint(r.HonoredHints), fmt.Sprint(r.Recolorings),
+	rec := make([]string, len(columns))
+	for i, c := range columns {
+		rec[i] = c.value(&r)
 	}
+	return rec
 }
 
 // WriteCSV emits a header plus one record per row.
 func WriteCSV(w io.Writer, rows []Row) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	if err := cw.Write(Header()); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -117,4 +178,67 @@ func WriteJSON(w io.Writer, rows []Row) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
+}
+
+// WriteColorCSV emits the collector's per-color miss attribution: one
+// record per color with the class split, attributed stall cycles, and
+// the end-of-run mapped/free frame counts.
+func WriteColorCSV(w io.Writer, c *obs.Collector) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"color", "mapped_pages", "free_frames",
+		"cold", "conflict", "capacity", "true_share", "false_share", "inst_fetch",
+		"total", "stall_cycles",
+	}); err != nil {
+		return err
+	}
+	perColor := c.PerColor()
+	stall := c.ColorStall()
+	for color := range perColor {
+		cc := &perColor[color]
+		mapped, free := 0, 0
+		if color < len(c.ColorMapped) {
+			mapped = c.ColorMapped[color]
+		}
+		if color < len(c.ColorFree) {
+			free = c.ColorFree[color]
+		}
+		rec := []string{
+			fmt.Sprint(color), fmt.Sprint(mapped), fmt.Sprint(free),
+			fmt.Sprint(cc[obs.Cold]), fmt.Sprint(cc[obs.Conflict]), fmt.Sprint(cc[obs.Capacity]),
+			fmt.Sprint(cc[obs.TrueShare]), fmt.Sprint(cc[obs.FalseShare]), fmt.Sprint(cc[obs.InstFetch]),
+			fmt.Sprint(cc.Total()), fmt.Sprint(stall[color]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePageCSV emits the collector's k hottest pages, one record per
+// virtual page with its class split and attributed stall.
+func WritePageCSV(w io.Writer, c *obs.Collector, k int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"vpn", "color",
+		"cold", "conflict", "capacity", "true_share", "false_share", "inst_fetch",
+		"total", "stall_cycles",
+	}); err != nil {
+		return err
+	}
+	for _, p := range c.TopPages(k) {
+		rec := []string{
+			fmt.Sprint(p.VPN), fmt.Sprint(p.Color),
+			fmt.Sprint(p.Misses[obs.Cold]), fmt.Sprint(p.Misses[obs.Conflict]), fmt.Sprint(p.Misses[obs.Capacity]),
+			fmt.Sprint(p.Misses[obs.TrueShare]), fmt.Sprint(p.Misses[obs.FalseShare]), fmt.Sprint(p.Misses[obs.InstFetch]),
+			fmt.Sprint(p.Misses.Total()), fmt.Sprint(p.StallCycles),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -84,5 +86,103 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"wall_cycles": 1000`) {
 		t.Error("expected snake_case JSON keys")
+	}
+}
+
+// TestColumnsCoverRowFields pins the single-table design: every numeric
+// counter of Row must be exported through the column table, so a field
+// added to Row without a column (the dropped-counter bug) fails here.
+func TestColumnsCoverRowFields(t *testing.T) {
+	if len(Header()) != len(columns) {
+		t.Fatalf("Header() = %d names, columns = %d", len(Header()), len(columns))
+	}
+	row := FromResult(sampleResult(), false)
+	if got, want := len(row.record()), len(columns); got != want {
+		t.Fatalf("record width %d != column count %d", got, want)
+	}
+	nfields := reflect.TypeOf(Row{}).NumField()
+	if len(columns) != nfields {
+		t.Errorf("columns = %d but Row has %d fields: a counter is being dropped", len(columns), nfields)
+	}
+	// Column names must be unique.
+	seen := map[string]bool{}
+	for _, name := range Header() {
+		if seen[name] {
+			t.Errorf("duplicate column %q", name)
+		}
+		seen[name] = true
+	}
+	// The counters restored by the accounting audit must all be present.
+	for _, name := range []string{"inst_misses", "upgrades", "tlb_misses",
+		"prefetches_issued", "prefetches_dropped", "prefetched_hits",
+		"remote_supplies", "bus_queue_cycles", "write_buffer_stall"} {
+		if !seen[name] {
+			t.Errorf("missing column %q", name)
+		}
+	}
+}
+
+// TestNewCountersFlow fills every restored counter and checks it
+// survives into the CSV record.
+func TestNewCountersFlow(t *testing.T) {
+	r := sampleResult()
+	r.PerCPU[0].InstMisses = 3
+	r.PerCPU[0].Upgrades = 4
+	r.PerCPU[0].TLBMisses = 5
+	r.PerCPU[0].PrefetchesIssued = 6
+	r.PerCPU[0].PrefetchesDropped = 7
+	r.PerCPU[0].PrefetchedHits = 8
+	r.PerCPU[0].RemoteSupplies = 9
+	r.PerCPU[0].BusQueueCycles = 10
+	r.PerCPU[0].StallWriteBuffer = 11
+	row := FromResult(r, false)
+	rec := row.record()
+	idx := map[string]int{}
+	for i, name := range Header() {
+		idx[name] = i
+	}
+	for name, want := range map[string]string{
+		"inst_misses": "3", "upgrades": "4", "tlb_misses": "5",
+		"prefetches_issued": "6", "prefetches_dropped": "7",
+		"prefetched_hits": "8", "remote_supplies": "9",
+		"bus_queue_cycles": "10", "write_buffer_stall": "11",
+	} {
+		if rec[idx[name]] != want {
+			t.Errorf("%s = %q, want %q", name, rec[idx[name]], want)
+		}
+	}
+}
+
+func TestColorAndPageCSV(t *testing.T) {
+	c := obs.NewCollector(obs.Options{})
+	c.Init(2, 32, 16)
+	c.RecordMiss(0, 1, 5, 1, obs.Conflict, 40)
+	c.RecordAllocation([]int{3, 4}, []int{7, 8}, 2, 1, 1)
+
+	var buf bytes.Buffer
+	if err := WriteColorCSV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + 2 colors
+		t.Fatalf("color csv rows = %d, want 3", len(recs))
+	}
+	if recs[0][0] != "color" || recs[2][4] != "1" { // color 1's conflict column
+		t.Errorf("color csv contents wrong: %v", recs)
+	}
+
+	buf.Reset()
+	if err := WritePageCSV(&buf, c, 10); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][0] != "5" {
+		t.Errorf("page csv contents wrong: %v", recs)
 	}
 }

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Audit checks the result's conservation invariants and returns every
+// violation found (nil when the accounting is sound):
+//
+//  1. Cycle conservation, per CPU: ExecCycles + MemStallCycles +
+//     OverheadCycles == WallCycles. Every simulated cycle is booked into
+//     exactly one bucket; CPUs synchronize at nest barriers, so each
+//     processor's accounted time must equal the wall clock.
+//  2. Miss conservation, per CPU: Cold + Conflict + Capacity +
+//     TrueShare + FalseShare + InstMisses == L2Misses. Every external-
+//     cache miss lands in exactly one class.
+//  3. Bus occupancy: Bus.Total() <= WallCycles. A single shared bus
+//     cannot be busy for more cycles than elapse; exceeding the wall
+//     clock means some transaction was charged twice (the writeback-
+//     after-remote-supply double count this audit originally caught).
+//
+// The invariants hold for weighted (phase-occurrence-scaled) results
+// because each phase satisfies them individually.
+func (r *Result) Audit() []obs.Violation {
+	var vs []obs.Violation
+	for i := range r.PerCPU {
+		s := &r.PerCPU[i]
+		if total := s.TotalCycles(); total != r.WallCycles {
+			vs = append(vs, obs.Violation{
+				Check: "cycle-conservation",
+				Detail: fmt.Sprintf("cpu %d: exec+stall+overhead = %d but wall = %d (drift %+d)",
+					i, total, r.WallCycles, int64(total)-int64(r.WallCycles)),
+			})
+		}
+		split := s.ColdMisses + s.ConflictMisses + s.CapacityMisses +
+			s.TrueShareMisses + s.FalseShareMisses + s.InstMisses
+		if split != s.L2Misses {
+			vs = append(vs, obs.Violation{
+				Check: "miss-conservation",
+				Detail: fmt.Sprintf("cpu %d: cold %d + conflict %d + capacity %d + true %d + false %d + inst %d = %d but L2 misses = %d",
+					i, s.ColdMisses, s.ConflictMisses, s.CapacityMisses,
+					s.TrueShareMisses, s.FalseShareMisses, s.InstMisses, split, s.L2Misses),
+			})
+		}
+	}
+	if total := r.Bus.Total(); total > r.WallCycles {
+		vs = append(vs, obs.Violation{
+			Check: "bus-occupancy",
+			Detail: fmt.Sprintf("bus busy %d cycles (data %d, writeback %d, upgrade %d) > wall %d: utilization %.3f",
+				total, r.Bus.DataCycles, r.Bus.WritebackCycles, r.Bus.UpgradeCycles,
+				r.WallCycles, r.BusUtilization()),
+		})
+	}
+	return vs
+}

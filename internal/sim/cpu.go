@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/coherence"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -71,6 +72,7 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 	// upgrades and invalidations of shared lines are modeled even on
 	// on-chip hits (inclusion guarantees the line is in L2 as well).
 	out := m.dir.Access(c.id, paddr, write)
+	m.applyDowngrade(paddr, out.Downgraded)
 	m.applyInvalidations(paddr, out.Invalidated)
 
 	shadowHit := false
@@ -106,6 +108,9 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 	// Full external-cache miss.
 	stall := m.missCycles(c, paddr, out.DirtyRemote)
 	m.chargeMiss(c, out.Class, shadowHit, stall)
+	if m.obs != nil {
+		m.obs.RecordMiss(c.id, c.clock, vpn, m.frameColor(paddr), obsClass(out.Class, shadowHit), stall)
+	}
 	c.clock += stall
 	if m.recolorer != nil {
 		return m.maybeRecolor(c, r.VAddr)
@@ -141,7 +146,8 @@ func (m *Machine) stepInst(c *cpuState, r *trace.Ref) error {
 		c.tcInst = transCache{vpn: vpn, pbase: pbase, valid: true}
 		paddr = pbase | (r.VAddr & m.pageMask)
 	}
-	m.dir.Access(c.id, paddr, false)
+	out := m.dir.Access(c.id, paddr, false)
+	m.applyDowngrade(paddr, out.Downgraded)
 	if !m.opts.DisableClassification {
 		c.shadow.Access(paddr)
 	}
@@ -155,9 +161,18 @@ func (m *Machine) stepInst(c *cpuState, r *trace.Ref) error {
 		return nil
 	}
 	c.stats.L2Misses++
-	stall := m.missCycles(c, paddr, false)
+	c.stats.InstMisses++
+	stall := m.missCycles(c, paddr, out.DirtyRemote)
 	c.stats.StallInst += stall
+	if m.obs != nil {
+		m.obs.RecordMiss(c.id, c.clock, vpn, m.frameColor(paddr), obs.InstFetch, stall)
+	}
 	c.clock += stall
+	// Code pages conflict-miss like data pages do; feed the dynamic
+	// policy so a thrashing hot code page can be recolored too.
+	if m.recolorer != nil {
+		return m.maybeRecolor(c, r.VAddr)
+	}
 	return nil
 }
 
@@ -209,6 +224,7 @@ func (m *Machine) stepPrefetch(c *cpuState, r *trace.Ref) error {
 	}
 
 	out := m.dir.Access(c.id, paddr, false)
+	m.applyDowngrade(paddr, out.Downgraded)
 	m.applyInvalidations(paddr, out.Invalidated)
 	latency := uint64(m.cfg.MemCycles)
 	if out.DirtyRemote {
@@ -291,6 +307,37 @@ func (m *Machine) chargeMiss(c *cpuState, class coherence.Class, shadowHit bool,
 			c.stats.CapacityMisses++
 			c.stats.StallCapacity += stall
 		}
+	}
+}
+
+// obsClass maps the simulator's miss classification (coherence class
+// plus the shadow-cache split chargeMiss applies) onto the attribution
+// classes.
+func obsClass(class coherence.Class, shadowHit bool) obs.MissClass {
+	switch class {
+	case coherence.Cold:
+		return obs.Cold
+	case coherence.TrueShare:
+		return obs.TrueShare
+	case coherence.FalseShare:
+		return obs.FalseShare
+	default:
+		if shadowHit {
+			return obs.Conflict
+		}
+		return obs.Capacity
+	}
+}
+
+// applyDowngrade mirrors a directory read-downgrade into the supplying
+// owner's external cache: flushing the dirty line to memory as part of
+// the supply leaves the owner's copy clean. Without this, the owner's
+// eventual eviction of the line charged a second writeback transaction
+// for data memory already held — the bus-occupancy double count that
+// pushed BusUtilization past 1 on sharing-heavy runs.
+func (m *Machine) applyDowngrade(paddr uint64, owner int) {
+	if owner >= 0 {
+		m.cpus[owner].l2.Clean(paddr)
 	}
 }
 

@@ -76,6 +76,9 @@ func (m *Machine) applyRecoloring(c *cpuState, ev *RecolorEvent) {
 	c.stats.KernelCycles += copyCycles + recolorKernelCycles
 	c.clock += copyCycles + recolorKernelCycles
 	c.stats.Recolorings++
+	if m.obs != nil {
+		m.obs.RecordRecolor(c.id, c.clock, ev.VPN, m.frameColor(ev.OldFrameBase), ev.NewColor)
+	}
 
 	for _, o := range m.cpus {
 		o.tlb.Invalidate(ev.VPN)

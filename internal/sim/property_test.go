@@ -101,6 +101,11 @@ func TestRandomProgramsInvariants(t *testing.T) {
 				t.Fatalf("trial %d: cpu %d clock %d != booked %d", trial, c.id, c.clock, c.stats.TotalCycles())
 			}
 		}
+		// Conservation invariants (cycles, misses, bus occupancy) must
+		// hold for every random program on every policy.
+		if vs := r1.Audit(); len(vs) != 0 {
+			t.Fatalf("trial %d: audit violations: %v", trial, vs)
+		}
 		// Determinism.
 		if r1.WallCycles != r2.WallCycles {
 			t.Fatalf("trial %d: nondeterministic wall: %d vs %d", trial, r1.WallCycles, r2.WallCycles)
@@ -126,6 +131,9 @@ func TestRandomProgramsInvariants(t *testing.T) {
 		i2 := rBH.Total(func(s *CPUStats) uint64 { return s.Instructions })
 		if i1 == 0 || i1 != i2 {
 			t.Fatalf("trial %d: instruction counts differ across policies: %d vs %d", trial, i1, i2)
+		}
+		if vs := rBH.Audit(); len(vs) != 0 {
+			t.Fatalf("trial %d: bin-hopping audit violations: %v", trial, vs)
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/ir"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/tlb"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -69,6 +70,13 @@ type Options struct {
 	// (§5 step 3: the OS "may not be able to honor the hints if the
 	// machine is under memory pressure").
 	ExhaustColors []int
+
+	// Obs, when non-nil, collects per-color/per-page miss attribution,
+	// per-set external-cache profiles and the structured event stream
+	// during Run. Observation is passive: an instrumented run produces a
+	// Result byte-identical to a plain one. Nil costs the hot path
+	// nothing beyond untaken branches on the miss paths.
+	Obs *obs.Collector
 }
 
 // Machine is a configured simulator instance.
@@ -84,6 +92,11 @@ type Machine struct {
 	// arch.Validate guarantees the page size is a power of two.
 	pageShift uint
 	pageMask  uint64
+	// colors caches cfg.Colors() for frame→color attribution.
+	colors int
+
+	// obs is the optional observability collector (Options.Obs).
+	obs *obs.Collector
 
 	// recolorer is non-nil when dynamic recoloring is enabled.
 	recolorer *recolorAdapter
@@ -163,6 +176,8 @@ func New(opts Options) (*Machine, error) {
 		opts:      opts,
 		pageShift: arch.Log2(cfg.PageSize),
 		pageMask:  uint64(cfg.PageSize - 1),
+		colors:    cfg.Colors(),
+		obs:       opts.Obs,
 	}
 	if opts.Recolor != nil {
 		m.recolorer = newRecolorAdapter(m.as, cfg.NumCPUs, *opts.Recolor, cfg.PageSize)
@@ -185,7 +200,26 @@ func New(opts Options) (*Machine, error) {
 			pending: make(map[uint64]uint64),
 		})
 	}
+	if m.obs != nil {
+		m.obs.Init(m.colors, cfg.L2.Sets(), cfg.PageSize/cfg.L2.LineSize)
+		for _, c := range m.cpus {
+			c.l2.EnableSetProfile()
+		}
+		m.as.OnFault = func(vpn uint64, cpu, color int, hinted, honored bool) {
+			var cycle uint64
+			if cpu >= 0 && cpu < len(m.cpus) {
+				cycle = m.cpus[cpu].clock
+			}
+			m.obs.RecordFault(cpu, cycle, vpn, color, hinted, honored)
+		}
+	}
 	return m, nil
+}
+
+// frameColor returns the page color of paddr's frame (frame number mod
+// color count, the allocator's layout of contiguous physical memory).
+func (m *Machine) frameColor(paddr uint64) int {
+	return int((paddr >> m.pageShift) % uint64(m.colors))
 }
 
 // AddressSpace exposes the simulated application's address space (the
@@ -234,6 +268,31 @@ func (m *Machine) Run(prog *ir.Program) (*Result, error) {
 		}
 	}
 
+	// Synchronize clocks before measuring. A CPU can lag the global
+	// clock here only when startup work was serialized on the master and
+	// no init or warm-up pass absorbed the skew (touch-order faulting
+	// with SkipWarmup); the lag is slave idle time, booked as such so
+	// every measured phase starts from a common origin — the audit's
+	// cycle-conservation invariant depends on it.
+	sync := m.wallClock()
+	for _, c := range m.cpus {
+		if c.clock < sync {
+			c.stats.SequentialCycles += sync - c.clock
+			c.clock = sync
+		}
+	}
+
+	// Attribution covers the measured region only, mirroring the Result:
+	// drop per-color/per-page counts and set profiles from init and
+	// warm-up. (Phases with Occurrences > 1 are still attributed once,
+	// unweighted, where the Result multiplies them out.)
+	if m.obs != nil {
+		m.obs.ResetAttribution()
+		for _, c := range m.cpus {
+			c.l2.EnableSetProfile()
+		}
+	}
+
 	res := &Result{
 		Workload: prog.Name,
 		Machine:  m.cfg.Name,
@@ -271,7 +330,38 @@ func (m *Machine) Run(prog *ir.Program) (*Result, error) {
 	res.PageFaults = m.as.Faults
 	res.HintedFaults = m.as.HintedFaults
 	res.HonoredHints = m.as.HonoredHints
+	if m.obs != nil {
+		m.finalizeObs()
+	}
 	return res, nil
+}
+
+// finalizeObs snapshots the per-set external-cache profile (summed over
+// CPUs, occupancy averaged) and the VM/allocator color state into the
+// collector at the end of a run.
+func (m *Machine) finalizeObs() {
+	sets := m.cfg.L2.Sets()
+	miss := make([]uint64, sets)
+	evict := make([]uint64, sets)
+	inval := make([]uint64, sets)
+	occ := make([]float64, sets)
+	for _, c := range m.cpus {
+		p := c.l2.Profile()
+		for i := 0; i < sets; i++ {
+			miss[i] += p.Misses[i]
+			evict[i] += p.Evictions[i]
+			inval[i] += p.Invalidations[i]
+		}
+		for i, o := range c.l2.SetOccupancy() {
+			occ[i] += o
+		}
+	}
+	for i := range occ {
+		occ[i] /= float64(len(m.cpus))
+	}
+	m.obs.RecordSetProfile(miss, evict, inval, occ)
+	m.obs.RecordAllocation(m.as.ColorOccupancy(), m.alloc.FreeByColor(),
+		m.as.Faults, m.as.HintedFaults, m.as.HonoredHints)
 }
 
 // wallClock returns the current global time (all CPUs are synchronized
@@ -307,14 +397,22 @@ func (m *Machine) runNest(prog *ir.Program, n *ir.Nest) error {
 		}
 		end := master.clock
 		for _, c := range m.cpus[1:] {
-			idle := end - start
-			switch {
-			case n.Suppressed:
-				c.stats.SuppressedCycles += idle
-			default:
-				c.stats.SequentialCycles += idle
+			// Idle from the slave's own clock, not the region start: a
+			// recoloring shootdown interrupt delivered mid-nest already
+			// advanced the slave's clock and kernel time, converting that
+			// much idle spin into kernel work rather than extending it
+			// (the audit's cycle-conservation invariant caught the
+			// end-start version double-booking shootdown cycles).
+			if end > c.clock {
+				idle := end - c.clock
+				switch {
+				case n.Suppressed:
+					c.stats.SuppressedCycles += idle
+				default:
+					c.stats.SequentialCycles += idle
+				}
+				c.clock = end
 			}
-			c.clock = end
 		}
 		return nil
 	}

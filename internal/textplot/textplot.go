@@ -112,6 +112,54 @@ type Segment struct {
 	Value float64
 }
 
+// Heatmap renders a matrix as an intensity grid, one glyph per cell,
+// linearly scaled so the matrix maximum maps to the last glyph of the
+// ramp. Zero cells always use the first glyph. An empty glyphs string
+// selects the default ten-step ramp. Each row is prefixed by its label.
+func Heatmap(rowLabels []string, cells [][]float64, glyphs string) string {
+	if glyphs == "" {
+		glyphs = " .:-=+*#%@"
+	}
+	ramp := []rune(glyphs)
+	max := 0.0
+	for _, row := range cells {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, row := range cells {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelW, label)
+		for _, v := range row {
+			g := 0
+			if max > 0 && v > 0 {
+				g = int(v / max * float64(len(ramp)-1))
+				if g == 0 {
+					g = 1 // nonzero cells never render as blank
+				}
+				if g >= len(ramp) {
+					g = len(ramp) - 1
+				}
+			}
+			b.WriteRune(ramp[g])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
 // BarChart renders labeled bars with a shared scale and the numeric
 // value appended.
 type BarChart struct {

@@ -97,3 +97,45 @@ func TestBarChartLabelAlignment(t *testing.T) {
 		t.Errorf("bars not aligned:\n%s", c.String())
 	}
 }
+
+func TestHeatmap(t *testing.T) {
+	rows := [][]float64{
+		{0, 1, 2, 4},
+		{4, 0, 0, 0},
+	}
+	out := Heatmap([]string{"c0", "c1"}, rows, "")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("heatmap lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "c0 ") || !strings.HasPrefix(lines[1], "c1 ") {
+		t.Errorf("row labels missing:\n%s", out)
+	}
+	// Cells render between | |; width equals the column count.
+	cells := lines[0][strings.Index(lines[0], "|")+1 : strings.LastIndex(lines[0], "|")]
+	if len(cells) != 4 {
+		t.Fatalf("cell width = %d, want 4: %q", len(cells), cells)
+	}
+	if cells[0] != ' ' {
+		t.Errorf("zero cell should be blank, got %q", cells[0])
+	}
+	// Nonzero cells must never be blank, even tiny values.
+	if cells[1] == ' ' {
+		t.Error("nonzero cell rendered blank")
+	}
+	// The maximum renders the hottest glyph of the default ramp.
+	if cells[3] != '@' {
+		t.Errorf("max cell = %q, want '@'", cells[3])
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	if out := Heatmap(nil, nil, ""); out != "" {
+		t.Errorf("empty heatmap = %q, want empty", out)
+	}
+	// All-zero matrix renders blanks, not a divide-by-zero artifact.
+	out := Heatmap([]string{"r"}, [][]float64{{0, 0}}, "")
+	if !strings.Contains(out, "|  |") {
+		t.Errorf("all-zero heatmap = %q", out)
+	}
+}

@@ -78,6 +78,13 @@ type AddressSpace struct {
 	Faults       uint64 // total page faults taken
 	HintedFaults uint64 // faults whose vpn had a CDPC hint
 	HonoredHints uint64 // hinted faults that got the hinted color
+
+	// OnFault, when non-nil, observes every serviced page fault: the
+	// faulting vpn and cpu, the granted frame's color, and whether the
+	// fault was hinted and the hint honored. The simulator's
+	// observability layer hooks it; the callback must not mutate the
+	// address space.
+	OnFault func(vpn uint64, cpu, color int, hinted, honored bool)
 }
 
 // NewAddressSpace creates an empty address space backed by alloc.
@@ -156,9 +163,10 @@ func (as *AddressSpace) TranslateVPN(vpn uint64, cpu int) (pbase uint64, faulted
 func (as *AddressSpace) fault(vpn uint64, cpu int) (uint64, error) {
 	as.Faults++
 	var preferred int
-	if color, ok := as.hints[vpn]; ok {
+	_, hinted := as.hints[vpn]
+	if hinted {
 		as.HintedFaults++
-		preferred = color
+		preferred = as.hints[vpn]
 	} else {
 		preferred = as.policy.PreferredColor(vpn, cpu)
 	}
@@ -166,18 +174,29 @@ func (as *AddressSpace) fault(vpn uint64, cpu int) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("vm: fault on vpn %d: %w", vpn, err)
 	}
-	if _, hinted := as.hints[vpn]; hinted && honored {
+	if hinted && honored {
 		as.HonoredHints++
 	}
 	as.pages[vpn] = frame
 	as.frames[frame] = vpn
-	as.occ[as.alloc.ColorOf(frame)]++
+	color := as.alloc.ColorOf(frame)
+	as.occ[color]++
+	if as.OnFault != nil {
+		as.OnFault(vpn, cpu, color, hinted, hinted && honored)
+	}
 	return frame, nil
 }
 
 // Occupancy returns the number of mapped pages of the given color.
 func (as *AddressSpace) Occupancy(color int) int {
 	return as.occ[((color%len(as.occ))+len(as.occ))%len(as.occ)]
+}
+
+// ColorOccupancy returns a copy of the mapped-pages-per-color table.
+func (as *AddressSpace) ColorOccupancy() []int {
+	out := make([]int, len(as.occ))
+	copy(out, as.occ)
+	return out
 }
 
 // TranslateNoFault translates vaddr without taking a page fault; ok is

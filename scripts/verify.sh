@@ -8,3 +8,10 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/harness/...
+
+# Audited smoke runs: conservation invariants (cycles, miss classes,
+# bus occupancy) checked on every simulation; violations exit non-zero.
+# fig6 covers the paper's headline sweep, ext-pressure the raw-simulator
+# path that bypasses the scheduler.
+go run ./cmd/experiments -id fig6 -quick -audit > /dev/null
+go run ./cmd/experiments -id ext-pressure -quick -audit > /dev/null
