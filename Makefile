@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench audit verify
+.PHONY: build test vet race bench audit serve smoke verify
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,10 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The scheduler is the only concurrent subsystem; run its package (and
-# the simulator it drives) under the race detector.
+# The concurrent subsystems — the experiment scheduler and the cdpcd
+# server in front of it — run under the race detector.
 race:
-	$(GO) test -race ./internal/harness/...
+	$(GO) test -race ./internal/harness/... ./internal/server/...
 
 # Scheduler + simulator benchmarks, plus the machine-readable
 # BENCH_harness.json dump (serial vs pooled Figure 6).
@@ -26,6 +26,16 @@ bench:
 # conservation invariants are checked; any violation exits non-zero.
 audit:
 	$(GO) run ./cmd/experiments -quick -audit
+
+# Run the simulation daemon (see API.md for the HTTP surface).
+serve:
+	$(GO) run ./cmd/cdpcd -addr :8080
+
+# End-to-end daemon exercise: build cdpcd, drive sync/async jobs,
+# saturate the queue (429s), check metrics, SIGTERM drain.
+smoke:
+	$(GO) build -o /tmp/cdpcd-smoke ./cmd/cdpcd
+	$(GO) run ./scripts/smoke -bin /tmp/cdpcd-smoke
 
 verify:
 	./scripts/verify.sh

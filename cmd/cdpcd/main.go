@@ -1,0 +1,111 @@
+// Command cdpcd is the simulation-as-a-service daemon: a long-running
+// HTTP/JSON server that accepts simulation jobs (bundled workload or
+// custom affine program, machine config, mapping policy) and executes
+// them on the memoizing parallel scheduler, so repeated specs are
+// served from cache and independent jobs fan out across a bounded
+// worker pool.
+//
+// Usage:
+//
+//	cdpcd                               # listen on :8080
+//	cdpcd -addr 127.0.0.1:0             # pick a free port (printed on stdout)
+//	cdpcd -workers 4 -queue 32          # 4 simulators, 32 queued jobs max
+//	cdpcd -timeout 30s -drain 60s       # per-job cap, shutdown drain deadline
+//
+// Endpoints (full reference in API.md): POST /v1/simulate (blocking),
+// POST /v1/jobs + GET /v1/jobs/{id} (async), DELETE /v1/jobs/{id}
+// (cancel), GET /v1/workloads, /metrics, /healthz, /readyz. A full
+// queue answers 429 with Retry-After; SIGINT/SIGTERM drains in-flight
+// jobs before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers = flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+		queueN  = flag.Int("queue", server.DefaultQueueCapacity, "bounded admission-queue capacity; a full queue answers 429")
+		timeout = flag.Duration("timeout", server.DefaultJobTimeout, "default per-job simulation deadline (requests may lower it via timeout_ms)")
+		maxTO   = flag.Duration("max-timeout", server.DefaultMaxTimeout, "upper clamp on request-supplied timeouts")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for accepted jobs")
+		quiet   = flag.Bool("quiet", false, "suppress per-request log lines")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "cdpcd ", log.LstdFlags|log.Lmsgprefix)
+	var reqLog *log.Logger
+	if !*quiet {
+		reqLog = logger
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueCapacity:  *queueN,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		Log:            reqLog,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen %s: %v", *addr, err)
+	}
+	// The bound address goes to stdout so scripts (scripts/smoke,
+	// verify.sh) can discover a port-0 binding.
+	fmt.Printf("cdpcd listening on http://%s\n", listenHost(ln.Addr()))
+	os.Stdout.Sync() //nolint:errcheck
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		logger.Printf("received %v; draining (deadline %s)", got, *drain)
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	// Drain: stop accepting, let accepted jobs finish, then close the
+	// HTTP listener. Job drain comes first so status polls keep working
+	// while jobs complete.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		hs.Close() //nolint:errcheck
+		os.Exit(1)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	hs.Shutdown(httpCtx) //nolint:errcheck
+	logger.Printf("drained cleanly")
+}
+
+// listenHost renders a bound address dialable: a wildcard host
+// (":8080") is rewritten to 127.0.0.1.
+func listenHost(a net.Addr) string {
+	tcp, ok := a.(*net.TCPAddr)
+	if !ok {
+		return a.String()
+	}
+	if tcp.IP == nil || tcp.IP.IsUnspecified() {
+		return fmt.Sprintf("127.0.0.1:%d", tcp.Port)
+	}
+	return a.String()
+}

@@ -1,0 +1,31 @@
+// Package repro is a full reproduction of "Compiler-Directed Page
+// Coloring for Multiprocessors" (Bugnion, Anderson, Mowry, Rosenblum,
+// Lam — ASPLOS 1996) as a Go library.
+//
+// The paper's technique, CDPC, has the parallelizing compiler summarize
+// each processor's array access patterns; a runtime turns the summaries
+// plus machine parameters into a preferred color for every virtual page;
+// and the operating system honors those colors as hints when mapping
+// pages, eliminating conflict misses in physically indexed caches.
+//
+// This package is the public facade. It re-exports the pieces a user
+// composes:
+//
+//   - Programs are written in the affine loop-nest IR (Program, Array,
+//     Nest, Access) or taken from the bundled SPEC95fp-analog workloads
+//     (Workloads, Workload).
+//   - Compile runs the SUIF-style pipeline: data layout with alignment
+//     and padding, access-pattern summarization, optional prefetch
+//     insertion.
+//   - ComputeHints runs the paper's five-step CDPC algorithm (§5.2).
+//   - Simulate executes the program on the machine simulator standing in
+//     for SimOS: per-CPU caches, coherence, a finite-bandwidth bus, and
+//     the simulated OS's page mapping policies.
+//
+// The one-call path for comparisons is Run:
+//
+//	res, err := repro.Run(repro.Spec{Workload: "tomcatv", CPUs: 8, Variant: repro.CDPC})
+//
+// See examples/ for full programs and cmd/experiments for the
+// reproduction of every table and figure in the paper.
+package repro

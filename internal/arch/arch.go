@@ -1,14 +1,3 @@
-// Package arch defines the machine parameters used throughout the
-// simulator: cache geometries, bus bandwidth, memory latencies, page size
-// and the color arithmetic that connects physically indexed caches to
-// virtual-memory pages.
-//
-// Two presets are provided: Base, modeled on the paper's SimOS
-// configuration (400 MHz single-issue R4400s, 32 KB 2-way split L1,
-// 1 MB direct-mapped external cache, 1.2 GB/s split-transaction bus), and
-// Alpha, modeled on the 350 MHz AlphaServer 8400 used for validation
-// (4 MB direct-mapped external cache). Scale derives proportionally
-// smaller machines so that full experiments finish in seconds.
 package arch
 
 import "fmt"

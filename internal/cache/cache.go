@@ -1,7 +1,3 @@
-// Package cache implements the set-associative cache model used for both
-// the on-chip (virtually indexed) and external (physically indexed)
-// caches, and a fully-associative shadow cache used to split replacement
-// misses into conflict and capacity misses.
 package cache
 
 import (

@@ -1,0 +1,7 @@
+// Package cache implements the set-associative cache model used for both
+// the on-chip (virtually indexed) and external (physically indexed)
+// caches, and a fully-associative shadow cache used to split replacement
+// misses into conflict and capacity misses — the decomposition behind
+// the paper's Figure 2 memory-system breakdown (§4.1) and the conflict
+// bars of Figures 6–8.
+package cache

@@ -1,0 +1,10 @@
+// Package coherence implements an invalidation-based (MESI-style)
+// coherence directory over the per-CPU external caches, plus the
+// word-granularity bookkeeping needed to classify coherence misses into
+// true and false sharing following Dubois et al., the classification the
+// paper's Figure 2 memory-system graph uses (§4.1).
+//
+// The directory is the single source of truth for which CPUs hold a line;
+// the simulator mirrors its invalidation decisions into the per-CPU cache
+// models.
+package coherence

@@ -1,0 +1,8 @@
+// Package compiler implements the SUIF-side analyses of the paper: data
+// layout with alignment and inter-array padding (§5.4), access-pattern
+// summarization for CDPC (§5.1 — array partitioning, communication
+// patterns, group access information), and compiler-inserted prefetching
+// (§6.2). All analyses operate on the ir.Program that also drives the
+// simulator, so summaries describe the real access pattern by
+// construction.
+package compiler

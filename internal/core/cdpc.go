@@ -1,25 +1,3 @@
-// Package core implements compiler-directed page coloring (CDPC), the
-// paper's contribution: the run-time algorithm of §5.2 that turns the
-// compiler's access-pattern summaries plus machine-specific parameters
-// into a preferred color for each virtual page. The resulting hints are
-// handed to the operating system through vm.AddressSpace.Advise (the
-// paper's single madvise-like system call) or realized by touching pages
-// in hint order on top of a bin-hopping policy (the Digital UNIX path).
-//
-// The five steps, following the paper exactly:
-//
-//  1. Create the uniform access segments: maximal virtual-address ranges
-//     accessed by a single set of processors, computed from the array
-//     partitioning and communication summaries and start-up parameters.
-//  2. Order the uniform access sets (groups of segments with identical
-//     processor sets) along a greedy path that clusters each processor's
-//     pages: sets with overlapping processor sets are placed adjacently.
-//  3. Order the segments within each set so that group-accessed arrays
-//     land near each other.
-//  4. Order the pages within each segment cyclically, choosing the start
-//     point to space the starting locations of conflicting segments
-//     across the range of colors.
-//  5. Assign colors to the final page sequence in round-robin order.
 package core
 
 import (

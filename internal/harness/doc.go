@@ -1,0 +1,14 @@
+// Package harness assembles full experiment runs: it builds a workload,
+// runs the compiler pipeline (layout, summaries, optional prefetch
+// insertion), computes CDPC hints when requested, constructs the machine
+// and executes the simulation. Every table and figure reproduction in
+// cmd/experiments and bench_test.go goes through this package
+// (Figures 6–9 and Tables 1–2 of the paper, plus the extension
+// studies), as does every cdpcd request via the Scheduler.
+//
+// The Scheduler is the concurrent execution engine: a fixed worker
+// pool with a Spec-keyed memo cache (in-flight runs coalesce) and a
+// shared compiled-program cache. RunCtx threads context cancellation
+// into the simulator, which polls at loop-nest boundaries; canceled
+// runs never poison the memo cache.
+package harness

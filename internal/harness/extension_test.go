@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// extOpts shrinks the extension studies to test size: quick sweeps at
+// 1/64 scale keep every run tens of milliseconds.
+func extOpts() ExpOptions {
+	return ExpOptions{Quick: true, Scale: 64}
+}
+
+func TestExtDynamicReportsAllPolicies(t *testing.T) {
+	out, err := ExtDynamic(extOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"dynamic page recoloring vs CDPC",
+		"coloring(M)", "dynamic(M)", "cdpc(M)", "recolors",
+		"tomcatv", // the quick workload
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The table body must contain a data row: workload name followed by
+	// the CPU count used in quick mode.
+	if !strings.Contains(out, "tomcatv  8") {
+		t.Errorf("no tomcatv/8-cpu data row in:\n%s", out)
+	}
+}
+
+func TestExtDynamicSchedulerOutputIdentical(t *testing.T) {
+	serial, err := ExtDynamic(extOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := extOpts()
+	o.Runner = NewScheduler(4)
+	o.Audit = true
+	pooled, err := ExtDynamic(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != pooled {
+		t.Error("scheduler run not byte-identical to serial run")
+	}
+}
+
+func TestExtPaddingShowsPaddingContrast(t *testing.T) {
+	out, err := ExtPadding(extOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"padding baseline vs the OS page mapping policy",
+		"coloring(M)", "+padding(M)", "binhop(M)", "cdpc(M)",
+		"pad/colr", "pad/binhop",
+		"tomcatv",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestExtPaddingWithSchedulerAndAudit(t *testing.T) {
+	o := extOpts()
+	o.Runner = NewScheduler(4)
+	o.Audit = true
+	out, err := ExtPadding(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tomcatv") {
+		t.Errorf("no data row in:\n%s", out)
+	}
+	if runs := o.Runner.Runs(); runs == 0 {
+		t.Error("scheduler executed no runs")
+	}
+}

@@ -1,11 +1,7 @@
-// Package harness assembles full experiment runs: it builds a workload,
-// runs the compiler pipeline (layout, summaries, optional prefetch
-// insertion), computes CDPC hints when requested, constructs the machine
-// and executes the simulation. Every table and figure reproduction in
-// cmd/experiments and bench_test.go goes through this package.
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -169,18 +165,31 @@ func Prepare(s Spec) (*ir.Program, *compiler.Summary, arch.Config, error) {
 
 // Run executes one spec end to end.
 func Run(s Spec) (*sim.Result, error) {
+	return RunCtx(context.Background(), s)
+}
+
+// RunCtx is Run with cancellation: ctx is polled at nest boundaries
+// inside the simulator, so a canceled or expired context aborts the
+// simulation at the next synchronization point with ctx's error. The
+// cdpcd server threads every request's context through here.
+func RunCtx(ctx context.Context, s Spec) (*sim.Result, error) {
 	s = s.withDefaults()
 	prog, sum, cfg, err := Prepare(s)
 	if err != nil {
 		return nil, err
 	}
-	return runPrepared(prog, sum, cfg, s)
+	return runPrepared(ctx, prog, sum, cfg, s)
 }
 
 // RunProgram executes a custom (e.g. text-format) program under the
 // spec's machine and variant; the Workload field is ignored. The program
 // goes through the same compiler pipeline as the bundled workloads.
 func RunProgram(prog *ir.Program, s Spec) (*sim.Result, error) {
+	return RunProgramCtx(context.Background(), prog, s)
+}
+
+// RunProgramCtx is RunProgram with cancellation (see RunCtx).
+func RunProgramCtx(ctx context.Context, prog *ir.Program, s Spec) (*sim.Result, error) {
 	s = s.withDefaults()
 	cfg := s.Config()
 	layout := compiler.DefaultLayout(cfg.L2.LineSize, cfg.L1D.Size, cfg.PageSize)
@@ -198,12 +207,17 @@ func RunProgram(prog *ir.Program, s Spec) (*sim.Result, error) {
 	if s.Prefetch {
 		compiler.InsertPrefetches(prog, compiler.DefaultPrefetch())
 	}
-	return runPrepared(prog, compiler.Summarize(prog), cfg, s)
+	return runPrepared(ctx, prog, compiler.Summarize(prog), cfg, s)
 }
 
 // runPrepared maps the variant to simulator options and runs.
-func runPrepared(prog *ir.Program, sum *compiler.Summary, cfg arch.Config, s Spec) (*sim.Result, error) {
+func runPrepared(ctx context.Context, prog *ir.Program, sum *compiler.Summary, cfg arch.Config, s Spec) (*sim.Result, error) {
 	opts := sim.Options{Config: cfg, DisableClassification: s.DisableClassification, Obs: s.Obs}
+	if ctx.Done() != nil {
+		// Only contexts that can actually be canceled pay for the
+		// nest-boundary poll; Background keeps the serial path untouched.
+		opts.Cancel = ctx.Err
+	}
 	colors := cfg.Colors()
 
 	needHints := s.Variant == CDPC || s.Variant == CDPCTouch

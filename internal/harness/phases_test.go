@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExtPhasesReportsEveryPhase(t *testing.T) {
+	out, err := ExtPhases(ExpOptions{Quick: true, Scale: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"representative-execution-window validation",
+		"mean inst (M)", "inst stddev%", "miss stddev%",
+		"tomcatv", "turb3d", // the quick workloads
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// turb3d has four phases; each must appear as its own row.
+	if got := strings.Count(out, "turb3d"); got < 2 {
+		t.Errorf("turb3d appears %d times; expected one row per phase", got)
+	}
+}
+
+func TestExtPhasesDeterministic(t *testing.T) {
+	o := ExpOptions{Quick: true, Scale: 64}
+	a, err := ExtPhases(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExtPhases(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("ExtPhases output varies between identical runs")
+	}
+}
+
+func TestMeanCV(t *testing.T) {
+	cases := []struct {
+		name     string
+		xs       []float64
+		mean, cv float64
+	}{
+		{"empty", nil, 0, 0},
+		{"constant", []float64{5, 5, 5, 5}, 5, 0},
+		{"zero mean", []float64{1, -1}, 0, 0},
+		// mean 3, population stddev sqrt(2/..): xs={1,5}: mean 3,
+		// stddev 2, cv 2/3.
+		{"spread", []float64{1, 5}, 3, 2.0 / 3.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mean, cv := meanCV(tc.xs)
+			if math.Abs(mean-tc.mean) > 1e-12 || math.Abs(cv-tc.cv) > 1e-12 {
+				t.Errorf("meanCV(%v) = (%g, %g), want (%g, %g)", tc.xs, mean, cv, tc.mean, tc.cv)
+			}
+		})
+	}
+}

@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/compiler"
@@ -25,6 +28,12 @@ import (
 // Output is therefore byte-identical to a fully serial execution.
 type Scheduler struct {
 	workers int
+
+	// hits counts Run/RunCtx calls served from (or coalesced onto) the
+	// memo cache; misses counts calls that executed a new simulation.
+	// Instrumented specs bypass the cache and count as misses.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 
 	mu    sync.Mutex
 	memo  map[specKey]*memoEntry
@@ -121,26 +130,93 @@ func (sc *Scheduler) Workers() int { return sc.workers }
 // goroutine if no memoized or in-flight run exists. Concurrent callers
 // with the same Spec coalesce onto one simulation.
 func (sc *Scheduler) Run(spec Spec) (*sim.Result, error) {
+	return sc.RunCtx(context.Background(), spec)
+}
+
+// RunCtx is Run with cancellation. ctx is polled at nest boundaries
+// inside the simulation, so a canceled or expired context frees the
+// calling worker at the next synchronization point. Cancellation never
+// poisons the memo cache: a run that dies on its owner's context error
+// is removed from the cache, and callers that were coalesced onto it
+// retry under their own (still live) context instead of inheriting the
+// stranger's cancellation.
+func (sc *Scheduler) RunCtx(ctx context.Context, spec Spec) (*sim.Result, error) {
 	if spec.Obs != nil {
 		// Instrumented specs are never memoized: a cached result could
 		// not have filled this run's collector. The program cache is
 		// still shared (observation does not perturb compiled programs).
-		return sc.runSpec(spec)
+		sc.misses.Add(1)
+		return sc.runSpec(ctx, spec)
+	}
+	key := keyOf(spec)
+	for {
+		sc.mu.Lock()
+		if e, ok := sc.memo[key]; ok {
+			sc.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				// Stop waiting for someone else's run; the run itself
+				// continues for its other waiters.
+				return nil, ctx.Err()
+			}
+			if e.err != nil && isContextErr(e.err) {
+				// The owning run was canceled (and the entry already
+				// removed); re-enter the lookup and run it ourselves.
+				continue
+			}
+			sc.hits.Add(1)
+			return e.res, e.err
+		}
+		e := &memoEntry{done: make(chan struct{})}
+		sc.memo[key] = e
+		sc.mu.Unlock()
+		sc.misses.Add(1)
+
+		e.res, e.err = sc.runSpec(ctx, spec)
+		if e.err != nil && isContextErr(e.err) {
+			sc.mu.Lock()
+			delete(sc.memo, key)
+			sc.mu.Unlock()
+		}
+		close(e.done)
+		return e.res, e.err
+	}
+}
+
+// isContextErr reports whether err stems from context cancellation or
+// expiry — the errors that describe the requester, not the spec, and so
+// must never be memoized.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// CacheStats returns how many Run calls were served from (or coalesced
+// onto) the memo cache and how many executed a new simulation.
+func (sc *Scheduler) CacheStats() (hits, misses uint64) {
+	return sc.hits.Load(), sc.misses.Load()
+}
+
+// HasResult reports whether spec's result is already memoized and
+// complete, i.e. whether a Run would return without simulating.
+// Instrumented specs always report false (they bypass the cache).
+func (sc *Scheduler) HasResult(spec Spec) bool {
+	if spec.Obs != nil {
+		return false
 	}
 	key := keyOf(spec)
 	sc.mu.Lock()
-	if e, ok := sc.memo[key]; ok {
-		sc.mu.Unlock()
-		<-e.done
-		return e.res, e.err
-	}
-	e := &memoEntry{done: make(chan struct{})}
-	sc.memo[key] = e
+	e, ok := sc.memo[key]
 	sc.mu.Unlock()
-
-	e.res, e.err = sc.runSpec(spec)
-	close(e.done)
-	return e.res, e.err
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.err == nil
+	default:
+		return false
+	}
 }
 
 // Warm executes the given specs on the worker pool and blocks until all
@@ -191,13 +267,13 @@ func (sc *Scheduler) Runs() int {
 
 // runSpec is Run's slow path: prepare (through the program cache) and
 // simulate. It mirrors the package-level Run exactly.
-func (sc *Scheduler) runSpec(spec Spec) (*sim.Result, error) {
+func (sc *Scheduler) runSpec(ctx context.Context, spec Spec) (*sim.Result, error) {
 	spec = spec.withDefaults()
 	prog, sum, cfg, err := sc.prepare(spec)
 	if err != nil {
 		return nil, err
 	}
-	return runPrepared(prog, sum, cfg, spec)
+	return runPrepared(ctx, prog, sum, cfg, spec)
 }
 
 // prepare resolves the spec's compiled program through the shared

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// ctxSpec is a run big enough (~0.5s) that a context deadline can
+// reliably land mid-simulation.
+func ctxSpec() Spec {
+	return Spec{Workload: "tomcatv", CPUs: 16, Scale: 4}
+}
+
+func TestRunCtxDeadlineAborts(t *testing.T) {
+	sc := NewScheduler(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := sc.RunCtx(ctx, ctxSpec())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %s; nest-boundary polling not effective", elapsed)
+	}
+}
+
+func TestRunCtxCancelDoesNotPoisonMemo(t *testing.T) {
+	sc := NewScheduler(2)
+	spec := ctxSpec()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := sc.RunCtx(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first run: err = %v, want Canceled", err)
+	}
+
+	// The canceled run must not be memoized: a fresh context succeeds.
+	res, err := sc.RunCtx(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("second run inherited the cancellation: %v", err)
+	}
+	if res.WallCycles == 0 {
+		t.Fatal("second run produced no cycles")
+	}
+
+	// And the retry's (successful) result is now cached.
+	if !sc.HasResult(spec) {
+		t.Error("successful retry not memoized")
+	}
+}
+
+func TestRunCtxWaiterStopsOnOwnCancel(t *testing.T) {
+	sc := NewScheduler(2)
+	spec := ctxSpec()
+
+	// Owner starts a long run with a context that stays alive.
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, err := sc.RunCtx(context.Background(), spec)
+		ownerDone <- err
+	}()
+	// Give the owner time to claim the memo entry.
+	for i := 0; i < 100 && func() bool { h, m := sc.CacheStats(); return h+m == 0 }(); i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A waiter with a short deadline abandons the wait; the owner's run
+	// is unaffected.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := sc.RunCtx(ctx, spec); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want DeadlineExceeded", err)
+	}
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner's run failed: %v", err)
+	}
+}
+
+func TestHasResult(t *testing.T) {
+	sc := NewScheduler(1)
+	spec := Spec{Workload: "tomcatv", CPUs: 1, Scale: 64}
+	if sc.HasResult(spec) {
+		t.Fatal("HasResult true before any run")
+	}
+	if _, err := sc.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.HasResult(spec) {
+		t.Fatal("HasResult false after a completed run")
+	}
+	hits, misses := sc.CacheStats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("CacheStats = (%d, %d), want (0, 1)", hits, misses)
+	}
+	if _, err := sc.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := sc.CacheStats(); hits != 1 {
+		t.Fatalf("hits = %d after repeat run, want 1", hits)
+	}
+}

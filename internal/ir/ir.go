@@ -1,15 +1,3 @@
-// Package ir defines the affine loop-nest program representation shared
-// by the compiler analyses and the machine simulator. A Program is the
-// single source of truth: the same loop nests that generate the
-// per-processor reference streams executed by the simulator are the ones
-// the compiler summarizes for CDPC, so "the compiler knows the access
-// pattern" (§5.1) is genuine rather than asserted.
-//
-// The model captures exactly what the paper's technique consumes: arrays,
-// statically scheduled parallel loops over a distributed dimension, affine
-// per-iteration accesses (element = OuterStride·i + InnerStride·j +
-// Offset), boundary communication, and phase structure with occurrence
-// weights (§3.2's representative execution windows).
 package ir
 
 import "fmt"

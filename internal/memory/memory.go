@@ -1,9 +1,3 @@
-// Package memory implements the physical frame allocator: free frames are
-// kept in per-color pools so the virtual-memory subsystem can honor a
-// policy's (or CDPC's) preferred color. Under memory pressure a request
-// falls back to the richest other pool — the paper's "the operating
-// system ... may not be able to honor the hints if the machine is under
-// memory pressure" (§5, step 3).
 package memory
 
 import (

@@ -1,0 +1,13 @@
+// Package obs is the simulator's opt-in observability layer: per-color
+// and per-virtual-page miss attribution, per-set external-cache profile
+// aggregation, a structured event stream behind a Tracer, and the
+// conservation-invariant Violation type the audit pass reports.
+//
+// The paper's whole argument rests on knowing which pages and colors
+// cause conflict misses (Figures 4–5 attribute misses to pages before
+// and after coloring); this package is the instrument that produces that
+// attribution for any run. It is deliberately a leaf package: the
+// simulator pushes events into a Collector, and nothing here reaches
+// back into simulator state, which is what keeps an instrumented run
+// byte-identical to a plain one.
+package obs

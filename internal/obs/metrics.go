@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the service-facing half of the observability layer: a
+// tiny metrics registry (counters, gauges, histograms) with a
+// Prometheus-style text exposition. The cdpcd daemon registers its
+// queue, scheduler-cache and per-endpoint latency metrics here and
+// serves them from /metrics. Like the rest of the package it is
+// deliberately passive — recording a sample is a few atomic adds, and
+// nothing in the registry reaches back into simulator or server state.
+
+// Counter is a monotonically increasing uint64 metric. The zero value
+// is ready to use, but counters are normally obtained from a Registry
+// so they appear in the exposition.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// DefaultLatencyBuckets are the histogram bounds (in seconds) used for
+// request latencies: 100µs to ~100s in powers of ~4, wide enough to
+// span a memo-cache hit and a paper-sized simulation in one histogram.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536, 26.2144, 104.8576,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// counted into the first bucket whose upper bound is >= the sample;
+// samples beyond the last bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending, seconds
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sumNS  atomic.Uint64 // sum of observations in nanoseconds
+	n      atomic.Uint64
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds in seconds; nil bounds use DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// metric is one named entry in a Registry's exposition.
+type metric struct {
+	name string // full exposition name, may carry {label="..."} pairs
+	help string
+	kind string // "counter", "gauge", "histogram"
+
+	counter *Counter
+	gauge   func() float64
+	hist    *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// format. Registration is idempotent by full name (the second Counter
+// call with the same name returns the first counter), which lets
+// callers mint per-route or per-code metrics lazily on the request
+// path. Output is ordered by name so /metrics is deterministic.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	metrics []*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. name may include a {label="value"} suffix.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.get(name, help, "counter")
+	return m.counter
+}
+
+// Gauge registers a gauge whose value is read from f at exposition
+// time (queue depth, in-flight count, cache hit rate).
+func (r *Registry) Gauge(name, help string, f func() float64) {
+	m := r.get(name, help, "gauge")
+	m.gauge = f
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds (nil = DefaultLatencyBuckets) on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.get(name, help, "histogram")
+	if m.hist == nil {
+		m.hist = NewHistogram(bounds)
+	}
+	return m.hist
+}
+
+func (r *Registry) get(name, help, kind string) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	if kind == "counter" {
+		m.counter = &Counter{}
+	}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	sort.Slice(r.metrics, func(i, j int) bool { return r.metrics[i].name < r.metrics[j].name })
+	return m
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (one `name value` line per sample, histograms as
+// cumulative `_bucket{le=...}` series plus `_sum` and `_count`).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		base, labels := splitLabels(m.name)
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", base, m.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, m.kind)
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.gauge()))
+		case m.hist != nil:
+			var cum uint64
+			for i, b := range m.hist.bounds {
+				cum += m.hist.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLE(labels, formatFloat(b)), cum)
+			}
+			cum += m.hist.inf.Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLE(labels, "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, formatFloat(m.hist.Sum().Seconds()))
+			fmt.Fprintf(w, "%s_count%s %d\n", base, labels, m.hist.Count())
+		}
+	}
+	return nil
+}
+
+// splitLabels separates a full metric name into its base name and an
+// optional {label="..."} block.
+func splitLabels(name string) (base, labels string) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i], name[i:]
+		}
+	}
+	return name, ""
+}
+
+// withLE merges an le="bound" label into an existing (possibly empty)
+// label block.
+func withLE(labels, bound string) string {
+	le := fmt.Sprintf("le=%q", bound)
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
+}
+
+// formatFloat renders a float without the exponent noise %v would add
+// for typical metric magnitudes.
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cdpcd_jobs_total", "jobs accepted")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if again := r.Counter("cdpcd_jobs_total", ""); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	r.Gauge("cdpcd_queue_depth", "queued jobs", func() float64 { return 7 })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cdpcd_jobs_total counter",
+		"cdpcd_jobs_total 3",
+		"# TYPE cdpcd_queue_depth gauge",
+		"cdpcd_queue_depth 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryLabelsAndOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`http_requests_total{route="POST /v1/jobs",code="202"}`, "requests").Add(5)
+	r.Counter(`http_requests_total{route="GET /metrics",code="200"}`, "requests").Inc()
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `http_requests_total{route="POST /v1/jobs",code="202"} 5`) {
+		t.Errorf("labeled counter missing:\n%s", out)
+	}
+	// Deterministic: GET sorts before POST.
+	gi := strings.Index(out, `route="GET /metrics"`)
+	pi := strings.Index(out, `route="POST /v1/jobs"`)
+	if gi < 0 || pi < 0 || gi > pi {
+		t.Errorf("exposition not name-ordered (GET at %d, POST at %d)", gi, pi)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat{route="POST /v1/simulate"}`, "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket le=0.001
+	h.Observe(5 * time.Millisecond)   // bucket le=0.01
+	h.Observe(2 * time.Second)        // +Inf
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{route="POST /v1/simulate",le="0.001"} 1`,
+		`lat_bucket{route="POST /v1/simulate",le="0.01"} 2`,
+		`lat_bucket{route="POST /v1/simulate",le="0.1"} 2`,
+		`lat_bucket{route="POST /v1/simulate",le="+Inf"} 3`,
+		`lat_count{route="POST /v1/simulate"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	h := NewHistogram([]float64{0.01})
+	h.Observe(10 * time.Millisecond) // exactly the bound → le="0.01"
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatalf("boundary observation landed in +Inf (bucket=%d, inf=%d)", got, h.inf.Load())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "").Inc()
+				r.Histogram("h", "", nil).Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

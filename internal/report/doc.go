@@ -1,0 +1,6 @@
+// Package report renders simulation results in machine-readable forms
+// (CSV and JSON) for external plotting and analysis, complementing the
+// human-readable tables of internal/textplot. It also emits the
+// per-color and per-page attribution an obs.Collector gathers (the
+// paper's Figures 4–5 page-to-miss attribution, §4.2).
+package report

@@ -1,7 +1,3 @@
-// Package report renders simulation results in machine-readable forms
-// (CSV and JSON) for external plotting and analysis, complementing the
-// human-readable tables of internal/textplot. It also emits the
-// per-color and per-page attribution an obs.Collector gathers.
 package report
 
 import (

@@ -1,0 +1,294 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// This file defines the wire format of the cdpcd HTTP API: request and
+// response JSON schemas, typed error codes, and request validation.
+// API.md is the human-readable contract for everything here; the
+// routes_test keeps the two in sync.
+
+// JobRequest is the body of POST /v1/simulate and POST /v1/jobs. A
+// request names either a bundled workload or carries a custom program
+// in the text program format (see examples/progfile); the remaining
+// fields select the machine and mapping policy exactly like the
+// cdpcsim command-line flags of the same names.
+type JobRequest struct {
+	// Workload is a bundled SPEC95fp-analog name (GET /v1/workloads
+	// lists them). Mutually exclusive with Program.
+	Workload string `json:"workload,omitempty"`
+	// Program is a custom workload in the text program format.
+	// Program-carrying requests always simulate fresh (their IR is not
+	// part of the memo key), so repeated custom jobs re-run.
+	Program string `json:"program,omitempty"`
+	// CPUs is the processor count (1–16); 0 means 8.
+	CPUs int `json:"cpus,omitempty"`
+	// Scale divides the paper's machine and data sizes; 0 means the
+	// default 16. Accepted range 1–256.
+	Scale int `json:"scale,omitempty"`
+	// Machine is a preset: "base" (default) or "alpha".
+	Machine string `json:"machine,omitempty"`
+	// Variant is the page mapping configuration; "" means
+	// "page-coloring".
+	Variant string `json:"variant,omitempty"`
+	// Prefetch enables compiler-inserted prefetching (§6.2).
+	Prefetch bool `json:"prefetch,omitempty"`
+	// Attr additionally collects per-color and per-page miss
+	// attribution. Instrumented runs bypass the memo cache (the PR 2
+	// rule: a cached result cannot have filled this run's collector),
+	// so attr requests always cost a full simulation.
+	Attr bool `json:"attr,omitempty"`
+	// TimeoutMS caps this job's simulation time in milliseconds; 0 uses
+	// the server default. Values above the server maximum are clamped.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// JobState is the lifecycle state of a submitted job.
+type JobState string
+
+// The job lifecycle: Queued → Running → one of Done / Failed /
+// Canceled. Sync jobs pass through the same states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the body of GET /v1/jobs/{id} (and the 202 response of
+// POST /v1/jobs, with only ID/State/Submitted populated).
+type JobStatus struct {
+	ID        string      `json:"id"`
+	State     JobState    `json:"state"`
+	Request   *JobRequest `json:"request,omitempty"`
+	Submitted time.Time   `json:"submitted"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+	Result    *JobResult  `json:"result,omitempty"`
+	Error     *ErrorInfo  `json:"error,omitempty"`
+}
+
+// JobList is the body of GET /v1/jobs.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// JobResult is the simulation outcome: the paper's headline statistics
+// plus optional attribution. It is a summary of sim.Result, not a dump
+// — per-CPU breakdowns stay behind the library API.
+type JobResult struct {
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	Policy   string `json:"policy"`
+	CPUs     int    `json:"cpus"`
+
+	WallCycles     uint64  `json:"wall_cycles"`
+	CombinedCycles uint64  `json:"combined_cycles"`
+	MCPI           float64 `json:"mcpi"`
+	BusUtilization float64 `json:"bus_utilization"`
+
+	L2Misses       uint64 `json:"l2_misses"`
+	ColdMisses     uint64 `json:"cold_misses"`
+	ConflictMisses uint64 `json:"conflict_misses"`
+	CapacityMisses uint64 `json:"capacity_misses"`
+	SharingMisses  uint64 `json:"sharing_misses"`
+
+	PageFaults   uint64 `json:"page_faults"`
+	HintedFaults uint64 `json:"hinted_faults"`
+	HonoredHints uint64 `json:"honored_hints"`
+
+	// Cached reports that this result was served from the scheduler's
+	// memo cache rather than a fresh simulation.
+	Cached bool `json:"cached"`
+	// SimMS is the wall time the request spent simulating (≈0 when
+	// Cached).
+	SimMS float64 `json:"sim_ms"`
+
+	// Attribution is present when the request set attr.
+	Attribution *Attribution `json:"attribution,omitempty"`
+}
+
+// Attribution is the obs-collector summary attached to attr requests.
+type Attribution struct {
+	// PerColorMisses is the total external-cache misses attributed to
+	// each page color.
+	PerColorMisses []uint64 `json:"per_color_misses"`
+	// TopPages lists the hottest pages by miss count.
+	TopPages []PageAttr `json:"top_pages"`
+}
+
+// PageAttr is one page's attribution record.
+type PageAttr struct {
+	VPN         uint64 `json:"vpn"`
+	Color       int    `json:"color"`
+	Misses      uint64 `json:"misses"`
+	Conflict    uint64 `json:"conflict_misses"`
+	StallCycles uint64 `json:"stall_cycles"`
+}
+
+// ErrorInfo is the typed error payload carried inside ErrorResponse
+// and inside failed jobs' status.
+type ErrorInfo struct {
+	// Code is a stable machine-readable identifier (see API.md for the
+	// full table).
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+	// Field names the offending request field for validation errors.
+	Field string `json:"field,omitempty"`
+	// RetryAfterSec accompanies queue_full / shutting_down responses
+	// and mirrors the Retry-After header.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// The error codes the API returns. Every non-2xx body carries exactly
+// one of these in error.code.
+const (
+	CodeInvalidRequest  = "invalid_request"  // 400: malformed JSON or out-of-range field
+	CodeUnknownWorkload = "unknown_workload" // 400: workload not in the registry
+	CodeBadProgram      = "bad_program"      // 400: custom program failed to parse or validate
+	CodeNotFound        = "not_found"        // 404: no such job (or route)
+	CodeQueueFull       = "queue_full"       // 429: bounded queue at capacity
+	CodeShuttingDown    = "shutting_down"    // 503: server draining, not accepting work
+	CodeTimeout         = "timeout"          // job exceeded its deadline (job error, or 504 on sync)
+	CodeCanceled        = "canceled"         // job canceled by DELETE or client disconnect
+	CodeSimFailed       = "sim_failed"       // simulation returned an error
+	CodeInternal        = "internal"         // 500: handler panic or unexpected failure
+)
+
+// WorkloadsResponse is the body of GET /v1/workloads: everything a
+// client needs to construct a valid JobRequest.
+type WorkloadsResponse struct {
+	Workloads []WorkloadInfo `json:"workloads"`
+	Variants  []string       `json:"variants"`
+	Machines  []string       `json:"machines"`
+}
+
+// WorkloadInfo describes one bundled workload.
+type WorkloadInfo struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	PaperDataMB float64 `json:"paper_data_mb"`
+}
+
+// maxScale bounds the accepted scale divisor; beyond this the scaled
+// machine degenerates (fewer colors than CPUs).
+const maxScale = 256
+
+// maxCPUs mirrors the simulator's supported processor range.
+const maxCPUs = 16
+
+// validate checks a JobRequest and resolves it into a harness.Spec
+// (and a parsed program for custom requests). Validation is strict so
+// that queue slots are never wasted on requests that cannot run.
+func (req *JobRequest) validate() (harness.Spec, *ir.Program, *ErrorInfo) {
+	var spec harness.Spec
+	if req.Workload == "" && req.Program == "" {
+		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "workload",
+			Message: "one of workload or program is required"}
+	}
+	if req.Workload != "" && req.Program != "" {
+		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "workload",
+			Message: "workload and program are mutually exclusive"}
+	}
+	if req.CPUs < 0 || req.CPUs > maxCPUs {
+		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "cpus",
+			Message: fmt.Sprintf("cpus must be 1-%d (or 0 for the default 8)", maxCPUs)}
+	}
+	if req.Scale < 0 || req.Scale > maxScale {
+		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "scale",
+			Message: fmt.Sprintf("scale must be 1-%d (or 0 for the default %d)", maxScale, workloads.DefaultScale)}
+	}
+	if req.TimeoutMS < 0 {
+		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "timeout_ms",
+			Message: "timeout_ms must be >= 0"}
+	}
+	switch req.Machine {
+	case "", string(harness.BaseMachine), string(harness.AlphaMachine):
+	default:
+		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "machine",
+			Message: fmt.Sprintf("unknown machine %q (base, alpha)", req.Machine)}
+	}
+	if req.Variant != "" {
+		ok := false
+		for _, v := range harness.Variants() {
+			if harness.Variant(req.Variant) == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "variant",
+				Message: fmt.Sprintf("unknown variant %q", req.Variant)}
+		}
+	}
+
+	var prog *ir.Program
+	if req.Program != "" {
+		p, err := ir.ParseString(req.Program)
+		if err != nil {
+			return spec, nil, &ErrorInfo{Code: CodeBadProgram, Field: "program", Message: err.Error()}
+		}
+		prog = p
+	} else if _, err := workloads.ByName(req.Workload); err != nil {
+		return spec, nil, &ErrorInfo{Code: CodeUnknownWorkload, Field: "workload", Message: err.Error()}
+	}
+
+	cpus := req.CPUs
+	if cpus == 0 {
+		cpus = 8
+	}
+	spec = harness.Spec{
+		Workload: req.Workload,
+		Scale:    req.Scale,
+		CPUs:     cpus,
+		Machine:  harness.MachineKind(req.Machine),
+		Variant:  harness.Variant(req.Variant),
+		Prefetch: req.Prefetch,
+	}
+	return spec, prog, nil
+}
+
+// summarize converts a sim.Result into the wire JobResult.
+func summarize(res *sim.Result, cached bool, simTime time.Duration) *JobResult {
+	return &JobResult{
+		Workload:       res.Workload,
+		Machine:        res.Machine,
+		Policy:         res.Policy,
+		CPUs:           res.NumCPUs,
+		WallCycles:     res.WallCycles,
+		CombinedCycles: res.CombinedCycles(),
+		MCPI:           res.MCPI(),
+		BusUtilization: res.BusUtilization(),
+		L2Misses:       res.Total(func(s *sim.CPUStats) uint64 { return s.L2Misses }),
+		ColdMisses:     res.Total(func(s *sim.CPUStats) uint64 { return s.ColdMisses }),
+		ConflictMisses: res.Total(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
+		CapacityMisses: res.Total(func(s *sim.CPUStats) uint64 { return s.CapacityMisses }),
+		SharingMisses: res.Total(func(s *sim.CPUStats) uint64 {
+			return s.TrueShareMisses + s.FalseShareMisses
+		}),
+		PageFaults:   res.PageFaults,
+		HintedFaults: res.HintedFaults,
+		HonoredHints: res.HonoredHints,
+		Cached:       cached,
+		SimMS:        float64(simTime.Microseconds()) / 1000,
+	}
+}

@@ -1,0 +1,22 @@
+// Package server implements cdpcd, the simulation-as-a-service
+// daemon: an HTTP/JSON surface (API.md is the contract; the routes
+// test keeps the two in sync) over the harness.Scheduler, so that
+// many clients share one worker pool, one Spec-keyed memo cache and
+// one compiled-program cache.
+//
+// The shape of the service follows the economics of the simulator:
+// a simulation is seconds of CPU while an HTTP request is free, so
+// admission is bounded by an explicit queue sized independently of
+// the worker pool. Load shedding is newest-first — a full queue
+// rejects the incoming submission with 429 + Retry-After and an
+// accepted job is never dropped. Shutdown drains: admission closes
+// (readyz 503), accepted jobs get the drain deadline to finish, and
+// only then are in-flight simulations canceled at their next
+// loop-nest boundary. Requests that instrument a run (attr) or carry
+// a custom program bypass the memo cache, the same rule the PR 2
+// observability layer established.
+//
+// There is no paper section for this package — it is repository
+// infrastructure in front of the §3 experiment harness, replacing
+// one-shot cmd/experiments invocations for interactive use.
+package server

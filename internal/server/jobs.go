@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/ir"
+)
+
+// job is the server-side record of one submitted simulation. The wire
+// view (JobStatus) is derived under the store's lock; the run loop
+// mutates state through the store so readers never see a torn record.
+type job struct {
+	id        string
+	req       JobRequest
+	spec      harness.Spec
+	prog      *ir.Program // non-nil for custom-program requests
+	timeout   time.Duration
+	submitted time.Time
+
+	// mu guards the mutable fields below. done is closed exactly once,
+	// when the job reaches a terminal state.
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	result   *JobResult
+	errInfo  *ErrorInfo
+	// cancel aborts the running simulation's context. Set while the job
+	// is running; calling it after completion is a no-op.
+	cancel context.CancelFunc
+	// canceled is latched by Cancel so a queued job is skipped when a
+	// worker eventually dequeues it.
+	canceled bool
+	done     chan struct{}
+}
+
+// status snapshots the wire view.
+func (j *job) status(withRequest bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Submitted: j.submitted,
+		Result:    j.result,
+		Error:     j.errInfo,
+	}
+	if withRequest {
+		req := j.req
+		st.Request = &req
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// markRunning transitions queued → running, or reports false when the
+// job was canceled while queued (the worker then skips it).
+func (j *job) markRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceled {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish moves the job to a terminal state and wakes waiters. Repeat
+// calls are ignored (e.g. a cancel racing completion).
+func (j *job) finish(state JobState, res *JobResult, errInfo *ErrorInfo) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.errInfo = errInfo
+	j.finished = time.Now()
+	j.cancel = nil
+	close(j.done)
+}
+
+// requestCancel marks the job canceled. Queued jobs terminate
+// immediately; running jobs get their context canceled and terminate
+// when the simulator hits the next nest boundary. Returns the state
+// observed at the time of the call.
+func (j *job) requestCancel(reason string) JobState {
+	j.mu.Lock()
+	state := j.state
+	j.canceled = true
+	cancel := j.cancel
+	j.mu.Unlock()
+
+	switch state {
+	case StateQueued:
+		j.finish(StateCanceled, nil, &ErrorInfo{Code: CodeCanceled, Message: reason})
+	case StateRunning:
+		if cancel != nil {
+			cancel()
+		}
+	}
+	return state
+}
+
+// store is the in-memory job registry. Jobs are never evicted: the
+// daemon is an experiment service, and a day of submissions is small
+// next to one simulation's footprint. (Eviction would go here.)
+type store struct {
+	mu   sync.Mutex
+	seq  uint64
+	jobs map[string]*job
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*job)}
+}
+
+// create registers a new job in the queued state.
+func (st *store) create(req JobRequest, spec harness.Spec, prog *ir.Program, timeout time.Duration) *job {
+	st.mu.Lock()
+	st.seq++
+	id := fmt.Sprintf("j%06d", st.seq)
+	j := &job{
+		id:        id,
+		req:       req,
+		spec:      spec,
+		prog:      prog,
+		timeout:   timeout,
+		submitted: time.Now(),
+		state:     StateQueued,
+		done:      make(chan struct{}),
+	}
+	st.jobs[id] = j
+	st.mu.Unlock()
+	return j
+}
+
+// get returns the job with the given id, or nil.
+func (st *store) get(id string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.jobs[id]
+}
+
+// remove deletes a job record (rejected submissions only — accepted
+// jobs are never removed).
+func (st *store) remove(id string) {
+	st.mu.Lock()
+	delete(st.jobs, id)
+	st.mu.Unlock()
+}
+
+// list snapshots all jobs' statuses, ordered by id (= submission
+// order, since ids are sequential).
+func (st *store) list() []JobStatus {
+	st.mu.Lock()
+	jobs := make([]*job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		jobs = append(jobs, j)
+	}
+	st.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status(false)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// instrument wraps a handler with the per-endpoint observability the
+// /metrics endpoint exports: request counters labeled by route and
+// status code, a latency histogram per route, and panic recovery that
+// turns a handler crash into a typed 500 instead of a dropped
+// connection.
+func (s *Server) instrument(pattern string, next http.HandlerFunc) http.Handler {
+	hist := s.reg.Histogram(
+		fmt.Sprintf("cdpcd_http_request_seconds{route=%q}", pattern),
+		"request latency by route", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.logf("panic in %s: %v\n%s", pattern, p, debug.Stack())
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, ErrorInfo{
+						Code: CodeInternal, Message: fmt.Sprint(p)})
+				}
+			}
+			s.reg.Counter(
+				fmt.Sprintf("cdpcd_http_requests_total{route=%q,code=\"%d\"}", pattern, rec.code),
+				"requests by route and status code").Inc()
+			hist.Observe(time.Since(start))
+		}()
+		next(rec, r)
+	})
+}
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+// WriteHeader records the status code.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.wrote = true
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write marks the response started.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocCoversEveryRoute keeps API.md and the routing table in
+// sync: every registered pattern must appear verbatim in the doc's
+// route table, and the doc must not list routes the server dropped.
+func TestAPIDocCoversEveryRoute(t *testing.T) {
+	doc, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatalf("API.md missing: %v", err)
+	}
+	text := string(doc)
+	for _, pat := range Routes() {
+		// Patterns render in the doc as "`METHOD /path`".
+		method, path, _ := strings.Cut(pat, " ")
+		want := "`" + method + " " + path + "`"
+		if !strings.Contains(text, want) {
+			t.Errorf("API.md does not document route %q (looked for %s)", pat, want)
+		}
+	}
+	// The error-code table must cover every code the API can emit.
+	for _, code := range []string{
+		CodeInvalidRequest, CodeUnknownWorkload, CodeBadProgram,
+		CodeNotFound, CodeQueueFull, CodeShuttingDown,
+		CodeTimeout, CodeCanceled, CodeSimFailed, CodeInternal,
+	} {
+		if !strings.Contains(text, "`"+code+"`") {
+			t.Errorf("API.md does not document error code %q", code)
+		}
+	}
+}
+
+// TestRoutesMatchMux asserts Routes() reflects what the mux actually
+// serves: every pattern resolves to a handler (no 404/405 from the
+// mux itself for the documented method+path shape).
+func TestRoutesMatchMux(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCapacity: 1})
+	defer s.Shutdown(t.Context())
+	for _, pat := range Routes() {
+		method, path, ok := strings.Cut(pat, " ")
+		if !ok {
+			t.Fatalf("pattern %q has no method", pat)
+		}
+		path = strings.ReplaceAll(path, "{id}", "j000000")
+		r := httptest.NewRequest(method, path, nil)
+		_, matched := s.mux.Handler(r)
+		if matched == "" {
+			t.Errorf("mux does not serve documented route %q", pat)
+		}
+	}
+	// And the inverse guard: an undocumented path 404s.
+	r := httptest.NewRequest(http.MethodGet, "/v1/nope", nil)
+	if _, matched := s.mux.Handler(r); matched != "" {
+		t.Errorf("mux serves unregistered path /v1/nope via %q", matched)
+	}
+}

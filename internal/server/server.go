@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the simulation worker-pool size; <= 0 selects
+	// runtime.GOMAXPROCS(0). This bounds concurrent simulations, not
+	// concurrent HTTP connections.
+	Workers int
+	// QueueCapacity bounds the admission queue; <= 0 selects
+	// DefaultQueueCapacity. A full queue rejects new submissions with
+	// 429 (newest-first shedding: accepted jobs are never dropped).
+	QueueCapacity int
+	// DefaultTimeout caps a job's simulation time when the request
+	// carries no timeout_ms; <= 0 selects DefaultJobTimeout.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts; <= 0 selects
+	// DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// Log receives request and lifecycle lines; nil discards them.
+	Log *log.Logger
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultQueueCapacity = 64
+	DefaultJobTimeout    = 60 * time.Second
+	DefaultMaxTimeout    = 10 * time.Minute
+)
+
+// Server is the cdpcd daemon: a bounded admission queue in front of
+// the memoizing parallel scheduler, plus the HTTP surface that feeds
+// it. Construct with New, mount Handler on an http.Server, and call
+// Shutdown to drain.
+type Server struct {
+	cfg   Config
+	sched *harness.Scheduler
+	store *store
+	queue *queue
+	reg   *obs.Registry
+	mux   *http.ServeMux
+
+	// baseCtx parents every job context; canceling it (Shutdown's last
+	// resort) aborts running simulations at their next nest boundary.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	// ready flips to false when Shutdown begins; readyz and submission
+	// handlers consult it.
+	ready     chan struct{} // closed ⇒ draining
+	drainOnce sync.Once
+}
+
+// New constructs a Server. The scheduler — worker-pool sizing, memo
+// cache and compiled-program cache — is shared across all requests for
+// the server's lifetime, which is what makes repeated submissions of
+// the same spec near-free.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = DefaultQueueCapacity
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultJobTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		sched:      harness.NewScheduler(cfg.Workers),
+		store:      newStore(),
+		reg:        obs.NewRegistry(),
+		baseCtx:    baseCtx,
+		cancelBase: cancel,
+		ready:      make(chan struct{}),
+	}
+	s.queue = newQueue(baseCtx, s.sched, cfg.QueueCapacity, cfg.Workers, s.reg)
+	s.reg.Gauge("cdpcd_scheduler_cache_hits_total", "memo-cache hits (incl. coalesced runs)", func() float64 {
+		h, _ := s.sched.CacheStats()
+		return float64(h)
+	})
+	s.reg.Gauge("cdpcd_scheduler_cache_misses_total", "memo-cache misses (simulations executed)", func() float64 {
+		_, m := s.sched.CacheStats()
+		return float64(m)
+	})
+	s.reg.Gauge("cdpcd_scheduler_cache_hit_rate", "hits / (hits+misses) since start", func() float64 {
+		h, m := s.sched.CacheStats()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+	s.mux = s.buildMux()
+	return s
+}
+
+// Scheduler exposes the shared execution engine (tests and the daemon
+// use it for cache statistics).
+func (s *Server) Scheduler() *harness.Scheduler { return s.sched }
+
+// Registry exposes the metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the fully instrumented HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown drains the server: admission closes immediately (readyz
+// goes 503, submissions get shutting_down), accepted jobs — queued and
+// running — are given until ctx's deadline to finish, and when the
+// deadline expires every remaining simulation is canceled at its next
+// nest boundary and marked canceled. Returns nil on a complete drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.ready) })
+	s.queue.close()
+	err := s.queue.wait(ctx)
+	if err != nil {
+		// Deadline expired: abort in-flight simulations and mark
+		// whatever is left canceled so no job is stuck non-terminal.
+		s.cancelBase()
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if werr := s.queue.wait(drainCtx); werr != nil {
+			return fmt.Errorf("server: drain deadline exceeded and workers still busy: %w", werr)
+		}
+		return err
+	}
+	s.cancelBase()
+	return nil
+}
+
+// logf writes to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}

@@ -1,0 +1,529 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastReq is a spec small enough to simulate in tens of milliseconds.
+func fastReq() JobRequest {
+	return JobRequest{Workload: "tomcatv", CPUs: 1, Scale: 64}
+}
+
+// slowReq is a spec that runs long enough (~0.5s) to observe queued
+// and running states deterministically.
+func slowReq() JobRequest {
+	return JobRequest{Workload: "tomcatv", CPUs: 16, Scale: 4}
+}
+
+// testServer wires a Server to an httptest listener.
+type testServer struct {
+	*Server
+	http *httptest.Server
+}
+
+func newTestServer(t *testing.T, cfg Config) *testServer {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+		hs.Close()
+	})
+	return &testServer{Server: s, http: hs}
+}
+
+func (ts *testServer) url(path string) string { return ts.http.URL + path }
+
+// do sends a JSON request and decodes the response body into out
+// (when non-nil), returning the status code.
+func (ts *testServer) do(t *testing.T, method, path string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, ts.url(path), rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// submit POSTs to /v1/jobs and returns the job id.
+func (ts *testServer) submit(t *testing.T, req JobRequest) string {
+	t.Helper()
+	var st JobStatus
+	if code := ts.do(t, "POST", "/v1/jobs", req, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if st.ID == "" || st.State != StateQueued {
+		t.Fatalf("submit: unexpected status %+v", st)
+	}
+	return st.ID
+}
+
+// await polls a job until it reaches a terminal state.
+func (ts *testServer) await(t *testing.T, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var st JobStatus
+		if code := ts.do(t, "GET", "/v1/jobs/"+id, nil, &st); code != http.StatusOK {
+			t.Fatalf("get %s: status %d", id, code)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %s", id, st.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// awaitState polls until the job reports the wanted state.
+func (ts *testServer) awaitState(t *testing.T, id string, want JobState, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var st JobStatus
+		ts.do(t, "GET", "/v1/jobs/"+id, nil, &st)
+		if st.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s is %s, want %s after %s", id, st.State, want, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSyncSimulate(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	var res JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", fastReq(), &res); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if res.WallCycles == 0 || res.Policy != "page-coloring" || res.CPUs != 1 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.Cached {
+		t.Fatal("first run reported cached")
+	}
+
+	// Same spec again: memo cache must serve it.
+	var again JobResult
+	ts.do(t, "POST", "/v1/simulate", fastReq(), &again)
+	if !again.Cached {
+		t.Error("second identical run not served from cache")
+	}
+	if again.WallCycles != res.WallCycles {
+		t.Errorf("cached result differs: %d vs %d cycles", again.WallCycles, res.WallCycles)
+	}
+	if hits, _ := ts.Scheduler().CacheStats(); hits == 0 {
+		t.Error("scheduler reported no cache hits")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name     string
+		req      JobRequest
+		wantCode string
+	}{
+		{"neither workload nor program", JobRequest{}, CodeInvalidRequest},
+		{"both workload and program", JobRequest{Workload: "tomcatv", Program: "x"}, CodeInvalidRequest},
+		{"cpus out of range", JobRequest{Workload: "tomcatv", CPUs: 99}, CodeInvalidRequest},
+		{"scale out of range", JobRequest{Workload: "tomcatv", Scale: 100000}, CodeInvalidRequest},
+		{"negative timeout", JobRequest{Workload: "tomcatv", TimeoutMS: -1}, CodeInvalidRequest},
+		{"bad machine", JobRequest{Workload: "tomcatv", Machine: "cray"}, CodeInvalidRequest},
+		{"bad variant", JobRequest{Workload: "tomcatv", Variant: "round-robin"}, CodeInvalidRequest},
+		{"unknown workload", JobRequest{Workload: "linpack"}, CodeUnknownWorkload},
+		{"unparsable program", JobRequest{Program: "array ("}, CodeBadProgram},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var er ErrorResponse
+			code := ts.do(t, "POST", "/v1/jobs", tc.req, &er)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", code)
+			}
+			if er.Error.Code != tc.wantCode {
+				t.Fatalf("code %q, want %q (%s)", er.Error.Code, tc.wantCode, er.Error.Message)
+			}
+		})
+	}
+
+	// Malformed JSON body.
+	resp, err := http.Post(ts.url("/v1/jobs"), "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	req := fastReq()
+	req.Variant = "cdpc"
+	id := ts.submit(t, req)
+	st := ts.await(t, id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state %s, want done (err: %+v)", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.WallCycles == 0 {
+		t.Fatalf("missing result: %+v", st)
+	}
+	if st.Result.Policy != "cdpc" {
+		t.Errorf("policy %q, want cdpc", st.Result.Policy)
+	}
+	if st.Request == nil || st.Request.Variant != "cdpc" {
+		t.Errorf("request not echoed: %+v", st.Request)
+	}
+	if st.Started == nil || st.Finished == nil {
+		t.Errorf("timestamps missing: %+v", st)
+	}
+
+	// The job list contains it.
+	var list JobList
+	ts.do(t, "GET", "/v1/jobs", nil, &list)
+	found := false
+	for _, j := range list.Jobs {
+		if j.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("job %s missing from list", id)
+	}
+}
+
+func TestConcurrentSubmissionsHitMemoCache(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 4, QueueCapacity: 64})
+	// 24 concurrent submissions over 3 unique specs: 3 simulations, 21
+	// cache hits (coalesced or memoized).
+	uniq := []JobRequest{
+		{Workload: "tomcatv", CPUs: 1, Scale: 64},
+		{Workload: "tomcatv", CPUs: 2, Scale: 64},
+		{Workload: "swim", CPUs: 1, Scale: 64},
+	}
+	var wg sync.WaitGroup
+	ids := make([]string, 24)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = ts.submit(t, uniq[i%len(uniq)])
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if st := ts.await(t, id, 60*time.Second); st.State != StateDone {
+			t.Fatalf("job %s: %s (%+v)", id, st.State, st.Error)
+		}
+	}
+	hits, misses := ts.Scheduler().CacheStats()
+	if misses != uint64(len(uniq)) {
+		t.Errorf("misses = %d, want %d (one simulation per unique spec)", misses, len(uniq))
+	}
+	if hits != uint64(len(ids)-len(uniq)) {
+		t.Errorf("hits = %d, want %d", hits, len(ids)-len(uniq))
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 1})
+	// Fill the single worker and the single queue slot with slow jobs.
+	running := ts.submit(t, slowReq())
+	ts.awaitState(t, running, StateRunning, 10*time.Second)
+	queued := ts.submit(t, slowReq())
+
+	req := slowReq()
+	req.CPUs = 8 // distinct spec so a memo hit can't race the rejection
+	b, _ := json.Marshal(req)
+	resp, err := http.Post(ts.url("/v1/jobs"), "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != CodeQueueFull {
+		t.Errorf("code %q, want %q", er.Error.Code, CodeQueueFull)
+	}
+
+	// Accepted jobs are never dropped: both complete.
+	for _, id := range []string{running, queued} {
+		if st := ts.await(t, id, 60*time.Second); st.State != StateDone {
+			t.Fatalf("accepted job %s ended %s", id, st.State)
+		}
+	}
+	// The rejected submission left no job record behind.
+	var list JobList
+	ts.do(t, "GET", "/v1/jobs", nil, &list)
+	if len(list.Jobs) != 2 {
+		t.Errorf("job list has %d entries, want 2", len(list.Jobs))
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 4})
+	running := ts.submit(t, slowReq())
+	ts.awaitState(t, running, StateRunning, 10*time.Second)
+	queued := ts.submit(t, fastReq())
+
+	var st JobStatus
+	if code := ts.do(t, "DELETE", "/v1/jobs/"+queued, nil, &st); code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", st.State)
+	}
+	if st.Error == nil || st.Error.Code != CodeCanceled {
+		t.Fatalf("error %+v, want code canceled", st.Error)
+	}
+	if got := ts.await(t, running, 60*time.Second); got.State != StateDone {
+		t.Fatalf("running job ended %s", got.State)
+	}
+}
+
+func TestCancelRunningJobFreesWorker(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 4})
+	// A paper-scale run: seconds of simulation, far longer than the
+	// test would tolerate un-canceled.
+	long := JobRequest{Workload: "tomcatv", CPUs: 16, Scale: 2}
+	id := ts.submit(t, long)
+	ts.awaitState(t, id, StateRunning, 10*time.Second)
+
+	start := time.Now()
+	var st JobStatus
+	ts.do(t, "DELETE", "/v1/jobs/"+id, nil, &st)
+	st = ts.await(t, id, 15*time.Second)
+	if st.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", st.State)
+	}
+
+	// The worker must be free: a fast job completes promptly.
+	fastID := ts.submit(t, fastReq())
+	if got := ts.await(t, fastID, 30*time.Second); got.State != StateDone {
+		t.Fatalf("follow-up job ended %s", got.State)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("cancel-and-reuse took %s; worker not freed promptly", elapsed)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	req := slowReq()
+	req.TimeoutMS = 30 // far below the ~500ms the spec needs
+	id := ts.submit(t, req)
+	st := ts.await(t, id, 30*time.Second)
+	if st.State != StateCanceled || st.Error == nil || st.Error.Code != CodeTimeout {
+		t.Fatalf("want canceled/timeout, got %s / %+v", st.State, st.Error)
+	}
+}
+
+func TestShutdownDrainsAcceptedJobs(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2, QueueCapacity: 16})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		req := fastReq()
+		req.CPUs = 1 + i%2 // two unique specs
+		ids = append(ids, ts.submit(t, req))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := ts.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, id := range ids {
+		j := ts.store.get(id)
+		if j == nil {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st := j.status(false); st.State != StateDone {
+			t.Errorf("job %s ended %s after drain", id, st.State)
+		}
+	}
+
+	// readyz now reports draining; new submissions are refused.
+	resp, err := http.Get(ts.url("/readyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz status %d, want 503", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if code := ts.do(t, "POST", "/v1/jobs", fastReq(), &er); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit status %d, want 503", code)
+	} else if er.Error.Code != CodeShuttingDown {
+		t.Errorf("post-drain code %q, want %q", er.Error.Code, CodeShuttingDown)
+	}
+}
+
+func TestShutdownDeadlineCancelsRunning(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	long := JobRequest{Workload: "tomcatv", CPUs: 16, Scale: 2}
+	id := ts.submit(t, long)
+	ts.awaitState(t, id, StateRunning, 10*time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := ts.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("shutdown reported a clean drain despite the running job")
+	}
+	// The job must still reach a terminal state (canceled), not hang.
+	j := ts.store.get(id)
+	select {
+	case <-j.done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("job never reached a terminal state after forced shutdown")
+	}
+	if st := j.status(false); st.State != StateCanceled {
+		t.Errorf("job ended %s, want canceled", st.State)
+	}
+}
+
+func TestCustomProgramAndAttr(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	prog := `
+program solver
+array a elems=4096
+array b elems=4096
+phase main occurs=2
+  nest sweep parallel iters=64 inner=32 work=4 sched=even
+    load a outer=32
+    store b outer=32
+`
+	// Custom programs run but bypass the memo cache.
+	req := JobRequest{Program: prog, CPUs: 4, Scale: 64}
+	var res JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", req, &res); code != http.StatusOK {
+		t.Fatalf("custom program: status %d (%+v)", code, res)
+	}
+	if res.WallCycles == 0 {
+		t.Fatal("custom program produced no cycles")
+	}
+	var res2 JobResult
+	ts.do(t, "POST", "/v1/simulate", req, &res2)
+	if res2.Cached {
+		t.Error("custom program result claimed cached")
+	}
+
+	// Attr requests carry attribution and bypass the cache (PR 2 rule).
+	areq := fastReq()
+	areq.Attr = true
+	var ares JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", areq, &ares); code != http.StatusOK {
+		t.Fatalf("attr: status %d", code)
+	}
+	if ares.Attribution == nil || len(ares.Attribution.PerColorMisses) == 0 {
+		t.Fatalf("attr result missing attribution: %+v", ares.Attribution)
+	}
+	if ares.Cached {
+		t.Error("instrumented run claimed cached")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	ts.do(t, "POST", "/v1/simulate", fastReq(), nil)
+	ts.do(t, "POST", "/v1/simulate", fastReq(), nil)
+
+	resp, err := http.Get(ts.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"cdpcd_jobs_accepted_total 2",
+		"cdpcd_jobs_completed_total 2",
+		"cdpcd_queue_depth 0",
+		"cdpcd_scheduler_cache_hits_total 1",
+		"cdpcd_scheduler_cache_misses_total 1",
+		`cdpcd_http_request_seconds_count{route="POST /v1/simulate"} 2`,
+		`cdpcd_http_requests_total{route="POST /v1/simulate",code="200"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestNotFoundAndHealth(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	var er ErrorResponse
+	if code := ts.do(t, "GET", "/v1/jobs/j999999", nil, &er); code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", code)
+	}
+	if er.Error.Code != CodeNotFound {
+		t.Errorf("code %q, want %q", er.Error.Code, CodeNotFound)
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.url(path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	var wr WorkloadsResponse
+	if code := ts.do(t, "GET", "/v1/workloads", nil, &wr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(wr.Workloads) != 10 {
+		t.Errorf("%d workloads, want 10", len(wr.Workloads))
+	}
+	if len(wr.Variants) != 9 || len(wr.Machines) != 2 {
+		t.Errorf("variants=%d machines=%d, want 9/2", len(wr.Variants), len(wr.Machines))
+	}
+}

@@ -1,0 +1,16 @@
+// Package sim is the machine simulator that stands in for the paper's
+// SimOS environment (§3.2): an event-driven, trace-driven model of a
+// bus-based shared-memory multiprocessor. Each CPU has virtually indexed
+// on-chip caches and a physically indexed external cache; the external
+// caches are kept coherent by an invalidation protocol and share a
+// finite-bandwidth split-transaction bus. Virtual-to-physical mappings
+// come from the vm subsystem, so page mapping policy decides where pages
+// land in the external caches — the mechanism the whole paper is about.
+//
+// The simulator executes an ir.Program's phase structure directly:
+// parallel nests run on all CPUs interleaved in global time order
+// (a min-clock event loop), sequential and suppressed nests run on the
+// master while the slaves' idle time is charged to the matching overhead
+// bucket, and per-phase statistics are weighted by phase occurrence
+// counts, the paper's representative-execution-window method (§3.2).
+package sim

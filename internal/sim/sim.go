@@ -1,18 +1,3 @@
-// Package sim is the machine simulator that stands in for the paper's
-// SimOS environment (§3.2): an event-driven, trace-driven model of a
-// bus-based shared-memory multiprocessor. Each CPU has virtually indexed
-// on-chip caches and a physically indexed external cache; the external
-// caches are kept coherent by an invalidation protocol and share a
-// finite-bandwidth split-transaction bus. Virtual-to-physical mappings
-// come from the vm subsystem, so page mapping policy decides where pages
-// land in the external caches — the mechanism the whole paper is about.
-//
-// The simulator executes an ir.Program's phase structure directly:
-// parallel nests run on all CPUs interleaved in global time order
-// (a min-clock event loop), sequential and suppressed nests run on the
-// master while the slaves' idle time is charged to the matching overhead
-// bucket, and per-phase statistics are weighted by phase occurrence
-// counts, the paper's representative-execution-window method (§3.2).
 package sim
 
 import (
@@ -77,6 +62,15 @@ type Options struct {
 	// Result byte-identical to a plain one. Nil costs the hot path
 	// nothing beyond untaken branches on the miss paths.
 	Obs *obs.Collector
+
+	// Cancel, when non-nil, is polled at nest boundaries during Run; a
+	// non-nil return aborts the simulation with that error. The harness
+	// wires a request's context.Context.Err here so a canceled or
+	// timed-out job frees its worker at the next nest boundary instead
+	// of running to completion. Nest boundaries are the natural
+	// preemption points: all CPUs are synchronized there, so no partial
+	// accounting escapes into a Result that is discarded anyway.
+	Cancel func() error
 }
 
 // Machine is a configured simulator instance.
@@ -378,6 +372,11 @@ func (m *Machine) wallClock() uint64 {
 
 // runNest executes one nest to the barrier at its end.
 func (m *Machine) runNest(prog *ir.Program, n *ir.Nest) error {
+	if m.opts.Cancel != nil {
+		if err := m.opts.Cancel(); err != nil {
+			return fmt.Errorf("sim: run canceled: %w", err)
+		}
+	}
 	p := m.cfg.NumCPUs
 	start := m.wallClock()
 	// Bring lagging CPUs up to the region start; they were idle waiting

@@ -1,0 +1,4 @@
+// Package textplot renders the experiment output: fixed-width tables and
+// horizontal ASCII bar charts standing in for the paper's figures
+// (the grouped miss-breakdown bars of Figures 2 and 6–9).
+package textplot

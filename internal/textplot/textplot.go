@@ -1,5 +1,3 @@
-// Package textplot renders the experiment output: fixed-width tables and
-// horizontal ASCII bar charts standing in for the paper's figures.
 package textplot
 
 import (

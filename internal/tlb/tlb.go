@@ -1,7 +1,3 @@
-// Package tlb models a per-CPU translation lookaside buffer with LRU
-// replacement. TLB refills are charged as kernel time (the paper's kernel
-// overhead is "primarily servicing TLB faults", §4.1), and software
-// prefetches to unmapped pages are dropped rather than faulting (§6.2).
 package tlb
 
 // TLB is a fully-associative, LRU translation buffer keyed by virtual

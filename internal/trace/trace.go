@@ -1,7 +1,3 @@
-// Package trace defines the memory-reference model shared by the workload
-// interpreter and the machine simulator. A workload is executed as a set
-// of per-CPU reference streams; the simulator consumes them in timestamp
-// order and charges cache, bus and memory costs.
 package trace
 
 import "fmt"

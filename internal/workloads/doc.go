@@ -1,0 +1,10 @@
+// Package workloads defines ten synthetic analogs of the SPEC95fp
+// benchmark suite, written in the compiler IR. Each program reproduces
+// the traits the paper reports for its namesake — data-set size ratio
+// (Table 1), array count, phase structure, parallelism profile, and
+// pathologies (applu's 33-iteration loops and tiling, su2cor's
+// non-analyzable accesses, fpppp's instruction-bound sequential code,
+// apsi/wave5's suppressed fine-grain parallelism) — scaled down by the
+// same factor as the machine so that working-set : cache ratios match
+// the paper's (§3.1, Table 1).
+package workloads

@@ -1,13 +1,24 @@
 #!/bin/sh
-# CI gate: vet, build, the full test suite, and the race detector over
-# the concurrent experiment scheduler. Everything must pass before a
-# change lands.
+# CI gate: vet, docs, build, the full test suite, the race detector
+# over the concurrent subsystems, audited experiment runs, and the
+# cdpcd end-to-end smoke. Everything must pass before a change lands.
 set -eux
 
 go vet ./...
+
+# Every internal package (and the root package) must carry a doc.go
+# with a package comment — the documentation contract of the repo.
+for d in internal/*/; do
+    pkg=$(basename "$d")
+    test -f "${d}doc.go" || { echo "missing ${d}doc.go"; exit 1; }
+    grep -q "^// Package ${pkg}" "${d}doc.go" || { echo "${d}doc.go lacks a '// Package ${pkg}' comment"; exit 1; }
+done
+test -f doc.go || { echo "missing root doc.go"; exit 1; }
+grep -q "^// Package" doc.go || { echo "root doc.go lacks a package comment"; exit 1; }
+
 go build ./...
 go test ./...
-go test -race ./internal/harness/...
+go test -race ./internal/harness/... ./internal/server/...
 
 # Audited smoke runs: conservation invariants (cycles, miss classes,
 # bus occupancy) checked on every simulation; violations exit non-zero.
@@ -15,3 +26,12 @@ go test -race ./internal/harness/...
 # path that bypasses the scheduler.
 go run ./cmd/experiments -id fig6 -quick -audit > /dev/null
 go run ./cmd/experiments -id ext-pressure -quick -audit > /dev/null
+
+# cdpcd end-to-end: start the daemon on an ephemeral port, run sync and
+# async jobs, saturate the bounded queue with 64 concurrent mixed
+# repeated/unique submissions (429s observed, zero accepted jobs
+# dropped, repeats served from the memo cache), check /metrics moved,
+# then SIGTERM and require a clean drain within the deadline.
+go build -o /tmp/cdpcd-verify ./cmd/cdpcd
+go run ./scripts/smoke -bin /tmp/cdpcd-verify
+rm -f /tmp/cdpcd-verify
