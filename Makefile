@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench audit serve smoke verify
+.PHONY: build test vet lint race bench audit serve smoke verify
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,15 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The concurrent subsystems — the experiment scheduler and the cdpcd
-# server in front of it — run under the race detector.
+# Standard vet plus cdpcvet, the repo's own analyzers for the
+# determinism, accounting and locking invariants (see DESIGN.md §10).
+lint: vet
+	$(GO) run ./cmd/cdpcvet ./...
+
+# The whole module runs under the race detector; the scheduler, the
+# cdpcd server and the metrics registry are the concurrent hot spots.
 race:
-	$(GO) test -race ./internal/harness/... ./internal/server/...
+	$(GO) test -race ./...
 
 # Scheduler + simulator benchmarks, plus the machine-readable
 # BENCH_harness.json dump (serial vs pooled Figure 6).

@@ -1,0 +1,63 @@
+// Command cdpcvet runs the repo's static-analysis suite (package
+// internal/lint) over a Go module and prints every diagnostic in
+// file:line:col form, exiting 1 when anything is found. With no
+// arguments it analyzes the module containing the current directory;
+// "cdpcvet ./..." and an explicit directory argument do the same thing
+// (analysis is always whole-module, since the invariants it checks
+// couple packages to each other and to API.md).
+//
+// Suppress an individual finding with a trailing or preceding
+// "//lint:allow <analyzer> (reason)" comment; the reason is mandatory
+// in spirit — it is what the reviewer reads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cdpcvet [-list] [dir | ./...]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if args := flag.Args(); len(args) > 0 {
+		// Accept the idiomatic "./..." spelling; analysis is whole-module
+		// either way.
+		dir = strings.TrimSuffix(args[0], "...")
+		if dir == "" {
+			dir = "."
+		}
+	}
+
+	prog, err := lint.Load(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdpcvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(prog, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cdpcvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

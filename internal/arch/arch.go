@@ -45,6 +45,23 @@ func Log2(x int) uint {
 	return s
 }
 
+// FloorPow2 rounds x down to the nearest power of two (minimum 1).
+// Scaled geometry must pass through here: dividing a cache size by an
+// arbitrary scale factor can yield a non-power-of-two, which would turn
+// every downstream shift-and-mask index computation into silent
+// garbage. For power-of-two scales this is the identity, so the
+// paper's configurations are unchanged.
+func FloorPow2(x int) int {
+	if x < 1 {
+		return 1
+	}
+	p := 1
+	for p <= x/2 {
+		p <<= 1
+	}
+	return p
+}
+
 // Validate reports whether the geometry is internally consistent
 // (power-of-two sizes, line divides size, associativity sane). Requiring
 // a power-of-two set count here — once, at configuration time — is what
@@ -180,9 +197,9 @@ func Base(ncpu, scale int) Config {
 
 		ClockMHz: 400,
 
-		L1D: CacheGeometry{Size: max(32<<10/scale, 4<<10), LineSize: 32, Assoc: 2},
-		L1I: CacheGeometry{Size: max(32<<10/scale, 4<<10), LineSize: 32, Assoc: 2},
-		L2:  CacheGeometry{Size: max(1<<20/scale, 16<<10), LineSize: 128, Assoc: 1},
+		L1D: CacheGeometry{Size: FloorPow2(max(32<<10/scale, 4<<10)), LineSize: 32, Assoc: 2},
+		L1I: CacheGeometry{Size: FloorPow2(max(32<<10/scale, 4<<10)), LineSize: 32, Assoc: 2},
+		L2:  CacheGeometry{Size: FloorPow2(max(1<<20/scale, 16<<10)), LineSize: 128, Assoc: 1},
 
 		PageSize: 4 << 10,
 
@@ -217,8 +234,8 @@ func Alpha(ncpu, scale int) Config {
 	c := Base(ncpu, scale)
 	c.Name = fmt.Sprintf("alpha-1/%d", scale)
 	c.ClockMHz = 350
-	c.L2 = CacheGeometry{Size: max(4<<20/scale, 16<<10), LineSize: 64, Assoc: 1}
-	c.L1D = CacheGeometry{Size: max(8<<10, 8<<10), LineSize: 32, Assoc: 1}
+	c.L2 = CacheGeometry{Size: FloorPow2(max(4<<20/scale, 16<<10)), LineSize: 64, Assoc: 1}
+	c.L1D = CacheGeometry{Size: 8 << 10, LineSize: 32, Assoc: 1}
 	c.L1I = c.L1D
 	c.MemCycles = 180
 	c.RemoteCycles = 280

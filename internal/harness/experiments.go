@@ -230,10 +230,6 @@ func accessMaps(o ExpOptions, cdpcOrder bool) (string, error) {
 		if cdpcOrder {
 			order = withCDPCOrder(hints.Order, order)
 		}
-		pos := map[uint64]int{}
-		for i, vpn := range order {
-			pos[vpn] = i
-		}
 		density := 0.0
 		fmt.Fprintf(&b, "%s (%d pages, %d colors):\n", name, len(order), cfg.Colors())
 		for cpu := 0; cpu < ncpu; cpu++ {
@@ -243,9 +239,8 @@ func accessMaps(o ExpOptions, cdpcOrder bool) (string, error) {
 				row[i] = '.'
 			}
 			lo, hi, n := len(order), -1, 0
-			for vpn := range touched {
-				i, ok := pos[vpn]
-				if !ok {
+			for i, vpn := range order {
+				if !touched[vpn] {
 					continue
 				}
 				row[i] = '#'

@@ -36,8 +36,8 @@ type Scheduler struct {
 	misses atomic.Uint64
 
 	mu    sync.Mutex
-	memo  map[specKey]*memoEntry
-	progs map[progKey]*progEntry
+	memo  map[specKey]*memoEntry // guarded by mu
+	progs map[progKey]*progEntry // guarded by mu
 }
 
 // memoEntry is one memoized (possibly in-flight) simulation. done is

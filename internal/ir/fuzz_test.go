@@ -1,0 +1,119 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the text-format parser with arbitrary input. The
+// parser's contract under hostile bytes is: never panic, and when it
+// does accept an input, the Format/Parse round trip must normalize —
+// re-parsing the formatted program succeeds and formatting is a fixed
+// point from then on. (The server feeds untrusted request bodies
+// straight into ParseString, so "never panic" is a load-bearing
+// property, not a nicety.)
+func FuzzParse(f *testing.F) {
+	f.Add(sampleProgram)
+	f.Add("program x\narray a elems=8\nphase p occurs=1\nnest n parallel iters=1 inner=1\nload a outer=1\n")
+	f.Add("program t\narray a elems=16\nphase p occurs=3\nnest n suppressed iters=2 inner=2\nload a outer=2 inner=-1 offset=-3\n")
+	f.Add("init parallel iters=4 inner=8\n  store a outer=8\n")
+	f.Add("# comment only\n\nprogram c\n")
+	f.Add("program x\narray a elems=8 elemsize=4 unanalyzable\nphase p occurs=2\nnest n sequential iters=1 inner=1 instfootprint=64\nload a outer=1 wrap prefetch=8\n")
+	f.Add("nest n parallel iters=1\nload zz outer=1\n")
+	f.Add("array \x00 elems=1\n")
+	f.Add(strings.Repeat("phase p occurs=1\n", 40))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		text := Format(p)
+		p2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("accepted program fails to re-parse after Format: %v\ninput:\n%s\nformatted:\n%s", err, src, text)
+		}
+		if text2 := Format(p2); text2 != text {
+			t.Fatalf("Format not a fixed point\n--- first ---\n%s--- second ---\n%s", text, text2)
+		}
+	})
+}
+
+// TestParseMalformed is the deterministic companion of FuzzParse: a
+// table of malformed inputs that must all be rejected with an error
+// (never a panic, never silent acceptance). It extends the grammar
+// errors of TestParseErrors with structural, numeric and byte-level
+// abuse.
+func TestParseMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty input":           "",
+		"comment only":          "# nothing here\n\n   # still nothing\n",
+		"no arrays":             "program x\nphase p occurs=1\n",
+		"no phases":             "program x\narray a elems=8\n",
+		"program extra tokens":  "program x y\narray a elems=8\n",
+		"code non-numeric":      "program x\ncode lots\narray a elems=8\n",
+		"code zero":             "program x\ncode 0\narray a elems=8\n",
+		"code missing value":    "program x\ncode\narray a elems=8\n",
+		"array bare":            "program x\narray\n",
+		"array no elems":        "program x\narray a\n",
+		"array elems flag-only": "program x\narray a elems\n",
+		"array elems negative":  "program x\narray a elems=-8\n",
+		"array elems overflow":  "program x\narray a elems=99999999999999999999\n",
+		"elemsize zero":         "program x\narray a elems=8 elemsize=0\n",
+		"phase bare":            "program x\narray a elems=8\nphase\n",
+		"phase occurs zero":     "program x\narray a elems=8\nphase p occurs=0\n",
+		"phase bad attr":        "program x\narray a elems=8\nphase p repeat=2\n",
+		"nest bare":             "program x\narray a elems=8\nphase p occurs=1\nnest n\n",
+		"nest inner zero": "program x\narray a elems=8\nphase p occurs=1\n" +
+			"nest n parallel iters=1 inner=0\nload a outer=1\n",
+		"nest iters overflow": "program x\narray a elems=8\nphase p occurs=1\n" +
+			"nest n parallel iters=10000000000000000000000 inner=1\nload a outer=1\n",
+		"sched empty": "program x\narray a elems=8\nphase p occurs=1\n" +
+			"nest n parallel iters=1 inner=1 sched=\nload a outer=1\n",
+		"sched trailing comma": "program x\narray a elems=8\nphase p occurs=1\n" +
+			"nest n parallel iters=1 inner=1 sched=even,\nload a outer=1\n",
+		"access bare": "program x\narray a elems=8\nphase p occurs=1\n" +
+			"nest n parallel iters=1 inner=1\nload\n",
+		"access bad attr": "program x\narray a elems=8\nphase p occurs=1\n" +
+			"nest n parallel iters=1 inner=1\nload a outer=1 stride=2\n",
+		"prefetch flag-only": "program x\narray a elems=8\nphase p occurs=1\n" +
+			"nest n parallel iters=1 inner=1\nload a outer=1 prefetch\n",
+		"init without access": "program x\narray a elems=8\ninit parallel iters=1 inner=1\n" +
+			"phase p occurs=1\nnest n parallel iters=1 inner=1\nload a outer=1\n",
+		"nul keyword":   "\x00program x\narray a elems=8\n",
+		"utf8 keyword":  "prögram x\narray a elems=8\n",
+		"crlf bad line": "program x\r\nfrobnicate\r\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: accepted\n%s", name, src)
+		}
+	}
+}
+
+// TestParseAcceptsEdgeForms pins down inputs that look suspicious but
+// are legal, so the malformed table cannot silently over-reject.
+func TestParseAcceptsEdgeForms(t *testing.T) {
+	cases := map[string]string{
+		"crlf line endings": "program x\r\narray a elems=8\r\nphase p occurs=1\r\n" +
+			"nest n parallel iters=1 inner=1\r\nload a outer=1\r\n",
+		"trailing comment": "program x # the name\narray a elems=8\nphase p occurs=1\n" +
+			"nest n parallel iters=1 inner=1\nload a outer=1 # stride note\n",
+		"negative access attrs": "program x\narray a elems=8\nphase p occurs=1\n" +
+			"nest n parallel iters=1 inner=1\nload a outer=1 inner=-2 offset=-5\n",
+		"footprint-only nest": "program x\narray a elems=8\nphase p occurs=1\n" +
+			"nest n sequential iters=1 inner=1 instfootprint=4096\n",
+		"deep indentation": "program x\n\t array a elems=8\n  phase p occurs=1\n" +
+			"\t\tnest n parallel iters=1 inner=1\n      load a outer=1\n",
+	}
+	for name, src := range cases {
+		p, err := ParseString(src)
+		if err != nil {
+			t.Errorf("%s: rejected: %v\n%s", name, err, src)
+			continue
+		}
+		if _, err := ParseString(Format(p)); err != nil {
+			t.Errorf("%s: round trip failed: %v", name, err)
+		}
+	}
+}

@@ -279,6 +279,9 @@ func (p *parser) access(kind string, rest []string) error {
 			return fmt.Errorf("%s %s: unknown attribute %q", kind, a.Name, tok)
 		}
 	}
+	if ac.OuterStride == 0 {
+		return fmt.Errorf("%s %s: outer stride is required", kind, a.Name)
+	}
 	p.nest.Accesses = append(p.nest.Accesses, ac)
 	return nil
 }
@@ -334,7 +337,9 @@ func atoiAny(val string, hasVal bool) (int, error) {
 // not serialized).
 func Format(p *Program) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "program %s\n", p.Name)
+	if p.Name != "" {
+		fmt.Fprintf(&b, "program %s\n", p.Name)
+	}
 	if p.CodeSize > 0 {
 		fmt.Fprintf(&b, "code %d\n", p.CodeSize)
 	}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAPIMDCoversEveryErrorCode is the golden cross-check between the
+// repository's API.md error table and the server's declared Code*
+// constant set, in both directions. The errcode analyzer enforces the
+// same contract inside cdpcvet; this test keeps the guarantee alive
+// under plain `go test ./...` as well, and pins down the shared table
+// parser with a known-good document.
+func TestAPIMDCoversEveryErrorCode(t *testing.T) {
+	root := filepath.Join("..", "..")
+	declared := serverCodes(t, filepath.Join(root, "internal", "server", "api.go"))
+	if len(declared) == 0 {
+		t.Fatal("no Code* constants found in internal/server/api.go")
+	}
+	data, err := os.ReadFile(filepath.Join(root, "API.md"))
+	if err != nil {
+		t.Fatalf("reading API.md: %v", err)
+	}
+	documented := parseAPIMDCodes(data)
+	if len(documented) == 0 {
+		t.Fatal("no code rows parsed from API.md's Error responses table")
+	}
+	for code, name := range declared {
+		if !documented[code] {
+			t.Errorf("error code %q (%s) is declared but missing from API.md's error table", code, name)
+		}
+	}
+	for code := range documented {
+		if _, ok := declared[code]; !ok {
+			t.Errorf("API.md documents error code %q but internal/server declares no such constant", code)
+		}
+	}
+}
+
+// serverCodes parses the api file syntactically and returns its Code*
+// string constants as value -> constant name.
+func serverCodes(t *testing.T, path string) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	codes := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Code") || len(name.Name) == len("Code") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				v, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquoting %s: %v", lit.Value, err)
+				}
+				codes[v] = name.Name
+			}
+		}
+	}
+	return codes
+}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DeterminismAnalyzer enforces the memo-cache soundness contract of the
+// simulation and reporting packages (internal/sim, internal/harness,
+// internal/report, internal/obs): a Spec fully determines its Result
+// and its rendered output, byte for byte. Three bug classes break that
+// silently and are rejected here:
+//
+//   - calls to time.Now (wall-clock time in a result or report);
+//   - any use of math/rand or math/rand/v2 (unseeded process-global
+//     randomness; the simulator's jitter uses explicit hashes instead);
+//   - ranging over a map where the iteration order can flow into the
+//     result or output.
+//
+// A map range is accepted when the analyzer can see it is order-
+// insensitive: either every statement in the body is a commutative
+// accumulation (+=, -=, *=, |=, &=, ^=, ++, --, or writes indexed by
+// the iteration key), or the loop only appends to a slice that is
+// sorted later in the same block. Anything else needs an explicit
+// "//lint:allow determinism (reason)" with a justification.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock time, global randomness and map-iteration order in simulation results and reports",
+	Run:  runDeterminism,
+}
+
+// determinismScope is the set of packages whose outputs are memoized or
+// diffed byte-for-byte.
+var determinismScope = []string{
+	"internal/sim",
+	"internal/harness",
+	"internal/report",
+	"internal/obs",
+}
+
+func runDeterminism(pass *Pass) {
+	inScope := false
+	for _, s := range determinismScope {
+		if pathHasSuffix(pass.Pkg.Path, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: process-global randomness breaks the deterministic-result contract; derive jitter from explicit hashes", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(pass.Info(), n.Fun, "time", "Now") {
+					pass.Reportf(n.Pos(), "time.Now in a deterministic package: wall-clock time must not flow into results or reports")
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+}
+
+// isPkgFunc reports whether fun is a selector resolving to the named
+// function of the named standard-library package.
+func isPkgFunc(info *types.Info, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath
+}
+
+// checkMapRange flags a range over a map unless the loop body is
+// provably order-insensitive.
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	tv, ok := pass.Info().Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if orderInsensitiveBody(pass, rs) || appendThenSorted(pass, file, rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "map iteration order flows into results/output; iterate a sorted key slice, accumulate commutatively, or sort afterwards")
+}
+
+// orderInsensitiveBody reports whether every statement of the range
+// body is a commutative accumulation: op-assignments with commutative
+// operators, increments/decrements, assignments whose target is
+// indexed by the loop's key variable, or if-statements (min/max
+// selection) whose bodies satisfy the same rule.
+func orderInsensitiveBody(pass *Pass, rs *ast.RangeStmt) bool {
+	keyObj := rangeKeyObj(pass, rs)
+	var stmtOK func(s ast.Stmt) bool
+	stmtOK = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.IncDecStmt:
+			return true
+		case *ast.AssignStmt:
+			switch s.Tok.String() {
+			case "+=", "-=", "*=", "|=", "&=", "^=":
+				// Numeric accumulation commutes; string += is
+				// concatenation and very much does not.
+				if len(s.Lhs) != 1 {
+					return false
+				}
+				tv, ok := pass.Info().Types[s.Lhs[0]]
+				if !ok {
+					return false
+				}
+				b, ok := tv.Type.Underlying().(*types.Basic)
+				return ok && b.Info()&types.IsNumeric != 0
+			case "=":
+				// dst[key] = ... is a per-key write: map keys are unique, so
+				// the order the keys arrive in cannot change the outcome
+				// (as long as the RHS does not read dst, which accumulation
+				// via = would; keep that conservative and require the index
+				// to be exactly the key variable).
+				if keyObj == nil || len(s.Lhs) != 1 {
+					return false
+				}
+				ix, ok := s.Lhs[0].(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				id, ok := ix.Index.(*ast.Ident)
+				return ok && pass.Info().Uses[id] == keyObj
+			default:
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil {
+				return false
+			}
+			for _, b := range s.Body.List {
+				if !stmtOK(b) {
+					return false
+				}
+			}
+			return true
+		case *ast.BlockStmt:
+			for _, b := range s.List {
+				if !stmtOK(b) {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	for _, s := range rs.Body.List {
+		if !stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeKeyObj resolves the loop's key variable object, if any.
+func rangeKeyObj(pass *Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.Info().Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info().Uses[id]
+}
+
+// appendThenSorted recognizes the collect-and-sort idiom: the loop body
+// only appends map elements to one slice variable, and a sort call on
+// that same variable follows the loop within the enclosing block.
+func appendThenSorted(pass *Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	target := appendTarget(pass, rs)
+	if target == nil {
+		return false
+	}
+	block := enclosingBlock(file, rs)
+	if block == nil {
+		return false
+	}
+	seen := false
+	for _, s := range block.List {
+		if s == ast.Stmt(rs) {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		if sortsVar(pass, s, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTarget returns the slice variable when every body statement is
+// `v = append(v, ...)` for one and the same v, else nil.
+func appendTarget(pass *Pass, rs *ast.RangeStmt) types.Object {
+	var target types.Object
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || as.Tok.String() != "=" || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return nil
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.Info().Uses[lhs]
+		if obj == nil || pass.Info().Uses[first] != obj {
+			return nil
+		}
+		if target == nil {
+			target = obj
+		} else if target != obj {
+			return nil
+		}
+	}
+	return target
+}
+
+// sortsVar reports whether stmt is a call into package sort or slices
+// whose first argument is the given variable.
+func sortsVar(pass *Pass, stmt ast.Stmt, v types.Object) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info().Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.Info().Uses[arg] == v
+}
+
+// enclosingBlock finds the innermost block statement containing n.
+func enclosingBlock(file *ast.File, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(file, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if m.Pos() > n.Pos() || m.End() < n.End() {
+			return m.Pos() <= n.Pos() && m.End() >= n.End()
+		}
+		if b, ok := m.(*ast.BlockStmt); ok {
+			if best == nil || (b.Pos() >= best.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,11 @@
+// Package lint implements cdpcvet, the repo's static-analysis suite:
+// a small go/analysis-style framework (built on the standard library's
+// go/ast and go/types, with no external dependencies) plus the
+// analyzers that encode this repository's invariants — determinism of
+// the simulation and reporting paths, conservation-audit and report
+// coverage of every statistics counter, mutex discipline on annotated
+// fields, the stable server error-code set, and power-of-two cache/VM
+// geometry. The cmd/cdpcvet driver runs every analyzer over the module;
+// scripts/verify.sh fails on any diagnostic. See DESIGN.md section 10
+// for each analyzer's contract and how to suppress a false positive.
+package lint

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// ErrCodeAnalyzer keeps the server's error-code surface closed and
+// documented. Clients dispatch on error.code strings, so the set is a
+// compatibility contract: a handler inventing an ad-hoc code ships an
+// undocumented API change. Two rules:
+//
+//   - every value given to ErrorInfo.Code (composite literal or
+//     assignment) must be one of the declared Code* constants, never a
+//     string literal or computed expression;
+//   - the declared Code* constant set must match the code table in
+//     API.md's "Error responses" section exactly, in both directions.
+var ErrCodeAnalyzer = &Analyzer{
+	Name: "errcode",
+	Doc:  "server handlers may only return declared error codes, and the declared set must match API.md",
+	Run:  runErrCode,
+}
+
+// apiCodeRowRe matches one code row of the API.md error table:
+// "| `invalid_request` | 400 | ... |".
+var apiCodeRowRe = regexp.MustCompile("^\\|\\s*`([a-z_]+)`\\s*\\|")
+
+func runErrCode(pass *Pass) {
+	if !pathHasSuffix(pass.Pkg.Path, "internal/server") {
+		return
+	}
+	codes := declaredCodes(pass) // value -> const object
+	if len(codes) == 0 {
+		return
+	}
+	checkCodeUses(pass, codes)
+	checkAPIMD(pass, codes)
+}
+
+// declaredCodes collects the package's Code*-named string constants.
+func declaredCodes(pass *Pass) map[string]*types.Const {
+	out := map[string]*types.Const{}
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Code") || len(name) == len("Code") {
+			continue
+		}
+		if c.Val().Kind() != constant.String {
+			continue
+		}
+		out[constant.StringVal(c.Val())] = c
+	}
+	return out
+}
+
+// checkCodeUses flags every ErrorInfo.Code value that is not a declared
+// Code* constant identifier.
+func checkCodeUses(pass *Pass, codes map[string]*types.Const) {
+	isCodeConst := func(e ast.Expr) bool {
+		var id *ast.Ident
+		switch e := e.(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return false
+		}
+		c, ok := pass.Info().Uses[id].(*types.Const)
+		return ok && strings.HasPrefix(c.Name(), "Code")
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isErrorInfoType(pass, n) {
+					return true
+				}
+				for i, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						key, ok := kv.Key.(*ast.Ident)
+						if ok && key.Name == "Code" && !isCodeConst(kv.Value) {
+							pass.Reportf(kv.Value.Pos(), "ErrorInfo.Code must be a declared Code* constant, not an ad-hoc expression")
+						}
+					} else if i == 0 && !isCodeConst(el) {
+						pass.Reportf(el.Pos(), "ErrorInfo.Code must be a declared Code* constant, not an ad-hoc expression")
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Code" || i >= len(n.Rhs) {
+						continue
+					}
+					v, ok := pass.Info().Uses[sel.Sel].(*types.Var)
+					if !ok || !v.IsField() || !isErrorInfoOwner(v) {
+						continue
+					}
+					if !isCodeConst(n.Rhs[i]) {
+						pass.Reportf(n.Rhs[i].Pos(), "ErrorInfo.Code must be a declared Code* constant, not an ad-hoc expression")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isErrorInfoType reports whether the composite literal's type is the
+// server's ErrorInfo struct.
+func isErrorInfoType(pass *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Info().Types[lit]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == "ErrorInfo"
+}
+
+// isErrorInfoOwner reports whether the field variable belongs to a
+// struct named ErrorInfo (matched by the field's declaring scope).
+func isErrorInfoOwner(v *types.Var) bool {
+	// The owning named type is not directly reachable from a field var;
+	// match on the field set of every ErrorInfo in its package instead.
+	scope := v.Pkg().Scope()
+	obj := scope.Lookup("ErrorInfo")
+	if obj == nil {
+		return false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAPIMDCodes extracts the code column of the error table in
+// API.md's "Error responses" section.
+func parseAPIMDCodes(data []byte) map[string]bool {
+	documented := map[string]bool{}
+	inSection := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.HasPrefix(line, "## Error responses")
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := apiCodeRowRe.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	return documented
+}
+
+// checkAPIMD cross-checks the declared code set against the error table
+// of the module's API.md.
+func checkAPIMD(pass *Pass, codes map[string]*types.Const) {
+	data, err := os.ReadFile(filepath.Join(pass.Prog.ModRoot, "API.md"))
+	if err != nil {
+		// No API doc in this module (fixtures opt out by omission).
+		return
+	}
+	documented := parseAPIMDCodes(data)
+	for value, c := range codes {
+		if !documented[value] {
+			pass.Reportf(c.Pos(), "error code %q (%s) is not documented in API.md's error table", value, c.Name())
+		}
+	}
+	var anchor *types.Const
+	for _, c := range codes {
+		if anchor == nil || c.Pos() < anchor.Pos() {
+			anchor = c
+		}
+	}
+	for value := range documented {
+		if _, ok := codes[value]; !ok {
+			pass.Reportf(anchor.Pos(), "API.md documents error code %q but no Code* constant declares it", value)
+		}
+	}
+}

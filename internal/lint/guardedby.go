@@ -1,0 +1,504 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedByAnalyzer enforces the repo's mutex discipline. A struct
+// field carrying a "// guarded by <mu>" comment may only be read or
+// written while the named mutex field of the same struct value is
+// held. The analyzer tracks lock state by walking each function body
+// in order:
+//
+//   - x.mu.Lock() / x.mu.RLock() acquires x.mu; x.mu.Unlock() /
+//     x.mu.RUnlock() releases it; "defer x.mu.Unlock()" leaves it held
+//     for the rest of the function;
+//   - branches of an if/switch are analyzed separately and the lock
+//     sets are intersected where they rejoin; a branch that returns
+//     does not constrain the code after the statement;
+//   - function literals and go statements start with no locks held —
+//     the goroutine does not inherit its creator's critical section;
+//   - methods whose name ends in "Locked" are assumed to be called
+//     with the receiver's mutexes held, the usual convention for
+//     lock-free-internal helpers;
+//   - composite-literal keys are construction, not access, and are
+//     always allowed (the value does not yet escape).
+//
+// The analysis is intra-procedural and conservative: passing a guarded
+// struct to a helper that locks internally reads as unguarded access
+// at any field use inside the helper only if that helper itself
+// touches the field outside a critical section.
+var GuardedByAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated \"guarded by mu\" must only be accessed with the named mutex held",
+	Run:  runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// guardSpec records one annotated field: which struct it belongs to and
+// which sibling field is its mutex.
+type guardSpec struct {
+	structObj types.Object // the struct's type name
+	mutex     string       // sibling mutex field name
+}
+
+func runGuardedBy(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	// structMutexes[structObj] = set of mutex field names used by its
+	// annotations, for seeding *Locked methods.
+	structMutexes := map[types.Object]map[string]bool{}
+	for _, g := range guards {
+		if structMutexes[g.structObj] == nil {
+			structMutexes[g.structObj] = map[string]bool{}
+		}
+		structMutexes[g.structObj][g.mutex] = true
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fl := &guardFlow{pass: pass, guards: guards}
+			locks := lockSet{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recv := fd.Recv.List[0].Names[0].Name
+				if st := recvStructObj(pass, fd); st != nil {
+					for mu := range structMutexes[st] {
+						locks[recv+"."+mu] = true
+					}
+				}
+			}
+			fl.stmts(fd.Body.List, locks)
+		}
+	}
+}
+
+// collectGuards parses "guarded by <mu>" field comments into a map from
+// field object to its guard spec, reporting annotations that name a
+// mutex field the struct does not have.
+func collectGuards(pass *Pass) map[*types.Var]guardSpec {
+	guards := map[*types.Var]guardSpec{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				structObj := pass.Info().Defs[ts.Name]
+				fieldNames := map[string]bool{}
+				for _, fld := range st.Fields.List {
+					for _, n := range fld.Names {
+						fieldNames[n.Name] = true
+					}
+				}
+				for _, fld := range st.Fields.List {
+					mu := guardAnnotation(fld)
+					if mu == "" {
+						continue
+					}
+					if !fieldNames[mu] {
+						pass.Reportf(fld.Pos(), "guarded-by annotation names %q but struct %s has no such field", mu, ts.Name.Name)
+						continue
+					}
+					for _, n := range fld.Names {
+						if v, ok := pass.Info().Defs[n].(*types.Var); ok {
+							guards[v] = guardSpec{structObj: structObj, mutex: mu}
+						}
+					}
+				}
+			}
+		}
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or "".
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// recvStructObj resolves a method's receiver to its struct type name.
+func recvStructObj(pass *Pass, fd *ast.FuncDecl) types.Object {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic instantiation if present.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info().Uses[id]
+}
+
+// lockSet maps a mutex path key ("j.mu", "s.store.mu") to held.
+type lockSet map[string]bool
+
+func (l lockSet) clone() lockSet {
+	c := make(lockSet, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+func intersect(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// guardFlow is the per-function walker.
+type guardFlow struct {
+	pass   *Pass
+	guards map[*types.Var]guardSpec
+}
+
+// stmts flows a statement list; it returns the lock set at fall-through
+// and whether the list always terminates (return/panic in every path).
+func (fl *guardFlow) stmts(list []ast.Stmt, locks lockSet) (lockSet, bool) {
+	for _, s := range list {
+		var term bool
+		locks, term = fl.stmt(s, locks)
+		if term {
+			return locks, true
+		}
+	}
+	return locks, false
+}
+
+func (fl *guardFlow) stmt(s ast.Stmt, locks lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op := lockOp(s.X); key != "" {
+			// Check the receiver chain itself, then apply the transition.
+			switch op {
+			case "Lock", "RLock":
+				locks = locks.clone()
+				locks[key] = true
+			case "Unlock", "RUnlock":
+				locks = locks.clone()
+				delete(locks, key)
+			}
+			return locks, false
+		}
+		fl.expr(s.X, locks)
+		return locks, fl.isTerminatingCall(s.X)
+	case *ast.DeferStmt:
+		if key, op := lockOp(s.Call); key != "" && (op == "Unlock" || op == "RUnlock") {
+			// The unlock runs at function exit; the lock stays held here.
+			return locks, false
+		}
+		fl.expr(s.Call, locks)
+		return locks, false
+	case *ast.GoStmt:
+		fl.expr(s.Call, lockSet{})
+		return locks, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			fl.expr(e, locks)
+		}
+		return locks, true
+	case *ast.BranchStmt:
+		// break/continue/goto: treat as terminating this path so the
+		// fall-through merge is not polluted.
+		return locks, true
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			fl.expr(e, locks)
+		}
+		for _, e := range s.Lhs {
+			fl.expr(e, locks)
+		}
+		return locks, false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.LabeledStmt:
+		fl.exprsIn(s, locks)
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			return fl.stmt(ls.Stmt, locks)
+		}
+		return locks, false
+	case *ast.BlockStmt:
+		return fl.stmts(s.List, locks)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			locks, _ = fl.stmt(s.Init, locks)
+		}
+		fl.expr(s.Cond, locks)
+		thenOut, thenTerm := fl.stmts(s.Body.List, locks.clone())
+		elseOut, elseTerm := locks, false
+		if s.Else != nil {
+			elseOut, elseTerm = fl.stmt(s.Else, locks.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return locks, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return intersect(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			locks, _ = fl.stmt(s.Init, locks)
+		}
+		if s.Cond != nil {
+			fl.expr(s.Cond, locks)
+		}
+		bodyOut, _ := fl.stmts(s.Body.List, locks.clone())
+		if s.Post != nil {
+			fl.stmt(s.Post, bodyOut)
+		}
+		if s.Cond == nil {
+			// for {} only exits via break/return; locks after the loop are
+			// whatever the body holds at its exits — be conservative.
+			return intersect(locks, bodyOut), false
+		}
+		return intersect(locks, bodyOut), false
+	case *ast.RangeStmt:
+		fl.expr(s.X, locks)
+		bodyOut, _ := fl.stmts(s.Body.List, locks.clone())
+		return intersect(locks, bodyOut), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			locks, _ = fl.stmt(s.Init, locks)
+		}
+		if s.Tag != nil {
+			fl.expr(s.Tag, locks)
+		}
+		return fl.caseBodies(s.Body, locks, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			locks, _ = fl.stmt(s.Init, locks)
+		}
+		fl.exprsIn(s.Assign, locks)
+		return fl.caseBodies(s.Body, locks, false)
+	case *ast.SelectStmt:
+		return fl.caseBodies(s.Body, locks, true)
+	default:
+		fl.exprsIn(s, locks)
+		return locks, false
+	}
+}
+
+// caseBodies flows each case clause from the same entry state and
+// intersects the non-terminating exits. hasDefault-less switches can
+// fall through with no case taken, so the entry state joins the merge
+// unless the statement is a select (which always takes a case).
+func (fl *guardFlow) caseBodies(body *ast.BlockStmt, locks lockSet, isSelect bool) (lockSet, bool) {
+	var outs []lockSet
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range cs.List {
+				fl.expr(e, locks)
+			}
+			if cs.List == nil {
+				hasDefault = true
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm != nil {
+				fl.stmt(cs.Comm, locks.clone())
+			} else {
+				hasDefault = true
+			}
+			stmts = cs.Body
+		}
+		out, term := fl.stmts(stmts, locks.clone())
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	if !hasDefault && !isSelect {
+		outs = append(outs, locks)
+	}
+	if len(outs) == 0 {
+		return locks, true
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = intersect(merged, o)
+	}
+	return merged, false
+}
+
+// expr checks every guarded-field access inside e against the current
+// lock set. Function literals passed directly to a call (sort.Slice
+// comparators and the like) run synchronously and inherit the caller's
+// locks; literals that are stored, returned or launched with go start
+// with an empty set, since they may outlive the critical section.
+func (fl *guardFlow) expr(e ast.Expr, locks lockSet) {
+	if e == nil {
+		return
+	}
+	syncLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				syncLits[lit] = true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					syncLits[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			entry := lockSet{}
+			if syncLits[n] {
+				entry = locks.clone()
+			}
+			fl.stmts(n.Body.List, entry)
+			return false
+		case *ast.CompositeLit:
+			// Keys are construction; values still get checked.
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					fl.expr(kv.Value, locks)
+				} else {
+					fl.expr(el, locks)
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			fl.checkAccess(n, locks)
+		}
+		return true
+	})
+}
+
+// exprsIn applies expr to every expression directly under a statement
+// the flow walker has no special handling for.
+func (fl *guardFlow) exprsIn(s ast.Stmt, locks lockSet) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			fl.expr(e, locks)
+			return false
+		}
+		return true
+	})
+}
+
+// checkAccess reports sel if it reads a guarded field while its mutex
+// key is not held.
+func (fl *guardFlow) checkAccess(sel *ast.SelectorExpr, locks lockSet) {
+	obj, ok := fl.pass.Info().Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	g, guarded := fl.guards[obj]
+	if !guarded {
+		return
+	}
+	base, ok := exprKey(sel.X)
+	if !ok {
+		return
+	}
+	key := base + "." + g.mutex
+	if !locks[key] {
+		fl.pass.Reportf(sel.Sel.Pos(), "access to %s.%s without holding %s", base, obj.Name(), key)
+	}
+}
+
+// lockOp recognizes a x.mu.Lock/RLock/Unlock/RUnlock call and returns
+// the mutex path key and the operation name.
+func lockOp(e ast.Expr) (key, op string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	k, ok := exprKey(sel.X)
+	if !ok {
+		return "", ""
+	}
+	return k, sel.Sel.Name
+}
+
+// isTerminatingCall reports whether e is a call that never returns
+// (panic, or a Fatal-style method).
+func (fl *guardFlow) isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(fun.Sel.Name, "Fatal")
+	}
+	return false
+}
+
+// exprKey renders a chain of identifiers and field selectors as a
+// stable string path ("j.mu", "s.store.mu"); anything else (calls,
+// index expressions) is untrackable.
+func exprKey(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.SelectorExpr:
+		base, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("%s.%s", base, e.Sel.Name), true
+	default:
+		return "", false
+	}
+}

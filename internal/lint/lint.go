@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker, in the mold of
+// golang.org/x/tools/go/analysis but self-contained: Run is invoked
+// once per loaded package and reports findings through the pass.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in output and suppressions
+	Doc  string // one-line summary of the invariant
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the program's shared FileSet.
+func (p *Pass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// Info returns the package's type information.
+func (p *Pass) Info() *types.Info { return p.Pkg.Info }
+
+// Reportf records a diagnostic at pos unless a suppression comment
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full cdpcvet suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		StatsConserveAnalyzer,
+		GuardedByAnalyzer,
+		ErrCodeAnalyzer,
+		Pow2GeomAnalyzer,
+	}
+}
+
+// RunAnalyzers runs every analyzer over every package of prog and
+// returns the surviving (non-suppressed) diagnostics in file/line
+// order.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Packages {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	diags = filterSuppressed(prog, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// filterSuppressed drops diagnostics covered by a
+// "//lint:allow <analyzer> (reason)" comment on the same line or the
+// line directly above. Suppressions are per-analyzer and deliberate:
+// the reason in parentheses is for the reviewer.
+func filterSuppressed(prog *Program, diags []Diagnostic) []Diagnostic {
+	// allowed["file:line"] = set of analyzer names.
+	allowed := map[string]map[string]bool{}
+	mark := func(file string, line int, name string) {
+		for _, l := range []int{line, line + 1} {
+			key := fmt.Sprintf("%s:%d", file, l)
+			if allowed[key] == nil {
+				allowed[key] = map[string]bool{}
+			}
+			allowed[key][name] = true
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:allow")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					mark(pos.Filename, pos.Line, fields[0])
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if allowed[key][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// funcBodies collects every function and method declaration of the
+// package, keyed by its types.Object — shared plumbing for the
+// analyzers that chase intra-package call graphs.
+func funcBodies(pkg *Package) map[types.Object]*ast.FuncDecl {
+	out := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// structFields returns the named struct type's fields, or nil.
+func structFields(pkg *Package, name string) []*types.Var {
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	return fields
+}
+
+// isUint64 reports whether t's underlying type is uint64.
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors golang.org/x/tools' analysistest: each
+// analyzer has a module under testdata/src/<name> whose files carry
+// `// want "regexp"` comments on the lines where a diagnostic is
+// expected. The test fails on any unexpected diagnostic and on any
+// unmatched expectation, so every fixture exercises both the flagged
+// (positive) and allowed (negative) cases at once.
+
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// runFixture loads the fixture module and checks a's diagnostics
+// against the want comments.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	prog, err := Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := RunAnalyzers(prog, []*Analyzer{a})
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("bad want regexp %q: %v", m[1], err)
+						}
+						key := posKey(prog.Fset.Position(c.Pos()))
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := posKey(d.Pos)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+func TestDeterminismFixture(t *testing.T)   { runFixture(t, DeterminismAnalyzer, "determinism") }
+func TestStatsConserveFixture(t *testing.T) { runFixture(t, StatsConserveAnalyzer, "statsconserve") }
+func TestGuardedByFixture(t *testing.T)     { runFixture(t, GuardedByAnalyzer, "guardedby") }
+func TestErrCodeFixture(t *testing.T)       { runFixture(t, ErrCodeAnalyzer, "errcode") }
+func TestPow2GeomFixture(t *testing.T)      { runFixture(t, Pow2GeomAnalyzer, "pow2geom") }
+
+// TestSuppression proves the //lint:allow escape hatch: the suppression
+// fixture contains one violation of every analyzer-independent shape
+// with an allow comment, and must produce zero diagnostics.
+func TestSuppression(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "src", "suppression"))
+	if err != nil {
+		t.Fatalf("loading suppression fixture: %v", err)
+	}
+	diags := RunAnalyzers(prog, Analyzers())
+	for _, d := range diags {
+		t.Errorf("suppressed site still reported: %s", d)
+	}
+}
+
+// TestAnalyzersHaveDocs is the suite's own hygiene check.
+func TestAnalyzersHaveDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if a.Name != strings.ToLower(a.Name) {
+			t.Errorf("analyzer name %q must be lowercase", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("suite has %d analyzers, want at least 5", len(seen))
+	}
+}

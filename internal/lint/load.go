@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+// Only non-test files are loaded: the invariants cdpcvet enforces are
+// about shipped simulation and serving code, and _test.go files are
+// where nondeterminism (timing, randomized property inputs) is
+// legitimate.
+type Package struct {
+	Path  string // import path
+	Name  string // package name
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	imports []string // module-internal imports, for topological ordering
+}
+
+// Program is a whole loaded module: every package, type-checked in
+// dependency order against one shared FileSet. Cross-package analyzers
+// (statsconserve couples sim to report, errcode couples server to
+// API.md) reach sibling packages through it.
+type Program struct {
+	Fset     *token.FileSet
+	ModPath  string
+	ModRoot  string
+	Packages []*Package // topological (dependencies first)
+	ByPath   map[string]*Package
+}
+
+// Lookup returns the loaded package whose import path ends with the
+// given slash-separated suffix (e.g. "internal/report"), or nil.
+func (p *Program) Lookup(suffix string) *Package {
+	for _, pkg := range p.Packages {
+		if pathHasSuffix(pkg.Path, suffix) {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// pathHasSuffix reports whether import path has the given suffix on a
+// path-segment boundary.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// Load parses and type-checks every non-test package of the module
+// rooted at (or above) dir. Imports within the module resolve to the
+// packages being loaded; everything else (the standard library) is
+// type-checked on demand through the source importer, so no compiled
+// export data is required.
+func Load(dir string) (*Program, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:    token.NewFileSet(),
+		ModPath: modPath,
+		ModRoot: modRoot,
+		ByPath:  map[string]*Package{},
+	}
+
+	var pkgs []*Package
+	err = filepath.WalkDir(modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != modRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		pkg, err := parseDir(prog.Fset, path)
+		if err != nil {
+			return err
+		}
+		if pkg == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(modRoot, path)
+		if err != nil {
+			return err
+		}
+		pkg.Path = modPath
+		if rel != "." {
+			pkg.Path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				ip, _ := strconv.Unquote(imp.Path.Value)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					pkg.imports = append(pkg.imports, ip)
+				}
+			}
+		}
+		pkgs = append(pkgs, pkg)
+		prog.ByPath[pkg.Path] = pkg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ordered, err := topoSort(pkgs, prog.ByPath)
+	if err != nil {
+		return nil, err
+	}
+	imp := &moduleImporter{
+		prog: prog,
+		std:  importer.ForCompiler(prog.Fset, "source", nil),
+	}
+	for _, pkg := range ordered {
+		if err := typeCheck(prog.Fset, pkg, imp); err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.Path, err)
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// parseDir parses the non-test Go files of one directory; nil if the
+// directory holds no buildable Go files.
+func parseDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	pkg := &Package{Dir: dir}
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		if f.Name.Name != pkg.Name {
+			// Mixed-package directory (e.g. a main + package dir); keep the
+			// first package's files only.
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}
+
+// topoSort orders packages dependencies-first.
+func topoSort(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := map[*Package]int{}
+	var out []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p.Path)
+		}
+		state[p] = visiting
+		for _, ip := range p.imports {
+			if dep, ok := byPath[ip]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = done
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// moduleImporter resolves module-internal imports to the packages
+// already checked this run and defers everything else to the source
+// importer.
+type moduleImporter struct {
+	prog *Program
+	std  types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.prog.ByPath[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: import %s not yet type-checked (cycle?)", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// typeCheck runs go/types over one parsed package.
+func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return err
+	}
+	pkg.Types = tpkg
+	return nil
+}

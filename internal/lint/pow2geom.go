@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Pow2GeomAnalyzer enforces the power-of-two geometry contract. The
+// simulator's per-reference hot path replaces division and modulo with
+// shift-and-mask (CacheGeometry.SetOf, the VM's page and color
+// arithmetic), which is only correct when cache sizes, line sizes and
+// the page size are powers of two — arch.Validate rejects anything
+// else, but only at run time, on whichever configuration a test
+// happened to exercise. This analyzer moves the check to lint time:
+// every value given to CacheGeometry.Size, CacheGeometry.LineSize or
+// Config.PageSize (in a composite literal or by assignment) must be
+// provably a power of two:
+//
+//   - a constant expression equal to a positive power of two;
+//   - a call to arch.FloorPow2 (the sanctioned rounding helper);
+//   - a left shift whose base is a constant power of two;
+//   - a copy of an already-validated geometry field (g.Size and
+//     friends), which Validate has vouched for.
+//
+// Arbitrary arithmetic like size/scale is rejected even when every
+// tested scale happens to divide evenly — that is exactly the latent
+// bug class (scale=3 silently breaking set indexing) this check
+// exists for.
+var Pow2GeomAnalyzer = &Analyzer{
+	Name: "pow2geom",
+	Doc:  "cache, TLB and VM geometry must be power-of-two literals or provably-rounded values",
+	Run:  runPow2Geom,
+}
+
+// pow2Fields lists, per geometry struct, which fields carry the
+// power-of-two contract.
+var pow2Fields = map[string]map[string]bool{
+	"CacheGeometry": {"Size": true, "LineSize": true},
+	"Config":        {"PageSize": true},
+}
+
+func runPow2Geom(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				structName, ok := geomStructName(pass, pass.Info().Types[n].Type)
+				if !ok {
+					return true
+				}
+				fields := pow2Fields[structName]
+				st, _ := pass.Info().Types[n].Type.Underlying().(*types.Struct)
+				for i, el := range n.Elts {
+					var name string
+					var value ast.Expr
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						name, value = key.Name, kv.Value
+					} else if st != nil && i < st.NumFields() {
+						name, value = st.Field(i).Name(), el
+					}
+					if fields[name] {
+						checkPow2(pass, structName, name, value)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					v, ok := pass.Info().Uses[sel.Sel].(*types.Var)
+					if !ok || !v.IsField() {
+						continue
+					}
+					owner, fieldSet := fieldOwner(v)
+					if fieldSet != nil && fieldSet[v.Name()] {
+						checkPow2(pass, owner, v.Name(), n.Rhs[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// geomStructName maps a type to "CacheGeometry"/"Config" when it is one
+// of the geometry structs (by name — the arch package itself and the
+// test fixtures both qualify).
+func geomStructName(pass *Pass, t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	name := named.Obj().Name()
+	_, tracked := pow2Fields[name]
+	return name, tracked
+}
+
+// fieldOwner finds which geometry struct (if any) declares the field
+// and returns its constrained-field set.
+func fieldOwner(v *types.Var) (string, map[string]bool) {
+	if v.Pkg() == nil {
+		return "", nil
+	}
+	for name, fields := range pow2Fields {
+		obj := v.Pkg().Scope().Lookup(name)
+		if obj == nil {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return name, fields
+			}
+		}
+	}
+	return "", nil
+}
+
+// checkPow2 reports value unless it is provably a power of two.
+func checkPow2(pass *Pass, structName, fieldName string, value ast.Expr) {
+	if provablyPow2(pass, value) {
+		return
+	}
+	pass.Reportf(value.Pos(), "%s.%s must be a power of two: use a power-of-two constant or wrap the expression in FloorPow2", structName, fieldName)
+}
+
+func provablyPow2(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return provablyPow2(pass, e.X)
+	}
+	tv, ok := pass.Info().Types[e]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		v, exact := constant.Int64Val(tv.Value)
+		return exact && v > 0 && v&(v-1) == 0
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		var id *ast.Ident
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		}
+		return id != nil && id.Name == "FloorPow2"
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "<<":
+			// pow2 << k stays a power of two for any in-range k.
+			return provablyPow2(pass, e.X)
+		case "*":
+			// pow2 * pow2 is a power of two.
+			return provablyPow2(pass, e.X) && provablyPow2(pass, e.Y)
+		}
+		return false
+	case *ast.SelectorExpr:
+		// Copying a field out of an existing geometry struct: Validate
+		// already vouched for it.
+		v, ok := pass.Info().Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return false
+		}
+		_, fields := fieldOwner(v)
+		return fields != nil && fields[v.Name()]
+	default:
+		return false
+	}
+}

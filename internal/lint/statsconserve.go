@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsConserveAnalyzer enforces full accounting coverage of the
+// simulator's statistics counters. A counter that exists but is neither
+// audited nor reported is how drift slips in: the simulator books
+// cycles or events into it, nothing cross-checks the books, and nothing
+// shows the number to a reader. Concretely, for every uint64 field of
+// sim.CPUStats, sim.Result and sim.BusStats:
+//
+//   - the field must be read somewhere in the transitive intra-package
+//     closure of (*Result).Audit — directly in the audit or through a
+//     helper method it calls (TotalCycles pulls in MemStallCycles and
+//     OverheadCycles, which between them read every cycle bucket);
+//   - the field must reach the report package — read directly in a
+//     report function, or read by a sim method that report references
+//     (method values like (*sim.CPUStats).MemStallCycles count).
+//
+// Within the report package itself, every field of report.Row must be
+// referenced by the columns table, so a counter cannot make it into the
+// Row without also making it into the CSV.
+var StatsConserveAnalyzer = &Analyzer{
+	Name: "statsconserve",
+	Doc:  "every statistics counter must be covered by the conservation audit and by the report output",
+	Run:  runStatsConserve,
+}
+
+func runStatsConserve(pass *Pass) {
+	switch {
+	case pathHasSuffix(pass.Pkg.Path, "internal/sim"):
+		checkAuditAndReportCoverage(pass)
+	case pathHasSuffix(pass.Pkg.Path, "internal/report"):
+		checkRowColumnCoverage(pass)
+	}
+}
+
+// counterFields returns the uint64 fields of the named sim structs.
+func counterFields(simPkg *Package) map[*types.Var]string {
+	out := map[*types.Var]string{}
+	for _, name := range []string{"CPUStats", "Result", "BusStats"} {
+		for _, f := range structFields(simPkg, name) {
+			if isUint64(f.Type()) {
+				out[f] = name
+			}
+		}
+	}
+	return out
+}
+
+func checkAuditAndReportCoverage(pass *Pass) {
+	simPkg := pass.Pkg
+	fields := counterFields(simPkg)
+	if len(fields) == 0 {
+		return
+	}
+	bodies := funcBodies(simPkg)
+
+	var audit types.Object
+	for obj, fd := range bodies {
+		if fd.Name.Name == "Audit" && fd.Recv != nil {
+			audit = obj
+			break
+		}
+	}
+	if audit == nil {
+		// Report once, anchored at the CPUStats declaration: without an
+		// Audit method nothing conserves anything.
+		for f, owner := range fields {
+			if owner == "CPUStats" {
+				pass.Reportf(f.Pos(), "sim package declares counters but no (*Result).Audit method to conserve them")
+				return
+			}
+		}
+		return
+	}
+
+	audited := fieldClosure(simPkg, bodies, []types.Object{audit})
+	for f, owner := range fields {
+		if !audited[f] {
+			pass.Reportf(f.Pos(), "counter %s.%s is not checked by any (*Result).Audit invariant (directly or via a helper it calls)", owner, f.Name())
+		}
+	}
+
+	reportPkg := pass.Prog.Lookup("internal/report")
+	if reportPkg == nil {
+		return
+	}
+	reported, simMethods := crossPackageReads(reportPkg, simPkg)
+	for f := range fieldClosure(simPkg, bodies, simMethods) {
+		reported[f] = true
+	}
+	for f, owner := range fields {
+		if !reported[f] {
+			pass.Reportf(f.Pos(), "counter %s.%s never reaches the report package: add it to Row/FromResult and the columns table", owner, f.Name())
+		}
+	}
+}
+
+// fieldClosure walks the bodies of roots and, transitively, every
+// same-package function they reference, and returns the set of struct
+// fields read anywhere in that closure.
+func fieldClosure(pkg *Package, bodies map[types.Object]*ast.FuncDecl, roots []types.Object) map[*types.Var]bool {
+	read := map[*types.Var]bool{}
+	seen := map[types.Object]bool{}
+	work := append([]types.Object(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if fn == nil || seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		fd, ok := bodies[fn]
+		if !ok {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch obj := pkg.Info.Uses[id].(type) {
+			case *types.Var:
+				if obj.IsField() {
+					read[obj] = true
+				}
+			case *types.Func:
+				if _, local := bodies[obj]; local {
+					work = append(work, obj)
+				}
+			}
+			return true
+		})
+	}
+	return read
+}
+
+// crossPackageReads scans every function of pkg and returns the sim
+// struct fields it reads directly plus the sim methods it references
+// (calls or method values), for closure expansion on the sim side.
+func crossPackageReads(pkg, simPkg *Package) (map[*types.Var]bool, []types.Object) {
+	fields := map[*types.Var]bool{}
+	var methods []types.Object
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() != simPkg.Types {
+				return true
+			}
+			switch obj := obj.(type) {
+			case *types.Var:
+				if obj.IsField() {
+					fields[obj] = true
+				}
+			case *types.Func:
+				methods = append(methods, obj)
+			}
+			return true
+		})
+	}
+	return fields, methods
+}
+
+// checkRowColumnCoverage requires every field of report.Row to be
+// referenced inside the columns table literal.
+func checkRowColumnCoverage(pass *Pass) {
+	rowFields := structFields(pass.Pkg, "Row")
+	if len(rowFields) == 0 {
+		return
+	}
+	var columnsExpr ast.Expr
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "columns" && i < len(vs.Values) {
+						columnsExpr = vs.Values[i]
+					}
+				}
+			}
+		}
+	}
+	if columnsExpr == nil {
+		pass.Reportf(rowFields[0].Pos(), "report package has no columns table; Row fields cannot reach the CSV")
+		return
+	}
+	used := map[types.Object]bool{}
+	ast.Inspect(columnsExpr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info().Uses[id]; obj != nil {
+				used[obj] = true
+			}
+		}
+		return true
+	})
+	for _, f := range rowFields {
+		if !used[f] {
+			pass.Reportf(f.Pos(), "Row.%s has no column: add it to the columns table so it reaches the CSV header and records", f.Name())
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package other is outside the determinism scope: wall-clock time and
+// unordered iteration are fine here.
+package other
+
+import "time"
+
+// Now is allowed — this package produces no memoized results.
+func Now() time.Time { return time.Now() }
+
+// Dump is allowed for the same reason.
+func Dump(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}

@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand" // want "process-global randomness"
+	"time"
+)
+
+// Stamp leaks wall-clock time into a result.
+func Stamp() string {
+	return time.Now().String() // want "wall-clock time"
+}
+
+// Roll uses the process-global generator (flagged at the import).
+func Roll() int { return rand.Int() }
+
+// Render lets map iteration order reach the output string.
+func Render(counts map[string]int) string {
+	out := ""
+	for k, v := range counts { // want "map iteration order"
+		out += fmt.Sprintf("%s=%d\n", k, v)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package sim
+
+import "sort"
+
+// Sum accumulates commutatively; iteration order cannot matter.
+func Sum(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// Count only increments.
+func Count(counts map[string]int) int {
+	n := 0
+	for range counts {
+		n++
+	}
+	return n
+}
+
+// Keys collects and then sorts: deterministic despite map iteration.
+func Keys(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Invert performs one write per unique key.
+func Invert(m map[int]int) map[int]int {
+	out := map[int]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package server
+
+// ErrorInfo is the wire error payload.
+type ErrorInfo struct {
+	Code    string
+	Message string
+}
+
+// The declared code set. CodeOK anchors the missing-declaration
+// diagnostic for the documented-but-undeclared "ghost" row.
+const (
+	CodeOK      = "ok"               // want "documents error code \"ghost\""
+	CodeMissing = "missing_from_doc" // want "not documented in API.md"
+)

@@ -1,0 +1,18 @@
+package server
+
+// Good uses declared constants only.
+func Good() *ErrorInfo {
+	return &ErrorInfo{Code: CodeOK, Message: "fine"}
+}
+
+// AlsoGood assigns a declared constant.
+func AlsoGood(e *ErrorInfo) {
+	e.Code = CodeMissing
+}
+
+// Bad invents ad-hoc codes.
+func Bad() *ErrorInfo {
+	e := &ErrorInfo{Code: "adhoc"} // want "declared Code"
+	e.Code = "worse"               // want "declared Code"
+	return e
+}

@@ -1,0 +1,85 @@
+package gb
+
+import (
+	"sort"
+	"sync"
+)
+
+// S is the guarded struct.
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by ghost -> want "no such field"
+}
+
+// Bad reads n with no lock at all.
+func (s *S) Bad() int {
+	return s.n // want "without holding s.mu"
+}
+
+// AfterUnlock releases the lock before the final read.
+func (s *S) AfterUnlock() int {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return s.n // want "without holding s.mu"
+}
+
+// Leak spawns a goroutine that does not inherit the critical section.
+func (s *S) Leak() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.n++ // want "without holding s.mu"
+	}()
+}
+
+// Get holds the lock for the whole read (defer-unlock form).
+func (s *S) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Inc uses the paired lock/unlock form.
+func (s *S) Inc() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// TryGet exercises the branchy unlock-in-if pattern: both exits
+// release, and each access happens while held.
+func (s *S) TryGet() (int, bool) {
+	s.mu.Lock()
+	if s.n > 0 {
+		v := s.n
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	return 0, false
+}
+
+// incLocked follows the *Locked convention: caller holds the mutex.
+func (s *S) incLocked() { s.n++ }
+
+// IncTwice shows the convention from the caller's side.
+func (s *S) IncTwice() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.incLocked()
+	s.incLocked()
+}
+
+// New constructs the struct; composite-literal keys are initialization,
+// not access.
+func New() *S { return &S{n: 1} }
+
+// Sorted uses a synchronous closure under the lock (a comparator runs
+// inside the caller's critical section).
+func (s *S) Sorted(xs []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sort.Slice(xs, func(i, j int) bool { return xs[i]+s.n < xs[j] })
+}

@@ -1,0 +1,3 @@
+module fixgb
+
+go 1.24

@@ -1,0 +1,43 @@
+package geom
+
+// CacheGeometry mirrors the arch struct of the same name.
+type CacheGeometry struct {
+	Size     int
+	LineSize int
+	Assoc    int
+}
+
+// Config mirrors arch.Config.
+type Config struct {
+	PageSize int
+	L2       CacheGeometry
+}
+
+// FloorPow2 rounds down to a power of two (the sanctioned helper).
+func FloorPow2(x int) int {
+	p := 1
+	for p <= x/2 {
+		p <<= 1
+	}
+	return p
+}
+
+// Good covers every provable shape: constants, FloorPow2, constant-base
+// shifts, validated-field copies, and pow2*pow2 products.
+func Good(scale, k int) Config {
+	base := CacheGeometry{Size: 1 << 20, LineSize: 128, Assoc: 1}
+	c := Config{PageSize: 4096, L2: base}
+	c.L2 = CacheGeometry{Size: FloorPow2(1 << 20 / scale), LineSize: base.LineSize, Assoc: 1}
+	c.L2.Size = base.Size * 4
+	c.PageSize = 1 << k
+	return c
+}
+
+// Bad covers the rejected shapes: non-power constants and unproven
+// arithmetic.
+func Bad(scale int) Config {
+	c := Config{PageSize: 5000} // want "PageSize must be a power of two"
+	c.L2.Size = 1 << 20 / scale // want "Size must be a power of two"
+	c.L2.LineSize = 48          // want "LineSize must be a power of two"
+	return c
+}

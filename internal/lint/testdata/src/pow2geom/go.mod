@@ -1,0 +1,3 @@
+module fixp2
+
+go 1.24

@@ -1,0 +1,3 @@
+module fixstats
+
+go 1.24

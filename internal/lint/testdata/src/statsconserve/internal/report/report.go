@@ -1,0 +1,40 @@
+package report
+
+import "fixstats/internal/sim"
+
+// Row flattens a result. NoColumn is declared but never emitted.
+type Row struct {
+	Good     uint64
+	Orphan   uint64
+	Wall     uint64
+	NoColumn uint64 // want "no column"
+}
+
+// FromResult reads the counters the report carries.
+func FromResult(r *sim.Result) Row {
+	var row Row
+	for i := range r.PerCPU {
+		row.Good += r.PerCPU[i].Good
+		row.Orphan += r.PerCPU[i].Orphan
+	}
+	row.Wall = r.WallCycles
+	return row
+}
+
+var columns = []struct {
+	name  string
+	value func(*Row) uint64
+}{
+	{"good", func(r *Row) uint64 { return r.Good }},
+	{"orphan", func(r *Row) uint64 { return r.Orphan }},
+	{"wall", func(r *Row) uint64 { return r.Wall }},
+}
+
+// Header keeps columns referenced.
+func Header() []string {
+	names := make([]string, len(columns))
+	for i, c := range columns {
+		names[i] = c.name
+	}
+	return names
+}

@@ -1,0 +1,30 @@
+package sim
+
+// CPUStats mirrors the real simulator's counter block, with three
+// coverage situations: fully covered, audited-only, reported-only.
+type CPUStats struct {
+	Good       uint64
+	Orphan     uint64 // want "not checked by any"
+	Unreported uint64 // want "never reaches the report package"
+}
+
+// Result carries the run-level counters.
+type Result struct {
+	WallCycles uint64
+	PerCPU     []CPUStats
+}
+
+// Audit checks Good and (through a helper) Unreported, but nothing
+// conserves Orphan.
+func (r *Result) Audit() []string {
+	var v []string
+	for i := range r.PerCPU {
+		s := &r.PerCPU[i]
+		if s.Good > r.WallCycles || sumHelper(s) > r.WallCycles {
+			v = append(v, "drift")
+		}
+	}
+	return v
+}
+
+func sumHelper(s *CPUStats) uint64 { return s.Unreported }

@@ -1,0 +1,3 @@
+module fixsupp
+
+go 1.24

@@ -1,0 +1,47 @@
+// Package sim holds one would-be violation per suppression form; each
+// carries a lint:allow comment, so the whole suite must stay silent.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Stamp suppresses with a trailing same-line comment.
+func Stamp() time.Time {
+	return time.Now() //lint:allow determinism (fixture exercises same-line suppression)
+}
+
+// Render suppresses with a comment on the line above.
+func Render(m map[string]int) string {
+	s := ""
+	//lint:allow determinism (order is cosmetic in this fixture)
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// CacheGeometry mirrors arch for the pow2geom case.
+type CacheGeometry struct {
+	Size     int
+	LineSize int
+	Assoc    int
+}
+
+// Odd builds a deliberately non-power geometry.
+func Odd() CacheGeometry {
+	//lint:allow pow2geom (fixture wants a non-power size)
+	return CacheGeometry{Size: 3000, LineSize: 64, Assoc: 1}
+}
+
+// S has a guarded counter.
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Peek reads racily on purpose.
+func (s *S) Peek() int {
+	return s.n //lint:allow guardedby (approximate read is acceptable here)
+}

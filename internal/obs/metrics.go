@@ -98,8 +98,8 @@ type metric struct {
 // path. Output is ordered by name so /metrics is deterministic.
 type Registry struct {
 	mu      sync.Mutex
-	byName  map[string]*metric
-	metrics []*metric
+	byName  map[string]*metric // guarded by mu
+	metrics []*metric          // guarded by mu
 }
 
 // NewRegistry creates an empty registry.
@@ -110,30 +110,38 @@ func NewRegistry() *Registry {
 // Counter returns the counter registered under name, creating it on
 // first use. name may include a {label="value"} suffix.
 func (r *Registry) Counter(name, help string) *Counter {
-	m := r.get(name, help, "counter")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.getLocked(name, help, "counter")
 	return m.counter
 }
 
 // Gauge registers a gauge whose value is read from f at exposition
 // time (queue depth, in-flight count, cache hit rate).
 func (r *Registry) Gauge(name, help string, f func() float64) {
-	m := r.get(name, help, "gauge")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.getLocked(name, help, "gauge")
 	m.gauge = f
 }
 
 // Histogram returns the histogram registered under name, creating it
 // with the given bounds (nil = DefaultLatencyBuckets) on first use.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	m := r.get(name, help, "histogram")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.getLocked(name, help, "histogram")
 	if m.hist == nil {
 		m.hist = NewHistogram(bounds)
 	}
 	return m.hist
 }
 
-func (r *Registry) get(name, help, kind string) *metric {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// getLocked looks up or registers a metric. The registry lock must be
+// held by the caller, which also covers its follow-up writes to the
+// returned record (a concurrent WriteText could otherwise observe a
+// half-initialized gauge or histogram).
+func (r *Registry) getLocked(name, help, kind string) *metric {
 	if m, ok := r.byName[name]; ok {
 		return m
 	}

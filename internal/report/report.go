@@ -46,6 +46,10 @@ type Row struct {
 	RemoteSupplies    uint64 `json:"remote_supplies"`
 	BusQueueCycles    uint64 `json:"bus_queue_cycles"`
 	WriteBufferStall  uint64 `json:"write_buffer_stall"`
+	// CPUPageFaults sums the per-CPU measured-phase fault counters; it
+	// differs from PageFaults, which is the address space's whole-run
+	// fault count including initialization and warmup.
+	CPUPageFaults uint64 `json:"cpu_page_faults"`
 }
 
 // FromResult flattens a result.
@@ -86,6 +90,7 @@ func FromResult(r *sim.Result, prefetch bool) Row {
 		RemoteSupplies:    tot(func(s *sim.CPUStats) uint64 { return s.RemoteSupplies }),
 		BusQueueCycles:    tot(func(s *sim.CPUStats) uint64 { return s.BusQueueCycles }),
 		WriteBufferStall:  tot(func(s *sim.CPUStats) uint64 { return s.StallWriteBuffer }),
+		CPUPageFaults:     tot(func(s *sim.CPUStats) uint64 { return s.PageFaults }),
 	}
 }
 
@@ -135,6 +140,7 @@ var columns = []column{
 	{"remote_supplies", u(func(r *Row) uint64 { return r.RemoteSupplies })},
 	{"bus_queue_cycles", u(func(r *Row) uint64 { return r.BusQueueCycles })},
 	{"write_buffer_stall", u(func(r *Row) uint64 { return r.WriteBufferStall })},
+	{"cpu_page_faults", u(func(r *Row) uint64 { return r.CPUPageFaults })},
 }
 
 // Header returns the CSV column names in emission order.

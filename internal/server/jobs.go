@@ -23,18 +23,19 @@ type job struct {
 	submitted time.Time
 
 	// mu guards the mutable fields below. done is closed exactly once,
-	// when the job reaches a terminal state.
+	// when the job reaches a terminal state, and is read without the
+	// lock (the channel close is its own synchronization).
 	mu       sync.Mutex
-	state    JobState
-	started  time.Time
-	finished time.Time
-	result   *JobResult
-	errInfo  *ErrorInfo
+	state    JobState   // guarded by mu
+	started  time.Time  // guarded by mu
+	finished time.Time  // guarded by mu
+	result   *JobResult // guarded by mu
+	errInfo  *ErrorInfo // guarded by mu
 	// cancel aborts the running simulation's context. Set while the job
-	// is running; calling it after completion is a no-op.
+	// is running; calling it after completion is a no-op. guarded by mu
 	cancel context.CancelFunc
 	// canceled is latched by Cancel so a queued job is skipped when a
-	// worker eventually dequeues it.
+	// worker eventually dequeues it. guarded by mu
 	canceled bool
 	done     chan struct{}
 }
@@ -122,8 +123,8 @@ func (j *job) requestCancel(reason string) JobState {
 // next to one simulation's footprint. (Eviction would go here.)
 type store struct {
 	mu   sync.Mutex
-	seq  uint64
-	jobs map[string]*job
+	seq  uint64          // guarded by mu
+	jobs map[string]*job // guarded by mu
 }
 
 func newStore() *store {

@@ -24,7 +24,7 @@ type queue struct {
 	baseCtx context.Context // canceled when the drain deadline expires
 
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 
 	wg       sync.WaitGroup
 	inFlight atomic.Int64

@@ -20,13 +20,44 @@ import (
 //     cannot be busy for more cycles than elapse; exceeding the wall
 //     clock means some transaction was charged twice (the writeback-
 //     after-remote-supply double count this audit originally caught).
+//  4. Instruction conservation, per CPU: Instructions == ExecCycles.
+//     The machine is single-issue at 1 IPC: every retired instruction is
+//     exactly one useful-execution cycle, so the two counters move in
+//     lockstep or one of them leaked.
+//  5. Upgrade accounting, per CPU: StallUpgrade > 0 requires
+//     Upgrades > 0. Upgrade stall is only ever charged at an ownership-
+//     upgrade event, which increments the counter in the same breath.
+//  6. Prefetch accounting, per CPU: PrefetchesIssued +
+//     PrefetchesDropped <= Instructions (every prefetch outcome
+//     corresponds to one retired prefetch instruction), and
+//     StallPrefetch > 0 requires PrefetchedHits + PrefetchesIssued > 0
+//     (prefetch stall arises only while issuing past the outstanding
+//     limit or awaiting an in-flight line's arrival).
+//  7. Remote supply, per CPU: RemoteSupplies <= L2Misses. A dirty
+//     remote supply services exactly one demand miss.
+//  8. Bus queueing, per CPU: BusQueueCycles <= the demand-miss stall
+//     buckets (cold + conflict + capacity + true + false + inst).
+//     Queueing delay is a component of miss stall, never booked beyond
+//     it.
+//  9. Kernel attribution, machine-wide: KernelCycles > 0 requires
+//     TLBMisses + PageFaults + Recolorings > 0. Kernel time comes only
+//     from TLB refills, page-fault service and recoloring work (copies
+//     and shootdowns, which some other CPU's Recolorings counter
+//     records).
+//  10. Hint accounting: HonoredHints <= HintedFaults <= PageFaults.
+//     Hint outcomes are nested subsets of the fault stream.
 //
 // The invariants hold for weighted (phase-occurrence-scaled) results
 // because each phase satisfies them individually.
 func (r *Result) Audit() []obs.Violation {
 	var vs []obs.Violation
+	var kernel, tlbMisses, cpuFaults, recolorings uint64
 	for i := range r.PerCPU {
 		s := &r.PerCPU[i]
+		kernel += s.KernelCycles
+		tlbMisses += s.TLBMisses
+		cpuFaults += s.PageFaults
+		recolorings += s.Recolorings
 		if total := s.TotalCycles(); total != r.WallCycles {
 			vs = append(vs, obs.Violation{
 				Check: "cycle-conservation",
@@ -44,6 +75,63 @@ func (r *Result) Audit() []obs.Violation {
 					s.TrueShareMisses, s.FalseShareMisses, s.InstMisses, split, s.L2Misses),
 			})
 		}
+		if s.Instructions != s.ExecCycles {
+			vs = append(vs, obs.Violation{
+				Check: "instruction-conservation",
+				Detail: fmt.Sprintf("cpu %d: instructions %d != exec cycles %d on a single-issue machine",
+					i, s.Instructions, s.ExecCycles),
+			})
+		}
+		if s.StallUpgrade > 0 && s.Upgrades == 0 {
+			vs = append(vs, obs.Violation{
+				Check: "upgrade-accounting",
+				Detail: fmt.Sprintf("cpu %d: %d upgrade stall cycles with zero upgrades",
+					i, s.StallUpgrade),
+			})
+		}
+		if outcomes := s.PrefetchesIssued + s.PrefetchesDropped; outcomes > s.Instructions {
+			vs = append(vs, obs.Violation{
+				Check: "prefetch-accounting",
+				Detail: fmt.Sprintf("cpu %d: issued %d + dropped %d prefetches = %d outcomes > %d instructions",
+					i, s.PrefetchesIssued, s.PrefetchesDropped, outcomes, s.Instructions),
+			})
+		}
+		if s.StallPrefetch > 0 && s.PrefetchedHits+s.PrefetchesIssued == 0 {
+			vs = append(vs, obs.Violation{
+				Check: "prefetch-accounting",
+				Detail: fmt.Sprintf("cpu %d: %d prefetch stall cycles with no prefetched hit or issue",
+					i, s.StallPrefetch),
+			})
+		}
+		if s.RemoteSupplies > s.L2Misses {
+			vs = append(vs, obs.Violation{
+				Check: "remote-supply",
+				Detail: fmt.Sprintf("cpu %d: %d remote supplies > %d L2 misses",
+					i, s.RemoteSupplies, s.L2Misses),
+			})
+		}
+		missStall := s.StallCold + s.StallConflict + s.StallCapacity +
+			s.StallTrue + s.StallFalse + s.StallInst
+		if s.BusQueueCycles > missStall {
+			vs = append(vs, obs.Violation{
+				Check: "bus-queue",
+				Detail: fmt.Sprintf("cpu %d: %d bus queue cycles > %d demand-miss stall cycles",
+					i, s.BusQueueCycles, missStall),
+			})
+		}
+	}
+	if kernel > 0 && tlbMisses+cpuFaults+recolorings == 0 {
+		vs = append(vs, obs.Violation{
+			Check: "kernel-attribution",
+			Detail: fmt.Sprintf("%d kernel cycles with zero TLB misses, page faults and recolorings", kernel),
+		})
+	}
+	if r.HintedFaults > r.PageFaults || r.HonoredHints > r.HintedFaults {
+		vs = append(vs, obs.Violation{
+			Check: "hint-accounting",
+			Detail: fmt.Sprintf("honored %d <= hinted %d <= faults %d violated",
+				r.HonoredHints, r.HintedFaults, r.PageFaults),
+		})
 	}
 	if total := r.Bus.Total(); total > r.WallCycles {
 		vs = append(vs, obs.Violation{

@@ -1,10 +1,16 @@
 #!/bin/sh
-# CI gate: vet, docs, build, the full test suite, the race detector
-# over the concurrent subsystems, audited experiment runs, and the
-# cdpcd end-to-end smoke. Everything must pass before a change lands.
+# CI gate: vet + the cdpcvet invariant lint, docs, build, the full
+# test suite, the race detector over the whole module, audited
+# experiment runs, and the cdpcd end-to-end smoke. Everything must
+# pass before a change lands.
 set -eux
 
 go vet ./...
+
+# cdpcvet: the repo's own static analyzers (determinism, statsconserve,
+# guardedby, errcode, pow2geom). Any diagnostic is a hard failure —
+# the tool exits 1 when it reports anything.
+go run ./cmd/cdpcvet ./...
 
 # Every internal package (and the root package) must carry a doc.go
 # with a package comment — the documentation contract of the repo.
@@ -18,7 +24,7 @@ grep -q "^// Package" doc.go || { echo "root doc.go lacks a package comment"; ex
 
 go build ./...
 go test ./...
-go test -race ./internal/harness/... ./internal/server/...
+go test -race ./...
 
 # Audited smoke runs: conservation invariants (cycles, miss classes,
 # bus occupancy) checked on every simulation; violations exit non-zero.
