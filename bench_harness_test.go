@@ -55,6 +55,11 @@ type harnessBench struct {
 	SerialSimsPerSec   float64 `json:"serial_sims_per_sec"`
 	ParallelSimsPerSec float64 `json:"parallel_sims_per_sec"`
 	Speedup            float64 `json:"speedup"`
+	// SimThroughputNsPerOp is one BenchmarkSimulatorThroughput iteration
+	// (tomcatv on 1 CPU through the full simulator). scripts/verify.sh
+	// re-times that benchmark and fails if it regresses more than 25%
+	// against this baseline.
+	SimThroughputNsPerOp int64 `json:"sim_throughput_ns_per_op"`
 }
 
 // TestWriteHarnessBench times serial vs pooled Figure 6 (quick) and
@@ -84,18 +89,26 @@ func TestWriteHarnessBench(t *testing.T) {
 			}
 		}
 	})
+	throughput := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.Run(harness.Spec{Workload: "tomcatv", CPUs: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	perSec := func(r testing.BenchmarkResult) float64 {
 		return float64(fig6QuickSims) / (float64(r.NsPerOp()) / 1e9)
 	}
 	out := harnessBench{
-		Benchmark:          "fig6-quick",
-		Workers:            runtime.GOMAXPROCS(0),
-		SimsPerOp:          fig6QuickSims,
-		SerialNsPerOp:      serial.NsPerOp(),
-		ParallelNsPerOp:    pooled.NsPerOp(),
-		SerialSimsPerSec:   perSec(serial),
-		ParallelSimsPerSec: perSec(pooled),
-		Speedup:            float64(serial.NsPerOp()) / float64(pooled.NsPerOp()),
+		Benchmark:            "fig6-quick",
+		Workers:              runtime.GOMAXPROCS(0),
+		SimsPerOp:            fig6QuickSims,
+		SerialNsPerOp:        serial.NsPerOp(),
+		ParallelNsPerOp:      pooled.NsPerOp(),
+		SerialSimsPerSec:     perSec(serial),
+		ParallelSimsPerSec:   perSec(pooled),
+		Speedup:              float64(serial.NsPerOp()) / float64(pooled.NsPerOp()),
+		SimThroughputNsPerOp: throughput.NsPerOp(),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

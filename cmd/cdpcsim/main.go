@@ -8,6 +8,13 @@
 //	cdpcsim -workload tomcatv -cpus 8 -variant cdpc
 //	cdpcsim -workload swim -cpus 16 -variant page-coloring -prefetch
 //	cdpcsim -workload applu -machine alpha -variant bin-hopping
+//
+// Multiprogramming (space-shared co-scheduling; per-process and
+// machine-total statistics):
+//
+//	cdpcsim -workload tomcatv -cpus 8 -variant cdpc -procs 2
+//	cdpcsim -workload tomcatv -corun swim/first-touch -sched partition
+//	cdpcsim -workload swim -procs 4 -sched timeslice -quantum 250000
 package main
 
 import (
@@ -29,7 +36,7 @@ func main() {
 		workload = flag.String("workload", "tomcatv", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
 		cpus     = flag.Int("cpus", 8, "number of processors (1-16)")
 		scale    = flag.Int("scale", workloads.DefaultScale, "machine+data scale divisor")
-		variant  = flag.String("variant", "page-coloring", "mapping variant (page-coloring, bin-hopping, bin-hopping-unaligned, cdpc, cdpc-touch, coloring-touch, dynamic-recoloring, padded-coloring, padded-bin-hopping)")
+		variant  = flag.String("variant", "page-coloring", "mapping variant (page-coloring, bin-hopping, bin-hopping-unaligned, cdpc, cdpc-touch, coloring-touch, dynamic-recoloring, padded-coloring, padded-bin-hopping, first-touch)")
 		machine  = flag.String("machine", "base", "machine preset (base, alpha)")
 		prefetch = flag.Bool("prefetch", false, "enable compiler-inserted prefetching")
 		fast     = flag.Bool("fast", false, "cache-counting-only fast simulator (SimOS's high-speed mode, §3.2)")
@@ -39,6 +46,10 @@ func main() {
 		attr     = flag.Bool("attr", false, "collect and print per-color/per-page miss attribution and the color-by-set miss heatmap")
 		traceN   = flag.Int("trace", 0, "keep the last N observability events (faults, hint outcomes, recolorings, conflict bursts) and print them")
 		audit    = flag.Bool("audit", false, "check conservation invariants after the run; violations exit non-zero")
+		procs    = flag.Int("procs", 1, "co-schedule N identical instances of the workload on one machine")
+		corun    = flag.String("corun", "", "comma-separated co-runners, each workload[/variant]; empty fields inherit the primary")
+		schedF   = flag.String("sched", "", "space-sharing discipline for multiprocess runs (timeslice, partition; default timeslice)")
+		quantum  = flag.Uint64("quantum", 0, "time-slice quantum in cycles for multiprocess runs (0 = simulator default)")
 	)
 	flag.Parse()
 
@@ -49,6 +60,31 @@ func main() {
 		Machine:  harness.MachineKind(*machine),
 		Variant:  harness.Variant(*variant),
 		Prefetch: *prefetch,
+	}
+	for i := 1; i < *procs; i++ {
+		spec.CoRunners = append(spec.CoRunners, harness.CoRunner{})
+	}
+	if *corun != "" {
+		for _, f := range strings.Split(*corun, ",") {
+			cr, err := parseCoRunner(f)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+				os.Exit(1)
+			}
+			spec.CoRunners = append(spec.CoRunners, cr)
+		}
+	}
+	multi := len(spec.CoRunners) > 0
+	if multi {
+		spec.Sched = harness.SchedKind(*schedF)
+		spec.Quantum = *quantum
+		if *progFile != "" || *fast {
+			fmt.Fprintln(os.Stderr, "cdpcsim: -procs/-corun need a bundled workload on the full simulator (no -program, no -fast)")
+			os.Exit(1)
+		}
+	} else if *schedF != "" || *quantum != 0 {
+		fmt.Fprintln(os.Stderr, "cdpcsim: -sched/-quantum only apply to multiprocess runs (-procs or -corun)")
+		os.Exit(1)
 	}
 	var ring *obs.Ring
 	if *traceN > 0 {
@@ -128,6 +164,33 @@ func main() {
 		}
 		return
 	}
+	if multi {
+		mr, err := harness.RunMulti(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+			os.Exit(1)
+		}
+		printMulti(mr, spec)
+		if *attr {
+			fmt.Println()
+			fmt.Print(spec.Obs.Report(10))
+		}
+		if ring != nil {
+			events := ring.Events()
+			fmt.Printf("\nevent trace (last %d of %d):\n", len(events), uint64(len(events))+ring.Dropped())
+			for _, e := range events {
+				fmt.Println(" ", e)
+			}
+		}
+		if *audit {
+			if vs := mr.Audit(); len(vs) > 0 {
+				fmt.Fprintln(os.Stderr, "cdpcsim:", obs.AuditError(vs))
+				os.Exit(2)
+			}
+			fmt.Println("\naudit: all conservation invariants hold")
+		}
+		return
+	}
 	res, err := harness.Run(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdpcsim:", err)
@@ -135,6 +198,51 @@ func main() {
 	}
 	print(res, spec)
 	post(res)
+}
+
+// parseCoRunner parses one -corun field of the form workload[/variant];
+// an empty workload or variant inherits the primary spec's.
+func parseCoRunner(f string) (harness.CoRunner, error) {
+	f = strings.TrimSpace(f)
+	name, variant, _ := strings.Cut(f, "/")
+	cr := harness.CoRunner{Workload: strings.TrimSpace(name), Variant: harness.Variant(strings.TrimSpace(variant))}
+	if cr.Workload == "" && cr.Variant == "" && f != "" && f != "/" {
+		return cr, fmt.Errorf("bad -corun entry %q (want workload[/variant])", f)
+	}
+	return cr, nil
+}
+
+// printMulti prints the per-process table, then the machine total in
+// the single-process layout.
+func printMulti(mr *sim.MultiResult, spec harness.Spec) {
+	cfg := spec.Config()
+	fmt.Printf("multiprogramming: %d processes on %s (%d CPUs, %d colors, %s scheduling)\n",
+		len(mr.PerProcess), mr.Total.Machine, mr.Total.NumCPUs, cfg.Colors(), mr.Sched)
+	fmt.Printf("machine wall %d cycles (%.2f ms at %d MHz)\n\n",
+		mr.Total.WallCycles, float64(mr.Total.WallCycles)/float64(cfg.ClockMHz)/1000, cfg.ClockMHz)
+
+	wlW, polW := len("workload"), len("policy")
+	for _, r := range append([]*sim.Result{mr.Total}, mr.PerProcess...) {
+		wlW = max(wlW, len(r.Workload))
+		polW = max(polW, len(r.Policy))
+	}
+	fmt.Printf("%-5s %-*s %-*s %10s %8s %10s %8s %7s\n",
+		"proc", wlW, "workload", polW, "policy", "wall(M)", "MCPI", "conflicts", "faults", "ctxsw")
+	row := func(label string, r *sim.Result) {
+		fmt.Printf("%-5s %-*s %-*s %10.1f %8.3f %10d %8d %7d\n",
+			label, wlW, r.Workload, polW, r.Policy,
+			float64(r.WallCycles)/1e6, r.MCPI(),
+			r.Total(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
+			r.Total(func(s *sim.CPUStats) uint64 { return s.PageFaults }),
+			r.Total(func(s *sim.CPUStats) uint64 { return s.ContextSwitches }))
+	}
+	for i, r := range mr.PerProcess {
+		row(fmt.Sprint(i+1), r)
+	}
+	row("total", mr.Total)
+
+	fmt.Println("\nmachine total:")
+	print(mr.Total, spec)
 }
 
 // runFast positions the workload with the cache-counting simulator.

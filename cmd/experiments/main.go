@@ -36,6 +36,7 @@ func main() {
 		parallel = flag.Bool("parallel", true, "run simulations on a parallel worker pool with memoization")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		audit    = flag.Bool("audit", false, "check conservation invariants on every simulation; violations exit non-zero")
+		procsN   = flag.Int("procs", 0, "override the co-scheduling degree swept by ext-multiprog (0 = default sweep)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		return
 	}
 
-	opts := harness.ExpOptions{Scale: *scale, Quick: *quick, Audit: *audit}
+	opts := harness.ExpOptions{Scale: *scale, Quick: *quick, Audit: *audit, Procs: *procsN}
 	if *parallel {
 		// One scheduler across all experiments: identical specs (e.g. the
 		// page-coloring baselines shared by Figures 2, 6 and 8) simulate once.

@@ -30,6 +30,10 @@ type ExpOptions struct {
 	// (sim.Result.Audit) and fails the experiment on any violation —
 	// silent counter drift becomes a hard error.
 	Audit bool
+	// Procs overrides the co-scheduling degree of the multiprogramming
+	// extension (ext-multiprog): N > 1 runs exactly N instances instead
+	// of the default 2- and 4-way sweep.
+	Procs int
 }
 
 // run executes one spec, through the scheduler when one is configured,
@@ -121,6 +125,7 @@ func Experiments() []Experiment {
 		{"ext-padding", "Extension: the compiler padding baseline vs OS policy (§2.2)", ExtPadding},
 		{"ext-phases", "Extension: representative-execution-window validation (§3.2)", ExtPhases},
 		{"ext-pressure", "Extension: CDPC under memory pressure (§5 step 3)", ExtPressure},
+		{"ext-multiprog", "Extension: CDPC vs first-touch/bin-hopping under co-scheduling", ExtMultiprog},
 	}
 }
 

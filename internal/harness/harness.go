@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/compiler"
@@ -52,11 +53,64 @@ const (
 	// PaddedBinHopping is the same padding over bin hopping, where the
 	// paper predicts page-sized pads are ineffective (§2.2).
 	PaddedBinHopping Variant = "padded-bin-hopping"
+	// FirstTouch is the unmodified-OS baseline (§2): no color preference
+	// at all, each fault takes whatever frame heads the free list. Under
+	// multiprogramming this is the policy co-runners degrade hardest,
+	// because exited processes' frames are reused in arbitrary colors.
+	FirstTouch Variant = "first-touch"
 )
 
 // Variants lists all supported variants.
 func Variants() []Variant {
-	return []Variant{PageColoring, BinHopping, BinHoppingUnaligned, CDPC, CDPCTouch, ColoringTouch, DynamicRecoloring, PaddedColoring, PaddedBinHopping}
+	return []Variant{PageColoring, BinHopping, BinHoppingUnaligned, CDPC, CDPCTouch, ColoringTouch, DynamicRecoloring, PaddedColoring, PaddedBinHopping, FirstTouch}
+}
+
+// SchedKind selects the space-sharing discipline for multiprocess runs.
+type SchedKind string
+
+// The scheduling disciplines (see sim.SchedPolicy).
+const (
+	// SchedTimeSlice gang-schedules processes round-robin on the whole
+	// machine, flushing the virtually indexed per-CPU state at each
+	// switch. The default.
+	SchedTimeSlice SchedKind = "timeslice"
+	// SchedPartition gives each process an equal contiguous block of
+	// CPUs for its whole lifetime.
+	SchedPartition SchedKind = "partition"
+)
+
+// simSched maps a SchedKind to the simulator's scheduler options.
+func simSched(k SchedKind, quantum uint64) (sim.SchedOptions, error) {
+	switch k {
+	case "", SchedTimeSlice:
+		return sim.SchedOptions{Policy: sim.SchedTimeSlice, Quantum: quantum}, nil
+	case SchedPartition:
+		return sim.SchedOptions{Policy: sim.SchedPartition, Quantum: quantum}, nil
+	default:
+		return sim.SchedOptions{}, fmt.Errorf("harness: unknown scheduling discipline %q", k)
+	}
+}
+
+// CanCoSchedule reports whether a variant can run under the
+// space-sharing scheduler. Variants built on machine-wide mechanisms —
+// a global touch order serializing first faults, or the dynamic
+// recolorer watching one address space — have no per-process meaning
+// and are rejected by RunMulti.
+func CanCoSchedule(v Variant) bool {
+	switch v {
+	case CDPCTouch, ColoringTouch, DynamicRecoloring:
+		return false
+	}
+	return true
+}
+
+// CoRunner describes one additional process co-scheduled with a Spec's
+// primary workload. Zero fields inherit from the primary spec, so
+// CoRunner{} co-runs a second instance of the same workload and
+// variant.
+type CoRunner struct {
+	Workload string
+	Variant  Variant
 }
 
 // MachineKind selects a machine preset.
@@ -98,6 +152,41 @@ type Spec struct {
 	// and runs instrumented specs directly, so a memoized result can
 	// never stand in for a run that was supposed to fill a collector.
 	Obs *obs.Collector
+
+	// CoRunners lists additional processes co-scheduled with the primary
+	// workload. Non-empty CoRunners routes execution through RunMulti's
+	// multiprogramming methodology (no warm-up discard, phases once,
+	// unweighted); Run and RunCtx reject such specs.
+	CoRunners []CoRunner
+	// Sched selects the space-sharing discipline for multiprocess runs
+	// ("" → time-slicing). Ignored without co-runners.
+	Sched SchedKind
+	// Quantum overrides the time-slice length in cycles; 0 uses
+	// sim.DefaultQuantum.
+	Quantum uint64
+}
+
+// processSpecs expands a spec into one derived Spec per process: the
+// primary first, then each co-runner with unset fields inherited from
+// the primary. All processes share the machine configuration and scale.
+func (s Spec) processSpecs() []Spec {
+	s = s.withDefaults()
+	out := make([]Spec, 0, 1+len(s.CoRunners))
+	primary := s
+	primary.CoRunners = nil
+	primary.Obs = nil
+	out = append(out, primary)
+	for _, cr := range s.CoRunners {
+		ps := primary
+		if cr.Workload != "" {
+			ps.Workload = cr.Workload
+		}
+		if cr.Variant != "" {
+			ps.Variant = cr.Variant
+		}
+		out = append(out, ps)
+	}
+	return out
 }
 
 func (s Spec) withDefaults() Spec {
@@ -210,14 +299,20 @@ func RunProgramCtx(ctx context.Context, prog *ir.Program, s Spec) (*sim.Result, 
 	return runPrepared(ctx, prog, compiler.Summarize(prog), cfg, s)
 }
 
-// runPrepared maps the variant to simulator options and runs.
-func runPrepared(ctx context.Context, prog *ir.Program, sum *compiler.Summary, cfg arch.Config, s Spec) (*sim.Result, error) {
-	opts := sim.Options{Config: cfg, DisableClassification: s.DisableClassification, Obs: s.Obs}
-	if ctx.Done() != nil {
-		// Only contexts that can actually be canceled pay for the
-		// nest-boundary poll; Background keeps the serial path untouched.
-		opts.Cancel = ctx.Err
-	}
+// variantKnobs is the variant-specific slice of the simulator options:
+// the placement policy plus the per-process hint/touch/recolor inputs.
+type variantKnobs struct {
+	Policy     vm.Policy
+	Hints      map[uint64]int
+	TouchOrder []uint64
+	Recolor    *vm.RecolorPolicy
+}
+
+// variantOptions maps a spec's variant to the simulator knobs it needs.
+// Shared by the single-process path (which installs them machine-wide)
+// and RunMulti (which installs policy and hints per process).
+func variantOptions(prog *ir.Program, sum *compiler.Summary, cfg arch.Config, s Spec) (variantKnobs, error) {
+	var k variantKnobs
 	colors := cfg.Colors()
 
 	needHints := s.Variant == CDPC || s.Variant == CDPCTouch
@@ -230,35 +325,57 @@ func runPrepared(ctx context.Context, prog *ir.Program, sum *compiler.Summary, c
 			PageSize:  cfg.PageSize,
 		}, s.CDPCOptions)
 		if err != nil {
-			return nil, err
+			return k, err
 		}
 	}
 
 	switch s.Variant {
 	case PageColoring:
-		opts.Policy = vm.PageColoring{Colors: colors}
+		k.Policy = vm.PageColoring{Colors: colors}
 	case BinHopping, BinHoppingUnaligned:
-		opts.Policy = &vm.BinHopping{Colors: colors}
+		k.Policy = &vm.BinHopping{Colors: colors}
 	case CDPC:
-		opts.Policy = vm.PageColoring{Colors: colors} // fallback for unhinted pages
-		opts.Hints = hints.Colors
+		k.Policy = vm.PageColoring{Colors: colors} // fallback for unhinted pages
+		k.Hints = hints.Colors
 	case CDPCTouch:
-		opts.Policy = &vm.BinHopping{Colors: colors}
-		opts.TouchOrder = hints.Order
+		k.Policy = &vm.BinHopping{Colors: colors}
+		k.TouchOrder = hints.Order
 	case ColoringTouch:
-		opts.Policy = &vm.BinHopping{Colors: colors}
-		opts.TouchOrder = ascendingDataPages(prog, cfg.PageSize)
+		k.Policy = &vm.BinHopping{Colors: colors}
+		k.TouchOrder = ascendingDataPages(prog, cfg.PageSize)
 	case DynamicRecoloring:
-		opts.Policy = vm.PageColoring{Colors: colors}
+		k.Policy = vm.PageColoring{Colors: colors}
 		policy := vm.DefaultRecolorPolicy()
-		opts.Recolor = &policy
+		k.Recolor = &policy
 	case PaddedColoring:
-		opts.Policy = vm.PageColoring{Colors: colors}
+		k.Policy = vm.PageColoring{Colors: colors}
 	case PaddedBinHopping:
-		opts.Policy = &vm.BinHopping{Colors: colors}
+		k.Policy = &vm.BinHopping{Colors: colors}
+	case FirstTouch:
+		// The allocator does not exist yet; sim.New binds it.
+		k.Policy = &vm.FirstTouch{}
 	default:
-		return nil, fmt.Errorf("harness: unknown variant %q", s.Variant)
+		return k, fmt.Errorf("harness: unknown variant %q", s.Variant)
 	}
+	return k, nil
+}
+
+// runPrepared maps the variant to simulator options and runs.
+func runPrepared(ctx context.Context, prog *ir.Program, sum *compiler.Summary, cfg arch.Config, s Spec) (*sim.Result, error) {
+	if len(s.CoRunners) > 0 {
+		return nil, fmt.Errorf("harness: spec has co-runners; use RunMulti")
+	}
+	opts := sim.Options{Config: cfg, DisableClassification: s.DisableClassification, Obs: s.Obs}
+	if ctx.Done() != nil {
+		// Only contexts that can actually be canceled pay for the
+		// nest-boundary poll; Background keeps the serial path untouched.
+		opts.Cancel = ctx.Err
+	}
+	k, err := variantOptions(prog, sum, cfg, s)
+	if err != nil {
+		return nil, err
+	}
+	opts.Policy, opts.Hints, opts.TouchOrder, opts.Recolor = k.Policy, k.Hints, k.TouchOrder, k.Recolor
 
 	m, err := sim.New(opts)
 	if err != nil {
@@ -273,6 +390,66 @@ func runPrepared(ctx context.Context, prog *ir.Program, sum *compiler.Summary, c
 		res.Policy += "+pf"
 	}
 	return res, nil
+}
+
+// RunMulti executes a spec and its co-runners as one multiprogrammed
+// machine under the spec's space-sharing discipline.
+func RunMulti(s Spec) (*sim.MultiResult, error) {
+	return RunMultiCtx(context.Background(), s)
+}
+
+// RunMultiCtx is RunMulti with cancellation (see RunCtx). Every process
+// is prepared through the regular compiler pipeline; placement policy
+// and CDPC hints are installed per process, and all processes draw
+// frames from the machine's single shared allocator. Variants that need
+// machine-wide mechanisms (touch ordering, dynamic recoloring) cannot
+// be co-scheduled and are rejected.
+func RunMultiCtx(ctx context.Context, s Spec) (*sim.MultiResult, error) {
+	s = s.withDefaults()
+	sched, err := simSched(s.Sched, s.Quantum)
+	if err != nil {
+		return nil, err
+	}
+	list := s.processSpecs()
+	procs := make([]sim.ProcessOptions, len(list))
+	for i, ps := range list {
+		if !CanCoSchedule(ps.Variant) {
+			return nil, fmt.Errorf("harness: variant %q needs machine-wide state and cannot be co-scheduled", ps.Variant)
+		}
+		prog, sum, cfg, err := Prepare(ps)
+		if err != nil {
+			return nil, err
+		}
+		k, err := variantOptions(prog, sum, cfg, ps)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = sim.ProcessOptions{Prog: prog, Policy: k.Policy, Hints: k.Hints}
+	}
+	opts := sim.Options{Config: s.Config(), DisableClassification: s.DisableClassification, Obs: s.Obs}
+	if ctx.Done() != nil {
+		opts.Cancel = ctx.Err
+	}
+	m, err := sim.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	mr, err := m.RunProcesses(procs, sched)
+	if err != nil {
+		return nil, err
+	}
+	// Label results with the variant names, as the single-process path
+	// does (PolicyName would collapse CDPC into its fallback policy).
+	variants := make([]string, len(list))
+	for i, ps := range list {
+		variants[i] = string(ps.Variant)
+		if ps.Prefetch {
+			variants[i] += "+pf"
+		}
+		mr.PerProcess[i].Policy = variants[i]
+	}
+	mr.Total.Policy = strings.Join(variants, "+")
+	return mr, nil
 }
 
 // ascendingDataPages lists every data page in virtual-address order: the

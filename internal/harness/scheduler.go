@@ -35,9 +35,10 @@ type Scheduler struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 
-	mu    sync.Mutex
-	memo  map[specKey]*memoEntry // guarded by mu
-	progs map[progKey]*progEntry // guarded by mu
+	mu     sync.Mutex
+	memo   map[specKey]*memoEntry      // guarded by mu
+	multis map[specKey]*multiMemoEntry // guarded by mu
+	progs  map[progKey]*progEntry      // guarded by mu
 }
 
 // memoEntry is one memoized (possibly in-flight) simulation. done is
@@ -46,6 +47,14 @@ type Scheduler struct {
 type memoEntry struct {
 	done chan struct{}
 	res  *sim.Result
+	err  error
+}
+
+// multiMemoEntry is one memoized (possibly in-flight) multiprocess
+// run; the multiprogramming analog of memoEntry.
+type multiMemoEntry struct {
+	done chan struct{}
+	res  *sim.MultiResult
 	err  error
 }
 
@@ -75,6 +84,14 @@ type specKey struct {
 	Config                arch.Config
 	CDPCOptions           core.Options
 	DisableClassification bool
+
+	// CoRunners is the canonical "workload/variant;..." rendering of the
+	// spec's co-runner list (inheritance resolved), empty for
+	// single-process specs; Sched and Quantum are normalized so that
+	// equivalent multiprocess specs share one cache slot.
+	CoRunners string
+	Sched     SchedKind
+	Quantum   uint64
 }
 
 func keyOf(s Spec) specKey {
@@ -94,6 +111,29 @@ func keyOf(s Spec) specKey {
 	}
 	if s.ConfigOverride != nil {
 		k.HasConfig, k.Config = true, *s.ConfigOverride
+	}
+	if len(s.CoRunners) > 0 {
+		list := s.processSpecs()
+		var b []byte
+		for i, ps := range list[1:] {
+			if i > 0 {
+				b = append(b, ';')
+			}
+			b = append(b, ps.Workload...)
+			b = append(b, '/')
+			b = append(b, ps.Variant...)
+		}
+		k.CoRunners = string(b)
+		k.Sched = s.Sched
+		if k.Sched == "" {
+			k.Sched = SchedTimeSlice
+		}
+		if k.Sched == SchedTimeSlice {
+			k.Quantum = s.Quantum
+			if k.Quantum == 0 {
+				k.Quantum = sim.DefaultQuantum
+			}
+		}
 	}
 	return k
 }
@@ -119,6 +159,7 @@ func NewScheduler(workers int) *Scheduler {
 	return &Scheduler{
 		workers: workers,
 		memo:    make(map[specKey]*memoEntry),
+		multis:  make(map[specKey]*multiMemoEntry),
 		progs:   make(map[progKey]*progEntry),
 	}
 }
@@ -182,6 +223,110 @@ func (sc *Scheduler) RunCtx(ctx context.Context, spec Spec) (*sim.Result, error)
 		close(e.done)
 		return e.res, e.err
 	}
+}
+
+// RunMulti returns the multiprocess result for a spec with co-runners,
+// memoized exactly like Run memoizes single-process specs. The memo key
+// incorporates the resolved co-runner list, the scheduling discipline
+// and the quantum, so co-scheduled runs are cached per multiprogramming
+// mix, never conflated with each other or with solo runs.
+func (sc *Scheduler) RunMulti(spec Spec) (*sim.MultiResult, error) {
+	return sc.RunMultiCtx(context.Background(), spec)
+}
+
+// RunMultiCtx is RunMulti with cancellation, following RunCtx's
+// coalescing and cancel-unpoisoning rules.
+func (sc *Scheduler) RunMultiCtx(ctx context.Context, spec Spec) (*sim.MultiResult, error) {
+	if spec.Obs != nil {
+		sc.misses.Add(1)
+		return RunMultiCtx(ctx, spec)
+	}
+	key := keyOf(spec)
+	for {
+		sc.mu.Lock()
+		if e, ok := sc.multis[key]; ok {
+			sc.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err != nil && isContextErr(e.err) {
+				continue
+			}
+			sc.hits.Add(1)
+			return e.res, e.err
+		}
+		e := &multiMemoEntry{done: make(chan struct{})}
+		sc.multis[key] = e
+		sc.mu.Unlock()
+		sc.misses.Add(1)
+
+		e.res, e.err = RunMultiCtx(ctx, spec)
+		if e.err != nil && isContextErr(e.err) {
+			sc.mu.Lock()
+			delete(sc.multis, key)
+			sc.mu.Unlock()
+		}
+		close(e.done)
+		return e.res, e.err
+	}
+}
+
+// HasMultiResult reports whether spec's multiprocess result is already
+// memoized and complete (the RunMulti analog of HasResult).
+func (sc *Scheduler) HasMultiResult(spec Spec) bool {
+	if spec.Obs != nil {
+		return false
+	}
+	key := keyOf(spec)
+	sc.mu.Lock()
+	e, ok := sc.multis[key]
+	sc.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
+// WarmMulti pre-executes multiprocess specs on the worker pool, the
+// RunMulti analog of Warm: errors are memoized and resurface from
+// RunMulti at the deterministic render point.
+func (sc *Scheduler) WarmMulti(specs []Spec) {
+	if len(specs) == 0 {
+		return
+	}
+	n := sc.workers
+	if n > len(specs) {
+		n = len(specs)
+	}
+	if n <= 1 {
+		for _, s := range specs {
+			sc.RunMulti(s) //nolint:errcheck // resurfaces at render time
+		}
+		return
+	}
+	ch := make(chan Spec)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				sc.RunMulti(s) //nolint:errcheck // resurfaces at render time
+			}
+		}()
+	}
+	for _, s := range specs {
+		ch <- s
+	}
+	close(ch)
+	wg.Wait()
 }
 
 // isContextErr reports whether err stems from context cancellation or
@@ -262,7 +407,7 @@ func (sc *Scheduler) Warm(specs []Spec) {
 func (sc *Scheduler) Runs() int {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	return len(sc.memo)
+	return len(sc.memo) + len(sc.multis)
 }
 
 // runSpec is Run's slow path: prepare (through the program cache) and

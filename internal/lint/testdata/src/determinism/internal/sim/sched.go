@@ -1,0 +1,46 @@
+package sim
+
+import "sort"
+
+// proc is a stand-in for a process-table entry.
+type proc struct {
+	pid    int
+	ran    uint64
+	budget uint64
+}
+
+// RoundRobinBad dispatches straight out of the process table map: the
+// order processes receive their quanta — and therefore every cycle
+// count in the result — follows map iteration order.
+func RoundRobinBad(table map[int]*proc, quantum uint64) []int {
+	var order []int
+	for pid, p := range table { // want "map iteration order"
+		p.ran += quantum
+		order = append(order, pid)
+	}
+	return order
+}
+
+// RoundRobinGood derives the dispatch order from the pids themselves:
+// collect, sort ascending, then hand out quanta. The schedule is a pure
+// function of the table's contents.
+func RoundRobinGood(table map[int]*proc, quantum uint64) []int {
+	var pids []int
+	for pid := range table {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		table[pid].ran += quantum
+	}
+	return pids
+}
+
+// DrainBudgets only accumulates commutatively per entry; order cannot
+// reach the outcome.
+func DrainBudgets(table map[int]*proc, quantum uint64) {
+	for _, p := range table {
+		p.budget -= quantum
+		p.ran += quantum
+	}
+}

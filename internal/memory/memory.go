@@ -3,16 +3,23 @@ package memory
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrOutOfMemory is returned when no free frame exists in any pool.
 var ErrOutOfMemory = errors.New("memory: out of physical frames")
 
-// Allocator hands out physical frames grouped by page color.
+// Allocator hands out physical frames grouped by page color. Frames are
+// owned by the process they were allocated for, so process exit can
+// return exactly its frames and an audit can prove no pool counts leak.
 type Allocator struct {
 	numColors int
 	free      [][]uint64 // per color, LIFO of frame numbers
 	totalFree int
+
+	owner  map[uint64]int // allocated frame -> owning process id
+	allocs map[int]uint64 // pid -> frames granted
+	frees  map[int]uint64 // pid -> frames returned
 
 	// Honored counts allocations that got the preferred color; Fallback
 	// counts those that did not (pressure or exhausted pool).
@@ -31,6 +38,9 @@ func New(totalFrames, numColors int) *Allocator {
 		numColors: numColors,
 		free:      make([][]uint64, numColors),
 		totalFree: totalFrames,
+		owner:     map[uint64]int{},
+		allocs:    map[int]uint64{},
+		frees:     map[int]uint64{},
 	}
 	per := totalFrames/numColors + 1
 	for c := range a.free {
@@ -66,8 +76,15 @@ func (a *Allocator) FreeByColor() []int {
 func (a *Allocator) ColorOf(frame uint64) int { return int(frame % uint64(a.numColors)) }
 
 // Alloc returns a free frame, preferring the given color. honored reports
-// whether the preference was satisfied.
+// whether the preference was satisfied. The frame is owned by process 0
+// (the single-process legacy owner).
 func (a *Allocator) Alloc(preferredColor int) (frame uint64, honored bool, err error) {
+	return a.AllocFor(0, preferredColor)
+}
+
+// AllocFor returns a free frame for the given process, preferring the
+// given color. honored reports whether the preference was satisfied.
+func (a *Allocator) AllocFor(pid, preferredColor int) (frame uint64, honored bool, err error) {
 	if a.totalFree == 0 {
 		return 0, false, ErrOutOfMemory
 	}
@@ -77,10 +94,13 @@ func (a *Allocator) Alloc(preferredColor int) (frame uint64, honored bool, err e
 		a.free[c] = pool[:len(pool)-1]
 		a.totalFree--
 		a.Honored++
+		a.owner[frame] = pid
+		a.allocs[pid]++
 		return frame, true, nil
 	}
 	// Pressure fallback: take from the richest pool to keep future
-	// preferences satisfiable.
+	// preferences satisfiable. The scan keeps the first maximum, so ties
+	// break toward the lowest color deterministically.
 	best, bestLen := -1, 0
 	for i, pool := range a.free {
 		if len(pool) > bestLen {
@@ -92,12 +112,68 @@ func (a *Allocator) Alloc(preferredColor int) (frame uint64, honored bool, err e
 	a.free[best] = pool[:len(pool)-1]
 	a.totalFree--
 	a.Fallback++
+	a.owner[frame] = pid
+	a.allocs[pid]++
 	return frame, false, nil
 }
 
-// Release returns a frame to its color pool.
+// Release returns a frame to its color pool and clears its ownership.
 func (a *Allocator) Release(frame uint64) {
+	if pid, ok := a.owner[frame]; ok {
+		delete(a.owner, frame)
+		a.frees[pid]++
+	}
 	c := a.ColorOf(frame)
 	a.free[c] = append(a.free[c], frame)
 	a.totalFree++
+}
+
+// OwnedFrames returns the frames currently owned by pid, ascending.
+func (a *Allocator) OwnedFrames(pid int) []uint64 {
+	var out []uint64
+	for f, p := range a.owner {
+		if p == pid {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllocCount returns the number of frames ever granted to pid.
+func (a *Allocator) AllocCount(pid int) uint64 { return a.allocs[pid] }
+
+// FreeCount returns the number of pid-owned frames returned so far.
+func (a *Allocator) FreeCount(pid int) uint64 { return a.frees[pid] }
+
+// ReleaseOwned returns every frame owned by pid to the pools and reports
+// how many were released. Frames are pushed in descending order so later
+// pops hand them back ascending, keeping reuse deterministic.
+func (a *Allocator) ReleaseOwned(pid int) int {
+	frames := a.OwnedFrames(pid)
+	for i := len(frames) - 1; i >= 0; i-- {
+		a.Release(frames[i])
+	}
+	return len(frames)
+}
+
+// FirstTouchColor returns the color of the frame a sequential free-list
+// allocator would hand out next: the lowest-numbered free frame across
+// all pools. With no free frames it returns 0 (the following allocation
+// fails anyway).
+func (a *Allocator) FirstTouchColor() int {
+	var bestFrame uint64
+	found := false
+	for _, pool := range a.free {
+		if len(pool) == 0 {
+			continue
+		}
+		if top := pool[len(pool)-1]; !found || top < bestFrame {
+			bestFrame, found = top, true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return a.ColorOf(bestFrame)
 }

@@ -117,3 +117,160 @@ func TestFreeFramesAccounting(t *testing.T) {
 		t.Errorf("FreeFrames after release = %d, want 32", a.FreeFrames())
 	}
 }
+
+// Satellite: per-process ownership conservation. For every process,
+// alloc - free == owned must hold at all times, including across
+// recolor-style churn (alloc new + release old) and full process exit.
+func TestOwnershipConservation(t *testing.T) {
+	a := New(128, 8)
+	conserve := func(pid int) {
+		t.Helper()
+		owned := uint64(len(a.OwnedFrames(pid)))
+		if a.AllocCount(pid)-a.FreeCount(pid) != owned {
+			t.Fatalf("pid %d: allocs %d - frees %d != owned %d",
+				pid, a.AllocCount(pid), a.FreeCount(pid), owned)
+		}
+	}
+	var held [][]uint64 // per pid
+	for pid := 1; pid <= 3; pid++ {
+		var frames []uint64
+		for i := 0; i < 10+pid; i++ {
+			f, _, err := a.AllocFor(pid, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames = append(frames, f)
+		}
+		held = append(held, frames)
+		conserve(pid)
+	}
+	// Recolor churn on pid 2: replace each frame with a fresh one.
+	for i, f := range held[1] {
+		nf, _, err := a.AllocFor(2, int(f)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Release(f)
+		held[1][i] = nf
+		conserve(2)
+	}
+	// Cross-process isolation: releasing pid 2's frames must not move
+	// pid 1's or pid 3's accounting.
+	before1, before3 := len(a.OwnedFrames(1)), len(a.OwnedFrames(3))
+	if n := a.ReleaseOwned(2); n != len(held[1]) {
+		t.Fatalf("ReleaseOwned(2) = %d, want %d", n, len(held[1]))
+	}
+	conserve(1)
+	conserve(2)
+	conserve(3)
+	if len(a.OwnedFrames(2)) != 0 {
+		t.Errorf("pid 2 still owns %v after exit", a.OwnedFrames(2))
+	}
+	if len(a.OwnedFrames(1)) != before1 || len(a.OwnedFrames(3)) != before3 {
+		t.Error("ReleaseOwned(2) disturbed another process's frames")
+	}
+	total := 0
+	for pid := 0; pid <= 3; pid++ {
+		total += len(a.OwnedFrames(pid))
+	}
+	if a.FreeFrames()+total != 128 {
+		t.Errorf("pool leak: free %d + owned %d != 128", a.FreeFrames(), total)
+	}
+}
+
+func TestOwnedFramesSortedAscending(t *testing.T) {
+	a := New(64, 8)
+	for i := 0; i < 9; i++ {
+		if _, _, err := a.AllocFor(7, 8-i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames := a.OwnedFrames(7)
+	for i := 1; i < len(frames); i++ {
+		if frames[i-1] >= frames[i] {
+			t.Fatalf("OwnedFrames not strictly ascending: %v", frames)
+		}
+	}
+}
+
+// Satellite: allocator-pressure property. Fallback allocation must pick
+// the richest pool with ties broken toward the lowest color, and
+// honored + fallback must always equal total allocations.
+func TestFallbackDeterministicProperty(t *testing.T) {
+	f := func(prefs []uint8) bool {
+		a := New(96, 8)
+		var total uint64
+		for _, p := range prefs {
+			want := ((int(p) % 8) + 8) % 8
+			// Predict the fallback pool before allocating: richest,
+			// lowest color on ties.
+			expect, expectLen := -1, 0
+			for c, n := range a.FreeByColor() {
+				if n > expectLen {
+					expect, expectLen = c, n
+				}
+			}
+			fr, honored, err := a.Alloc(int(p))
+			if err != nil {
+				return a.FreeFrames() == 0 && a.Honored+a.Fallback == total
+			}
+			total++
+			if honored {
+				if a.ColorOf(fr) != want {
+					return false
+				}
+			} else if a.ColorOf(fr) != expect {
+				return false
+			}
+			if a.Honored+a.Fallback != total {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Two identical allocation sequences must produce identical frame
+// sequences — the allocator itself is part of the determinism contract.
+func TestFallbackReplayIdentical(t *testing.T) {
+	run := func() []uint64 {
+		a := New(64, 8)
+		var got []uint64
+		for i := 0; i < 64; i++ {
+			fr, _, err := a.Alloc(i % 3) // starves colors 3..7 into fallback
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, fr)
+		}
+		return got
+	}
+	x, y := run(), run()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, x[i], y[i])
+		}
+	}
+}
+
+func TestFirstTouchColorTracksLowestFrame(t *testing.T) {
+	a := New(32, 4)
+	// Lowest free frame is 0 -> color 0; allocate it and the next
+	// lowest (1 -> color 1) becomes the first-touch frame.
+	for want := 0; want < 8; want++ {
+		if got := a.FirstTouchColor(); got != want%4 {
+			t.Fatalf("FirstTouchColor = %d, want %d", got, want%4)
+		}
+		fr, honored, err := a.Alloc(a.FirstTouchColor())
+		if err != nil || !honored {
+			t.Fatal(err)
+		}
+		if fr != uint64(want) {
+			t.Fatalf("first-touch alloc got frame %d, want %d", fr, want)
+		}
+	}
+}

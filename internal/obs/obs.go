@@ -56,13 +56,22 @@ func (c *ClassCounts) Total() uint64 {
 	return t
 }
 
-// PageStats is the attribution record of one virtual page.
+// PageStats is the attribution record of one virtual page of one
+// process (virtual pages are per-address-space, so attribution keys on
+// the pair; PID is 0 on single-process machines).
 type PageStats struct {
+	PID    int
 	VPN    uint64
 	Color  int // frame color at the page's most recent miss
 	Misses ClassCounts
 	// StallCycles is the total miss stall attributed to this page.
 	StallCycles uint64
+}
+
+// pageKey identifies one process's virtual page.
+type pageKey struct {
+	pid int
+	vpn uint64
 }
 
 // Options configures a Collector.
@@ -94,8 +103,8 @@ type Collector struct {
 
 	perColor      []ClassCounts
 	perColorStall []uint64
-	pages         map[uint64]*PageStats
-	burst         map[uint64]uint32
+	pages         map[pageKey]*PageStats
+	burst         map[pageKey]uint32
 
 	// Per-set external-cache profile, summed over CPUs (filled by the
 	// simulator at the end of the run from the cache SetProfiles).
@@ -124,8 +133,8 @@ func NewCollector(o Options) *Collector {
 	return &Collector{
 		tracer: o.Tracer,
 		burstN: n,
-		pages:  make(map[uint64]*PageStats),
-		burst:  make(map[uint64]uint32),
+		pages:  make(map[pageKey]*PageStats),
+		burst:  make(map[pageKey]uint32),
 	}
 }
 
@@ -158,35 +167,50 @@ func (c *Collector) ResetAttribution() {
 }
 
 // RecordMiss attributes one external-cache miss to (vpn, color, class)
-// and advances the conflict-burst detector.
+// and advances the conflict-burst detector. Process 0 owns the page
+// (the single-process legacy path).
 func (c *Collector) RecordMiss(cpu int, cycle, vpn uint64, color int, class MissClass, stall uint64) {
+	c.RecordMissPID(0, cpu, cycle, vpn, color, class, stall)
+}
+
+// RecordMissPID attributes one external-cache miss of process pid to
+// (vpn, color, class) and advances the conflict-burst detector.
+func (c *Collector) RecordMissPID(pid, cpu int, cycle, vpn uint64, color int, class MissClass, stall uint64) {
 	if color >= 0 && color < len(c.perColor) {
 		c.perColor[color][class]++
 		c.perColorStall[color] += stall
 	}
-	p := c.pages[vpn]
+	k := pageKey{pid, vpn}
+	p := c.pages[k]
 	if p == nil {
-		p = &PageStats{VPN: vpn}
-		c.pages[vpn] = p
+		p = &PageStats{PID: pid, VPN: vpn}
+		c.pages[k] = p
 	}
 	p.Color = color
 	p.Misses[class]++
 	p.StallCycles += stall
 
 	if class == Conflict {
-		c.burst[vpn]++
-		if c.burst[vpn] >= c.burstN {
-			c.emit(Event{Kind: EvConflictBurst, Cycle: cycle, CPU: cpu, VPN: vpn,
-				Color: color, Prev: -1, Count: uint64(c.burst[vpn])})
-			c.burst[vpn] = 0
+		c.burst[k]++
+		if c.burst[k] >= c.burstN {
+			c.emit(Event{Kind: EvConflictBurst, Cycle: cycle, CPU: cpu, PID: pid, VPN: vpn,
+				Color: color, Prev: -1, Count: uint64(c.burst[k])})
+			c.burst[k] = 0
 		}
-	} else if c.burst[vpn] != 0 {
-		c.burst[vpn] = 0
+	} else if c.burst[k] != 0 {
+		c.burst[k] = 0
 	}
 }
 
-// RecordFault records a serviced page fault and its hint outcome.
+// RecordFault records a serviced page fault of process 0 and its hint
+// outcome (the single-process legacy path).
 func (c *Collector) RecordFault(cpu int, cycle, vpn uint64, color int, hinted, honored bool) {
+	c.RecordFaultPID(0, cpu, cycle, vpn, color, hinted, honored)
+}
+
+// RecordFaultPID records a serviced page fault of process pid and its
+// hint outcome.
+func (c *Collector) RecordFaultPID(pid, cpu int, cycle, vpn uint64, color int, hinted, honored bool) {
 	kind := EvPageFault
 	switch {
 	case hinted && honored:
@@ -194,14 +218,14 @@ func (c *Collector) RecordFault(cpu int, cycle, vpn uint64, color int, hinted, h
 	case hinted:
 		kind = EvHintDenied
 	}
-	c.emit(Event{Kind: kind, Cycle: cycle, CPU: cpu, VPN: vpn, Color: color, Prev: -1})
+	c.emit(Event{Kind: kind, Cycle: cycle, CPU: cpu, PID: pid, VPN: vpn, Color: color, Prev: -1})
 }
 
 // RecordRecolor records a dynamic-policy page move (with its TLB
 // shootdown) from oldColor to newColor.
 func (c *Collector) RecordRecolor(cpu int, cycle, vpn uint64, oldColor, newColor int) {
 	c.Recolorings++
-	if p := c.pages[vpn]; p != nil {
+	if p := c.pages[pageKey{0, vpn}]; p != nil {
 		p.Color = newColor
 	}
 	c.emit(Event{Kind: EvRecolor, Cycle: cycle, CPU: cpu, VPN: vpn, Color: newColor, Prev: oldColor})
@@ -237,15 +261,19 @@ func (c *Collector) PerColor() []ClassCounts { return c.perColor }
 // ColorStall returns the per-color attributed miss-stall cycles.
 func (c *Collector) ColorStall() []uint64 { return c.perColorStall }
 
-// Page returns vpn's attribution record, or nil if the page never
-// missed.
-func (c *Collector) Page(vpn uint64) *PageStats { return c.pages[vpn] }
+// Page returns vpn's attribution record for process 0, or nil if the
+// page never missed.
+func (c *Collector) Page(vpn uint64) *PageStats { return c.pages[pageKey{0, vpn}] }
+
+// PagePID returns vpn's attribution record for process pid, or nil if
+// the page never missed.
+func (c *Collector) PagePID(pid int, vpn uint64) *PageStats { return c.pages[pageKey{pid, vpn}] }
 
 // Pages returns how many distinct pages took at least one miss.
 func (c *Collector) Pages() int { return len(c.pages) }
 
 // TopPages returns the k hottest pages by total miss count (ties broken
-// by ascending VPN, so output is deterministic).
+// by ascending process id then VPN, so output is deterministic).
 func (c *Collector) TopPages(k int) []PageStats {
 	all := make([]PageStats, 0, len(c.pages))
 	for _, p := range c.pages {
@@ -255,6 +283,9 @@ func (c *Collector) TopPages(k int) []PageStats {
 		ti, tj := all[i].Misses.Total(), all[j].Misses.Total()
 		if ti != tj {
 			return ti > tj
+		}
+		if all[i].PID != all[j].PID {
+			return all[i].PID < all[j].PID
 		}
 		return all[i].VPN < all[j].VPN
 	})

@@ -46,21 +46,28 @@ type Event struct {
 	Kind  EventKind
 	Cycle uint64 // the acting CPU's clock when the event happened
 	CPU   int
+	PID   int // owning process id; 0 on single-process machines
 	VPN   uint64
 	Color int    // granted / new / bursting color
 	Prev  int    // recolor: the old color; -1 otherwise
 	Count uint64 // conflict-burst: conflict misses in the run
 }
 
-// String renders the event compactly for trace dumps.
+// String renders the event compactly for trace dumps. The process tag
+// appears only on multiprocess machines (PID != 0), keeping
+// single-process trace output unchanged.
 func (e Event) String() string {
+	var pid string
+	if e.PID != 0 {
+		pid = fmt.Sprintf(" pid=%d", e.PID)
+	}
 	switch e.Kind {
 	case EvRecolor:
-		return fmt.Sprintf("@%-10d cpu%-2d %-14s vpn=%d color %d -> %d", e.Cycle, e.CPU, e.Kind, e.VPN, e.Prev, e.Color)
+		return fmt.Sprintf("@%-10d cpu%-2d %-14s vpn=%d color %d -> %d%s", e.Cycle, e.CPU, e.Kind, e.VPN, e.Prev, e.Color, pid)
 	case EvConflictBurst:
-		return fmt.Sprintf("@%-10d cpu%-2d %-14s vpn=%d color=%d run=%d", e.Cycle, e.CPU, e.Kind, e.VPN, e.Color, e.Count)
+		return fmt.Sprintf("@%-10d cpu%-2d %-14s vpn=%d color=%d run=%d%s", e.Cycle, e.CPU, e.Kind, e.VPN, e.Color, e.Count, pid)
 	default:
-		return fmt.Sprintf("@%-10d cpu%-2d %-14s vpn=%d color=%d", e.Cycle, e.CPU, e.Kind, e.VPN, e.Color)
+		return fmt.Sprintf("@%-10d cpu%-2d %-14s vpn=%d color=%d%s", e.Cycle, e.CPU, e.Kind, e.VPN, e.Color, pid)
 	}
 }
 

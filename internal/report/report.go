@@ -12,9 +12,13 @@ import (
 
 // Row flattens one simulation result into named scalar metrics.
 type Row struct {
-	Workload string  `json:"workload"`
-	Machine  string  `json:"machine"`
-	Policy   string  `json:"policy"`
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	Policy   string `json:"policy"`
+	// Proc identifies the process a multiprocess row describes ("1",
+	// "2", ... or "total" for the machine-wide sum); empty on
+	// single-process rows, so existing sweep output is unchanged.
+	Proc     string  `json:"proc,omitempty"`
 	CPUs     int     `json:"cpus"`
 	Prefetch bool    `json:"prefetch"`
 	Wall     uint64  `json:"wall_cycles"`
@@ -36,6 +40,10 @@ type Row struct {
 	HintedFaults   uint64 `json:"hinted_faults"`
 	HonoredHints   uint64 `json:"honored_hints"`
 	Recolorings    uint64 `json:"recolorings"`
+	// ContextSwitches counts time-slice scheduler dispatches that
+	// replaced a different process on a CPU (zero on single-process and
+	// space-partitioned runs).
+	ContextSwitches uint64 `json:"context_switches"`
 
 	InstMisses        uint64 `json:"inst_misses"`
 	Upgrades          uint64 `json:"upgrades"`
@@ -66,20 +74,21 @@ func FromResult(r *sim.Result, prefetch bool) Row {
 		MCPI:     r.MCPI(),
 		BusUtil:  r.BusUtilization(),
 
-		Instructions:   tot(func(s *sim.CPUStats) uint64 { return s.Instructions }),
-		ExecCycles:     tot(func(s *sim.CPUStats) uint64 { return s.ExecCycles }),
-		MemStall:       tot((*sim.CPUStats).MemStallCycles),
-		Overhead:       tot((*sim.CPUStats).OverheadCycles),
-		L2Misses:       tot(func(s *sim.CPUStats) uint64 { return s.L2Misses }),
-		ColdMisses:     tot(func(s *sim.CPUStats) uint64 { return s.ColdMisses }),
-		ConflictMisses: tot(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
-		CapacityMisses: tot(func(s *sim.CPUStats) uint64 { return s.CapacityMisses }),
-		TrueSharing:    tot(func(s *sim.CPUStats) uint64 { return s.TrueShareMisses }),
-		FalseSharing:   tot(func(s *sim.CPUStats) uint64 { return s.FalseShareMisses }),
-		PageFaults:     r.PageFaults,
-		HintedFaults:   r.HintedFaults,
-		HonoredHints:   r.HonoredHints,
-		Recolorings:    tot(func(s *sim.CPUStats) uint64 { return s.Recolorings }),
+		Instructions:    tot(func(s *sim.CPUStats) uint64 { return s.Instructions }),
+		ExecCycles:      tot(func(s *sim.CPUStats) uint64 { return s.ExecCycles }),
+		MemStall:        tot((*sim.CPUStats).MemStallCycles),
+		Overhead:        tot((*sim.CPUStats).OverheadCycles),
+		L2Misses:        tot(func(s *sim.CPUStats) uint64 { return s.L2Misses }),
+		ColdMisses:      tot(func(s *sim.CPUStats) uint64 { return s.ColdMisses }),
+		ConflictMisses:  tot(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
+		CapacityMisses:  tot(func(s *sim.CPUStats) uint64 { return s.CapacityMisses }),
+		TrueSharing:     tot(func(s *sim.CPUStats) uint64 { return s.TrueShareMisses }),
+		FalseSharing:    tot(func(s *sim.CPUStats) uint64 { return s.FalseShareMisses }),
+		PageFaults:      r.PageFaults,
+		HintedFaults:    r.HintedFaults,
+		HonoredHints:    r.HonoredHints,
+		Recolorings:     tot(func(s *sim.CPUStats) uint64 { return s.Recolorings }),
+		ContextSwitches: tot(func(s *sim.CPUStats) uint64 { return s.ContextSwitches }),
 
 		InstMisses:        tot(func(s *sim.CPUStats) uint64 { return s.InstMisses }),
 		Upgrades:          tot(func(s *sim.CPUStats) uint64 { return s.Upgrades }),
@@ -92,6 +101,21 @@ func FromResult(r *sim.Result, prefetch bool) Row {
 		WriteBufferStall:  tot(func(s *sim.CPUStats) uint64 { return s.StallWriteBuffer }),
 		CPUPageFaults:     tot(func(s *sim.CPUStats) uint64 { return s.PageFaults }),
 	}
+}
+
+// FromMulti flattens a multiprocess result into one row per process
+// (Proc "1", "2", ... in process-table order) followed by the
+// machine-total row (Proc "total").
+func FromMulti(mr *sim.MultiResult, prefetch bool) []Row {
+	rows := make([]Row, 0, len(mr.PerProcess)+1)
+	for i, r := range mr.PerProcess {
+		row := FromResult(r, prefetch)
+		row.Proc = fmt.Sprint(i + 1)
+		rows = append(rows, row)
+	}
+	total := FromResult(mr.Total, prefetch)
+	total.Proc = "total"
+	return append(rows, total)
 }
 
 // column couples a CSV header name with its Row formatter. Header and
@@ -111,6 +135,7 @@ var columns = []column{
 	{"workload", func(r *Row) string { return r.Workload }},
 	{"machine", func(r *Row) string { return r.Machine }},
 	{"policy", func(r *Row) string { return r.Policy }},
+	{"proc", func(r *Row) string { return r.Proc }},
 	{"cpus", func(r *Row) string { return fmt.Sprint(r.CPUs) }},
 	{"prefetch", func(r *Row) string { return fmt.Sprint(r.Prefetch) }},
 	{"wall_cycles", u(func(r *Row) uint64 { return r.Wall })},
@@ -131,6 +156,7 @@ var columns = []column{
 	{"hinted_faults", u(func(r *Row) uint64 { return r.HintedFaults })},
 	{"honored_hints", u(func(r *Row) uint64 { return r.HonoredHints })},
 	{"recolorings", u(func(r *Row) uint64 { return r.Recolorings })},
+	{"context_switches", u(func(r *Row) uint64 { return r.ContextSwitches })},
 	{"inst_misses", u(func(r *Row) uint64 { return r.InstMisses })},
 	{"upgrades", u(func(r *Row) uint64 { return r.Upgrades })},
 	{"tlb_misses", u(func(r *Row) uint64 { return r.TLBMisses })},

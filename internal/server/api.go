@@ -48,6 +48,26 @@ type JobRequest struct {
 	// TimeoutMS caps this job's simulation time in milliseconds; 0 uses
 	// the server default. Values above the server maximum are clamped.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// CoRunners lists additional processes co-scheduled with the primary
+	// workload on one multiprogrammed machine (all drawing frames from
+	// the shared allocator). Each entry inherits unset fields from the
+	// request, so `{}` co-runs a second instance of the same
+	// workload/variant. Only bundled workloads can be co-scheduled.
+	CoRunners []CoRunnerRequest `json:"co_runners,omitempty"`
+	// Sched selects the space-sharing discipline for multiprocess jobs:
+	// "timeslice" (default) or "partition". Requires co_runners.
+	Sched string `json:"sched,omitempty"`
+	// QuantumCycles overrides the time-slice length in cycles; 0 uses
+	// the simulator default. Requires co_runners.
+	QuantumCycles uint64 `json:"quantum_cycles,omitempty"`
+}
+
+// CoRunnerRequest describes one co-scheduled process of a multiprocess
+// job. Empty fields inherit from the primary request.
+type CoRunnerRequest struct {
+	Workload string `json:"workload,omitempty"`
+	Variant  string `json:"variant,omitempty"`
 }
 
 // JobState is the lifecycle state of a submitted job.
@@ -117,6 +137,14 @@ type JobResult struct {
 	// Cached).
 	SimMS float64 `json:"sim_ms"`
 
+	// Sched is the space-sharing discipline of a multiprocess job
+	// ("timeslice" or "partition"); empty on single-process jobs.
+	Sched string `json:"sched,omitempty"`
+	// Processes carries the per-process results of a multiprocess job in
+	// process-table order (the top-level fields then describe the
+	// machine total); empty on single-process jobs.
+	Processes []JobResult `json:"processes,omitempty"`
+
 	// Attribution is present when the request set attr.
 	Attribution *Attribution `json:"attribution,omitempty"`
 }
@@ -132,6 +160,9 @@ type Attribution struct {
 
 // PageAttr is one page's attribution record.
 type PageAttr struct {
+	// PID is the owning process of a multiprocess job's page (1-based
+	// process-table order); 0 on single-process jobs.
+	PID         int    `json:"pid,omitempty"`
 	VPN         uint64 `json:"vpn"`
 	Color       int    `json:"color"`
 	Misses      uint64 `json:"misses"`
@@ -171,6 +202,8 @@ const (
 	CodeTimeout         = "timeout"          // job exceeded its deadline (job error, or 504 on sync)
 	CodeCanceled        = "canceled"         // job canceled by DELETE or client disconnect
 	CodeSimFailed       = "sim_failed"       // simulation returned an error
+	CodeBadCoSchedule   = "bad_coschedule"   // 400: invalid co-runner list or scheduling discipline
+	CodeOutOfMemory     = "out_of_memory"    // simulated machine ran out of physical frames (job error)
 	CodeInternal        = "internal"         // 500: handler panic or unexpected failure
 )
 
@@ -264,7 +297,101 @@ func (req *JobRequest) validate() (harness.Spec, *ir.Program, *ErrorInfo) {
 		Variant:  harness.Variant(req.Variant),
 		Prefetch: req.Prefetch,
 	}
+	if errInfo := req.validateCoSchedule(cpus); errInfo != nil {
+		return spec, nil, errInfo
+	}
+	for _, cr := range req.CoRunners {
+		spec.CoRunners = append(spec.CoRunners, harness.CoRunner{
+			Workload: cr.Workload,
+			Variant:  harness.Variant(cr.Variant),
+		})
+	}
+	spec.Sched = harness.SchedKind(req.Sched)
+	spec.Quantum = req.QuantumCycles
 	return spec, prog, nil
+}
+
+// maxProcs bounds the process table of a multiprocess job; beyond the
+// paper-motivated 2- and 4-way mixes an 8-way mix already saturates the
+// time-slice scheduler's interference effects.
+const maxProcs = 8
+
+// validateCoSchedule checks the multiprocess fields of a request
+// against the space-sharing scheduler's constraints. All violations
+// carry CodeBadCoSchedule (except an unknown co-runner workload, which
+// keeps CodeUnknownWorkload for consistency with the primary field).
+func (req *JobRequest) validateCoSchedule(cpus int) *ErrorInfo {
+	if len(req.CoRunners) == 0 {
+		if req.Sched != "" || req.QuantumCycles > 0 {
+			return &ErrorInfo{Code: CodeBadCoSchedule, Field: "sched",
+				Message: "sched and quantum_cycles require co_runners"}
+		}
+		return nil
+	}
+	if req.Program != "" {
+		return &ErrorInfo{Code: CodeBadCoSchedule, Field: "co_runners",
+			Message: "custom programs cannot be co-scheduled; use bundled workloads"}
+	}
+	nprocs := 1 + len(req.CoRunners)
+	if nprocs > maxProcs {
+		return &ErrorInfo{Code: CodeBadCoSchedule, Field: "co_runners",
+			Message: fmt.Sprintf("%d processes exceed the %d-process limit", nprocs, maxProcs)}
+	}
+	switch req.Sched {
+	case "", string(harness.SchedTimeSlice):
+	case string(harness.SchedPartition):
+		if nprocs > cpus || cpus%nprocs != 0 {
+			return &ErrorInfo{Code: CodeBadCoSchedule, Field: "sched",
+				Message: fmt.Sprintf("partition scheduling needs %d cpus divisible into %d equal blocks", cpus, nprocs)}
+		}
+	default:
+		return &ErrorInfo{Code: CodeBadCoSchedule, Field: "sched",
+			Message: fmt.Sprintf("unknown scheduling discipline %q (timeslice, partition)", req.Sched)}
+	}
+	if req.Variant != "" && !harness.CanCoSchedule(harness.Variant(req.Variant)) {
+		return &ErrorInfo{Code: CodeBadCoSchedule, Field: "variant",
+			Message: fmt.Sprintf("variant %q needs machine-wide state and cannot be co-scheduled", req.Variant)}
+	}
+	for i, cr := range req.CoRunners {
+		field := fmt.Sprintf("co_runners[%d]", i)
+		if cr.Variant != "" {
+			known := false
+			for _, v := range harness.Variants() {
+				if harness.Variant(cr.Variant) == v {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return &ErrorInfo{Code: CodeBadCoSchedule, Field: field + ".variant",
+					Message: fmt.Sprintf("unknown variant %q", cr.Variant)}
+			}
+			if !harness.CanCoSchedule(harness.Variant(cr.Variant)) {
+				return &ErrorInfo{Code: CodeBadCoSchedule, Field: field + ".variant",
+					Message: fmt.Sprintf("variant %q needs machine-wide state and cannot be co-scheduled", cr.Variant)}
+			}
+		}
+		if cr.Workload != "" {
+			if _, err := workloads.ByName(cr.Workload); err != nil {
+				return &ErrorInfo{Code: CodeUnknownWorkload, Field: field + ".workload",
+					Message: err.Error()}
+			}
+		}
+	}
+	return nil
+}
+
+// summarizeMulti converts a multiprocess result into the wire
+// JobResult: the machine total at the top level, the per-process
+// summaries (in process-table order) under processes.
+func summarizeMulti(mr *sim.MultiResult, cached bool, simTime time.Duration) *JobResult {
+	out := summarize(mr.Total, cached, simTime)
+	out.Sched = mr.Sched
+	for _, r := range mr.PerProcess {
+		p := summarize(r, cached, 0)
+		out.Processes = append(out.Processes, *p)
+	}
+	return out
 }
 
 // summarize converts a sim.Result into the wire JobResult.

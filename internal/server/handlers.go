@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -115,8 +116,8 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) *job {
 				Code: CodeShuttingDown, Message: "server is draining", RetryAfterSec: retryAfterSec})
 		default:
 			writeError(w, http.StatusTooManyRequests, ErrorInfo{
-				Code:    CodeQueueFull,
-				Message: "admission queue is full; retry after a backoff",
+				Code:          CodeQueueFull,
+				Message:       "admission queue is full; retry after a backoff",
 				RetryAfterSec: retryAfterSec})
 		}
 		return nil
@@ -257,6 +258,9 @@ func describe(req JobRequest) string {
 	v := req.Variant
 	if v == "" {
 		v = string(harness.PageColoring)
+	}
+	if n := len(req.CoRunners); n > 0 {
+		return fmt.Sprintf("%s/%s (+%d co-runners)", name, v, n)
 	}
 	return name + "/" + v
 }

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// multiReq co-schedules two tomcatv instances on a small machine.
+func multiReq() JobRequest {
+	return JobRequest{
+		Workload:  "tomcatv",
+		CPUs:      4,
+		Scale:     64,
+		Variant:   "cdpc",
+		CoRunners: []CoRunnerRequest{{}},
+	}
+}
+
+func TestMultiprocessJob(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	var res JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", multiReq(), &res); code != http.StatusOK {
+		t.Fatalf("multiprocess simulate: status %d (%+v)", code, res)
+	}
+	if res.Sched != "timeslice" {
+		t.Errorf("sched %q, want timeslice", res.Sched)
+	}
+	if len(res.Processes) != 2 {
+		t.Fatalf("%d per-process results, want 2", len(res.Processes))
+	}
+	if res.WallCycles == 0 {
+		t.Error("multiprocess total produced no cycles")
+	}
+	var faults uint64
+	for i, p := range res.Processes {
+		if p.WallCycles == 0 {
+			t.Errorf("process %d ran no cycles", i+1)
+		}
+		if len(p.Processes) != 0 {
+			t.Errorf("process %d carries nested processes", i+1)
+		}
+		faults += p.PageFaults
+	}
+	if faults != res.PageFaults {
+		t.Errorf("per-process faults %d != total %d", faults, res.PageFaults)
+	}
+
+	// A repeat of the same mix is served from the multiprocess memo.
+	var again JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", multiReq(), &again); code != http.StatusOK {
+		t.Fatalf("repeat: status %d", code)
+	}
+	if !again.Cached {
+		t.Error("identical multiprocess mix not served from cache")
+	}
+	if again.WallCycles != res.WallCycles {
+		t.Errorf("cached multiprocess result differs: %d vs %d cycles", again.WallCycles, res.WallCycles)
+	}
+
+	// A different discipline is a different cache entry, not a hit.
+	part := multiReq()
+	part.Sched = "partition"
+	part.CPUs = 4
+	var pres JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", part, &pres); code != http.StatusOK {
+		t.Fatalf("partition: status %d", code)
+	}
+	if pres.Cached {
+		t.Error("partition run claimed the timeslice cache entry")
+	}
+	if pres.Sched != "partition" {
+		t.Errorf("sched %q, want partition", pres.Sched)
+	}
+}
+
+func TestCoScheduleValidation(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	co := []CoRunnerRequest{{}}
+	cases := []struct {
+		name     string
+		req      JobRequest
+		wantCode string
+	}{
+		{"sched without co-runners", JobRequest{Workload: "tomcatv", Sched: "timeslice"}, CodeBadCoSchedule},
+		{"quantum without co-runners", JobRequest{Workload: "tomcatv", QuantumCycles: 1000}, CodeBadCoSchedule},
+		{"custom program co-scheduled", JobRequest{Program: "program p\narray a elems=64\nphase m occurs=1\n  nest n parallel iters=4 inner=4 work=1 sched=even\n    load a outer=4\n", CoRunners: co}, CodeBadCoSchedule},
+		{"too many processes", JobRequest{Workload: "tomcatv", CoRunners: make([]CoRunnerRequest, maxProcs)}, CodeBadCoSchedule},
+		{"unknown discipline", JobRequest{Workload: "tomcatv", CoRunners: co, Sched: "gang"}, CodeBadCoSchedule},
+		{"indivisible partition", JobRequest{Workload: "tomcatv", CPUs: 4, CoRunners: []CoRunnerRequest{{}, {}}, Sched: "partition"}, CodeBadCoSchedule},
+		{"machine-wide primary variant", JobRequest{Workload: "tomcatv", Variant: "dynamic-recoloring", CoRunners: co}, CodeBadCoSchedule},
+		{"machine-wide co-runner variant", JobRequest{Workload: "tomcatv", CoRunners: []CoRunnerRequest{{Variant: "coloring-touch"}}}, CodeBadCoSchedule},
+		{"unknown co-runner variant", JobRequest{Workload: "tomcatv", CoRunners: []CoRunnerRequest{{Variant: "round-robin"}}}, CodeBadCoSchedule},
+		{"unknown co-runner workload", JobRequest{Workload: "tomcatv", CoRunners: []CoRunnerRequest{{Workload: "linpack"}}}, CodeUnknownWorkload},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var er ErrorResponse
+			code := ts.do(t, "POST", "/v1/jobs", tc.req, &er)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", code)
+			}
+			if er.Error.Code != tc.wantCode {
+				t.Fatalf("code %q, want %q (%s)", er.Error.Code, tc.wantCode, er.Error.Message)
+			}
+		})
+	}
+}
+
+// TestOutOfMemoryTyped drives the simulated machine out of physical
+// frames (a 32MB sweep against the 8MB scale-64 machine) and requires
+// the typed out_of_memory code instead of a generic failure.
+func TestOutOfMemoryTyped(t *testing.T) {
+	prog := `
+program oomsweep
+array big elems=4194304
+phase main occurs=1
+  nest sweep parallel iters=8192 inner=1 work=1 sched=even
+    load big outer=512
+`
+	ts := newTestServer(t, Config{Workers: 1})
+	req := JobRequest{Program: prog, CPUs: 1, Scale: 64}
+	var er ErrorResponse
+	code := ts.do(t, "POST", "/v1/simulate", req, &er)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (%+v)", code, er)
+	}
+	if er.Error.Code != CodeOutOfMemory {
+		t.Fatalf("code %q, want %q (%s)", er.Error.Code, CodeOutOfMemory, er.Error.Message)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/memory"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -158,14 +159,25 @@ func (q *queue) runJob(j *job) {
 	}
 
 	// The memo cache only serves spec-keyed bundled workloads; custom
-	// programs and instrumented runs always simulate fresh.
-	cached := j.prog == nil && !j.req.Attr && q.sched.HasResult(spec)
+	// programs and instrumented runs always simulate fresh. Multiprocess
+	// jobs have their own memo keyed on the co-runner mix.
+	multi := len(spec.CoRunners) > 0
+	var cached bool
+	if multi {
+		cached = !j.req.Attr && q.sched.HasMultiResult(spec)
+	} else {
+		cached = j.prog == nil && !j.req.Attr && q.sched.HasResult(spec)
+	}
 	start := time.Now()
 	var res *sim.Result
+	var mres *sim.MultiResult
 	var err error
-	if j.prog != nil {
+	switch {
+	case multi:
+		mres, err = q.sched.RunMultiCtx(ctx, spec)
+	case j.prog != nil:
 		res, err = harness.RunProgramCtx(ctx, j.prog, spec)
-	} else {
+	default:
 		res, err = q.sched.RunCtx(ctx, spec)
 	}
 	simTime := time.Since(start)
@@ -175,7 +187,12 @@ func (q *queue) runJob(j *job) {
 		return
 	}
 	q.simTime.Observe(simTime)
-	out := summarize(res, cached, simTime)
+	var out *JobResult
+	if multi {
+		out = summarizeMulti(mres, cached, simTime)
+	} else {
+		out = summarize(res, cached, simTime)
+	}
 	if collector != nil {
 		out.Attribution = attributionOf(collector)
 	}
@@ -184,7 +201,8 @@ func (q *queue) runJob(j *job) {
 }
 
 // finishErr maps a simulation error to the job's terminal state:
-// deadline → timeout, cancellation → canceled, anything else → failed.
+// deadline → timeout, cancellation → canceled, frame exhaustion →
+// failed with the typed out_of_memory code, anything else → failed.
 func (q *queue) finishErr(j *job, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -194,6 +212,10 @@ func (q *queue) finishErr(j *job, err error) {
 	case errors.Is(err, context.Canceled):
 		j.finish(StateCanceled, nil, &ErrorInfo{Code: CodeCanceled, Message: err.Error()})
 		q.canceled.Inc()
+	case errors.Is(err, memory.ErrOutOfMemory):
+		j.finish(StateFailed, nil, &ErrorInfo{Code: CodeOutOfMemory,
+			Message: "simulated machine ran out of physical frames: " + err.Error()})
+		q.failed.Inc()
 	default:
 		j.finish(StateFailed, nil, &ErrorInfo{Code: CodeSimFailed, Message: err.Error()})
 		q.failed.Inc()
@@ -209,6 +231,7 @@ func attributionOf(c *obs.Collector) *Attribution {
 	}
 	for _, p := range c.TopPages(topPagesN) {
 		a.TopPages = append(a.TopPages, PageAttr{
+			PID:         p.PID,
 			VPN:         p.VPN,
 			Color:       p.Color,
 			Misses:      p.Misses.Total(),

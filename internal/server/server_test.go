@@ -523,7 +523,7 @@ func TestWorkloadsEndpoint(t *testing.T) {
 	if len(wr.Workloads) != 10 {
 		t.Errorf("%d workloads, want 10", len(wr.Workloads))
 	}
-	if len(wr.Variants) != 9 || len(wr.Machines) != 2 {
-		t.Errorf("variants=%d machines=%d, want 9/2", len(wr.Variants), len(wr.Machines))
+	if len(wr.Variants) != 10 || len(wr.Machines) != 2 {
+		t.Errorf("variants=%d machines=%d, want 10/2", len(wr.Variants), len(wr.Machines))
 	}
 }

@@ -40,10 +40,10 @@ import (
 //     Queueing delay is a component of miss stall, never booked beyond
 //     it.
 //  9. Kernel attribution, machine-wide: KernelCycles > 0 requires
-//     TLBMisses + PageFaults + Recolorings > 0. Kernel time comes only
-//     from TLB refills, page-fault service and recoloring work (copies
-//     and shootdowns, which some other CPU's Recolorings counter
-//     records).
+//     TLBMisses + PageFaults + Recolorings + ContextSwitches > 0.
+//     Kernel time comes only from TLB refills, page-fault service,
+//     recoloring work (copies and shootdowns, which some other CPU's
+//     Recolorings counter records) and time-slice context switches.
 //  10. Hint accounting: HonoredHints <= HintedFaults <= PageFaults.
 //     Hint outcomes are nested subsets of the fault stream.
 //
@@ -51,13 +51,14 @@ import (
 // because each phase satisfies them individually.
 func (r *Result) Audit() []obs.Violation {
 	var vs []obs.Violation
-	var kernel, tlbMisses, cpuFaults, recolorings uint64
+	var kernel, tlbMisses, cpuFaults, recolorings, switches uint64
 	for i := range r.PerCPU {
 		s := &r.PerCPU[i]
 		kernel += s.KernelCycles
 		tlbMisses += s.TLBMisses
 		cpuFaults += s.PageFaults
 		recolorings += s.Recolorings
+		switches += s.ContextSwitches
 		if total := s.TotalCycles(); total != r.WallCycles {
 			vs = append(vs, obs.Violation{
 				Check: "cycle-conservation",
@@ -120,10 +121,10 @@ func (r *Result) Audit() []obs.Violation {
 			})
 		}
 	}
-	if kernel > 0 && tlbMisses+cpuFaults+recolorings == 0 {
+	if kernel > 0 && tlbMisses+cpuFaults+recolorings+switches == 0 {
 		vs = append(vs, obs.Violation{
-			Check: "kernel-attribution",
-			Detail: fmt.Sprintf("%d kernel cycles with zero TLB misses, page faults and recolorings", kernel),
+			Check:  "kernel-attribution",
+			Detail: fmt.Sprintf("%d kernel cycles with zero TLB misses, page faults, recolorings and context switches", kernel),
 		})
 	}
 	if r.HintedFaults > r.PageFaults || r.HonoredHints > r.HintedFaults {

@@ -42,7 +42,7 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 	if c.tcData.valid && c.tcData.vpn == vpn {
 		paddr = c.tcData.pbase | (r.VAddr & m.pageMask)
 	} else {
-		pbase, faulted, err := m.as.TranslateVPN(vpn, c.id)
+		pbase, faulted, err := c.as.TranslateVPN(vpn, c.id)
 		if err != nil {
 			return fmt.Errorf("sim: cpu %d: %w", c.id, err)
 		}
@@ -60,7 +60,7 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 	if l1.Evicted && l1.VictimDirty {
 		// The on-chip victim is written back into the inclusive external
 		// cache (no bus traffic, no stall).
-		if vp, ok := m.as.TranslateNoFault(l1.VictimAddr); ok {
+		if vp, ok := c.as.TranslateNoFault(l1.VictimAddr); ok {
 			c.l2.MarkDirty(vp)
 		}
 	}
@@ -73,7 +73,7 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 	// on-chip hits (inclusion guarantees the line is in L2 as well).
 	out := m.dir.Access(c.id, paddr, write)
 	m.applyDowngrade(paddr, out.Downgraded)
-	m.applyInvalidations(paddr, out.Invalidated)
+	m.applyInvalidations(c, paddr, out.Invalidated)
 
 	shadowHit := false
 	if !m.opts.DisableClassification {
@@ -109,7 +109,7 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 	stall := m.missCycles(c, paddr, out.DirtyRemote)
 	m.chargeMiss(c, out.Class, shadowHit, stall)
 	if m.obs != nil {
-		m.obs.RecordMiss(c.id, c.clock, vpn, m.frameColor(paddr), obsClass(out.Class, shadowHit), stall)
+		m.obs.RecordMissPID(c.pid, c.id, c.clock, vpn, m.frameColor(paddr), obsClass(out.Class, shadowHit), stall)
 	}
 	c.clock += stall
 	if m.recolorer != nil {
@@ -134,7 +134,7 @@ func (m *Machine) stepInst(c *cpuState, r *trace.Ref) error {
 	if c.tcInst.valid && c.tcInst.vpn == vpn {
 		paddr = c.tcInst.pbase | (r.VAddr & m.pageMask)
 	} else {
-		pbase, faulted, err := m.as.TranslateVPN(vpn, c.id)
+		pbase, faulted, err := c.as.TranslateVPN(vpn, c.id)
 		if err != nil {
 			return fmt.Errorf("sim: cpu %d (inst): %w", c.id, err)
 		}
@@ -165,7 +165,7 @@ func (m *Machine) stepInst(c *cpuState, r *trace.Ref) error {
 	stall := m.missCycles(c, paddr, out.DirtyRemote)
 	c.stats.StallInst += stall
 	if m.obs != nil {
-		m.obs.RecordMiss(c.id, c.clock, vpn, m.frameColor(paddr), obs.InstFetch, stall)
+		m.obs.RecordMissPID(c.pid, c.id, c.clock, vpn, m.frameColor(paddr), obs.InstFetch, stall)
 	}
 	c.clock += stall
 	// Code pages conflict-miss like data pages do; feed the dynamic
@@ -193,7 +193,7 @@ func (m *Machine) stepPrefetch(c *cpuState, r *trace.Ref) error {
 	if c.tcData.valid && c.tcData.vpn == vpn {
 		paddr = c.tcData.pbase | (r.VAddr & m.pageMask)
 	} else {
-		pa, ok := m.as.TranslateNoFault(r.VAddr)
+		pa, ok := c.as.TranslateNoFault(r.VAddr)
 		if !ok {
 			c.stats.PrefetchesDropped++
 			return nil
@@ -225,7 +225,7 @@ func (m *Machine) stepPrefetch(c *cpuState, r *trace.Ref) error {
 
 	out := m.dir.Access(c.id, paddr, false)
 	m.applyDowngrade(paddr, out.Downgraded)
-	m.applyInvalidations(paddr, out.Invalidated)
+	m.applyInvalidations(c, paddr, out.Invalidated)
 	latency := uint64(m.cfg.MemCycles)
 	if out.DirtyRemote {
 		latency = uint64(m.cfg.RemoteCycles)
@@ -343,12 +343,17 @@ func (m *Machine) applyDowngrade(paddr uint64, owner int) {
 
 // applyInvalidations mirrors directory invalidations into the other CPUs'
 // external caches, shadow caches and (via the reverse map) their
-// virtually indexed on-chip caches, preserving inclusion.
-func (m *Machine) applyInvalidations(paddr uint64, cpus []int) {
+// virtually indexed on-chip caches, preserving inclusion. The reverse
+// map is the accessing CPU's current address space: under time-slicing
+// every CPU runs the same process, and across space partitions a frame
+// belongs to exactly one live process, so stale sharers from an exited
+// process only need their physically indexed state dropped (their
+// virtually indexed L1s were flushed when they switched out).
+func (m *Machine) applyInvalidations(c *cpuState, paddr uint64, cpus []int) {
 	if len(cpus) == 0 {
 		return
 	}
-	vaddr, haveV := m.as.ReverseVAddr(paddr)
+	vaddr, haveV := c.as.ReverseVAddr(paddr)
 	la := m.cfg.L2.LineAddr(paddr)
 	for _, p := range cpus {
 		o := m.cpus[p]
@@ -370,7 +375,11 @@ func (m *Machine) handleL2Eviction(c *cpuState, evicted bool, victim uint64, dir
 	}
 	m.dir.Evict(c.id, victim)
 	delete(c.pending, m.cfg.L2.LineAddr(victim))
-	if vaddr, ok := m.as.ReverseVAddr(victim); ok {
+	// The victim may belong to a descheduled process (physical tags
+	// survive context switches); c.as then has no reverse mapping and the
+	// on-chip invalidation is skipped — those L1 lines were flushed when
+	// the owning process switched out.
+	if vaddr, ok := c.as.ReverseVAddr(victim); ok {
 		// Inclusion: every on-chip line within the evicted external line
 		// must go. On-chip lines are smaller; invalidate each.
 		step := uint64(m.cfg.L1D.LineSize)

@@ -125,6 +125,12 @@ type cpuState struct {
 	id    int
 	clock uint64
 
+	// as/pid identify the process currently scheduled on this CPU. A
+	// single-process machine points every CPU at m.as (pid 0) forever;
+	// the space-sharing scheduler re-points them at dispatch time.
+	as  *vm.AddressSpace
+	pid int
+
 	l1d    *cache.Cache
 	l1i    *cache.Cache
 	l2     *cache.Cache
@@ -161,6 +167,7 @@ func New(opts Options) (*Machine, error) {
 	if policy == nil {
 		policy = vm.PageColoring{Colors: cfg.Colors()}
 	}
+	bindPolicy(policy, alloc)
 	m := &Machine{
 		cfg:       cfg,
 		as:        vm.NewAddressSpace(cfg.PageSize, alloc, policy),
@@ -186,6 +193,7 @@ func New(opts Options) (*Machine, error) {
 	for i := 0; i < cfg.NumCPUs; i++ {
 		m.cpus = append(m.cpus, &cpuState{
 			id:      i,
+			as:      m.as,
 			l1d:     cache.New(cfg.L1D),
 			l1i:     cache.New(cfg.L1I),
 			l2:      cache.New(cfg.L2),
@@ -199,15 +207,32 @@ func New(opts Options) (*Machine, error) {
 		for _, c := range m.cpus {
 			c.l2.EnableSetProfile()
 		}
-		m.as.OnFault = func(vpn uint64, cpu, color int, hinted, honored bool) {
-			var cycle uint64
-			if cpu >= 0 && cpu < len(m.cpus) {
-				cycle = m.cpus[cpu].clock
-			}
-			m.obs.RecordFault(cpu, cycle, vpn, color, hinted, honored)
-		}
+		m.as.OnFault = m.obsFaultHook()
 	}
 	return m, nil
+}
+
+// bindPolicy resolves allocator-dependent policies: a first-touch
+// policy is constructed by the harness before the machine (and so
+// before any allocator) exists, and is pointed at the machine's shared
+// frame allocator here.
+func bindPolicy(p vm.Policy, alloc *memory.Allocator) {
+	if ft, ok := p.(*vm.FirstTouch); ok && ft.Alloc == nil {
+		ft.Alloc = alloc
+	}
+}
+
+// obsFaultHook builds the address-space fault callback feeding the
+// observability collector; every process's address space installs the
+// same hook, distinguished by the pid the callback carries.
+func (m *Machine) obsFaultHook() func(pid int, vpn uint64, cpu, color int, hinted, honored bool) {
+	return func(pid int, vpn uint64, cpu, color int, hinted, honored bool) {
+		var cycle uint64
+		if cpu >= 0 && cpu < len(m.cpus) {
+			cycle = m.cpus[cpu].clock
+		}
+		m.obs.RecordFaultPID(pid, cpu, cycle, vpn, color, hinted, honored)
+	}
 }
 
 // frameColor returns the page color of paddr's frame (frame number mod
@@ -220,8 +245,21 @@ func (m *Machine) frameColor(paddr uint64) int {
 // access-map tool reads page colors from it).
 func (m *Machine) AddressSpace() *vm.AddressSpace { return m.as }
 
-// Run executes prog's steady state and returns the weighted result.
+// Run executes prog's steady state and returns the weighted result. It
+// is a thin wrapper over RunProcesses with a one-entry process table;
+// the single-process path keeps the paper's methodology (warm-up
+// discard, phase-occurrence weighting) and its byte-identical output.
 func (m *Machine) Run(prog *ir.Program) (*Result, error) {
+	mr, err := m.RunProcesses([]ProcessOptions{{Prog: prog}}, SchedOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return mr.Total, nil
+}
+
+// runSingle is the legacy single-process engine operating on the
+// machine's own address space and configured policy.
+func (m *Machine) runSingle(prog *ir.Program) (*Result, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -334,6 +372,14 @@ func (m *Machine) Run(prog *ir.Program) (*Result, error) {
 // CPUs, occupancy averaged) and the VM/allocator color state into the
 // collector at the end of a run.
 func (m *Machine) finalizeObs() {
+	m.recordSetProfiles()
+	m.obs.RecordAllocation(m.as.ColorOccupancy(), m.alloc.FreeByColor(),
+		m.as.Faults, m.as.HintedFaults, m.as.HonoredHints)
+}
+
+// recordSetProfiles aggregates the per-set external-cache counters over
+// CPUs into the collector.
+func (m *Machine) recordSetProfiles() {
 	sets := m.cfg.L2.Sets()
 	miss := make([]uint64, sets)
 	evict := make([]uint64, sets)
@@ -354,8 +400,6 @@ func (m *Machine) finalizeObs() {
 		occ[i] /= float64(len(m.cpus))
 	}
 	m.obs.RecordSetProfile(miss, evict, inval, occ)
-	m.obs.RecordAllocation(m.as.ColorOccupancy(), m.alloc.FreeByColor(),
-		m.as.Faults, m.as.HintedFaults, m.as.HonoredHints)
 }
 
 // wallClock returns the current global time (all CPUs are synchronized
@@ -370,18 +414,31 @@ func (m *Machine) wallClock() uint64 {
 	return w
 }
 
-// runNest executes one nest to the barrier at its end.
+// runNest executes one nest to the barrier at its end on the whole
+// machine (the single-process path).
 func (m *Machine) runNest(prog *ir.Program, n *ir.Nest) error {
+	return m.runNestOn(m.cpus, prog, n, &m.regions)
+}
+
+// runNestOn executes one nest to the barrier at its end on the given
+// CPU subset (the scheduled process's gang). The subset is the whole
+// machine for single-process and time-sliced runs and one partition for
+// space-partitioned runs; stream decomposition and fork-skew hashing
+// use process-local CPU indices so a process behaves identically at a
+// given width wherever its partition sits. regions is the owning
+// process's parallel-region counter, seeding the per-region dispatch
+// skew.
+func (m *Machine) runNestOn(cpus []*cpuState, prog *ir.Program, n *ir.Nest, regions *uint64) error {
 	if m.opts.Cancel != nil {
 		if err := m.opts.Cancel(); err != nil {
 			return fmt.Errorf("sim: run canceled: %w", err)
 		}
 	}
-	p := m.cfg.NumCPUs
-	start := m.wallClock()
+	p := len(cpus)
+	start := clockMax(cpus)
 	// Bring lagging CPUs up to the region start; they were idle waiting
 	// for the master (e.g. after serialized touch-order faulting).
-	for _, c := range m.cpus {
+	for _, c := range cpus {
 		if c.clock < start {
 			c.stats.SequentialCycles += start - c.clock
 			c.clock = start
@@ -390,12 +447,12 @@ func (m *Machine) runNest(prog *ir.Program, n *ir.Nest) error {
 
 	if !n.Parallel || n.Suppressed || p == 1 {
 		// Master executes alone; slaves spin.
-		master := m.cpus[0]
+		master := cpus[0]
 		if err := m.runStream(master, ir.NestStream(prog, n, p, 0)); err != nil {
 			return err
 		}
 		end := master.clock
-		for _, c := range m.cpus[1:] {
+		for _, c := range cpus[1:] {
 			// Idle from the slave's own clock, not the region start: a
 			// recoloring shootdown interrupt delivered mid-nest already
 			// advanced the slave's clock and kernel time, converting that
@@ -420,7 +477,7 @@ func (m *Machine) runNest(prog *ir.Program, n *ir.Nest) error {
 	// barrier synchronizes.
 	fork := uint64(m.cfg.ForkCycles)
 	skew := uint64(m.cfg.ForkSkewCycles)
-	m.regions++
+	*regions++
 	streams := make([]trace.Stream, p)
 	for cpu := 0; cpu < p; cpu++ {
 		// The master releases slaves one at a time and in no fixed order
@@ -431,32 +488,38 @@ func (m *Machine) runNest(prog *ir.Program, n *ir.Nest) error {
 		// worst-case bus convoys no real machine sustains.
 		lag := fork
 		if skew > 0 && p > 1 {
-			h := (uint64(cpu)+1)*0x9e3779b97f4a7c15 ^ m.regions*0xbf58476d1ce4e5b9
+			h := (uint64(cpu)+1)*0x9e3779b97f4a7c15 ^ *regions*0xbf58476d1ce4e5b9
 			h ^= h >> 29
 			lag += (h * 0x94d049bb133111eb >> 40) % (uint64(p) * skew)
 		}
-		m.cpus[cpu].clock = start + lag
-		m.cpus[cpu].stats.SyncCycles += lag
+		cpus[cpu].clock = start + lag
+		cpus[cpu].stats.SyncCycles += lag
 		streams[cpu] = ir.NestStream(prog, n, p, cpu)
 	}
-	if err := m.runParallel(streams); err != nil {
+	if err := m.runParallel(cpus, streams); err != nil {
 		return err
 	}
 
 	// Barrier: everyone waits for the slowest, then pays the software
 	// barrier cost.
-	var maxT uint64
-	for _, c := range m.cpus {
-		if c.clock > maxT {
-			maxT = c.clock
-		}
-	}
-	for _, c := range m.cpus {
+	maxT := clockMax(cpus)
+	for _, c := range cpus {
 		c.stats.ImbalanceCycles += maxT - c.clock
 		c.stats.SyncCycles += uint64(m.cfg.BarrierCycles)
 		c.clock = maxT + uint64(m.cfg.BarrierCycles)
 	}
 	return nil
+}
+
+// clockMax returns the latest clock among the given CPUs.
+func clockMax(cpus []*cpuState) uint64 {
+	var w uint64
+	for _, c := range cpus {
+		if c.clock > w {
+			w = c.clock
+		}
+	}
+	return w
 }
 
 // runStream drains one CPU's stream (sequential regions).
@@ -482,14 +545,14 @@ type runner struct {
 // runParallel interleaves the per-CPU streams in global time order: the
 // CPU with the smallest clock processes its next reference. This is what
 // makes bus contention and coherence interactions honest.
-func (m *Machine) runParallel(streams []trace.Stream) error {
+func (m *Machine) runParallel(cpus []*cpuState, streams []trace.Stream) error {
 	if cap(m.runners) < len(streams) {
 		m.runners = make([]runner, len(streams))
 	}
 	runners := m.runners[:len(streams)]
 	active := 0
 	for i := range streams {
-		runners[i] = runner{c: m.cpus[i], s: streams[i]}
+		runners[i] = runner{c: cpus[i], s: streams[i]}
 		if !runners[i].s.Next(&runners[i].r) {
 			runners[i].done = true
 		} else {

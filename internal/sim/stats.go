@@ -51,6 +51,10 @@ type CPUStats struct {
 	RemoteSupplies    uint64 // misses served dirty from another CPU's cache
 	BusQueueCycles    uint64 // queueing component of miss stalls
 	Recolorings       uint64 // dynamic-policy page moves triggered by this CPU
+	// ContextSwitches counts time-slice process switches on this CPU;
+	// the switch cost (TLB + on-chip flush, state save/restore) is booked
+	// into KernelCycles of the incoming process.
+	ContextSwitches uint64
 }
 
 // MemStallCycles returns all cycles lost to the memory system.
@@ -120,6 +124,7 @@ func (s *CPUStats) add(o *CPUStats, weight uint64) {
 	s.RemoteSupplies += o.RemoteSupplies * weight
 	s.BusQueueCycles += o.BusQueueCycles * weight
 	s.Recolorings += o.Recolorings * weight
+	s.ContextSwitches += o.ContextSwitches * weight
 }
 
 // sub returns s - o (used for phase deltas).
@@ -158,6 +163,7 @@ func (s CPUStats) sub(o CPUStats) CPUStats {
 	d.RemoteSupplies = s.RemoteSupplies - o.RemoteSupplies
 	d.BusQueueCycles = s.BusQueueCycles - o.BusQueueCycles
 	d.Recolorings = s.Recolorings - o.Recolorings
+	d.ContextSwitches = s.ContextSwitches - o.ContextSwitches
 	return d
 }
 

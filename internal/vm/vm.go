@@ -32,6 +32,23 @@ func (p PageColoring) PreferredColor(vpn uint64, _ int) int {
 	return int(vpn % uint64(p.Colors))
 }
 
+// FirstTouch models the unmodified-OS baseline the paper compares
+// against (§2): no color preference at all — the faulting page gets
+// whatever frame heads the free list. The policy asks the allocator
+// which color a sequential free list would serve next, so the
+// preference is always satisfiable and placement is entirely driven by
+// allocation order and memory pressure, including frames freed by
+// other processes.
+type FirstTouch struct {
+	Alloc *memory.Allocator
+}
+
+// Name implements Policy.
+func (FirstTouch) Name() string { return "first-touch" }
+
+// PreferredColor implements Policy.
+func (p FirstTouch) PreferredColor(uint64, int) int { return p.Alloc.FirstTouchColor() }
+
 // BinHopping cycles through colors in the order page faults occur,
 // exploiting temporal locality (Digital UNIX). The single shared counter
 // is what makes the policy non-deterministic on a real multiprocessor:
@@ -57,6 +74,7 @@ func (b *BinHopping) PreferredColor(uint64, int) int {
 // table installed through the Advise call (the paper's single-system-call
 // interface, §5.3).
 type AddressSpace struct {
+	pid       int // owning process id (0 for single-process machines)
 	pageSize  uint64
 	pageShift uint   // log2(pageSize); page size is a validated power of two
 	pageMask  uint64 // pageSize - 1
@@ -74,15 +92,24 @@ type AddressSpace struct {
 	HonoredHints uint64 // hinted faults that got the hinted color
 
 	// OnFault, when non-nil, observes every serviced page fault: the
-	// faulting vpn and cpu, the granted frame's color, and whether the
-	// fault was hinted and the hint honored. The simulator's
-	// observability layer hooks it; the callback must not mutate the
-	// address space.
-	OnFault func(vpn uint64, cpu, color int, hinted, honored bool)
+	// owning process id, the faulting vpn and cpu, the granted frame's
+	// color, and whether the fault was hinted and the hint honored. The
+	// simulator's observability layer hooks it; the callback must not
+	// mutate the address space.
+	OnFault func(pid int, vpn uint64, cpu, color int, hinted, honored bool)
 }
 
-// NewAddressSpace creates an empty address space backed by alloc.
+// NewAddressSpace creates an empty address space backed by alloc, owned
+// by process 0 (the single-process legacy owner).
 func NewAddressSpace(pageSize int, alloc *memory.Allocator, policy Policy) *AddressSpace {
+	return NewAddressSpaceProc(0, pageSize, alloc, policy)
+}
+
+// NewAddressSpaceProc creates an empty address space owned by process
+// pid. Every frame the space faults in is charged to pid in the
+// allocator's ownership accounting, so process exit can return exactly
+// the frames the process held.
+func NewAddressSpaceProc(pid, pageSize int, alloc *memory.Allocator, policy Policy) *AddressSpace {
 	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
 		panic(fmt.Sprintf("vm: bad page size %d", pageSize))
 	}
@@ -91,6 +118,7 @@ func NewAddressSpace(pageSize int, alloc *memory.Allocator, policy Policy) *Addr
 		shift++
 	}
 	return &AddressSpace{
+		pid:       pid,
 		pageSize:  uint64(pageSize),
 		pageShift: shift,
 		pageMask:  uint64(pageSize - 1),
@@ -105,6 +133,9 @@ func NewAddressSpace(pageSize int, alloc *memory.Allocator, policy Policy) *Addr
 
 // PageSize returns the page size in bytes.
 func (as *AddressSpace) PageSize() int { return int(as.pageSize) }
+
+// Pid returns the owning process id.
+func (as *AddressSpace) Pid() int { return as.pid }
 
 // PolicyName returns the active mapping policy's name.
 func (as *AddressSpace) PolicyName() string { return as.policy.Name() }
@@ -164,7 +195,7 @@ func (as *AddressSpace) fault(vpn uint64, cpu int) (uint64, error) {
 	} else {
 		preferred = as.policy.PreferredColor(vpn, cpu)
 	}
-	frame, honored, err := as.alloc.Alloc(preferred)
+	frame, honored, err := as.alloc.AllocFor(as.pid, preferred)
 	if err != nil {
 		return 0, fmt.Errorf("vm: fault on vpn %d: %w", vpn, err)
 	}
@@ -176,7 +207,7 @@ func (as *AddressSpace) fault(vpn uint64, cpu int) (uint64, error) {
 	color := as.alloc.ColorOf(frame)
 	as.occ[color]++
 	if as.OnFault != nil {
-		as.OnFault(vpn, cpu, color, hinted, hinted && honored)
+		as.OnFault(as.pid, vpn, cpu, color, hinted, hinted && honored)
 	}
 	return frame, nil
 }

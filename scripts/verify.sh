@@ -26,6 +26,25 @@ go build ./...
 go test ./...
 go test -race ./...
 
+# Program-text parser fuzz seeds: replay the checked-in corpus (plus the
+# F.Add seeds) as deterministic regression tests.
+go test -run=FuzzParse ./internal/ir
+
+# Simulator-throughput regression guard: re-time one tomcatv run through
+# the full simulator and compare against the baseline recorded in
+# BENCH_harness.json (make bench regenerates it). More than 25% slower
+# is a hard failure.
+base_ns=$(sed -n 's/.*"sim_throughput_ns_per_op": \([0-9][0-9]*\).*/\1/p' BENCH_harness.json)
+test -n "$base_ns" || { echo "BENCH_harness.json lacks sim_throughput_ns_per_op; run make bench"; exit 1; }
+now_ns=$(go test -run='^$' -bench='^BenchmarkSimulatorThroughput$' -benchtime=3x . \
+    | awk '/^BenchmarkSimulatorThroughput/ { print int($3); exit }')
+test -n "$now_ns" || { echo "could not parse BenchmarkSimulatorThroughput output"; exit 1; }
+awk -v now="$now_ns" -v base="$base_ns" 'BEGIN {
+    ratio = now / base
+    printf "sim throughput: %d ns/op vs baseline %d ns/op (%.2fx)\n", now, base, ratio
+    exit (ratio > 1.25) ? 1 : 0
+}' || { echo "simulator throughput regressed more than 25% against BENCH_harness.json"; exit 1; }
+
 # Audited smoke runs: conservation invariants (cycles, miss classes,
 # bus occupancy) checked on every simulation; violations exit non-zero.
 # fig6 covers the paper's headline sweep, ext-pressure the raw-simulator
