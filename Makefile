@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench audit serve smoke verify
+.PHONY: build test vet lint race bench bench-sampled audit serve smoke verify
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallelExperiments|BenchmarkSimulatorThroughput' -benchtime 3x .
 	WRITE_BENCH=1 $(GO) test -run TestWriteHarnessBench -v .
+
+# Phase-sampled throughput next to the full-fidelity baseline, plus the
+# ten-workload sampled-vs-full error-budget table (ext-sampling).
+bench-sampled:
+	$(GO) test -run xxx -bench 'BenchmarkSimulatorThroughput(Sampled)?$$' -benchtime 3x .
+	$(GO) run ./cmd/experiments -id ext-sampling
 
 # Audited experiment sweep: every simulation's cycle/miss/bus
 # conservation invariants are checked; any violation exits non-zero.

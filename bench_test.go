@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -137,6 +138,23 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := harness.Run(harness.Spec{Workload: "tomcatv", CPUs: 1}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughputSampled is the same uniprocessor tomcatv
+// run under phase-sampled execution — representative windows with
+// functional warm-up instead of the full trace. The issue budget is
+// ≥10x over the recorded full-fidelity baseline at <2% MCPI error
+// (asserted by TestSampledFidelity and the verify.sh smoke run).
+func BenchmarkSimulatorThroughputSampled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Run(harness.Spec{Workload: "tomcatv", CPUs: 1, Sampled: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Fidelity != sim.FidelitySampled {
+			b.Fatalf("fidelity = %q, want %q", r.Fidelity, sim.FidelitySampled)
 		}
 	}
 }

@@ -37,6 +37,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		audit    = flag.Bool("audit", false, "check conservation invariants on every simulation; violations exit non-zero")
 		procsN   = flag.Int("procs", 0, "override the co-scheduling degree swept by ext-multiprog (0 = default sweep)")
+		sampled  = flag.Bool("sampled", false, "run compatible simulations phase-sampled (~10x faster, <2% MCPI error; incompatible specs keep full fidelity)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		return
 	}
 
-	opts := harness.ExpOptions{Scale: *scale, Quick: *quick, Audit: *audit, Procs: *procsN}
+	opts := harness.ExpOptions{Scale: *scale, Quick: *quick, Audit: *audit, Procs: *procsN, Sampled: *sampled}
 	if *parallel {
 		// One scheduler across all experiments: identical specs (e.g. the
 		// page-coloring baselines shared by Figures 2, 6 and 8) simulate once.

@@ -1,0 +1,94 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// PhaseSignature is a phase's access-pattern fingerprint: per nest, the
+// loop shape (iteration counts, parallelism, schedule) and per access
+// the array identity, reference kind, strides, offset and prefetch
+// marking. Two phases with equal signatures execute the same reference
+// streams over the same virtual addresses on every processor, so one
+// representative window stands for all of them ("Memory Access
+// Vectors": clustering by access-pattern signature preserves sampling
+// fidelity for cache and TLB behavior). Array identity — name, base,
+// extent — is deliberately part of the vector: a phase sweeping the
+// same stencil over different arrays touches different page colors and
+// must not be merged.
+type PhaseSignature struct {
+	// Key is the canonical rendering compared for cluster membership.
+	Key string
+	// Nests, Accesses and FootprintBytes summarize the vector for
+	// reports: nest count, total static references per inner iteration,
+	// and the summed extent of the arrays referenced.
+	Nests          int
+	Accesses       int
+	FootprintBytes int
+}
+
+// Signature computes the access-pattern signature of one phase. Layout
+// must have run (bases assigned): the signature keys on virtual
+// placement, not just shape.
+func Signature(ph *ir.Phase) PhaseSignature {
+	var b strings.Builder
+	sig := PhaseSignature{Nests: len(ph.Nests)}
+	seen := make(map[string]bool)
+	for _, n := range ph.Nests {
+		fmt.Fprintf(&b, "nest{par=%t sup=%t it=%d in=%d work=%d inst=%d sched=%d rev=%t",
+			n.Parallel, n.Suppressed, n.Iterations, n.InnerIters, n.WorkPerIter,
+			n.InstFootprint, n.Sched.Kind, n.Sched.Reverse)
+		for _, ac := range n.Accesses {
+			sig.Accesses++
+			a := ac.Array
+			fmt.Fprintf(&b, " ref{%s@%d+%d k=%d os=%d is=%d off=%d wrap=%t pf=%t}",
+				a.Name, a.Base, a.Elems*a.ElemSize, ac.Kind,
+				ac.OuterStride, ac.InnerStride, ac.Offset, ac.Wrap, ac.Prefetch)
+			if !seen[a.Name] {
+				seen[a.Name] = true
+				sig.FootprintBytes += a.SizeBytes()
+			}
+		}
+		b.WriteString("}")
+	}
+	sig.Key = b.String()
+	return sig
+}
+
+// PhaseCluster groups the phases one representative window stands for.
+type PhaseCluster struct {
+	// Rep indexes prog.Phases: the first member, whose nests are the
+	// ones actually simulated.
+	Rep int
+	// Members lists every phase index in the cluster, in program order
+	// (Rep first).
+	Members []int
+	// Weight is the summed occurrence count of the members — the factor
+	// the representative's extrapolated statistics are multiplied by.
+	Weight int
+}
+
+// ClusterPhases partitions a program's steady-state phases into
+// signature-equal clusters, preserving program order. Most workloads
+// collapse to one cluster per distinct phase (turb3d's four phases all
+// differ); the win appears when a program repeats the same loop shape
+// over the same data as separate phases, and is bounded below by the
+// identity clustering — never fewer simulated windows than distinct
+// access patterns.
+func ClusterPhases(prog *ir.Program) []PhaseCluster {
+	var out []PhaseCluster
+	index := make(map[string]int) // signature key -> cluster position
+	for i, ph := range prog.Phases {
+		key := Signature(ph).Key
+		if at, ok := index[key]; ok {
+			out[at].Members = append(out[at].Members, i)
+			out[at].Weight += ph.Occurrences
+			continue
+		}
+		index[key] = len(out)
+		out = append(out, PhaseCluster{Rep: i, Members: []int{i}, Weight: ph.Occurrences})
+	}
+	return out
+}

@@ -153,6 +153,15 @@ type Spec struct {
 	// never stand in for a run that was supposed to fill a collector.
 	Obs *obs.Collector
 
+	// Sampled requests phase-sampled execution: representative windows
+	// per nest with functional warm-up, clustered by the compiler's
+	// access-pattern signatures and extrapolated to full-run statistics
+	// (sim.SamplingOptions). Incompatible spec shapes — an observability
+	// collector, co-runners, or dynamic recoloring — are normalized back
+	// to full fidelity by withDefaults; callers that must reject instead
+	// (the server's explicit "sampled" requests) check CanSample first.
+	Sampled bool
+
 	// CoRunners lists additional processes co-scheduled with the primary
 	// workload. Non-empty CoRunners routes execution through RunMulti's
 	// multiprogramming methodology (no warm-up discard, phases once,
@@ -202,7 +211,18 @@ func (s Spec) withDefaults() Spec {
 	if s.Variant == "" {
 		s.Variant = PageColoring
 	}
+	if s.Sampled && !CanSample(s) {
+		s.Sampled = false
+	}
 	return s
+}
+
+// CanSample reports whether a spec can run phase-sampled. Observed
+// runs need the full reference trace for the event stream, co-runners
+// share a timeline no window can be cut out of, and dynamic recoloring
+// reacts to per-page miss counts a window cannot reproduce.
+func CanSample(s Spec) bool {
+	return s.Obs == nil && len(s.CoRunners) == 0 && s.Variant != DynamicRecoloring
 }
 
 // Config resolves the machine configuration for a spec.
@@ -366,6 +386,9 @@ func runPrepared(ctx context.Context, prog *ir.Program, sum *compiler.Summary, c
 		return nil, fmt.Errorf("harness: spec has co-runners; use RunMulti")
 	}
 	opts := sim.Options{Config: cfg, DisableClassification: s.DisableClassification, Obs: s.Obs}
+	if s.Sampled {
+		opts.Sampling = sim.SamplingOptions{Enabled: true, Clusters: samplingClusters(prog)}
+	}
 	if ctx.Done() != nil {
 		// Only contexts that can actually be canceled pay for the
 		// nest-boundary poll; Background keeps the serial path untouched.
@@ -450,6 +473,18 @@ func RunMultiCtx(ctx context.Context, s Spec) (*sim.MultiResult, error) {
 	}
 	mr.Total.Policy = strings.Join(variants, "+")
 	return mr, nil
+}
+
+// samplingClusters converts the compiler's access-pattern phase
+// clustering into the simulator's representation. Layout has already
+// run on prog (Prepare), so signatures key on final virtual placement.
+func samplingClusters(prog *ir.Program) []sim.PhaseCluster {
+	cc := compiler.ClusterPhases(prog)
+	out := make([]sim.PhaseCluster, len(cc))
+	for i, c := range cc {
+		out[i] = sim.PhaseCluster{Rep: c.Rep, Members: c.Members}
+	}
+	return out
 }
 
 // ascendingDataPages lists every data page in virtual-address order: the

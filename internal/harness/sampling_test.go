@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestSampledFidelity is the tentpole acceptance gate: across all ten
+// workloads, phase-sampled simulation must land within the 2% MCPI
+// error budget of full-fidelity simulation, pass the full audit, and
+// carry honest sampling accounting. CPUs=2 keeps the parallel
+// machinery (fork, barriers, coherence) in the sampled path while
+// leaving per-CPU spans long enough for windows to engage.
+func TestSampledFidelity(t *testing.T) {
+	for _, w := range workloads.Names() {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			full, err := Run(Spec{Workload: w, CPUs: 2})
+			if err != nil {
+				t.Fatalf("full run: %v", err)
+			}
+			sam, err := Run(Spec{Workload: w, CPUs: 2, Sampled: true})
+			if err != nil {
+				t.Fatalf("sampled run: %v", err)
+			}
+			if sam.Fidelity != "sampled" {
+				t.Fatalf("fidelity = %q, want sampled", sam.Fidelity)
+			}
+			if vs := sam.Audit(); vs != nil {
+				t.Fatalf("sampled result fails audit: %v", vs)
+			}
+			if sam.SampledWindows == 0 || sam.RepresentedIters == 0 || sam.WarmupRefs == 0 {
+				t.Fatalf("sampling counters not recorded: windows=%d represented=%d warm=%d",
+					sam.SampledWindows, sam.RepresentedIters, sam.WarmupRefs)
+			}
+			fm, sm := full.MCPI(), sam.MCPI()
+			relErr := (sm - fm) / fm
+			if relErr < 0 {
+				relErr = -relErr
+			}
+			t.Logf("%s: full MCPI %.4f, sampled MCPI %.4f, err %.2f%%, faults %d/%d, windows %d, iters %d/%d",
+				w, fm, sm, 100*relErr, full.PageFaults, sam.PageFaults,
+				sam.SampledWindows, sam.SampledIters, sam.RepresentedIters)
+			if relErr > 0.02 {
+				t.Errorf("%s: sampled MCPI %.4f vs full %.4f: error %.2f%% exceeds 2%% budget",
+					w, sm, fm, 100*relErr)
+			}
+			if sam.PageFaults != full.PageFaults {
+				t.Logf("note: fault counts differ (full %d, sampled %d)", full.PageFaults, sam.PageFaults)
+			}
+		})
+	}
+}

@@ -85,6 +85,13 @@ type specKey struct {
 	CDPCOptions           core.Options
 	DisableClassification bool
 
+	// Sampled distinguishes phase-sampled results from full-fidelity
+	// ones: the two are different estimates of the same run and must
+	// never share a memo slot. keyOf sees the spec after withDefaults,
+	// which has already normalized unsupported combinations to full, so
+	// a sampled key always denotes a run that actually sampled.
+	Sampled bool
+
 	// CoRunners is the canonical "workload/variant;..." rendering of the
 	// spec's co-runner list (inheritance resolved), empty for
 	// single-process specs; Sched and Quantum are normalized so that
@@ -105,6 +112,7 @@ func keyOf(s Spec) specKey {
 		Prefetch:              s.Prefetch,
 		CDPCOptions:           s.CDPCOptions,
 		DisableClassification: s.DisableClassification,
+		Sampled:               s.Sampled,
 	}
 	if s.L2Override != nil {
 		k.HasL2, k.L2 = true, *s.L2Override

@@ -42,6 +42,86 @@ func nestSpan(n *Nest, p, cpu int) (lo, hi int) {
 	return n.Sched.Span(n.Iterations, p, cpu)
 }
 
+// NestSpan returns cpu's outer-iteration range for nest n on p
+// processors: [0, Iterations) on CPU 0 and empty elsewhere for
+// sequential and suppressed nests, the schedule's span otherwise. The
+// sampling planner uses it to place representative windows inside each
+// CPU's own span, so a window touches the same columns (and therefore
+// the same page colors) the full run would.
+func NestSpan(n *Nest, p, cpu int) (lo, hi int) {
+	return nestSpan(n, p, cpu)
+}
+
+// NestWindowStream is NestStream restricted to the outer-iteration
+// window [lo, hi), clamped to cpu's span. The cursor starts cold (inner
+// iteration 0, instruction cursor at the code base), exactly as a full
+// stream does at its own first iteration; phase-sampled simulation runs
+// a functional warm-up window immediately before the measured window to
+// reconstruct the cache and TLB state those skipped iterations would
+// have left behind.
+func NestWindowStream(prog *Program, n *Nest, p, cpu, lo, hi int) trace.Stream {
+	slo, shi := nestSpan(n, p, cpu)
+	if lo < slo {
+		lo = slo
+	}
+	if hi > shi {
+		hi = shi
+	}
+	if lo >= hi {
+		return trace.Empty
+	}
+	cur := &nestCursor{prog: prog, nest: n, i: lo, hi: hi}
+	return trace.FuncStream(cur.next)
+}
+
+// NestWarmStream is NestWindowStream decimated to cache-line
+// granularity: inner iterations advance by the largest step that still
+// touches every line of every access at least once per lineBytes
+// (jump = lineBytes / max |inner stride in bytes|, at least 1).
+// Functional warm-up consumes this stream instead of the full one —
+// caches, TLBs and the directory hold line- and page-granular state,
+// so one reference per line reconstructs exactly the state a
+// per-element sweep would, at a fraction of the interpreter cost.
+// Instruction fetches are scaled up by the same jump so the cyclic
+// code sweep covers the same bytes per emitted iteration as the full
+// stream does across the skipped ones.
+func NestWarmStream(prog *Program, n *Nest, p, cpu, lo, hi, lineBytes int) trace.Stream {
+	slo, shi := nestSpan(n, p, cpu)
+	if lo < slo {
+		lo = slo
+	}
+	if hi > shi {
+		hi = shi
+	}
+	if lo >= hi {
+		return trace.Empty
+	}
+	maxStride := 0
+	for i := range n.Accesses {
+		b := n.Accesses[i].InnerStride * n.Accesses[i].Array.ElemSize
+		if b < 0 {
+			b = -b
+		}
+		if b > maxStride {
+			maxStride = b
+		}
+	}
+	jump := 1
+	switch {
+	case maxStride == 0:
+		// Scalar accesses only: every inner iteration touches the same
+		// elements, so one iteration warms them all.
+		jump = n.InnerIters
+	case lineBytes > maxStride:
+		jump = lineBytes / maxStride
+	}
+	if jump < 1 {
+		jump = 1
+	}
+	cur := &nestCursor{prog: prog, nest: n, i: lo, hi: hi, jump: jump}
+	return trace.FuncStream(cur.next)
+}
+
 // NestRefs returns the total references cpu will emit for the nest;
 // used for quick workload sizing in tests and the harness.
 func NestRefs(prog *Program, n *Nest, p, cpu int) int {
@@ -56,6 +136,7 @@ type nestCursor struct {
 
 	i, hi int // outer iteration cursor and bound
 	j     int // inner iteration
+	jump  int // inner-iteration step (0 → 1; >1 for warm decimation)
 	stage int // 0 = prefetches, 1 = inst fetches, 2 = demand accesses
 	k     int // index within stage
 
@@ -96,6 +177,9 @@ func (c *nestCursor) next(r *trace.Ref) bool {
 			}
 			c.stage, c.k = 1, 0
 			c.instLeft = n.InstFootprint
+			if c.jump > 1 {
+				c.instLeft *= c.jump
+			}
 			c.firstWork = true
 		case 1: // instruction fetches
 			if c.instLeft > 0 && c.prog.CodeSize > 0 {
@@ -123,7 +207,11 @@ func (c *nestCursor) next(r *trace.Ref) bool {
 			}
 			// Inner iteration done.
 			c.stage, c.k = 0, 0
-			c.j++
+			if c.jump > 1 {
+				c.j += c.jump
+			} else {
+				c.j++
+			}
 			if c.j >= n.InnerIters {
 				c.j = 0
 				c.i++

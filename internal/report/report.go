@@ -58,6 +58,22 @@ type Row struct {
 	// differs from PageFaults, which is the address space's whole-run
 	// fault count including initialization and warmup.
 	CPUPageFaults uint64 `json:"cpu_page_faults"`
+
+	// Fidelity reports how the row's counters were produced: "full"
+	// (every reference detail-simulated) or "sampled" (representative
+	// windows, extrapolated). The sampling counters below are zero on
+	// full-fidelity rows.
+	Fidelity string `json:"fidelity"`
+	// WarmupRefs counts functional warm-up and pre-touch references that
+	// populated state without booking cycles.
+	WarmupRefs uint64 `json:"warmup_refs"`
+	// SampledWindows counts measured nest windows.
+	SampledWindows uint64 `json:"sampled_windows"`
+	// SampledIters and RepresentedIters are the detail-simulated and
+	// extrapolated-to outer-iteration totals; their ratio is the
+	// effective sampling rate.
+	SampledIters     uint64 `json:"sampled_iters"`
+	RepresentedIters uint64 `json:"represented_iters"`
 }
 
 // FromResult flattens a result.
@@ -100,6 +116,12 @@ func FromResult(r *sim.Result, prefetch bool) Row {
 		BusQueueCycles:    tot(func(s *sim.CPUStats) uint64 { return s.BusQueueCycles }),
 		WriteBufferStall:  tot(func(s *sim.CPUStats) uint64 { return s.StallWriteBuffer }),
 		CPUPageFaults:     tot(func(s *sim.CPUStats) uint64 { return s.PageFaults }),
+
+		Fidelity:         r.Fidelity,
+		WarmupRefs:       r.WarmupRefs,
+		SampledWindows:   r.SampledWindows,
+		SampledIters:     r.SampledIters,
+		RepresentedIters: r.RepresentedIters,
 	}
 }
 
@@ -167,6 +189,11 @@ var columns = []column{
 	{"bus_queue_cycles", u(func(r *Row) uint64 { return r.BusQueueCycles })},
 	{"write_buffer_stall", u(func(r *Row) uint64 { return r.WriteBufferStall })},
 	{"cpu_page_faults", u(func(r *Row) uint64 { return r.CPUPageFaults })},
+	{"fidelity", func(r *Row) string { return r.Fidelity }},
+	{"warmup_refs", u(func(r *Row) uint64 { return r.WarmupRefs })},
+	{"sampled_windows", u(func(r *Row) uint64 { return r.SampledWindows })},
+	{"sampled_iters", u(func(r *Row) uint64 { return r.SampledIters })},
+	{"represented_iters", u(func(r *Row) uint64 { return r.RepresentedIters })},
 }
 
 // Header returns the CSV column names in emission order.

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestAsyncJobDefaultsSampled pins the fidelity default split: an async
+// submission with no fidelity field runs sampled (the bulk-sweep path
+// where throughput matters), while the same body on the synchronous
+// endpoint runs full.
+func TestAsyncJobDefaultsSampled(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+
+	id := ts.submit(t, fastReq())
+	st := ts.await(t, id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state %s, want done (err: %+v)", st.State, st.Error)
+	}
+	if st.Result.Fidelity != sim.FidelitySampled {
+		t.Errorf("async default fidelity %q, want %q", st.Result.Fidelity, sim.FidelitySampled)
+	}
+	if st.Result.WallCycles == 0 {
+		t.Error("sampled job produced an empty result")
+	}
+
+	var res JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", fastReq(), &res); code != http.StatusOK {
+		t.Fatalf("sync status %d", code)
+	}
+	if res.Fidelity != sim.FidelityFull {
+		t.Errorf("sync default fidelity %q, want %q", res.Fidelity, sim.FidelityFull)
+	}
+}
+
+// TestAsyncFullOptOut: an explicit "full" on an async job suppresses
+// the sampled default, and the two fidelities are distinct memo
+// entries (the full run is not served from the sampled run's cache).
+func TestAsyncFullOptOut(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+
+	req := fastReq()
+	req.Fidelity = "full"
+	id := ts.submit(t, req)
+	st := ts.await(t, id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state %s, want done (err: %+v)", st.State, st.Error)
+	}
+	if st.Result.Fidelity != sim.FidelityFull {
+		t.Errorf("explicit full ran as %q", st.Result.Fidelity)
+	}
+	if st.Result.Cached {
+		t.Error("first full run reported cached")
+	}
+
+	// A sampled job of the same spec must simulate fresh, not hit the
+	// full run's memo entry.
+	sampledReq := fastReq()
+	sampledReq.Fidelity = "sampled"
+	id = ts.submit(t, sampledReq)
+	st = ts.await(t, id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("sampled state %s, want done (err: %+v)", st.State, st.Error)
+	}
+	if st.Result.Fidelity != sim.FidelitySampled {
+		t.Errorf("explicit sampled ran as %q", st.Result.Fidelity)
+	}
+	if st.Result.Cached {
+		t.Error("sampled run was served from the full run's cache entry")
+	}
+}
+
+// TestAsyncIncompatibleSpecDefaultsFull: when the sampled default would
+// not apply (attribution, co-scheduling, dynamic recoloring), an empty
+// fidelity silently runs full — only an explicit "sampled" is an error.
+func TestAsyncIncompatibleSpecDefaultsFull(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	req := fastReq()
+	req.Variant = "dynamic-recoloring"
+	id := ts.submit(t, req)
+	st := ts.await(t, id, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state %s, want done (err: %+v)", st.State, st.Error)
+	}
+	if st.Result.Fidelity != sim.FidelityFull {
+		t.Errorf("dynamic-recoloring job ran as %q, want %q", st.Result.Fidelity, sim.FidelityFull)
+	}
+}
+
+// TestBadFidelityRejections covers every bad_fidelity shape: unknown
+// values, and explicit "sampled" on specs that need the full reference
+// trace.
+func TestBadFidelityRejections(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	sampled := func(mut func(*JobRequest)) JobRequest {
+		req := fastReq()
+		req.Fidelity = "sampled"
+		mut(&req)
+		return req
+	}
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"unknown value", sampled(func(r *JobRequest) { r.Fidelity = "approximate" })},
+		{"sampled with attr", sampled(func(r *JobRequest) { r.Attr = true })},
+		{"sampled with co_runners", sampled(func(r *JobRequest) { r.CoRunners = []CoRunnerRequest{{}} })},
+		{"sampled with dynamic recoloring", sampled(func(r *JobRequest) { r.Variant = "dynamic-recoloring" })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var er ErrorResponse
+			code := ts.do(t, "POST", "/v1/jobs", tc.req, &er)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", code)
+			}
+			if er.Error.Code != CodeBadFidelity {
+				t.Fatalf("code %q, want %q (%s)", er.Error.Code, CodeBadFidelity, er.Error.Message)
+			}
+			if er.Error.Field != "fidelity" {
+				t.Errorf("field %q, want fidelity", er.Error.Field)
+			}
+		})
+	}
+}

@@ -79,8 +79,11 @@ func writeError(w http.ResponseWriter, status int, info ErrorInfo) {
 
 // admit validates, creates and enqueues a job, mapping queue
 // conditions to the documented status codes. Returns nil after having
-// written an error response.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) *job {
+// written an error response. async selects the fidelity default for
+// requests that leave it empty: async jobs run sampled when the spec is
+// compatible (they are the bulk-sweep path where throughput matters),
+// synchronous ones run full.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, async bool) *job {
 	if s.draining() {
 		writeError(w, http.StatusServiceUnavailable, ErrorInfo{
 			Code: CodeShuttingDown, Message: "server is draining", RetryAfterSec: retryAfterSec})
@@ -97,6 +100,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) *job {
 	if errInfo != nil {
 		writeError(w, http.StatusBadRequest, *errInfo)
 		return nil
+	}
+	if req.Fidelity == "" && async && !req.Attr && harness.CanSample(spec) {
+		spec.Sampled = true
 	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -136,7 +142,7 @@ const maxBodyBytes = 1 << 20
 // finishes or the client gives up — a disconnected client cancels the
 // job.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	j := s.admit(w, r)
+	j := s.admit(w, r, false)
 	if j == nil {
 		return
 	}
@@ -163,7 +169,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 // handleSubmit is POST /v1/jobs: async submission, 202 + job id.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	j := s.admit(w, r)
+	j := s.admit(w, r, true)
 	if j == nil {
 		return
 	}

@@ -46,9 +46,17 @@ import (
 //     Recolorings counter records) and time-slice context switches.
 //  10. Hint accounting: HonoredHints <= HintedFaults <= PageFaults.
 //     Hint outcomes are nested subsets of the fault stream.
+//  11. Sampling accounting: a sampled result must record at least one
+//     measured window, with SampledIters <= RepresentedIters (windows
+//     only extrapolate up) and RepresentedIters > 0; a full-fidelity
+//     result must carry zero sampling counters — extrapolation state
+//     leaking into a full run means some path scaled counters it
+//     should not have.
 //
 // The invariants hold for weighted (phase-occurrence-scaled) results
-// because each phase satisfies them individually.
+// because each phase satisfies them individually, and for sampled
+// results because Scale re-derives every dependent counter from the
+// scaled independent ones (see Result.Scale).
 func (r *Result) Audit() []obs.Violation {
 	var vs []obs.Violation
 	var kernel, tlbMisses, cpuFaults, recolorings, switches uint64
@@ -140,6 +148,28 @@ func (r *Result) Audit() []obs.Violation {
 			Detail: fmt.Sprintf("bus busy %d cycles (data %d, writeback %d, upgrade %d) > wall %d: utilization %.3f",
 				total, r.Bus.DataCycles, r.Bus.WritebackCycles, r.Bus.UpgradeCycles,
 				r.WallCycles, r.BusUtilization()),
+		})
+	}
+	if r.Sampled() {
+		if r.SampledWindows == 0 || r.RepresentedIters == 0 {
+			vs = append(vs, obs.Violation{
+				Check: "sampling-accounting",
+				Detail: fmt.Sprintf("sampled result with %d measured windows representing %d iterations",
+					r.SampledWindows, r.RepresentedIters),
+			})
+		}
+		if r.SampledIters > r.RepresentedIters {
+			vs = append(vs, obs.Violation{
+				Check: "sampling-accounting",
+				Detail: fmt.Sprintf("simulated %d outer iterations > %d represented: extrapolation weights below 1",
+					r.SampledIters, r.RepresentedIters),
+			})
+		}
+	} else if r.WarmupRefs+r.SampledWindows+r.SampledIters+r.RepresentedIters > 0 {
+		vs = append(vs, obs.Violation{
+			Check: "sampling-accounting",
+			Detail: fmt.Sprintf("full-fidelity result carries sampling counters (warm refs %d, windows %d, iters %d/%d)",
+				r.WarmupRefs, r.SampledWindows, r.SampledIters, r.RepresentedIters),
 		})
 	}
 	return vs

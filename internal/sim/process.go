@@ -341,6 +341,7 @@ func (m *Machine) collectMulti(table []*Process, sched SchedOptions) *MultiResul
 			Machine:      m.cfg.Name,
 			Policy:       p.as.PolicyName(),
 			NumCPUs:      len(p.cpus),
+			Fidelity:     FidelityFull,
 			WallCycles:   p.ran,
 			PerCPU:       append([]CPUStats(nil), p.bank...),
 			PageFaults:   p.as.Faults,
@@ -356,6 +357,7 @@ func (m *Machine) collectMulti(table []*Process, sched SchedOptions) *MultiResul
 		Machine:    m.cfg.Name,
 		Policy:     strings.Join(policies, "+"),
 		NumCPUs:    len(m.cpus),
+		Fidelity:   FidelityFull,
 		WallCycles: m.wallClock(),
 		PerCPU:     make([]CPUStats, len(m.cpus)),
 	}

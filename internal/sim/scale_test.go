@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomStats builds one CPU's stats satisfying every per-CPU audit
+// invariant: instructions equal exec cycles, the six miss classes sum
+// to L2Misses, remote supplies and bus queueing stay inside their
+// bounds, and positive stall buckets carry their witness events.
+func randomStats(rng *rand.Rand) CPUStats {
+	u := func(n uint64) uint64 { return uint64(rng.Int63n(int64(n))) }
+	var s CPUStats
+	s.ExecCycles = 1 + u(1e7)
+	s.Instructions = s.ExecCycles
+	s.ColdMisses = u(1e4)
+	s.ConflictMisses = u(1e4)
+	s.CapacityMisses = u(1e4)
+	s.TrueShareMisses = u(1e3)
+	s.FalseShareMisses = u(1e3)
+	s.InstMisses = u(1e3)
+	s.L2Misses = s.ColdMisses + s.ConflictMisses + s.CapacityMisses +
+		s.TrueShareMisses + s.FalseShareMisses + s.InstMisses
+	s.StallOnChip = u(1e6)
+	s.StallCold = s.ColdMisses * 40
+	s.StallConflict = s.ConflictMisses * 40
+	s.StallCapacity = s.CapacityMisses * 40
+	s.StallTrue = s.TrueShareMisses * 50
+	s.StallFalse = s.FalseShareMisses * 50
+	s.StallInst = s.InstMisses * 40
+	s.StallWriteBuffer = u(1e5)
+	if rng.Intn(2) == 0 {
+		s.Upgrades = 1 + u(1e3)
+		s.StallUpgrade = s.Upgrades * 12
+	}
+	if rng.Intn(2) == 0 {
+		s.PrefetchesIssued = 1 + u(s.Instructions/4+1)
+		s.PrefetchesDropped = u(s.Instructions / 4)
+		s.PrefetchedHits = u(s.PrefetchesIssued + 1)
+		s.StallPrefetch = u(1e4)
+	}
+	if s.RemoteSupplies = u(s.L2Misses + 1); s.RemoteSupplies > s.L2Misses {
+		s.RemoteSupplies = s.L2Misses
+	}
+	missStall := s.StallCold + s.StallConflict + s.StallCapacity +
+		s.StallTrue + s.StallFalse + s.StallInst
+	s.BusQueueCycles = u(missStall + 1)
+	s.TLBMisses = u(1e4)
+	s.PageFaults = u(1e3)
+	if rng.Intn(4) == 0 {
+		s.Recolorings = u(100)
+	}
+	if s.TLBMisses+s.PageFaults+s.Recolorings+s.ContextSwitches > 0 {
+		s.KernelCycles = u(1e5)
+	}
+	s.SyncCycles = u(1e5)
+	s.ImbalanceCycles = u(1e5)
+	s.SequentialCycles = u(1e5)
+	s.SuppressedCycles = u(1e5)
+	return s
+}
+
+// randomResult assembles an audit-clean sampled result: per-CPU stats
+// from randomStats, the wall clock set to the slowest CPU with the
+// difference booked as barrier imbalance on the others, bus occupancy
+// inside the wall, nested hint counts, and sampling counters with at
+// least one window and SampledIters <= RepresentedIters.
+func randomResult(rng *rand.Rand) *Result {
+	ncpu := 1 + rng.Intn(8)
+	r := &Result{
+		Workload: "random", Machine: "test", Policy: "page-coloring",
+		NumCPUs:  ncpu,
+		Fidelity: FidelitySampled,
+		PerCPU:   make([]CPUStats, ncpu),
+	}
+	for i := range r.PerCPU {
+		r.PerCPU[i] = randomStats(rng)
+		if t := r.PerCPU[i].TotalCycles(); t > r.WallCycles {
+			r.WallCycles = t
+		}
+	}
+	for i := range r.PerCPU {
+		r.PerCPU[i].ImbalanceCycles += r.WallCycles - r.PerCPU[i].TotalCycles()
+	}
+	u := func(n uint64) uint64 { return uint64(rng.Int63n(int64(n))) }
+	r.Bus.DataCycles = u(r.WallCycles/2 + 1)
+	r.Bus.WritebackCycles = u(r.WallCycles/4 + 1)
+	r.Bus.UpgradeCycles = u(r.WallCycles/4 + 1)
+	r.PageFaults = u(1e4)
+	r.HintedFaults = u(r.PageFaults + 1)
+	r.HonoredHints = u(r.HintedFaults + 1)
+	r.WarmupRefs = u(1e6)
+	r.SampledWindows = 1 + u(100)
+	r.SampledIters = 1 + u(1e4)
+	r.RepresentedIters = r.SampledIters + u(1e6)
+	return r
+}
+
+// TestScalePreservesInvariants is the property test for the sampling
+// extrapolator's core contract: scaling any audit-clean result by any
+// rational num/den with num >= den >= 1 must leave every conservation
+// invariant intact — exact equalities (cycle, miss, instruction
+// conservation) as well as the bounds (remote-supply, bus-queue,
+// bus-occupancy, hint and sampling accounting). Plain per-counter
+// flooring breaks several of these; the generator exercises the
+// re-derivation and clamping paths of Result.Scale against 200 random
+// results x weights, including identity and large skewed rationals.
+func TestScalePreservesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for trial := 0; trial < 200; trial++ {
+		r := randomResult(rng)
+		if vs := r.Audit(); len(vs) != 0 {
+			t.Fatalf("trial %d: generator produced violations before Scale: %v", trial, vs)
+		}
+		den := uint64(1 + rng.Int63n(97))
+		num := den + uint64(rng.Int63n(10007))
+		if trial%10 == 0 {
+			num = den // identity must be a no-op that stays clean
+		}
+		wall := r.WallCycles
+		r.Scale(num, den)
+		if vs := r.Audit(); len(vs) != 0 {
+			t.Fatalf("trial %d: Scale(%d, %d) broke invariants: %v", trial, num, den, vs)
+		}
+		if want := wall * num / den; r.WallCycles != want {
+			t.Fatalf("trial %d: Scale(%d, %d) wall = %d, want %d", trial, num, den, r.WallCycles, want)
+		}
+	}
+}
+
+// TestScaleRejectsShrinking pins the precondition: windows only ever
+// extrapolate up, so a shrinking or zero-denominator weight is a
+// programming error, not a data condition.
+func TestScaleRejectsShrinking(t *testing.T) {
+	for _, bad := range [][2]uint64{{1, 2}, {0, 1}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Scale(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			r := &Result{WallCycles: 100}
+			r.Scale(bad[0], bad[1])
+		}()
+	}
+}

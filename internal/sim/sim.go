@@ -71,6 +71,14 @@ type Options struct {
 	// preemption points: all CPUs are synchronized there, so no partial
 	// accounting escapes into a Result that is discarded anyway.
 	Cancel func() error
+
+	// Sampling enables phase-sampled execution: representative windows
+	// per nest with functional warm-up, extrapolated by span and phase
+	// weights (see sampling.go). Active only on the single-process path
+	// without dynamic recoloring or observability — unsupported
+	// combinations silently run at full fidelity, which the Result's
+	// Fidelity field reports.
+	Sampling SamplingOptions
 }
 
 // Machine is a configured simulator instance.
@@ -104,6 +112,10 @@ type Machine struct {
 	// regions counts parallel regions executed, seeding the per-region
 	// dispatch-order variation.
 	regions uint64
+
+	// warmRefs counts functional references executed by the sampling
+	// path (fault pre-touch pages plus warm-up window references).
+	warmRefs uint64
 
 	// runners is the parallel event loop's reusable cursor buffer.
 	runners []runner
@@ -263,6 +275,9 @@ func (m *Machine) runSingle(prog *ir.Program) (*Result, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
+	if m.opts.Sampling.Enabled && m.samplingSupported() {
+		return m.runSampled(prog)
+	}
 	if m.opts.Hints != nil {
 		m.as.Advise(m.opts.Hints)
 	}
@@ -359,6 +374,7 @@ func (m *Machine) runSingle(prog *ir.Program) (*Result, error) {
 		res.WallCycles += (m.wallClock() - wallBefore) * w
 	}
 
+	res.Fidelity = FidelityFull
 	res.PageFaults = m.as.Faults
 	res.HintedFaults = m.as.HintedFaults
 	res.HonoredHints = m.as.HonoredHints
@@ -429,6 +445,19 @@ func (m *Machine) runNest(prog *ir.Program, n *ir.Nest) error {
 // process's parallel-region counter, seeding the per-region dispatch
 // skew.
 func (m *Machine) runNestOn(cpus []*cpuState, prog *ir.Program, n *ir.Nest, regions *uint64) error {
+	return m.runNestStreams(cpus, n, regions, func(p, cpu int) trace.Stream {
+		return ir.NestStream(prog, n, p, cpu)
+	})
+}
+
+// runNestStreams is runNestOn with the per-CPU reference streams
+// supplied by the caller: the full run streams whole nests, the
+// sampling path streams representative windows. Region semantics —
+// catch-up, fork + dispatch skew, the min-clock interleave and the
+// closing barrier — are identical either way, which is what lets a
+// window's per-CPU stat delta equal its wall delta (the property
+// Result.Scale needs).
+func (m *Machine) runNestStreams(cpus []*cpuState, n *ir.Nest, regions *uint64, mk func(p, cpu int) trace.Stream) error {
 	if m.opts.Cancel != nil {
 		if err := m.opts.Cancel(); err != nil {
 			return fmt.Errorf("sim: run canceled: %w", err)
@@ -448,7 +477,7 @@ func (m *Machine) runNestOn(cpus []*cpuState, prog *ir.Program, n *ir.Nest, regi
 	if !n.Parallel || n.Suppressed || p == 1 {
 		// Master executes alone; slaves spin.
 		master := cpus[0]
-		if err := m.runStream(master, ir.NestStream(prog, n, p, 0)); err != nil {
+		if err := m.runStream(master, mk(p, 0)); err != nil {
 			return err
 		}
 		end := master.clock
@@ -494,7 +523,7 @@ func (m *Machine) runNestOn(cpus []*cpuState, prog *ir.Program, n *ir.Nest, regi
 		}
 		cpus[cpu].clock = start + lag
 		cpus[cpu].stats.SyncCycles += lag
-		streams[cpu] = ir.NestStream(prog, n, p, cpu)
+		streams[cpu] = mk(p, cpu)
 	}
 	if err := m.runParallel(cpus, streams); err != nil {
 		return err

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // CPUStats is one processor's cycle and event accounting. Cycle buckets
 // partition the processor's total time the same way the paper's Figure 2
 // does: useful execution, memory stall (split by miss class), and the
@@ -177,12 +179,27 @@ type BusStats struct {
 // Total returns all occupied cycles.
 func (b BusStats) Total() uint64 { return b.DataCycles + b.WritebackCycles + b.UpgradeCycles }
 
+// Fidelity values for Result.Fidelity.
+const (
+	// FidelityFull marks a result from full-trace simulation.
+	FidelityFull = "full"
+	// FidelitySampled marks a result extrapolated from representative
+	// windows (phase-sampled execution).
+	FidelitySampled = "sampled"
+)
+
 // Result is the outcome of simulating one workload's steady state.
 type Result struct {
 	Workload string
 	Machine  string
 	Policy   string
 	NumCPUs  int
+
+	// Fidelity records how the result was produced: FidelityFull for
+	// full-trace simulation, FidelitySampled for representative-window
+	// extrapolation. Empty is treated as full (results assembled by
+	// hand in tests).
+	Fidelity string
 
 	// WallCycles is the weighted steady-state wall-clock time.
 	WallCycles uint64
@@ -196,7 +213,23 @@ type Result struct {
 	PageFaults   uint64
 	HintedFaults uint64
 	HonoredHints uint64
+
+	// Sampling accounting, zero on full-fidelity results:
+	// WarmupRefs counts functional references executed without booking
+	// cycles (page-granularity fault pre-touch plus warm-up windows);
+	// SampledWindows counts measured representative windows;
+	// SampledIters / RepresentedIters are the detail-simulated and the
+	// extrapolated-to outer-iteration totals (the extrapolation weight
+	// sums: RepresentedIters / SampledIters is the mean scale factor).
+	WarmupRefs       uint64
+	SampledWindows   uint64
+	SampledIters     uint64
+	RepresentedIters uint64
 }
+
+// Sampled reports whether the result was produced by phase-sampled
+// (representative-window) execution.
+func (r *Result) Sampled() bool { return r.Fidelity == FidelitySampled }
 
 // CombinedCycles is the paper's Figure 2 metric: the sum of execution
 // time over all processors (constant across CPU counts = linear speedup).
@@ -239,4 +272,103 @@ func (r *Result) Speedup(base *Result) float64 {
 		return 0
 	}
 	return float64(base.WallCycles) / float64(r.WallCycles)
+}
+
+// Scale multiplies the result's cycle and event counters by the
+// rational num/den, preserving every Audit invariant. The sampling
+// extrapolator applies it to each measured window's delta with num =
+// span iterations and den = window iterations (num >= den >= 1: windows
+// only ever scale up).
+//
+// Plain per-counter flooring breaks the audit's exact equalities —
+// floor is not additive, so the six scaled miss classes can drift from
+// a separately scaled L2Misses — and its inequalities, since floor(R*s)
+// can exceed the sum of floors bounding it. Scale therefore re-derives
+// every dependent counter from the scaled independent ones:
+//
+//   - L2Misses is recomputed as the sum of the six scaled classes
+//     (miss-conservation holds by construction);
+//   - Instructions and ExecCycles scale identically from equal inputs
+//     (instruction-conservation);
+//   - RemoteSupplies and BusQueueCycles are clamped to their scaled
+//     bounds (remote-supply, bus-queue);
+//   - the per-CPU flooring residue against the scaled wall clock —
+//     non-negative because floor is superadditive — is absorbed into
+//     ImbalanceCycles (cycle-conservation);
+//   - bus occupancy floors bucket-wise, and the sum of floors cannot
+//     exceed the floored scaled wall (bus-occupancy).
+//
+// Positivity-conditioned invariants (upgrade, prefetch, kernel
+// attribution) survive because num >= den makes scaling monotone:
+// zero stays zero and positive stays positive. PageFaults /
+// HintedFaults / HonoredHints are whole-run address-space counts, not
+// steady-state rates, and are not scaled.
+func (r *Result) Scale(num, den uint64) {
+	if den == 0 || num < den {
+		panic(fmt.Sprintf("sim: Scale(%d, %d): need num >= den >= 1", num, den))
+	}
+	if num == den {
+		return
+	}
+	mul := func(x uint64) uint64 { return x * num / den }
+	scaledWall := mul(r.WallCycles)
+	for i := range r.PerCPU {
+		s := &r.PerCPU[i]
+		s.Instructions = mul(s.Instructions)
+		s.ExecCycles = mul(s.ExecCycles)
+		s.StallOnChip = mul(s.StallOnChip)
+		s.StallCold = mul(s.StallCold)
+		s.StallConflict = mul(s.StallConflict)
+		s.StallCapacity = mul(s.StallCapacity)
+		s.StallTrue = mul(s.StallTrue)
+		s.StallFalse = mul(s.StallFalse)
+		s.StallUpgrade = mul(s.StallUpgrade)
+		s.StallPrefetch = mul(s.StallPrefetch)
+		s.StallInst = mul(s.StallInst)
+		s.StallWriteBuffer = mul(s.StallWriteBuffer)
+		s.KernelCycles = mul(s.KernelCycles)
+		s.SyncCycles = mul(s.SyncCycles)
+		s.ImbalanceCycles = mul(s.ImbalanceCycles)
+		s.SequentialCycles = mul(s.SequentialCycles)
+		s.SuppressedCycles = mul(s.SuppressedCycles)
+		s.ColdMisses = mul(s.ColdMisses)
+		s.ConflictMisses = mul(s.ConflictMisses)
+		s.CapacityMisses = mul(s.CapacityMisses)
+		s.TrueShareMisses = mul(s.TrueShareMisses)
+		s.FalseShareMisses = mul(s.FalseShareMisses)
+		s.InstMisses = mul(s.InstMisses)
+		s.L2Misses = s.ColdMisses + s.ConflictMisses + s.CapacityMisses +
+			s.TrueShareMisses + s.FalseShareMisses + s.InstMisses
+		s.Upgrades = mul(s.Upgrades)
+		s.PrefetchesIssued = mul(s.PrefetchesIssued)
+		s.PrefetchesDropped = mul(s.PrefetchesDropped)
+		s.PrefetchedHits = mul(s.PrefetchedHits)
+		s.TLBMisses = mul(s.TLBMisses)
+		s.PageFaults = mul(s.PageFaults)
+		s.Recolorings = mul(s.Recolorings)
+		s.ContextSwitches = mul(s.ContextSwitches)
+		if rs := mul(s.RemoteSupplies); rs <= s.L2Misses {
+			s.RemoteSupplies = rs
+		} else {
+			s.RemoteSupplies = s.L2Misses
+		}
+		missStall := s.StallCold + s.StallConflict + s.StallCapacity +
+			s.StallTrue + s.StallFalse + s.StallInst
+		if bq := mul(s.BusQueueCycles); bq <= missStall {
+			s.BusQueueCycles = bq
+		} else {
+			s.BusQueueCycles = missStall
+		}
+		// Flooring residue: per-bucket floors sum to at most the floored
+		// scaled total, which pre-scale equaled the wall clock. Book the
+		// shortfall as barrier imbalance so the CPU's accounted time
+		// meets the scaled wall again.
+		if total := s.TotalCycles(); total < scaledWall {
+			s.ImbalanceCycles += scaledWall - total
+		}
+	}
+	r.Bus.DataCycles = mul(r.Bus.DataCycles)
+	r.Bus.WritebackCycles = mul(r.Bus.WritebackCycles)
+	r.Bus.UpgradeCycles = mul(r.Bus.UpgradeCycles)
+	r.WallCycles = scaledWall
 }

@@ -126,9 +126,12 @@ func waitReady(base string) error {
 }
 
 // fastBody is the quick spec every repeated submission uses (~20 ms).
+// Fidelity is pinned to full: async jobs otherwise default to sampled,
+// which finishes too fast for the saturation phase to ever catch the
+// queue at capacity.
 func fastBody(scale int) []byte {
 	b, _ := json.Marshal(map[string]any{
-		"workload": "tomcatv", "cpus": 1, "scale": scale,
+		"workload": "tomcatv", "cpus": 1, "scale": scale, "fidelity": "full",
 	})
 	return b
 }

@@ -45,6 +45,34 @@ awk -v now="$now_ns" -v base="$base_ns" 'BEGIN {
     exit (ratio > 1.25) ? 1 : 0
 }' || { echo "simulator throughput regressed more than 25% against BENCH_harness.json"; exit 1; }
 
+# Same guard for the phase-sampled mode: its whole point is throughput,
+# so a silent slowdown is a regression even if results stay correct.
+base_samp_ns=$(sed -n 's/.*"sampled_throughput_ns_per_op": \([0-9][0-9]*\).*/\1/p' BENCH_harness.json)
+test -n "$base_samp_ns" || { echo "BENCH_harness.json lacks sampled_throughput_ns_per_op; run make bench"; exit 1; }
+now_samp_ns=$(go test -run='^$' -bench='^BenchmarkSimulatorThroughputSampled$' -benchtime=3x . \
+    | awk '/^BenchmarkSimulatorThroughputSampled/ { print int($3); exit }')
+test -n "$now_samp_ns" || { echo "could not parse BenchmarkSimulatorThroughputSampled output"; exit 1; }
+awk -v now="$now_samp_ns" -v base="$base_samp_ns" 'BEGIN {
+    ratio = now / base
+    printf "sampled throughput: %d ns/op vs baseline %d ns/op (%.2fx)\n", now, base, ratio
+    exit (ratio > 1.25) ? 1 : 0
+}' || { echo "sampled simulator throughput regressed more than 25% against BENCH_harness.json"; exit 1; }
+
+# Sampled-fidelity smoke: one workload sampled vs full through cdpcsim;
+# the MCPI deviation must stay inside the 2% error budget (the Go test
+# TestSampledFidelity asserts it for all ten workloads; this catches a
+# broken sampled path without rerunning the suite).
+full_mcpi=$(go run ./cmd/cdpcsim -workload hydro2d -cpus 2 | awk '/MCPI/ { print $2; exit }')
+samp_mcpi=$(go run ./cmd/cdpcsim -workload hydro2d -cpus 2 -sampled -audit > /tmp/cdpc-sampled-smoke.txt \
+    && awk '/MCPI/ { print $2; exit }' /tmp/cdpc-sampled-smoke.txt)
+grep -q '^fidelity   sampled' /tmp/cdpc-sampled-smoke.txt || { echo "cdpcsim -sampled did not report sampled fidelity"; exit 1; }
+rm -f /tmp/cdpc-sampled-smoke.txt
+awk -v full="$full_mcpi" -v samp="$samp_mcpi" 'BEGIN {
+    err = (samp > full) ? (samp - full) / full : (full - samp) / full
+    printf "sampled MCPI %.4f vs full %.4f (%.2f%% error)\n", samp, full, 100 * err
+    exit (err > 0.02) ? 1 : 0
+}' || { echo "sampled MCPI deviates more than 2% from full fidelity"; exit 1; }
+
 # Audited smoke runs: conservation invariants (cycles, miss classes,
 # bus occupancy) checked on every simulation; violations exit non-zero.
 # fig6 covers the paper's headline sweep, ext-pressure the raw-simulator
