@@ -16,6 +16,7 @@
 //	cdpcsim -workload tomcatv -cpus 8 -variant cdpc -procs 2
 //	cdpcsim -workload tomcatv -corun swim/first-touch -sched partition
 //	cdpcsim -workload swim -procs 4 -sched timeslice -quantum 250000
+//	cdpcsim -workload swim -procs 2 -isolate -audit
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 		corun    = flag.String("corun", "", "comma-separated co-runners, each workload[/variant]; empty fields inherit the primary")
 		schedF   = flag.String("sched", "", "space-sharing discipline for multiprocess runs (timeslice, partition; default timeslice)")
 		quantum  = flag.Uint64("quantum", 0, "time-slice quantum in cycles for multiprocess runs (0 = simulator default)")
+		isolate  = flag.Bool("isolate", false, "color-partition multiprocess runs: each process allocates only from its isolation domain's exclusive color subset")
 	)
 	flag.Parse()
 
@@ -80,12 +82,13 @@ func main() {
 	if multi {
 		spec.Sched = harness.SchedKind(*schedF)
 		spec.Quantum = *quantum
+		spec.Isolate = *isolate
 		if *progFile != "" || *fast {
 			fmt.Fprintln(os.Stderr, "cdpcsim: -procs/-corun need a bundled workload on the full simulator (no -program, no -fast)")
 			os.Exit(1)
 		}
-	} else if *schedF != "" || *quantum != 0 {
-		fmt.Fprintln(os.Stderr, "cdpcsim: -sched/-quantum only apply to multiprocess runs (-procs or -corun)")
+	} else if *schedF != "" || *quantum != 0 || *isolate {
+		fmt.Fprintln(os.Stderr, "cdpcsim: -sched/-quantum/-isolate only apply to multiprocess runs (-procs or -corun)")
 		os.Exit(1)
 	}
 	if *sampled {
@@ -261,6 +264,12 @@ func printMulti(mr *sim.MultiResult, spec harness.Spec) {
 		row(fmt.Sprint(i+1), r)
 	}
 	row("total", mr.Total)
+
+	// Additive so unpartitioned output stays byte-identical.
+	if mr.Total.Isolated {
+		fmt.Printf("\nisolation: color-partitioned domains; cross-domain evictions %d (invariant 12: exactly 0)\n",
+			mr.Total.Total(func(s *sim.CPUStats) uint64 { return s.CrossDomainConflicts }))
+	}
 
 	fmt.Println("\nmachine total:")
 	print(mr.Total, spec)

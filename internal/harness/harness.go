@@ -107,10 +107,15 @@ func CanCoSchedule(v Variant) bool {
 // CoRunner describes one additional process co-scheduled with a Spec's
 // primary workload. Zero fields inherit from the primary spec, so
 // CoRunner{} co-runs a second instance of the same workload and
-// variant.
+// variant — except Domain, which is never inherited: an isolation
+// domain is an identity, not a configuration default.
 type CoRunner struct {
 	Workload string
 	Variant  Variant
+	// Domain is the co-runner's isolation domain label under
+	// Spec.Isolate; equal labels > 0 share a partition, 0 means a domain
+	// of the co-runner's own.
+	Domain int
 }
 
 // MachineKind selects a machine preset.
@@ -173,6 +178,17 @@ type Spec struct {
 	// Quantum overrides the time-slice length in cycles; 0 uses
 	// sim.DefaultQuantum.
 	Quantum uint64
+
+	// Isolate runs the process mix under color-partitioned isolation
+	// domains: the frame allocator grants each domain an exclusive color
+	// subset and clamps every allocation (policy preference, CDPC hint,
+	// pressure fallback) to the owner's partition, making cross-domain
+	// conflict misses impossible (audit invariant 12). Ignored without
+	// co-runners; unpartitioned runs are byte-identical with this off.
+	Isolate bool
+	// Domain is the primary process's isolation domain label under
+	// Isolate (see CoRunner.Domain); 0 means a domain of its own.
+	Domain int
 }
 
 // processSpecs expands a spec into one derived Spec per process: the
@@ -193,6 +209,9 @@ func (s Spec) processSpecs() []Spec {
 		if cr.Variant != "" {
 			ps.Variant = cr.Variant
 		}
+		// Domain is never inherited: a zero co-runner domain means "own
+		// domain", not "the primary's domain".
+		ps.Domain = cr.Domain
 		out = append(out, ps)
 	}
 	return out
@@ -447,9 +466,9 @@ func RunMultiCtx(ctx context.Context, s Spec) (*sim.MultiResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		procs[i] = sim.ProcessOptions{Prog: prog, Policy: k.Policy, Hints: k.Hints}
+		procs[i] = sim.ProcessOptions{Prog: prog, Policy: k.Policy, Hints: k.Hints, Domain: ps.Domain}
 	}
-	opts := sim.Options{Config: s.Config(), DisableClassification: s.DisableClassification, Obs: s.Obs}
+	opts := sim.Options{Config: s.Config(), DisableClassification: s.DisableClassification, Obs: s.Obs, Isolate: s.Isolate}
 	if ctx.Done() != nil {
 		opts.Cancel = ctx.Err
 	}

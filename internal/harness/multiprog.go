@@ -141,5 +141,104 @@ func ExtMultiprog(o ExpOptions) (string, error) {
 	b.WriteString("per-process and the shared allocator arbitrates color competition, so\n")
 	b.WriteString("each instance still gets a conflict-free mapping while first-touch and\n")
 	b.WriteString("bin hopping inherit whatever colors the co-runner's faults left free.\n")
+
+	if err := extIsolationMatrix(&b, o, names); err != nil {
+		return "", err
+	}
 	return b.String(), nil
+}
+
+// isolationWays returns the co-scheduling degrees the isolation matrix
+// sweeps: 2/4/8-way (8-way exercises one process per CPU), one degree
+// in quick mode, or the explicit -procs override.
+func (o ExpOptions) isolationWays() []int {
+	if o.Procs > 1 {
+		return []int{o.Procs}
+	}
+	if o.Quick {
+		return []int{2}
+	}
+	return []int{2, 4, 8}
+}
+
+// extIsolationMatrix appends the isolation-domain study to the
+// multiprogramming extension: the same co-scheduled mixes run shared
+// (one global color space — the collision pathology, worst for plain
+// page coloring because every instance computes the identical
+// virtual→color mapping) and isolated (per-domain exclusive color
+// subsets; cross-domain conflicts provably zero, enforced by audit
+// invariant 12), trading per-process cache capacity for freedom from
+// co-runner interference.
+func extIsolationMatrix(b *strings.Builder, o ExpOptions, names []string) error {
+	const cpus = 8
+	variants := []Variant{PageColoring, CDPC}
+
+	spec := func(name string, v Variant, ways int, isolate bool) Spec {
+		return Spec{
+			Workload:  name,
+			Scale:     o.Scale,
+			CPUs:      cpus,
+			Variant:   v,
+			CoRunners: make([]CoRunner, ways-1),
+			Sched:     SchedTimeSlice,
+			Isolate:   isolate,
+		}
+	}
+
+	var specs []Spec
+	for _, name := range names {
+		for _, ways := range o.isolationWays() {
+			for _, v := range variants {
+				specs = append(specs, spec(name, v, ways, false), spec(name, v, ways, true))
+			}
+		}
+	}
+	o.warmMulti(specs)
+
+	b.WriteString("\nIsolation domains — color-partitioned co-scheduling\n")
+	b.WriteString("Each process gets an exclusive color subset (its isolation domain);\n")
+	b.WriteString("every allocation, CDPC hint included, is folded into the owner's\n")
+	b.WriteString("partition. Cross-domain conflict evictions (xdom) are impossible by\n")
+	b.WriteString("construction — audit invariant 12 checks the count is exactly zero —\n")
+	b.WriteString("at the price of an n-times smaller effective cache per process.\n\n")
+
+	xdom := func(mr *sim.MultiResult) uint64 {
+		return mr.Total.Total(func(s *sim.CPUStats) uint64 { return s.CrossDomainConflicts })
+	}
+	for _, name := range names {
+		for _, ways := range o.isolationWays() {
+			fmt.Fprintf(b, "%s x%d (%d CPUs, timeslice):\n", name, ways, cpus)
+			fmt.Fprintf(b, "  %-14s %-9s %12s %10s %12s %8s\n",
+				"policy", "mode", "wall(M)", "MCPI", "conflicts", "xdom")
+			for _, v := range variants {
+				for _, isolate := range []bool{false, true} {
+					mr, err := o.runMulti(spec(name, v, ways, isolate))
+					if err != nil {
+						return err
+					}
+					mode := "shared"
+					if isolate {
+						mode = "isolated"
+					}
+					fmt.Fprintf(b, "  %-14s %-9s %12.1f %10.3f %12d %8d\n",
+						v, mode,
+						float64(mr.Total.WallCycles)/1e6,
+						mr.Total.MCPI(),
+						mr.Total.Total(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
+						xdom(mr))
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+
+	b.WriteString("Partitioning removes co-runner interference at its root: identical\n")
+	b.WriteString("virtual→color mappings land in disjoint subsets, so no process can\n")
+	b.WriteString("evict another's lines — the zero xdom column doubles as a\n")
+	b.WriteString("side-channel-freedom statement (no cross-domain cache-set contention\n")
+	b.WriteString("for a prime+probe observer). The price is an n-times smaller color\n")
+	b.WriteString("space per process: cheap where conflicts were already intra-process\n")
+	b.WriteString("(page coloring), ruinous at high degree for CDPC, whose conflict-free\n")
+	b.WriteString("mapping needs the colors partitioning takes away.\n")
+	return nil
 }

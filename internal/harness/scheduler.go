@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -92,13 +93,19 @@ type specKey struct {
 	// a sampled key always denotes a run that actually sampled.
 	Sampled bool
 
-	// CoRunners is the canonical "workload/variant;..." rendering of the
-	// spec's co-runner list (inheritance resolved), empty for
+	// CoRunners is the canonical "workload/variant@domain;..." rendering
+	// of the spec's co-runner list (inheritance resolved), empty for
 	// single-process specs; Sched and Quantum are normalized so that
 	// equivalent multiprocess specs share one cache slot.
 	CoRunners string
 	Sched     SchedKind
 	Quantum   uint64
+
+	// Isolate and Domain distinguish color-partitioned runs (and their
+	// domain groupings) from unpartitioned ones: the two produce
+	// different frame placements and must never share a memo slot.
+	Isolate bool
+	Domain  int
 }
 
 func keyOf(s Spec) specKey {
@@ -130,6 +137,8 @@ func keyOf(s Spec) specKey {
 			b = append(b, ps.Workload...)
 			b = append(b, '/')
 			b = append(b, ps.Variant...)
+			b = append(b, '@')
+			b = fmt.Appendf(b, "%d", ps.Domain)
 		}
 		k.CoRunners = string(b)
 		k.Sched = s.Sched
@@ -141,6 +150,10 @@ func keyOf(s Spec) specKey {
 			if k.Quantum == 0 {
 				k.Quantum = sim.DefaultQuantum
 			}
+		}
+		k.Isolate = s.Isolate
+		if s.Isolate {
+			k.Domain = s.Domain
 		}
 	}
 	return k

@@ -160,3 +160,38 @@ func TestSchedulerErrorDeterminism(t *testing.T) {
 		t.Errorf("unexpected error: %v", err1)
 	}
 }
+
+// TestMemoKeyDistinguishesIsolation pins the memo-key contract for the
+// color-partitioning fields: the same mix run shared, isolated, and
+// isolated with different domain labels are three distinct entries,
+// while domain labels without isolation still key the co-runner list.
+func TestMemoKeyDistinguishesIsolation(t *testing.T) {
+	base := Spec{Workload: "tomcatv", Scale: 64, CPUs: 4, Variant: CDPC,
+		CoRunners: []CoRunner{{}}}
+
+	iso := base
+	iso.Isolate = true
+
+	grouped := iso
+	grouped.Domain = 1
+	grouped.CoRunners = []CoRunner{{Domain: 1}}
+
+	keys := map[specKey]string{}
+	for _, tc := range []struct {
+		name string
+		s    Spec
+	}{
+		{"shared", base}, {"isolated", iso}, {"isolated-grouped", grouped},
+	} {
+		k := keyOf(tc.s)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s and %s share a memo key", prev, tc.name)
+		}
+		keys[k] = tc.name
+	}
+
+	// Equal-valued specs still collide onto one entry.
+	if keyOf(iso) != keyOf(iso) {
+		t.Error("equal isolated specs produced different keys")
+	}
+}

@@ -23,6 +23,11 @@ import (
 // Within the report package itself, every field of report.Row must be
 // referenced by the columns table, so a counter cannot make it into the
 // Row without also making it into the CSV.
+//
+// The obs package gets the same treatment for attribution: every
+// exported uint64 field of obs.Collector must be read in the transitive
+// closure of (*Collector).Report, so a counter the simulator feeds
+// (CrossDomain and friends) cannot exist without a rendered line.
 var StatsConserveAnalyzer = &Analyzer{
 	Name: "statsconserve",
 	Doc:  "every statistics counter must be covered by the conservation audit and by the report output",
@@ -35,7 +40,57 @@ func runStatsConserve(pass *Pass) {
 		checkAuditAndReportCoverage(pass)
 	case pathHasSuffix(pass.Pkg.Path, "internal/report"):
 		checkRowColumnCoverage(pass)
+	case pathHasSuffix(pass.Pkg.Path, "internal/obs"):
+		checkCollectorReportCoverage(pass)
 	}
+}
+
+// checkCollectorReportCoverage requires every exported uint64 field of
+// obs.Collector to be read in the transitive intra-package closure of
+// (*Collector).Report — the text report is the only universal surface
+// attribution counters have, so one that never reaches it is invisible.
+func checkCollectorReportCoverage(pass *Pass) {
+	var fields []*types.Var
+	for _, f := range structFields(pass.Pkg, "Collector") {
+		if f.Exported() && isUint64(f.Type()) {
+			fields = append(fields, f)
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+	bodies := funcBodies(pass.Pkg)
+	var report types.Object
+	for obj, fd := range bodies {
+		if fd.Name.Name != "Report" || fd.Recv == nil {
+			continue
+		}
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named, ok := types.Unalias(derefType(sig.Recv().Type())).(*types.Named); ok &&
+				named.Obj().Name() == "Collector" {
+				report = obj
+				break
+			}
+		}
+	}
+	if report == nil {
+		pass.Reportf(fields[0].Pos(), "obs package declares attribution counters but no (*Collector).Report method to surface them")
+		return
+	}
+	read := fieldClosure(pass.Pkg, bodies, []types.Object{report})
+	for _, f := range fields {
+		if !read[f] {
+			pass.Reportf(f.Pos(), "counter Collector.%s is never rendered by (*Collector).Report (directly or via a helper it calls)", f.Name())
+		}
+	}
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
 }
 
 // counterFields returns the uint64 fields of the named sim structs.

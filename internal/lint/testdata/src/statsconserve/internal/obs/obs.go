@@ -1,0 +1,28 @@
+package obs
+
+// Collector mirrors the real attribution collector's coverage
+// situations: rendered directly, rendered through a helper, declared
+// but never rendered, and the exemptions (unexported scalars,
+// non-uint64 fields, slices).
+type Collector struct {
+	Shown    uint64
+	Helped   uint64
+	Orphan   uint64 // want "never rendered by .*Report"
+	internal uint64
+	Ratio    float64
+	PerColor []uint64
+}
+
+// Report renders Shown itself and Helped through sumHelper; Orphan is
+// fed by the simulator but never reaches the text report.
+func (c *Collector) Report(topK int) string {
+	if c.Shown+sumHelper(c) > uint64(topK) {
+		return "hot"
+	}
+	return ""
+}
+
+func sumHelper(c *Collector) uint64 { return c.Helped + c.internal }
+
+// Keep the exempt fields referenced so the fixture compiles vet-clean.
+func (c *Collector) exempt() float64 { return c.Ratio + float64(len(c.PerColor)) }

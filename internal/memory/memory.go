@@ -9,6 +9,32 @@ import (
 // ErrOutOfMemory is returned when no free frame exists in any pool.
 var ErrOutOfMemory = errors.New("memory: out of physical frames")
 
+// PartitionExhaustedError reports that a process's isolation domain ran
+// out of frames inside its exclusive color subset. A partitioned
+// allocator never borrows a foreign-partition frame, so the failure is
+// scoped to the domain even when other pools still hold frames. It
+// unwraps to ErrOutOfMemory so existing errors.Is checks (and cdpcd's
+// 422 mapping) treat it as the out-of-memory family.
+type PartitionExhaustedError struct {
+	Pid    int   // process whose allocation failed
+	Domain int   // its isolation domain
+	Colors []int // the exhausted color subset
+}
+
+func (e *PartitionExhaustedError) Error() string {
+	return fmt.Sprintf("memory: isolation domain %d (pid %d) exhausted its color partition %v",
+		e.Domain, e.Pid, e.Colors)
+}
+
+// Unwrap makes errors.Is(err, ErrOutOfMemory) hold.
+func (e *PartitionExhaustedError) Unwrap() error { return ErrOutOfMemory }
+
+// NormColor is the sanctioned color normalization: it maps any int,
+// including negatives, onto [0, n). Every color-indexed path in the
+// allocator (and the VM layer's occupancy accounting) must go through
+// it so that a negative preferred color means the same pool everywhere.
+func NormColor(c, n int) int { return ((c % n) + n) % n }
+
 // Allocator hands out physical frames grouped by page color. Frames are
 // owned by the process they were allocated for, so process exit can
 // return exactly its frames and an audit can prove no pool counts leak.
@@ -25,6 +51,14 @@ type Allocator struct {
 	// counts those that did not (pressure or exhausted pool).
 	Honored  uint64
 	Fallback uint64
+
+	// Partitioned mode: each isolation domain owns an exclusive,
+	// contiguous color subset and allocations for its pids are clamped
+	// to that subset. Empty maps mean unpartitioned (the default), in
+	// which case every path below behaves exactly as before.
+	domainOf    map[int]int   // pid -> isolation domain
+	partition   map[int][]int // domain -> exclusive colors, ascending
+	colorDomain []int         // color -> owning domain
 }
 
 // New creates an allocator over totalFrames frames spread round-robin
@@ -60,8 +94,9 @@ func (a *Allocator) NumColors() int { return a.numColors }
 // FreeFrames returns the total number of free frames.
 func (a *Allocator) FreeFrames() int { return a.totalFree }
 
-// FreeOfColor returns the number of free frames of color c.
-func (a *Allocator) FreeOfColor(c int) int { return len(a.free[c%a.numColors]) }
+// FreeOfColor returns the number of free frames of color c. Like every
+// color-taking entry point it accepts any int and wraps via NormColor.
+func (a *Allocator) FreeOfColor(c int) int { return len(a.free[NormColor(c, a.numColors)]) }
 
 // FreeByColor returns the free-frame count of every color pool.
 func (a *Allocator) FreeByColor() []int {
@@ -84,19 +119,24 @@ func (a *Allocator) Alloc(preferredColor int) (frame uint64, honored bool, err e
 
 // AllocFor returns a free frame for the given process, preferring the
 // given color. honored reports whether the preference was satisfied.
+//
+// In partitioned mode a pid with an isolation domain is clamped to the
+// domain's exclusive color subset: the preference is folded into the
+// subset (so policy preferences and CDPC hints land on a partition
+// color instead of the global color space), the pressure fallback scans
+// only partition pools, and exhaustion yields a typed
+// PartitionExhaustedError — the allocator never borrows a frame from a
+// foreign partition.
 func (a *Allocator) AllocFor(pid, preferredColor int) (frame uint64, honored bool, err error) {
+	if colors, domain, ok := a.domainColors(pid); ok {
+		return a.allocWithin(pid, domain, preferredColor, colors)
+	}
 	if a.totalFree == 0 {
 		return 0, false, ErrOutOfMemory
 	}
-	c := ((preferredColor % a.numColors) + a.numColors) % a.numColors
+	c := NormColor(preferredColor, a.numColors)
 	if pool := a.free[c]; len(pool) > 0 {
-		frame = pool[len(pool)-1]
-		a.free[c] = pool[:len(pool)-1]
-		a.totalFree--
-		a.Honored++
-		a.owner[frame] = pid
-		a.allocs[pid]++
-		return frame, true, nil
+		return a.take(pid, c, true), true, nil
 	}
 	// Pressure fallback: take from the richest pool to keep future
 	// preferences satisfiable. The scan keeps the first maximum, so ties
@@ -107,14 +147,45 @@ func (a *Allocator) AllocFor(pid, preferredColor int) (frame uint64, honored boo
 			best, bestLen = i, len(pool)
 		}
 	}
-	pool := a.free[best]
-	frame = pool[len(pool)-1]
-	a.free[best] = pool[:len(pool)-1]
+	return a.take(pid, best, false), false, nil
+}
+
+// allocWithin is the partition-clamped allocation path: fold the
+// preference into the subset, fall back richest-within-partition (first
+// maximum, so ties break toward the lowest partition color), and fail
+// with a typed error once the subset runs dry.
+func (a *Allocator) allocWithin(pid, domain, preferredColor int, colors []int) (frame uint64, honored bool, err error) {
+	c := colors[NormColor(preferredColor, len(colors))]
+	if len(a.free[c]) > 0 {
+		return a.take(pid, c, true), true, nil
+	}
+	best, bestLen := -1, 0
+	for _, pc := range colors {
+		if n := len(a.free[pc]); n > bestLen {
+			best, bestLen = pc, n
+		}
+	}
+	if best < 0 {
+		return 0, false, &PartitionExhaustedError{Pid: pid, Domain: domain, Colors: colors}
+	}
+	return a.take(pid, best, false), false, nil
+}
+
+// take pops the top frame of color c, books ownership and the honored
+// or fallback counter. The caller guarantees the pool is non-empty.
+func (a *Allocator) take(pid, c int, honored bool) uint64 {
+	pool := a.free[c]
+	frame := pool[len(pool)-1]
+	a.free[c] = pool[:len(pool)-1]
 	a.totalFree--
-	a.Fallback++
+	if honored {
+		a.Honored++
+	} else {
+		a.Fallback++
+	}
 	a.owner[frame] = pid
 	a.allocs[pid]++
-	return frame, false, nil
+	return frame
 }
 
 // Release returns a frame to its color pool and clears its ownership.
@@ -161,10 +232,24 @@ func (a *Allocator) ReleaseOwned(pid int) int {
 // allocator would hand out next: the lowest-numbered free frame across
 // all pools. With no free frames it returns 0 (the following allocation
 // fails anyway).
-func (a *Allocator) FirstTouchColor() int {
+func (a *Allocator) FirstTouchColor() int { return a.FirstTouchColorFor(0) }
+
+// FirstTouchColorFor is FirstTouchColor scoped to pid's color partition:
+// in partitioned mode it scans only the pools the pid's domain owns, so
+// a first-touch policy predicts a color its own allocation can honor.
+// For an unpartitioned allocator (or a pid with no domain) it scans all
+// pools and matches FirstTouchColor exactly.
+func (a *Allocator) FirstTouchColorFor(pid int) int {
+	pools := a.free
+	if colors, _, ok := a.domainColors(pid); ok {
+		pools = make([][]uint64, 0, len(colors))
+		for _, c := range colors {
+			pools = append(pools, a.free[c])
+		}
+	}
 	var bestFrame uint64
 	found := false
-	for _, pool := range a.free {
+	for _, pool := range pools {
 		if len(pool) == 0 {
 			continue
 		}
@@ -176,4 +261,103 @@ func (a *Allocator) FirstTouchColor() int {
 		return 0
 	}
 	return a.ColorOf(bestFrame)
+}
+
+// OwnerOf reports the process currently owning an allocated frame.
+func (a *Allocator) OwnerOf(frame uint64) (pid int, ok bool) {
+	pid, ok = a.owner[frame]
+	return pid, ok
+}
+
+// AssignDomains switches the allocator into partitioned mode. pids maps
+// each process id to its isolation domain; processes sharing a domain
+// id share a partition. The distinct domains, taken in ascending order,
+// receive contiguous color blocks whose sizes differ by at most one
+// (lower domains absorb the remainder), so the assignment is a pure
+// function of the resolved co-runner mix. It fails when more domains
+// than colors are requested, and must be called before any partitioned
+// allocation (existing pid-0 allocations, e.g. an ExhaustColors drain,
+// are unaffected).
+func (a *Allocator) AssignDomains(pids map[int]int) error {
+	if len(pids) == 0 {
+		return fmt.Errorf("memory: AssignDomains needs at least one pid")
+	}
+	if a.colorDomain != nil {
+		return fmt.Errorf("memory: domains already assigned")
+	}
+	domainSet := map[int]bool{}
+	for _, d := range pids {
+		domainSet[d] = true
+	}
+	domains := make([]int, 0, len(domainSet))
+	for d := range domainSet {
+		domains = append(domains, d)
+	}
+	sort.Ints(domains)
+	if len(domains) > a.numColors {
+		return fmt.Errorf("memory: %d isolation domains exceed %d colors", len(domains), a.numColors)
+	}
+	a.domainOf = make(map[int]int, len(pids))
+	for pid, d := range pids {
+		a.domainOf[pid] = d
+	}
+	a.partition = make(map[int][]int, len(domains))
+	a.colorDomain = make([]int, a.numColors)
+	per, extra := a.numColors/len(domains), a.numColors%len(domains)
+	next := 0
+	for i, d := range domains {
+		n := per
+		if i < extra {
+			n++
+		}
+		colors := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			colors = append(colors, next)
+			a.colorDomain[next] = d
+			next++
+		}
+		a.partition[d] = colors
+	}
+	return nil
+}
+
+// Partitioned reports whether AssignDomains has split the color space.
+func (a *Allocator) Partitioned() bool { return a.colorDomain != nil }
+
+// DomainOf returns pid's isolation domain, or 0 when the allocator is
+// unpartitioned or the pid was never assigned one.
+func (a *Allocator) DomainOf(pid int) int { return a.domainOf[pid] }
+
+// ColorDomain returns the domain owning a color (0 when unpartitioned).
+func (a *Allocator) ColorDomain(color int) int {
+	if a.colorDomain == nil {
+		return 0
+	}
+	return a.colorDomain[NormColor(color, a.numColors)]
+}
+
+// PartitionOf returns a copy of the exclusive color subset pid's domain
+// owns, or nil when the pid is unconstrained.
+func (a *Allocator) PartitionOf(pid int) []int {
+	colors, _, ok := a.domainColors(pid)
+	if !ok {
+		return nil
+	}
+	out := make([]int, len(colors))
+	copy(out, colors)
+	return out
+}
+
+// domainColors resolves the color subset constraining pid's allocations.
+// ok is false when the allocator is unpartitioned or the pid has no
+// domain (such a pid keeps the legacy global behavior).
+func (a *Allocator) domainColors(pid int) (colors []int, domain int, ok bool) {
+	if a.domainOf == nil {
+		return nil, 0, false
+	}
+	domain, ok = a.domainOf[pid]
+	if !ok {
+		return nil, 0, false
+	}
+	return a.partition[domain], domain, true
 }

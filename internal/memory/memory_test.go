@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -271,6 +272,213 @@ func TestFirstTouchColorTracksLowestFrame(t *testing.T) {
 		}
 		if fr != uint64(want) {
 			t.Fatalf("first-touch alloc got frame %d, want %d", fr, want)
+		}
+	}
+}
+
+// Satellite regression: a plain Release(frame) must clear the per-pid
+// ownership record, not just refill the pool — a stale OwnedFrames
+// entry would double-release on process exit.
+func TestReleaseClearsOwnership(t *testing.T) {
+	a := New(16, 4)
+	f, _, err := a.AllocFor(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid, ok := a.OwnerOf(f); !ok || pid != 3 {
+		t.Fatalf("OwnerOf(%d) = (%d,%v), want (3,true)", f, pid, ok)
+	}
+	a.Release(f)
+	if pid, ok := a.OwnerOf(f); ok {
+		t.Errorf("frame %d still owned by %d after Release", f, pid)
+	}
+	if got := a.OwnedFrames(3); len(got) != 0 {
+		t.Errorf("OwnedFrames(3) = %v after Release, want empty", got)
+	}
+	if a.FreeCount(3) != 1 {
+		t.Errorf("FreeCount(3) = %d, want 1", a.FreeCount(3))
+	}
+	if n := a.ReleaseOwned(3); n != 0 {
+		t.Errorf("ReleaseOwned(3) released %d stale frames", n)
+	}
+	if a.FreeFrames() != 16 {
+		t.Errorf("FreeFrames = %d, want 16 (double release?)", a.FreeFrames())
+	}
+}
+
+// Satellite property: NormColor is the one sanctioned normalization and
+// AllocFor, ColorOf and FreeOfColor must agree with it for any color,
+// negatives included.
+func TestNormColorConsistencyProperty(t *testing.T) {
+	f := func(c int16) bool {
+		const n = 8
+		want := ((int(c) % n) + n) % n
+		if NormColor(int(c), n) != want {
+			return false
+		}
+		a := New(64, n)
+		before := a.FreeOfColor(int(c))
+		fr, honored, err := a.Alloc(int(c))
+		if err != nil || !honored {
+			return false
+		}
+		// The three color views agree: the frame's color, the pool that
+		// shrank, and the normalized preference are the same color.
+		return a.ColorOf(fr) == want && a.FreeOfColor(int(c)) == before-1
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignDomainsDeterministicBlocks(t *testing.T) {
+	a := New(128, 8)
+	// Three domains over 8 colors: blocks 3/3/2, lower domains get the
+	// extra color, contiguous and ascending.
+	if err := a.AssignDomains(map[int]int{1: 1, 2: 2, 3: 3, 4: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Partitioned() {
+		t.Fatal("allocator not partitioned after AssignDomains")
+	}
+	want := map[int][]int{1: {0, 1, 2}, 2: {3, 4, 5}, 3: {6, 7}}
+	for pid, dom := range map[int]int{1: 1, 4: 1, 2: 2, 3: 3} {
+		if a.DomainOf(pid) != dom {
+			t.Errorf("DomainOf(%d) = %d, want %d", pid, a.DomainOf(pid), dom)
+		}
+		got := a.PartitionOf(pid)
+		w := want[dom]
+		if len(got) != len(w) {
+			t.Fatalf("PartitionOf(%d) = %v, want %v", pid, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("PartitionOf(%d) = %v, want %v", pid, got, w)
+			}
+		}
+	}
+	for c := 0; c < 8; c++ {
+		wantDom := 1
+		switch {
+		case c >= 6:
+			wantDom = 3
+		case c >= 3:
+			wantDom = 2
+		}
+		if a.ColorDomain(c) != wantDom {
+			t.Errorf("ColorDomain(%d) = %d, want %d", c, a.ColorDomain(c), wantDom)
+		}
+	}
+	if err := a.AssignDomains(map[int]int{1: 1}); err == nil {
+		t.Error("second AssignDomains succeeded")
+	}
+}
+
+func TestAssignDomainsTooManyDomains(t *testing.T) {
+	a := New(16, 2)
+	err := a.AssignDomains(map[int]int{1: 1, 2: 2, 3: 3})
+	if err == nil {
+		t.Fatal("3 domains over 2 colors accepted")
+	}
+}
+
+// In partitioned mode every allocation — preferred, folded hint, or
+// pressure fallback — must land inside the owner's color subset.
+func TestPartitionClampNeverEscapes(t *testing.T) {
+	a := New(128, 8)
+	if err := a.AssignDomains(map[int]int{1: 1, 2: 2}); err != nil {
+		t.Fatal(err)
+	}
+	inPartition := func(pid int, c int) bool {
+		for _, pc := range a.PartitionOf(pid) {
+			if pc == c {
+				return true
+			}
+		}
+		return false
+	}
+	// Global-space preferences (the PR 5 pathology: both processes ask
+	// for the same colors) fold into disjoint subsets.
+	for i := 0; i < 32; i++ {
+		for pid := 1; pid <= 2; pid++ {
+			f, _, err := a.AllocFor(pid, i) // also drives fallback once pools dry up
+			if err != nil {
+				t.Fatalf("pid %d pref %d: %v", pid, i, err)
+			}
+			if !inPartition(pid, a.ColorOf(f)) {
+				t.Fatalf("pid %d got color %d outside partition %v", pid, a.ColorOf(f), a.PartitionOf(pid))
+			}
+		}
+	}
+	// Identical preferences from the two pids now map to different
+	// colors — the collision fix in one assertion.
+	f1, _, _ := a.AllocFor(1, 0)
+	f2, _, _ := a.AllocFor(2, 0)
+	if a.ColorOf(f1) == a.ColorOf(f2) {
+		t.Errorf("same preference, same color (%d) across domains", a.ColorOf(f1))
+	}
+}
+
+// Satellite: a domain whose subset runs dry gets the typed partition
+// error (ErrOutOfMemory family) and never borrows a foreign frame, even
+// while the other partition still has plenty.
+func TestPartitionExhaustionTyped(t *testing.T) {
+	a := New(16, 4) // 4 frames per color; domain 1 gets colors {0,1} = 8 frames
+	if err := a.AssignDomains(map[int]int{1: 1, 2: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := a.AllocFor(1, i); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	_, _, err := a.AllocFor(1, 0)
+	if err == nil {
+		t.Fatal("9th allocation in an 8-frame partition succeeded")
+	}
+	var pe *PartitionExhaustedError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PartitionExhaustedError", err, err)
+	}
+	if pe.Pid != 1 || pe.Domain != 1 {
+		t.Errorf("error pid/domain = %d/%d, want 1/1", pe.Pid, pe.Domain)
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Error("PartitionExhaustedError does not unwrap to ErrOutOfMemory")
+	}
+	// Domain 2's frames are untouched: it can still allocate all 8.
+	for i := 0; i < 8; i++ {
+		if _, _, err := a.AllocFor(2, i); err != nil {
+			t.Fatalf("domain 2 alloc %d: %v", i, err)
+		}
+	}
+}
+
+// FirstTouchColorFor must predict a color the pid's own allocation can
+// honor: partition-local in partitioned mode, identical to
+// FirstTouchColor otherwise.
+func TestFirstTouchColorForPartitionLocal(t *testing.T) {
+	a := New(32, 4)
+	if got, want := a.FirstTouchColorFor(9), a.FirstTouchColor(); got != want {
+		t.Fatalf("unpartitioned FirstTouchColorFor = %d, want %d", got, want)
+	}
+	if err := a.AssignDomains(map[int]int{1: 1, 2: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Domain 2 owns colors {2,3}; its lowest free frame is frame 2.
+	if got := a.FirstTouchColorFor(2); got != 2 {
+		t.Errorf("domain 2 first-touch color = %d, want 2", got)
+	}
+	// Allocating domain 2's predicted color must honor it every time.
+	for i := 0; i < 16; i++ {
+		c := a.FirstTouchColorFor(2)
+		f, honored, err := a.AllocFor(2, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !honored || a.ColorOf(f) != c {
+			t.Fatalf("first-touch alloc %d: color %d honored=%v, want %d", i, a.ColorOf(f), honored, c)
 		}
 	}
 }

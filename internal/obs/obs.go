@@ -122,6 +122,14 @@ type Collector struct {
 	HintedFault uint64
 	HonoredHint uint64
 	Recolorings uint64
+
+	// CrossDomain counts data misses whose evicted victim belonged to
+	// another isolation domain (or another process, unpartitioned) —
+	// the co-scheduled collision pathology. perColorCross breaks the
+	// count down by the victim frame's color; on a partitioned run both
+	// must stay zero (the simulator's audit invariant 12).
+	CrossDomain   uint64
+	perColorCross []uint64
 }
 
 // NewCollector creates an empty collector.
@@ -147,6 +155,7 @@ func (c *Collector) Init(colors, sets, setsPerColor int) {
 	c.setsPerColor = setsPerColor
 	c.perColor = make([]ClassCounts, colors)
 	c.perColorStall = make([]uint64, colors)
+	c.perColorCross = make([]uint64, colors)
 }
 
 // Colors returns the color count the collector was initialized with.
@@ -161,7 +170,9 @@ func (c *Collector) ResetAttribution() {
 	for i := range c.perColor {
 		c.perColor[i] = ClassCounts{}
 		c.perColorStall[i] = 0
+		c.perColorCross[i] = 0
 	}
+	c.CrossDomain = 0
 	clear(c.pages)
 	clear(c.burst)
 }
@@ -201,6 +212,21 @@ func (c *Collector) RecordMissPID(pid, cpu int, cycle, vpn uint64, color int, cl
 		c.burst[k] = 0
 	}
 }
+
+// RecordCrossDomainPID attributes one cross-domain conflict miss:
+// process pid's miss on vpn evicted a victim frame of victimColor that
+// belonged to a foreign isolation domain (or foreign process). Called
+// by the simulator after the matching RecordMissPID.
+func (c *Collector) RecordCrossDomainPID(pid, cpu int, cycle, vpn uint64, victimColor int) {
+	c.CrossDomain++
+	if victimColor >= 0 && victimColor < len(c.perColorCross) {
+		c.perColorCross[victimColor]++
+	}
+}
+
+// CrossByColor returns the cross-domain conflict counts keyed by the
+// victim frame's color.
+func (c *Collector) CrossByColor() []uint64 { return c.perColorCross }
 
 // RecordFault records a serviced page fault of process 0 and its hint
 // outcome (the single-process legacy path).

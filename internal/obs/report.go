@@ -54,5 +54,18 @@ func (c *Collector) Report(topK int) string {
 
 	fmt.Fprintf(&b, "\nfaults %d (hinted %d, honored %d), recolorings %d\n",
 		c.Faults, c.HintedFault, c.HonoredHint, c.Recolorings)
+
+	// Cross-domain attribution appears only when something crossed: the
+	// line is additive, so single-process (and clean partitioned) reports
+	// stay byte-identical.
+	if c.CrossDomain > 0 {
+		fmt.Fprintf(&b, "cross-domain conflicts %d (by victim color:", c.CrossDomain)
+		for color, n := range c.perColorCross {
+			if n > 0 {
+				fmt.Fprintf(&b, " c%02d=%d", color, n)
+			}
+		}
+		b.WriteString(")\n")
+	}
 	return b.String()
 }

@@ -44,6 +44,13 @@ type Row struct {
 	// replaced a different process on a CPU (zero on single-process and
 	// space-partitioned runs).
 	ContextSwitches uint64 `json:"context_switches"`
+	// CrossDomainConflicts counts conflict misses that evicted a victim
+	// of another isolation domain (unpartitioned: another process);
+	// exactly zero on Isolated rows, by audit invariant 12.
+	CrossDomainConflicts uint64 `json:"cross_domain_conflicts"`
+	// Isolated marks rows produced under color-partitioned isolation
+	// domains.
+	Isolated bool `json:"isolated,omitempty"`
 
 	InstMisses        uint64 `json:"inst_misses"`
 	Upgrades          uint64 `json:"upgrades"`
@@ -103,8 +110,10 @@ func FromResult(r *sim.Result, prefetch bool) Row {
 		PageFaults:      r.PageFaults,
 		HintedFaults:    r.HintedFaults,
 		HonoredHints:    r.HonoredHints,
-		Recolorings:     tot(func(s *sim.CPUStats) uint64 { return s.Recolorings }),
-		ContextSwitches: tot(func(s *sim.CPUStats) uint64 { return s.ContextSwitches }),
+		Recolorings:          tot(func(s *sim.CPUStats) uint64 { return s.Recolorings }),
+		ContextSwitches:      tot(func(s *sim.CPUStats) uint64 { return s.ContextSwitches }),
+		CrossDomainConflicts: tot(func(s *sim.CPUStats) uint64 { return s.CrossDomainConflicts }),
+		Isolated:             r.Isolated,
 
 		InstMisses:        tot(func(s *sim.CPUStats) uint64 { return s.InstMisses }),
 		Upgrades:          tot(func(s *sim.CPUStats) uint64 { return s.Upgrades }),
@@ -179,6 +188,8 @@ var columns = []column{
 	{"honored_hints", u(func(r *Row) uint64 { return r.HonoredHints })},
 	{"recolorings", u(func(r *Row) uint64 { return r.Recolorings })},
 	{"context_switches", u(func(r *Row) uint64 { return r.ContextSwitches })},
+	{"cross_domain_conflicts", u(func(r *Row) uint64 { return r.CrossDomainConflicts })},
+	{"isolated", func(r *Row) string { return fmt.Sprint(r.Isolated) }},
 	{"inst_misses", u(func(r *Row) uint64 { return r.InstMisses })},
 	{"upgrades", u(func(r *Row) uint64 { return r.Upgrades })},
 	{"tlb_misses", u(func(r *Row) uint64 { return r.TLBMisses })},

@@ -71,13 +71,29 @@ type JobRequest struct {
 	// QuantumCycles overrides the time-slice length in cycles; 0 uses
 	// the simulator default. Requires co_runners.
 	QuantumCycles uint64 `json:"quantum_cycles,omitempty"`
+	// Isolate color-partitions a multiprocess job: each isolation
+	// domain allocates frames only from an exclusive page-color subset,
+	// making cross-domain cache conflicts impossible (the result carries
+	// isolated: true and cross_domain_conflicts: 0). Requires
+	// co_runners.
+	Isolate bool `json:"isolate,omitempty"`
+	// IsolationDomain labels the primary process's isolation domain
+	// under isolate: 0 (default) gives the process a domain of its own,
+	// equal positive labels co-locate processes in one shared domain.
+	// Requires isolate.
+	IsolationDomain int `json:"isolation_domain,omitempty"`
 }
 
 // CoRunnerRequest describes one co-scheduled process of a multiprocess
-// job. Empty fields inherit from the primary request.
+// job. Empty fields inherit from the primary request — except
+// isolation_domain, which is an identity, not a configuration default,
+// and is never inherited.
 type CoRunnerRequest struct {
 	Workload string `json:"workload,omitempty"`
 	Variant  string `json:"variant,omitempty"`
+	// IsolationDomain labels this process's isolation domain under
+	// isolate (same semantics as the primary's field).
+	IsolationDomain int `json:"isolation_domain,omitempty"`
 }
 
 // JobState is the lifecycle state of a submitted job.
@@ -139,6 +155,14 @@ type JobResult struct {
 	PageFaults   uint64 `json:"page_faults"`
 	HintedFaults uint64 `json:"hinted_faults"`
 	HonoredHints uint64 `json:"honored_hints"`
+
+	// CrossDomainConflicts counts data misses that evicted a line owned
+	// by another isolation domain (unpartitioned: another process) —
+	// exactly zero when Isolated. Omitted on single-process jobs.
+	CrossDomainConflicts uint64 `json:"cross_domain_conflicts,omitempty"`
+	// Isolated reports that the job ran color-partitioned (isolate was
+	// set and the allocator assigned per-domain color subsets).
+	Isolated bool `json:"isolated,omitempty"`
 
 	// Fidelity reports how the result was produced: "full" or "sampled"
 	// (see JobRequest.Fidelity). A request that asked for sampled
@@ -219,6 +243,7 @@ const (
 	CodeCanceled        = "canceled"         // job canceled by DELETE or client disconnect
 	CodeSimFailed       = "sim_failed"       // simulation returned an error
 	CodeBadCoSchedule   = "bad_coschedule"   // 400: invalid co-runner list or scheduling discipline
+	CodeBadIsolation    = "bad_isolation"    // 400: isolation fields on a non-co-scheduled job, or out-of-range isolation_domain
 	CodeBadFidelity     = "bad_fidelity"     // 400: unknown fidelity, or sampled requested for an incompatible spec
 	CodeOutOfMemory     = "out_of_memory"    // simulated machine ran out of physical frames (job error)
 	CodeInternal        = "internal"         // 500: handler panic or unexpected failure
@@ -317,6 +342,9 @@ func (req *JobRequest) validate() (harness.Spec, *ir.Program, *ErrorInfo) {
 	if errInfo := req.validateCoSchedule(cpus); errInfo != nil {
 		return spec, nil, errInfo
 	}
+	if errInfo := req.validateIsolation(); errInfo != nil {
+		return spec, nil, errInfo
+	}
 	switch req.Fidelity {
 	case "", string(sim.FidelityFull):
 	case string(sim.FidelitySampled):
@@ -340,10 +368,13 @@ func (req *JobRequest) validate() (harness.Spec, *ir.Program, *ErrorInfo) {
 		spec.CoRunners = append(spec.CoRunners, harness.CoRunner{
 			Workload: cr.Workload,
 			Variant:  harness.Variant(cr.Variant),
+			Domain:   cr.IsolationDomain,
 		})
 	}
 	spec.Sched = harness.SchedKind(req.Sched)
 	spec.Quantum = req.QuantumCycles
+	spec.Isolate = req.Isolate
+	spec.Domain = req.IsolationDomain
 	return spec, prog, nil
 }
 
@@ -417,6 +448,46 @@ func (req *JobRequest) validateCoSchedule(cpus int) *ErrorInfo {
 	return nil
 }
 
+// validateIsolation checks the color-partitioning fields. All
+// violations carry CodeBadIsolation: isolation is a property of a
+// co-scheduled mix, so the fields are meaningless (and rejected, never
+// silently ignored) on single-process jobs, and domain labels are
+// bounded by the process count — with nprocs processes there can be no
+// more than nprocs distinct domains, so larger labels are always typos.
+func (req *JobRequest) validateIsolation() *ErrorInfo {
+	nprocs := 1 + len(req.CoRunners)
+	if len(req.CoRunners) == 0 && (req.Isolate || req.IsolationDomain != 0) {
+		return &ErrorInfo{Code: CodeBadIsolation, Field: "isolate",
+			Message: "isolate and isolation_domain require co_runners"}
+	}
+	if !req.Isolate {
+		if req.IsolationDomain != 0 {
+			return &ErrorInfo{Code: CodeBadIsolation, Field: "isolation_domain",
+				Message: "isolation_domain requires isolate"}
+		}
+		for i, cr := range req.CoRunners {
+			if cr.IsolationDomain != 0 {
+				return &ErrorInfo{Code: CodeBadIsolation,
+					Field:   fmt.Sprintf("co_runners[%d].isolation_domain", i),
+					Message: "isolation_domain requires isolate"}
+			}
+		}
+		return nil
+	}
+	if req.IsolationDomain < 0 || req.IsolationDomain > nprocs {
+		return &ErrorInfo{Code: CodeBadIsolation, Field: "isolation_domain",
+			Message: fmt.Sprintf("isolation_domain %d out of range [0, %d]", req.IsolationDomain, nprocs)}
+	}
+	for i, cr := range req.CoRunners {
+		if cr.IsolationDomain < 0 || cr.IsolationDomain > nprocs {
+			return &ErrorInfo{Code: CodeBadIsolation,
+				Field:   fmt.Sprintf("co_runners[%d].isolation_domain", i),
+				Message: fmt.Sprintf("isolation_domain %d out of range [0, %d]", cr.IsolationDomain, nprocs)}
+		}
+	}
+	return nil
+}
+
 // summarizeMulti converts a multiprocess result into the wire
 // JobResult: the machine total at the top level, the per-process
 // summaries (in process-table order) under processes.
@@ -451,8 +522,12 @@ func summarize(res *sim.Result, cached bool, simTime time.Duration) *JobResult {
 		PageFaults:   res.PageFaults,
 		HintedFaults: res.HintedFaults,
 		HonoredHints: res.HonoredHints,
-		Fidelity:     res.Fidelity,
-		Cached:       cached,
-		SimMS:        float64(simTime.Microseconds()) / 1000,
+		CrossDomainConflicts: res.Total(func(s *sim.CPUStats) uint64 {
+			return s.CrossDomainConflicts
+		}),
+		Isolated: res.Isolated,
+		Fidelity: res.Fidelity,
+		Cached:   cached,
+		SimMS:    float64(simTime.Microseconds()) / 1000,
 	}
 }

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/memory"
+	"repro/internal/obs"
+)
+
+// isoReq co-schedules two tomcatv instances under color partitioning.
+func isoReq() JobRequest {
+	req := multiReq()
+	req.Isolate = true
+	return req
+}
+
+func TestIsolationValidation(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 1})
+	co := []CoRunnerRequest{{}}
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"isolate without co-runners", JobRequest{Workload: "tomcatv", Isolate: true}},
+		{"domain without co-runners", JobRequest{Workload: "tomcatv", IsolationDomain: 1}},
+		{"primary domain without isolate", JobRequest{Workload: "tomcatv", CoRunners: co, IsolationDomain: 1}},
+		{"co-runner domain without isolate", JobRequest{Workload: "tomcatv", CoRunners: []CoRunnerRequest{{IsolationDomain: 1}}}},
+		{"primary domain out of range", JobRequest{Workload: "tomcatv", CoRunners: co, Isolate: true, IsolationDomain: 3}},
+		{"negative primary domain", JobRequest{Workload: "tomcatv", CoRunners: co, Isolate: true, IsolationDomain: -1}},
+		{"co-runner domain out of range", JobRequest{Workload: "tomcatv", CoRunners: []CoRunnerRequest{{IsolationDomain: 5}}, Isolate: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var er ErrorResponse
+			code := ts.do(t, "POST", "/v1/jobs", tc.req, &er)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", code)
+			}
+			if er.Error.Code != CodeBadIsolation {
+				t.Fatalf("code %q, want %q (%s)", er.Error.Code, CodeBadIsolation, er.Error.Message)
+			}
+		})
+	}
+
+	// Valid shapes must pass validation (shared-domain labels included).
+	ok := isoReq()
+	ok.IsolationDomain = 1
+	ok.CoRunners = []CoRunnerRequest{{IsolationDomain: 1}}
+	if _, _, errInfo := ok.validate(); errInfo != nil {
+		t.Fatalf("shared-domain request rejected: %+v", errInfo)
+	}
+}
+
+func TestIsolatedJob(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+
+	// The unpartitioned baseline first: same mix, no isolation.
+	var base JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", multiReq(), &base); code != http.StatusOK {
+		t.Fatalf("baseline simulate: status %d", code)
+	}
+	if base.Isolated {
+		t.Error("unpartitioned job reports isolated")
+	}
+
+	var res JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", isoReq(), &res); code != http.StatusOK {
+		t.Fatalf("isolated simulate: status %d (%+v)", code, res)
+	}
+	if res.Cached {
+		t.Error("isolated mix claimed the unpartitioned cache entry")
+	}
+	if !res.Isolated {
+		t.Error("isolated job does not report isolated")
+	}
+	if res.CrossDomainConflicts != 0 {
+		t.Errorf("isolated job reports %d cross-domain conflicts, want 0", res.CrossDomainConflicts)
+	}
+	if len(res.Processes) != 2 {
+		t.Fatalf("%d per-process results, want 2", len(res.Processes))
+	}
+	for i, p := range res.Processes {
+		if !p.Isolated {
+			t.Errorf("process %d does not report isolated", i+1)
+		}
+		if p.CrossDomainConflicts != 0 {
+			t.Errorf("process %d reports %d cross-domain conflicts, want 0", i+1, p.CrossDomainConflicts)
+		}
+	}
+
+	// A repeat is its own memo entry, not the baseline's.
+	var again JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", isoReq(), &again); code != http.StatusOK {
+		t.Fatalf("repeat: status %d", code)
+	}
+	if !again.Cached {
+		t.Error("identical isolated mix not served from cache")
+	}
+	if again.WallCycles != res.WallCycles {
+		t.Errorf("cached isolated result differs: %d vs %d cycles", again.WallCycles, res.WallCycles)
+	}
+}
+
+// TestPartitionExhaustionMaps422 pins the error path a dry partition
+// takes through the daemon: PartitionExhaustedError unwraps to
+// memory.ErrOutOfMemory, so finishErr must classify it as the typed
+// out_of_memory code (which handleSimulate serves as 422, see
+// TestOutOfMemoryTyped) rather than a generic sim_failed.
+func TestPartitionExhaustionMaps422(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := &queue{
+		failed:   reg.Counter("test_failed", ""),
+		canceled: reg.Counter("test_canceled", ""),
+	}
+	j := newStore().create(JobRequest{}, harness.Spec{}, nil, 0)
+	q.finishErr(j, &memory.PartitionExhaustedError{Pid: 2, Domain: 1, Colors: []int{0, 1}})
+	st := j.status(false)
+	if st.State != StateFailed {
+		t.Fatalf("state %q, want %q", st.State, StateFailed)
+	}
+	if st.Error == nil || st.Error.Code != CodeOutOfMemory {
+		t.Fatalf("error %+v, want code %q", st.Error, CodeOutOfMemory)
+	}
+}

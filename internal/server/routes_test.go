@@ -28,8 +28,9 @@ func TestAPIDocCoversEveryRoute(t *testing.T) {
 	// The error-code table must cover every code the API can emit.
 	for _, code := range []string{
 		CodeInvalidRequest, CodeUnknownWorkload, CodeBadProgram,
-		CodeBadCoSchedule, CodeNotFound, CodeQueueFull, CodeShuttingDown,
-		CodeTimeout, CodeCanceled, CodeSimFailed, CodeOutOfMemory, CodeInternal,
+		CodeBadCoSchedule, CodeBadIsolation, CodeNotFound, CodeQueueFull,
+		CodeShuttingDown, CodeTimeout, CodeCanceled, CodeSimFailed,
+		CodeOutOfMemory, CodeInternal,
 	} {
 		if !strings.Contains(text, "`"+code+"`") {
 			t.Errorf("API.md does not document error code %q", code)

@@ -52,6 +52,15 @@ import (
 //     result must carry zero sampling counters — extrapolation state
 //     leaking into a full run means some path scaled counters it
 //     should not have.
+//  12. Cross-domain isolation: per CPU, CrossDomainConflicts <=
+//     L2Misses-InstMisses (at most one cross-domain eviction is
+//     attributed per data miss), and on an Isolated result the
+//     machine-wide cross-domain total must be exactly zero. The second
+//     half is the partitioning theorem made checkable: a page color is
+//     the high bits of the external-cache set index, so frames from
+//     disjoint per-domain color subsets can never map to the same set,
+//     and an eviction can never displace a foreign domain's line. A
+//     violation means the allocator leaked a frame across a partition.
 //
 // The invariants hold for weighted (phase-occurrence-scaled) results
 // because each phase satisfies them individually, and for sampled
@@ -59,9 +68,10 @@ import (
 // scaled independent ones (see Result.Scale).
 func (r *Result) Audit() []obs.Violation {
 	var vs []obs.Violation
-	var kernel, tlbMisses, cpuFaults, recolorings, switches uint64
+	var kernel, tlbMisses, cpuFaults, recolorings, switches, crossDomain uint64
 	for i := range r.PerCPU {
 		s := &r.PerCPU[i]
+		crossDomain += s.CrossDomainConflicts
 		kernel += s.KernelCycles
 		tlbMisses += s.TLBMisses
 		cpuFaults += s.PageFaults
@@ -128,6 +138,20 @@ func (r *Result) Audit() []obs.Violation {
 					i, s.BusQueueCycles, missStall),
 			})
 		}
+		if s.CrossDomainConflicts+s.InstMisses > s.L2Misses {
+			vs = append(vs, obs.Violation{
+				Check: "cross-domain-isolation",
+				Detail: fmt.Sprintf("cpu %d: %d cross-domain evictions > %d data misses",
+					i, s.CrossDomainConflicts, s.L2Misses-s.InstMisses),
+			})
+		}
+	}
+	if r.Isolated && crossDomain > 0 {
+		vs = append(vs, obs.Violation{
+			Check: "cross-domain-isolation",
+			Detail: fmt.Sprintf("%d cross-domain evictions on a color-partitioned run: a frame escaped its domain's partition",
+				crossDomain),
+		})
 	}
 	if kernel > 0 && tlbMisses+cpuFaults+recolorings+switches == 0 {
 		vs = append(vs, obs.Violation{

@@ -108,6 +108,18 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 	// Full external-cache miss.
 	stall := m.missCycles(c, paddr, out.DirtyRemote)
 	m.chargeMiss(c, out.Class, shadowHit, stall)
+	// Cross-domain attribution: a data miss that displaced a victim
+	// owned by a foreign isolation domain / process is a cache-set
+	// conflict between domains — the co-scheduled collision pathology —
+	// whatever class the accessor's own miss lands in (the incoming
+	// process's first sweep over a co-runner's lines classifies cold or
+	// capacity). Off (crossCheck false) for single-process runs.
+	if m.crossCheck && res.Evicted && m.crossDomainVictim(c.pid, res.VictimAddr) {
+		c.stats.CrossDomainConflicts++
+		if m.obs != nil {
+			m.obs.RecordCrossDomainPID(c.pid, c.id, c.clock, vpn, m.frameColor(res.VictimAddr))
+		}
+	}
 	if m.obs != nil {
 		m.obs.RecordMissPID(c.pid, c.id, c.clock, vpn, m.frameColor(paddr), obsClass(out.Class, shadowHit), stall)
 	}

@@ -70,6 +70,11 @@ type ProcessOptions struct {
 	// Hints, if non-nil, is installed through the process's address
 	// space before execution (the CDPC path).
 	Hints map[uint64]int
+	// Domain groups processes into isolation domains when
+	// Options.Isolate is on: processes with the same Domain > 0 share a
+	// color partition, Domain 0 means "own domain". Ignored (and must be
+	// 0 or positive) without Isolate.
+	Domain int
 }
 
 // Process is one entry of the machine's process table: its own address
@@ -151,8 +156,11 @@ func (m *Machine) RunProcesses(procs []ProcessOptions, sched SchedOptions) (*Mul
 		if err := po.Prog.Validate(); err != nil {
 			return nil, err
 		}
+		if po.Domain < 0 {
+			return nil, fmt.Errorf("sim: negative isolation domain %d", po.Domain)
+		}
 	}
-	if len(procs) == 1 && procs[0].Policy == nil && procs[0].Hints == nil {
+	if len(procs) == 1 && procs[0].Policy == nil && procs[0].Hints == nil && !m.opts.Isolate {
 		res, err := m.runSingle(procs[0].Prog)
 		if err != nil {
 			return nil, err
@@ -165,6 +173,12 @@ func (m *Machine) RunProcesses(procs []ProcessOptions, sched SchedOptions) (*Mul
 	if m.opts.Hints != nil || m.opts.TouchOrder != nil {
 		return nil, fmt.Errorf("sim: machine-level hints/touch-order apply to the single-process path; use ProcessOptions")
 	}
+	if m.opts.Isolate {
+		if err := m.alloc.AssignDomains(resolveDomains(procs)); err != nil {
+			return nil, err
+		}
+	}
+	m.crossCheck = len(procs) > 1 || m.opts.Isolate
 	table := make([]*Process, len(procs))
 	for i, po := range procs {
 		pid := i + 1
@@ -172,7 +186,7 @@ func (m *Machine) RunProcesses(procs []ProcessOptions, sched SchedOptions) (*Mul
 		if policy == nil {
 			policy = vm.PageColoring{Colors: m.colors}
 		}
-		bindPolicy(policy, m.alloc)
+		bindPolicy(policy, m.alloc, pid)
 		as := vm.NewAddressSpaceProc(pid, m.cfg.PageSize, m.alloc, policy)
 		if m.obs != nil {
 			as.OnFault = m.obsFaultHook()
@@ -203,6 +217,34 @@ func (m *Machine) RunProcesses(procs []ProcessOptions, sched SchedOptions) (*Mul
 		m.finalizeObsMulti(table)
 	}
 	return mr, nil
+}
+
+// resolveDomains maps each table pid to its isolation domain: explicit
+// equal Domain labels group, Domain 0 means a domain of one's own, and
+// the distinct labels are renumbered 1..D by first appearance in pid
+// order — a pure function of the resolved co-runner mix, so the color
+// blocks AssignDomains hands out are reproducible from the spec alone.
+func resolveDomains(procs []ProcessOptions) map[int]int {
+	pids := make(map[int]int, len(procs))
+	labels := map[int]int{} // user label -> renumbered domain
+	next := 1
+	for i, po := range procs {
+		d := 0
+		if po.Domain > 0 {
+			if got, ok := labels[po.Domain]; ok {
+				d = got
+			} else {
+				d = next
+				labels[po.Domain] = d
+				next++
+			}
+		} else {
+			d = next
+			next++
+		}
+		pids[i+1] = d
+	}
+	return pids
 }
 
 // flattenNests returns the program's nest sequence for a multiprocess
@@ -347,6 +389,7 @@ func (m *Machine) collectMulti(table []*Process, sched SchedOptions) *MultiResul
 			PageFaults:   p.as.Faults,
 			HintedFaults: p.as.HintedFaults,
 			HonoredHints: p.as.HonoredHints,
+			Isolated:     m.alloc.Partitioned(),
 		}
 		mr.PerProcess = append(mr.PerProcess, res)
 		names = append(names, p.Name)
@@ -360,6 +403,7 @@ func (m *Machine) collectMulti(table []*Process, sched SchedOptions) *MultiResul
 		Fidelity:   FidelityFull,
 		WallCycles: m.wallClock(),
 		PerCPU:     make([]CPUStats, len(m.cpus)),
+		Isolated:   m.alloc.Partitioned(),
 	}
 	if mr.Sched == "partition" {
 		// Each CPU ran exactly one process; pad early finishers with

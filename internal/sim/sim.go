@@ -72,6 +72,17 @@ type Options struct {
 	// accounting escapes into a Result that is discarded anyway.
 	Cancel func() error
 
+	// Isolate enables color-partitioned isolation domains for
+	// multiprocess runs: the frame allocator splits its color space into
+	// per-domain exclusive subsets (one domain per process unless
+	// ProcessOptions.Domain groups them) and every allocation — policy
+	// preference, CDPC hint, pressure fallback — is clamped to the
+	// owner's partition. Cross-domain conflict misses become impossible
+	// by construction (audit invariant 12 proves it on every run).
+	// Ignored on the single-process path; unpartitioned runs are
+	// byte-identical with this off.
+	Isolate bool
+
 	// Sampling enables phase-sampled execution: representative windows
 	// per nest with functional warm-up, extrapolated by span and phase
 	// weights (see sampling.go). Active only on the single-process path
@@ -108,6 +119,11 @@ type Machine struct {
 	// missTrace, when set (tests only), observes every full external
 	// cache miss as (cpu, issue cycle).
 	missTrace func(cpu int, at uint64, paddr uint64)
+
+	// crossCheck enables cross-domain victim attribution on the conflict
+	// miss path. Set only for multiprocess or isolated runs so the
+	// single-process hot path pays nothing.
+	crossCheck bool
 
 	// regions counts parallel regions executed, seeding the per-region
 	// dispatch-order variation.
@@ -179,7 +195,7 @@ func New(opts Options) (*Machine, error) {
 	if policy == nil {
 		policy = vm.PageColoring{Colors: cfg.Colors()}
 	}
-	bindPolicy(policy, alloc)
+	bindPolicy(policy, alloc, 0)
 	m := &Machine{
 		cfg:       cfg,
 		as:        vm.NewAddressSpace(cfg.PageSize, alloc, policy),
@@ -227,10 +243,13 @@ func New(opts Options) (*Machine, error) {
 // bindPolicy resolves allocator-dependent policies: a first-touch
 // policy is constructed by the harness before the machine (and so
 // before any allocator) exists, and is pointed at the machine's shared
-// frame allocator here.
-func bindPolicy(p vm.Policy, alloc *memory.Allocator) {
+// frame allocator and the owning process here (the pid scopes its
+// free-list prediction to the process's color partition under
+// isolation domains).
+func bindPolicy(p vm.Policy, alloc *memory.Allocator, pid int) {
 	if ft, ok := p.(*vm.FirstTouch); ok && ft.Alloc == nil {
 		ft.Alloc = alloc
+		ft.Pid = pid
 	}
 }
 
@@ -251,6 +270,22 @@ func (m *Machine) obsFaultHook() func(pid int, vpn uint64, cpu, color int, hinte
 // color count, the allocator's layout of contiguous physical memory).
 func (m *Machine) frameColor(paddr uint64) int {
 	return int((paddr >> m.pageShift) % uint64(m.colors))
+}
+
+// crossDomainVictim reports whether evicting the line at victim (a
+// physical address) on behalf of pid crossed an isolation boundary. In
+// partitioned mode the test is by color ownership — the victim frame's
+// color belongs to another domain's exclusive subset — which is immune
+// to frame-ownership staleness and provably never true (disjoint color
+// subsets map to disjoint external-cache sets). Unpartitioned, each
+// process is its own implicit domain and the test is by the victim
+// frame's current owner: the PR 5 collision pathology made measurable.
+func (m *Machine) crossDomainVictim(pid int, victim uint64) bool {
+	if m.alloc.Partitioned() {
+		return m.alloc.ColorDomain(m.frameColor(victim)) != m.alloc.DomainOf(pid)
+	}
+	owner, ok := m.alloc.OwnerOf(victim >> m.pageShift)
+	return ok && owner != pid
 }
 
 // AddressSpace exposes the simulated application's address space (the

@@ -57,6 +57,14 @@ type CPUStats struct {
 	// the switch cost (TLB + on-chip flush, state save/restore) is booked
 	// into KernelCycles of the incoming process.
 	ContextSwitches uint64
+	// CrossDomainConflicts counts data misses whose evicted victim
+	// belonged to another isolation domain (or, unpartitioned, another
+	// process) — each one is a cache-set conflict between domains, the
+	// co-scheduled collision pathology made countable. At most one per
+	// data miss (subset of L2Misses-InstMisses); exactly zero in
+	// partitioned mode (audit invariant 12), because victim and accessor
+	// share a set, hence a page color, hence a domain.
+	CrossDomainConflicts uint64
 }
 
 // MemStallCycles returns all cycles lost to the memory system.
@@ -127,6 +135,7 @@ func (s *CPUStats) add(o *CPUStats, weight uint64) {
 	s.BusQueueCycles += o.BusQueueCycles * weight
 	s.Recolorings += o.Recolorings * weight
 	s.ContextSwitches += o.ContextSwitches * weight
+	s.CrossDomainConflicts += o.CrossDomainConflicts * weight
 }
 
 // sub returns s - o (used for phase deltas).
@@ -166,6 +175,7 @@ func (s CPUStats) sub(o CPUStats) CPUStats {
 	d.BusQueueCycles = s.BusQueueCycles - o.BusQueueCycles
 	d.Recolorings = s.Recolorings - o.Recolorings
 	d.ContextSwitches = s.ContextSwitches - o.ContextSwitches
+	d.CrossDomainConflicts = s.CrossDomainConflicts - o.CrossDomainConflicts
 	return d
 }
 
@@ -213,6 +223,12 @@ type Result struct {
 	PageFaults   uint64
 	HintedFaults uint64
 	HonoredHints uint64
+
+	// Isolated records that the run used color-partitioned isolation
+	// domains: every process's frames were clamped to its domain's
+	// exclusive color subset, and Audit enforces that cross-domain
+	// conflicts are exactly zero (invariant 12).
+	Isolated bool
 
 	// Sampling accounting, zero on full-fidelity results:
 	// WarmupRefs counts functional references executed without booking
@@ -358,6 +374,14 @@ func (r *Result) Scale(num, den uint64) {
 			s.BusQueueCycles = bq
 		} else {
 			s.BusQueueCycles = missStall
+		}
+		// At most one cross-domain eviction per data miss; clamp the
+		// scaled value so invariant 12's inequality survives flooring.
+		dataMisses := s.L2Misses - s.InstMisses
+		if cd := mul(s.CrossDomainConflicts); cd <= dataMisses {
+			s.CrossDomainConflicts = cd
+		} else {
+			s.CrossDomainConflicts = dataMisses
 		}
 		// Flooring residue: per-bucket floors sum to at most the floored
 		// scaled total, which pre-scale equaled the wall clock. Book the

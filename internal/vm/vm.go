@@ -38,16 +38,20 @@ func (p PageColoring) PreferredColor(vpn uint64, _ int) int {
 // which color a sequential free list would serve next, so the
 // preference is always satisfiable and placement is entirely driven by
 // allocation order and memory pressure, including frames freed by
-// other processes.
+// other processes. Pid scopes the prediction to the owning process's
+// color partition under isolation domains; pid 0 (the single-process
+// legacy owner) on an unpartitioned allocator degenerates to the global
+// free-list head.
 type FirstTouch struct {
 	Alloc *memory.Allocator
+	Pid   int
 }
 
 // Name implements Policy.
 func (FirstTouch) Name() string { return "first-touch" }
 
 // PreferredColor implements Policy.
-func (p FirstTouch) PreferredColor(uint64, int) int { return p.Alloc.FirstTouchColor() }
+func (p FirstTouch) PreferredColor(uint64, int) int { return p.Alloc.FirstTouchColorFor(p.Pid) }
 
 // BinHopping cycles through colors in the order page faults occur,
 // exploiting temporal locality (Digital UNIX). The single shared counter
@@ -214,7 +218,7 @@ func (as *AddressSpace) fault(vpn uint64, cpu int) (uint64, error) {
 
 // Occupancy returns the number of mapped pages of the given color.
 func (as *AddressSpace) Occupancy(color int) int {
-	return as.occ[((color%len(as.occ))+len(as.occ))%len(as.occ)]
+	return as.occ[memory.NormColor(color, len(as.occ))]
 }
 
 // ColorOccupancy returns a copy of the mapped-pages-per-color table.

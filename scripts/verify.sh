@@ -88,3 +88,12 @@ go run ./cmd/experiments -id ext-pressure -quick -audit > /dev/null
 go build -o /tmp/cdpcd-verify ./cmd/cdpcd
 go run ./scripts/smoke -bin /tmp/cdpcd-verify
 rm -f /tmp/cdpcd-verify
+
+# Isolation smoke: a 2-way color-partitioned mix must report exactly
+# zero cross-domain evictions (audit invariant 12 also checks this, so
+# the run is audited too — the grep catches a silent wiring break
+# between the simulator counter and the printed line).
+go run ./cmd/cdpcsim -workload tomcatv -scale 32 -procs 2 -isolate -audit > /tmp/cdpc-isolate-smoke.txt
+grep -q '^isolation: color-partitioned domains; cross-domain evictions 0 ' /tmp/cdpc-isolate-smoke.txt \
+    || { echo "isolated 2-way run did not report zero cross-domain evictions"; cat /tmp/cdpc-isolate-smoke.txt; exit 1; }
+rm -f /tmp/cdpc-isolate-smoke.txt
