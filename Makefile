@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-sampled audit serve smoke verify
+.PHONY: build test vet lint race bench bench-sampled audit serve smoke topology-matrix verify
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,12 @@ bench-sampled:
 # conservation invariants are checked; any violation exits non-zero.
 audit:
 	$(GO) run ./cmd/experiments -quick -audit
+
+# Page mapping policies across cache topologies (default, clustered-l3,
+# sliced-llc4 — see MACHINES.md), audited. The full matrix of the
+# ext-topology extension study.
+topology-matrix:
+	$(GO) run ./cmd/experiments -id ext-topology -audit
 
 # Run the simulation daemon (see API.md for the HTTP surface).
 serve:

@@ -54,6 +54,7 @@ func main() {
 		schedF   = flag.String("sched", "", "space-sharing discipline for multiprocess runs (timeslice, partition; default timeslice)")
 		quantum  = flag.Uint64("quantum", 0, "time-slice quantum in cycles for multiprocess runs (0 = simulator default)")
 		isolate  = flag.Bool("isolate", false, "color-partition multiprocess runs: each process allocates only from its isolation domain's exclusive color subset")
+		topology = flag.String("topology", "", "cache topology ("+strings.Join(arch.TopologyNames(), ", ")+"; empty = default)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func main() {
 		Machine:  harness.MachineKind(*machine),
 		Variant:  harness.Variant(*variant),
 		Prefetch: *prefetch,
+		Topology: *topology,
 	}
 	for i := 1; i < *procs; i++ {
 		spec.CoRunners = append(spec.CoRunners, harness.CoRunner{})
@@ -328,6 +330,21 @@ func print(res *sim.Result, spec harness.Spec) {
 		100*res.BusUtilization(), float64(res.Bus.DataCycles)/1e6,
 		float64(res.Bus.WritebackCycles)/1e6, float64(res.Bus.UpgradeCycles)/1e6)
 
+	if len(res.SliceMisses) > 0 {
+		var st uint64
+		for _, n := range res.SliceMisses {
+			st += n
+		}
+		fmt.Printf("  slice split    ")
+		for s, n := range res.SliceMisses {
+			p := 0.0
+			if st > 0 {
+				p = 100 * float64(n) / float64(st)
+			}
+			fmt.Printf(" s%d=%d (%.1f%%)", s, n, p)
+		}
+		fmt.Println()
+	}
 	if pf := tot(func(s *sim.CPUStats) uint64 { return s.PrefetchesIssued }); pf > 0 {
 		fmt.Printf("  prefetches      %d issued, %d dropped on TLB miss, %d demand hits on in-flight lines\n",
 			pf,

@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/harness"
 )
 
@@ -38,8 +40,15 @@ func main() {
 		audit    = flag.Bool("audit", false, "check conservation invariants on every simulation; violations exit non-zero")
 		procsN   = flag.Int("procs", 0, "override the co-scheduling degree swept by ext-multiprog (0 = default sweep)")
 		sampled  = flag.Bool("sampled", false, "run compatible simulations phase-sampled (~10x faster, <2% MCPI error; incompatible specs keep full fidelity)")
+		topology = flag.String("topology", "", "cache topology for every simulation (see MACHINES.md; specs that pin their own, like ext-topology, keep it)")
 	)
 	flag.Parse()
+
+	if !arch.KnownTopology(*topology) {
+		fmt.Fprintf(os.Stderr, "experiments: unknown topology %q (have %s)\n",
+			*topology, strings.Join(arch.TopologyNames(), ", "))
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
@@ -48,7 +57,7 @@ func main() {
 		return
 	}
 
-	opts := harness.ExpOptions{Scale: *scale, Quick: *quick, Audit: *audit, Procs: *procsN, Sampled: *sampled}
+	opts := harness.ExpOptions{Scale: *scale, Quick: *quick, Audit: *audit, Procs: *procsN, Sampled: *sampled, Topology: *topology}
 	if *parallel {
 		// One scheduler across all experiments: identical specs (e.g. the
 		// page-coloring baselines shared by Figures 2, 6 and 8) simulate once.

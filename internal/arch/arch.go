@@ -95,6 +95,13 @@ type Config struct {
 	L1I CacheGeometry
 	L2  CacheGeometry // external, physically indexed: page colors matter here
 
+	// Topology, when non-nil, replaces the implicit single-level external
+	// cache described by L2/L2HitCycles with a declarative multi-level,
+	// possibly sliced hierarchy (see Topology). Nil means the default
+	// topology — the paper's machine — and keeps every simulator path
+	// byte-identical to the pre-topology code.
+	Topology *Topology `json:",omitempty"`
+
 	PageSize int
 
 	// Latencies in CPU cycles.
@@ -137,9 +144,13 @@ type Config struct {
 	MemoryMB int // physical memory size
 }
 
-// Colors returns the number of page colors of the external cache:
-// cache size / (page size * associativity) (§2.1).
+// Colors returns the number of page colors of the last-level cache:
+// cache size / (page size * associativity) (§2.1), generalized to
+// slices × per-slice colors under an explicit topology.
 func (c Config) Colors() int {
+	if c.Topology != nil {
+		return c.Topology.LLC().Colors(c.PageSize)
+	}
 	n := c.L2.Size / (c.PageSize * c.L2.Assoc)
 	if n < 1 {
 		return 1
@@ -147,8 +158,18 @@ func (c Config) Colors() int {
 	return n
 }
 
-// PagesPerCache returns how many pages fit in one external cache.
-func (c Config) PagesPerCache() int { return c.L2.Size / c.PageSize }
+// PagesPerCache returns how many pages fit in one last-level cache
+// instance (all slices included).
+func (c Config) PagesPerCache() int {
+	if c.Topology != nil {
+		llc := c.Topology.LLC()
+		return llc.Slices * llc.Geom.Size / c.PageSize
+	}
+	return c.L2.Size / c.PageSize
+}
+
+// PageShift returns log2(PageSize).
+func (c Config) PageShift() uint { return Log2(c.PageSize) }
 
 // CyclesFromNS converts a wall-clock latency to cycles at this clock.
 func (c Config) CyclesFromNS(ns int) int { return ns * c.ClockMHz / 1000 }
@@ -168,6 +189,11 @@ func (c Config) Validate() error {
 	}
 	if c.L2.Size < c.PageSize {
 		return fmt.Errorf("arch: L2 (%d) smaller than a page (%d)", c.L2.Size, c.PageSize)
+	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(c.NumCPUs, c.PageSize, c.L1D.LineSize); err != nil {
+			return err
+		}
 	}
 	if c.BusBytesPerCycle <= 0 {
 		return fmt.Errorf("arch: bus bandwidth must be positive")

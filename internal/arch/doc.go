@@ -11,4 +11,16 @@
 // Alpha, modeled on the 350 MHz AlphaServer 8400 used for validation
 // (4 MB direct-mapped external cache). Scale derives proportionally
 // smaller machines so that full experiments finish in seconds.
+//
+// Everything beyond the virtually indexed L1s is described by a
+// declarative Topology: an ordered list of physically indexed cache
+// Levels (per-level geometry, sharing-cluster width, latency,
+// inclusivity, and an optional XOR-of-address-bits slice hash on the
+// last level). A nil Config.Topology means DefaultTopology — the
+// paper's single per-CPU external cache, byte-identical to the
+// pre-topology simulator — and named alternatives (ApplyTopology,
+// TopologyNames) reshape the hierarchy while Config.Colors and
+// Config.FrameColor keep every placement policy working in the
+// effective color space. MACHINES.md is the schema and configuration
+// reference.
 package arch

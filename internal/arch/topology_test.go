@@ -1,0 +1,191 @@
+package arch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSliceHash(t *testing.T) {
+	h := XorFoldHash(2, 12, 28)
+	if got := h.Slices(); got != 4 {
+		t.Fatalf("Slices() = %d, want 4", got)
+	}
+	if err := h.Validate(4096); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Interleaved masks: bit 12 feeds index bit 0, bit 13 index bit 1,
+	// bit 14 index bit 0 again...
+	if h.Masks[0]&(1<<12) == 0 || h.Masks[1]&(1<<13) == 0 || h.Masks[0]&(1<<14) == 0 {
+		t.Fatalf("unexpected mask interleave: %#x", h.Masks)
+	}
+	// A single address bit flips exactly the index bit whose mask holds it.
+	if h.SliceOf(0) != 0 {
+		t.Fatalf("SliceOf(0) = %d", h.SliceOf(0))
+	}
+	if h.SliceOf(1<<12) != 1 {
+		t.Fatalf("SliceOf(1<<12) = %d, want 1", h.SliceOf(1<<12))
+	}
+	if h.SliceOf(1<<13) != 2 {
+		t.Fatalf("SliceOf(1<<13) = %d, want 2", h.SliceOf(1<<13))
+	}
+	if h.SliceOf(1<<12|1<<14) != 0 {
+		t.Fatalf("parity should cancel: got %d", h.SliceOf(1<<12|1<<14))
+	}
+}
+
+func TestSliceHashValidate(t *testing.T) {
+	if err := (SliceHash{}).Validate(4096); err == nil {
+		t.Error("empty hash validated")
+	}
+	if err := (SliceHash{Masks: []uint64{1 << 6}}).Validate(4096); err == nil {
+		t.Error("sub-page mask bit validated; a page would straddle slices")
+	}
+	if err := (SliceHash{Masks: []uint64{0}}).Validate(4096); err == nil {
+		t.Error("zero mask validated")
+	}
+}
+
+// TestSliceHashColorPartition is the property test: slice-hash color
+// classes partition the frame space — every frame gets exactly one
+// color in [0, Colors), every line of a page lands in its page's slice,
+// and within a slice the color is the classic frame-mod arithmetic.
+func TestSliceHashColorPartition(t *testing.T) {
+	cfg := Base(4, 16)
+	cfg, err := ApplyTopology(cfg, "sliced-llc4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := cfg.Topology.LLC()
+	colors := cfg.Colors()
+	sc := llc.SliceColors(cfg.PageSize)
+	if colors != llc.Slices*sc {
+		t.Fatalf("Colors() = %d, want slices(%d) * sliceColors(%d)", colors, llc.Slices, sc)
+	}
+	frames := uint64(cfg.MemoryMB) << 20 >> cfg.PageShift()
+	seen := make([]uint64, colors)
+	for f := uint64(0); f < frames; f++ {
+		c := cfg.FrameColor(f)
+		if c < 0 || c >= colors {
+			t.Fatalf("frame %d: color %d out of [0,%d)", f, c, colors)
+		}
+		seen[c]++
+		// Slice-major numbering: color / sliceColors is the slice,
+		// color % sliceColors the within-slice color.
+		base := f << cfg.PageShift()
+		if got, want := c/sc, llc.SliceOf(base); got != want {
+			t.Fatalf("frame %d: color %d encodes slice %d, hash says %d", f, c, got, want)
+		}
+		if got, want := c%sc, int(f%uint64(sc)); got != want {
+			t.Fatalf("frame %d: within-slice color %d, want %d", f, got, want)
+		}
+		// Every line of the page must hash to the page's slice.
+		for off := 0; off < cfg.PageSize; off += llc.Geom.LineSize {
+			if llc.SliceOf(base+uint64(off)) != llc.SliceOf(base) {
+				t.Fatalf("frame %d: line at offset %d changes slice", f, off)
+			}
+		}
+	}
+	// Partition: classes are non-empty and cover the frame space evenly
+	// enough that no class is starved (the hash folds many bits, so the
+	// split is near-uniform; assert within 2x of fair share).
+	fair := frames / uint64(colors)
+	var total uint64
+	for c, n := range seen {
+		total += n
+		if n == 0 {
+			t.Errorf("color %d: no frames", c)
+		}
+		if n > 2*fair {
+			t.Errorf("color %d: %d frames, more than 2x fair share %d", c, n, fair)
+		}
+	}
+	if total != frames {
+		t.Fatalf("classes sum to %d, want %d", total, frames)
+	}
+}
+
+func TestDefaultTopologyMatchesConfig(t *testing.T) {
+	cfg := Base(4, 16)
+	topo := cfg.Topo()
+	if topo.Name != "default" || len(topo.Levels) != 1 {
+		t.Fatalf("unexpected default topology %+v", topo)
+	}
+	llc := topo.LLC()
+	if llc.Geom != cfg.L2 || llc.HitCycles != cfg.L2HitCycles || llc.CPUsPerCache != 1 || llc.Slices != 1 {
+		t.Fatalf("default LLC %+v does not mirror cfg.L2", llc)
+	}
+	if llc.Colors(cfg.PageSize) != cfg.Colors() {
+		t.Fatalf("default topology colors %d != cfg colors %d", llc.Colors(cfg.PageSize), cfg.Colors())
+	}
+	for f := uint64(0); f < 64; f++ {
+		if cfg.FrameColor(f) != int(f%uint64(cfg.Colors())) {
+			t.Fatalf("frame %d: default FrameColor diverged", f)
+		}
+	}
+}
+
+func TestApplyTopology(t *testing.T) {
+	cfg := Base(8, 16)
+	for _, name := range TopologyNames() {
+		c, err := ApplyTopology(cfg, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: applied config invalid: %v", name, err)
+		}
+		if name != "default" && !strings.Contains(c.Name, name) {
+			t.Errorf("%s: machine name %q does not carry the topology", name, c.Name)
+		}
+		// Round-trip through JSON: named topologies must survive machine
+		// files.
+		var buf bytes.Buffer
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: WriteJSON: %v", name, err)
+		}
+		rt, err := ReadConfig(&buf)
+		if err != nil {
+			t.Fatalf("%s: ReadConfig: %v", name, err)
+		}
+		if rt.Colors() != c.Colors() {
+			t.Errorf("%s: colors changed over JSON round-trip: %d != %d", name, rt.Colors(), c.Colors())
+		}
+	}
+	if _, err := ApplyTopology(cfg, "no-such"); err == nil {
+		t.Error("unknown topology applied")
+	}
+	if !KnownTopology("") || !KnownTopology("default") || KnownTopology("no-such") {
+		t.Error("KnownTopology misclassifies")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	cfg := Base(4, 16)
+	bad := []Topology{
+		{Name: "empty"},
+		{Name: "cluster", Levels: []Level{{Name: "L2", Geom: cfg.L2, CPUsPerCache: 3, HitCycles: 1, Slices: 1}}},
+		{Name: "shrinking-line", Levels: []Level{
+			{Name: "L2", Geom: CacheGeometry{Size: 64 << 10, LineSize: 128, Assoc: 1}, CPUsPerCache: 1, HitCycles: 1, Slices: 1},
+			{Name: "L3", Geom: CacheGeometry{Size: 128 << 10, LineSize: 64, Assoc: 1}, CPUsPerCache: 4, HitCycles: 2, Slices: 1},
+		}},
+		{Name: "narrowing-share", Levels: []Level{
+			{Name: "L2", Geom: cfg.L2, CPUsPerCache: 4, HitCycles: 1, Slices: 1},
+			{Name: "L3", Geom: cfg.L2, CPUsPerCache: 2, HitCycles: 2, Slices: 1},
+		}},
+		{Name: "sliced-no-hash", Levels: []Level{{Name: "LLC", Geom: cfg.L2, CPUsPerCache: 4, HitCycles: 1, Slices: 4}}},
+		{Name: "hash-mismatch", Levels: []Level{func() Level {
+			h := XorFoldHash(1, 12, 20)
+			return Level{Name: "LLC", Geom: cfg.L2, CPUsPerCache: 4, HitCycles: 1, Slices: 4, Hash: &h}
+		}()}},
+		{Name: "unsliced-with-hash", Levels: []Level{func() Level {
+			h := XorFoldHash(1, 12, 20)
+			return Level{Name: "LLC", Geom: cfg.L2, CPUsPerCache: 4, HitCycles: 1, Slices: 1, Hash: &h}
+		}()}},
+	}
+	for _, topo := range bad {
+		if err := topo.Validate(cfg.NumCPUs, cfg.PageSize, cfg.L1D.LineSize); err == nil {
+			t.Errorf("%s: validated", topo.Name)
+		}
+	}
+}

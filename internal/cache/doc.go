@@ -1,7 +1,10 @@
-// Package cache implements the set-associative cache model used for both
-// the on-chip (virtually indexed) and external (physically indexed)
-// caches, and a fully-associative shadow cache used to split replacement
-// misses into conflict and capacity misses — the decomposition behind
-// the paper's Figure 2 memory-system breakdown (§4.1) and the conflict
-// bars of Figures 6–8.
+// Package cache implements the set-associative cache model used for
+// every level of the simulated hierarchy — the on-chip (virtually
+// indexed) L1s, the mid-level latency filters, and each slice of the
+// physically indexed last-level cache (a sliced LLC is several
+// instances of this model selected by an address-bit hash; see
+// arch.SliceHash and MACHINES.md) — and a fully-associative shadow
+// cache used to split replacement misses into conflict and capacity
+// misses, the decomposition behind the paper's Figure 2 memory-system
+// breakdown (§4.1) and the conflict bars of Figures 6–8.
 package cache

@@ -1,10 +1,15 @@
 // Package coherence implements an invalidation-based (MESI-style)
-// coherence directory over the per-CPU external caches, plus the
-// word-granularity bookkeeping needed to classify coherence misses into
-// true and false sharing following Dubois et al., the classification the
-// paper's Figure 2 memory-system graph uses (§4.1).
+// coherence directory over the last-level cache instances of the
+// machine's topology, plus the word-granularity bookkeeping needed to
+// classify coherence misses into true and false sharing following
+// Dubois et al., the classification the paper's Figure 2 memory-system
+// graph uses (§4.1).
 //
-// The directory is the single source of truth for which CPUs hold a line;
-// the simulator mirrors its invalidation decisions into the per-CPU cache
-// models.
+// Directory nodes are cache units, not CPUs: on the default topology
+// every CPU owns a private external cache (one node per CPU, the
+// paper's machine), while a clustered or machine-shared LLC registers
+// one node per instance and sharing within a cluster never touches the
+// directory. The directory is the single source of truth for which
+// units hold a line; the simulator mirrors its invalidation decisions
+// into the per-unit cache models.
 package coherence

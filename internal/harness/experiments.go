@@ -40,6 +40,12 @@ type ExpOptions struct {
 	// stream (attribution, co-scheduling, dynamic recoloring) silently
 	// keep full fidelity.
 	Sampled bool
+	// Topology runs every simulation on the named cache topology
+	// (MACHINES.md) instead of the preset's default hierarchy. Specs
+	// that pick a topology themselves (ext-topology's matrix) keep
+	// their own choice. Unknown names fail at run time like any
+	// invalid spec.
+	Topology string
 }
 
 // run executes one spec, through the scheduler when one is configured,
@@ -49,6 +55,9 @@ func (o ExpOptions) run(s Spec) (*sim.Result, error) {
 	var err error
 	if o.Sampled && CanSample(s) {
 		s.Sampled = true
+	}
+	if o.Topology != "" && s.Topology == "" {
+		s.Topology = o.Topology
 	}
 	if o.Runner != nil {
 		res, err = o.Runner.Run(s)
@@ -81,13 +90,16 @@ func (o ExpOptions) warm(specs []Spec) {
 	if o.Runner == nil {
 		return
 	}
-	if o.Sampled {
-		// Mirror run's fidelity mapping so the warmed memo keys match
-		// the keys the render loop will ask for.
+	if o.Sampled || o.Topology != "" {
+		// Mirror run's fidelity and topology mapping so the warmed memo
+		// keys match the keys the render loop will ask for.
 		mapped := make([]Spec, len(specs))
 		for i, s := range specs {
-			if CanSample(s) {
+			if o.Sampled && CanSample(s) {
 				s.Sampled = true
+			}
+			if o.Topology != "" && s.Topology == "" {
+				s.Topology = o.Topology
 			}
 			mapped[i] = s
 		}
@@ -149,6 +161,7 @@ func Experiments() []Experiment {
 		{"ext-pressure", "Extension: CDPC under memory pressure (§5 step 3)", ExtPressure},
 		{"ext-multiprog", "Extension: CDPC vs first-touch/bin-hopping under co-scheduling", ExtMultiprog},
 		{"ext-sampling", "Extension: phase-sampled execution vs full fidelity (error budget)", ExtSampling},
+		{"ext-topology", "Extension: page mapping policies across cache topologies", ExtTopology},
 	}
 }
 

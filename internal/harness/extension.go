@@ -149,3 +149,92 @@ func ExtPadding(o ExpOptions) (string, error) {
 	b.WriteString("replace a mapping-aware technique like CDPC (§2.2).\n")
 	return b.String(), nil
 }
+
+// ExtTopology is the cache-topology extension study: the same placement
+// policies on reshaped external hierarchies. The paper's analysis
+// assumes one shared physically indexed level; the declarative topology
+// model re-runs the comparison on a clustered three-level hierarchy and
+// on an address-hashed sliced LLC, where the effective color space is
+// the slice hash composed with within-slice set indexing. CDPC computes
+// its hints from cfg.Colors(), so the hint space follows the topology
+// automatically — the study measures whether its lead over the OS
+// policies survives the reshaping.
+func ExtTopology(o ExpOptions) (string, error) {
+	names := []string{"tomcatv", "swim", "hydro2d"}
+	if o.Quick {
+		names = names[:1]
+	}
+	cpus := []int{4, 8}
+	if o.Quick {
+		cpus = []int{8}
+	}
+	topos := []string{"default", "clustered-l3", "sliced-llc4"}
+	variants := []Variant{PageColoring, BinHopping, CDPC}
+
+	var specs []Spec
+	for _, name := range names {
+		for _, p := range cpus {
+			for _, topo := range topos {
+				for _, v := range variants {
+					specs = append(specs, Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: v, Topology: topo})
+				}
+			}
+		}
+	}
+	o.warm(specs)
+
+	var b strings.Builder
+	b.WriteString("Extension — page mapping policies across cache topologies\n")
+	b.WriteString("default: one shared external level (the paper's machine model).\n")
+	b.WriteString("clustered-l3: private L2 per CPU under a 4-CPU-clustered inclusive L3.\n")
+	b.WriteString("sliced-llc4: one shared LLC in 4 slices selected by an XOR hash of\n")
+	b.WriteString("physical address bits; colors become (slice, within-slice set region).\n\n")
+	fmt.Fprintf(&b, "%-8s %-4s %-13s %12s %12s %12s %10s\n",
+		"workload", "cpus", "topology", "coloring(M)", "binhop(M)", "cdpc(M)", "cdpc/colr")
+	var sliced *sim.Result
+	for _, name := range names {
+		for _, p := range cpus {
+			for _, topo := range topos {
+				results := map[Variant]*sim.Result{}
+				for _, v := range variants {
+					r, err := o.run(Spec{Workload: name, Scale: o.Scale, CPUs: p, Variant: v, Topology: topo})
+					if err != nil {
+						return "", err
+					}
+					results[v] = r
+				}
+				if topo == "sliced-llc4" && sliced == nil {
+					sliced = results[CDPC]
+				}
+				mc := func(v Variant) float64 { return float64(results[v].WallCycles) / 1e6 }
+				fmt.Fprintf(&b, "%-8s %-4d %-13s %12.1f %12.1f %12.1f %10.2f\n",
+					name, p, topo,
+					mc(PageColoring), mc(BinHopping), mc(CDPC),
+					results[CDPC].Speedup(results[PageColoring]))
+			}
+		}
+	}
+	if sliced != nil && len(sliced.SliceMisses) > 0 {
+		var total uint64
+		for _, n := range sliced.SliceMisses {
+			total += n
+		}
+		fmt.Fprintf(&b, "\nsliced-llc4 per-slice miss split (%s/cdpc, %d cpus):", sliced.Workload, sliced.NumCPUs)
+		for s, n := range sliced.SliceMisses {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(n) / float64(total)
+			}
+			fmt.Fprintf(&b, " s%d=%.1f%%", s, pct)
+		}
+		b.WriteString("\n(the audit holds the split's sum to the machine-wide miss total)\n")
+	}
+	b.WriteString("\nthe topology reshapes the conclusion, not just the numbers: private\n")
+	b.WriteString("mid-level caches absorb the conflict misses CDPC exists to prevent,\n")
+	b.WriteString("and an address-bit slice hash already scatters pages across slices —\n")
+	b.WriteString("a hardware randomization that erodes both the coloring pathology and\n")
+	b.WriteString("the compiler's leverage over it, which is exactly the trade sliced\n")
+	b.WriteString("LLC designs make. The paper's large CDPC wins are a property of the\n")
+	b.WriteString("single shared direct-indexed level its machines had.\n")
+	return b.String(), nil
+}

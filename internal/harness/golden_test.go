@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// TestGoldenDefaultTopology is the byte-identical guard for the
+// generalized-topology refactor: every workload, run on the default
+// (implicit) topology, must reproduce exactly the counter fingerprints
+// recorded from the pre-refactor two-level simulator. The fingerprint
+// covers the wall clock, every per-CPU miss class and cycle bucket
+// total, bus occupancy and the fault counters — any change to event
+// order, latency charging or placement shows up in at least one of
+// them (memory jitter alone cascades a single reordered miss into the
+// wall clock).
+//
+// Regenerate with WRITE_GOLDEN=1 go test -run TestGoldenDefaultTopology
+// ./internal/harness — but only after deliberately changing simulator
+// behavior; the file is the contract that the default path did NOT
+// change.
+func TestGoldenDefaultTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep simulates every workload; skipped in -short")
+	}
+	path := filepath.Join("testdata", "golden_default.json")
+	got := map[string]string{}
+	for _, w := range workloads.Names() {
+		res, err := Run(Spec{Workload: w, CPUs: 4, Scale: 32})
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		got[w] = fingerprint(res)
+	}
+	// CDPC exercises the hint pipeline end to end; one workload suffices
+	// since hints only change placement inputs, not simulator mechanics.
+	res, err := Run(Spec{Workload: "tomcatv", CPUs: 4, Scale: 32, Variant: CDPC})
+	if err != nil {
+		t.Fatalf("tomcatv/cdpc: %v", err)
+	}
+	got["tomcatv/cdpc"] = fingerprint(res)
+
+	if os.Getenv("WRITE_GOLDEN") != "" {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with WRITE_GOLDEN=1): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, wf := range want {
+		if got[name] != wf {
+			t.Errorf("%s: default topology diverged from pre-refactor result\n got %s\nwant %s", name, got[name], wf)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: missing from golden file; regenerate with WRITE_GOLDEN=1", name)
+		}
+	}
+}
+
+// fingerprint renders the counters that pin a Result byte-for-byte.
+// Fields are enumerated explicitly (not reflected) so adding new
+// counters to CPUStats later cannot silently invalidate the file.
+func fingerprint(r *sim.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wall=%d bus=%d/%d/%d faults=%d hinted=%d honored=%d",
+		r.WallCycles, r.Bus.DataCycles, r.Bus.WritebackCycles, r.Bus.UpgradeCycles,
+		r.PageFaults, r.HintedFaults, r.HonoredHints)
+	for i := range r.PerCPU {
+		s := &r.PerCPU[i]
+		fmt.Fprintf(&b, " cpu%d=[inst=%d exec=%d l2=%d cold=%d conf=%d cap=%d true=%d false=%d instm=%d onchip=%d kern=%d sync=%d imb=%d seq=%d tlb=%d pf=%d up=%d rem=%d bq=%d wb=%d]",
+			i, s.Instructions, s.ExecCycles, s.L2Misses, s.ColdMisses, s.ConflictMisses,
+			s.CapacityMisses, s.TrueShareMisses, s.FalseShareMisses, s.InstMisses,
+			s.StallOnChip, s.KernelCycles, s.SyncCycles, s.ImbalanceCycles, s.SequentialCycles,
+			s.TLBMisses, s.PageFaults, s.Upgrades, s.RemoteSupplies, s.BusQueueCycles, s.StallWriteBuffer)
+	}
+	return b.String()
+}

@@ -141,6 +141,15 @@ type Spec struct {
 	// L2Override replaces the external-cache geometry (Figure 7 sweeps).
 	L2Override *arch.CacheGeometry
 
+	// Topology selects a named cache topology (arch.TopologyNames) to
+	// install over the resolved machine: "" or "default" keeps the
+	// classic single shared-level model, other names reshape the external
+	// hierarchy (clustered mid-level caches, sliced LLCs). Applied after
+	// L2Override, so geometry sweeps compose — the topology builders
+	// derive their level sizes from the overridden cfg.L2. Unknown names
+	// are rejected by every Run entry point.
+	Topology string
+
 	// ConfigOverride replaces the whole machine configuration (custom
 	// machines loaded from JSON); Machine/Scale/CPUs are then ignored
 	// except that NumCPUs is taken from the override.
@@ -244,28 +253,49 @@ func CanSample(s Spec) bool {
 	return s.Obs == nil && len(s.CoRunners) == 0 && s.Variant != DynamicRecoloring
 }
 
-// Config resolves the machine configuration for a spec.
+// Config resolves the machine configuration for a spec. An unknown
+// Topology name is ignored here (Config cannot error); the Run entry
+// points reject it via validateSpec first.
 func (s Spec) Config() arch.Config {
 	s = s.withDefaults()
-	if s.ConfigOverride != nil {
-		return *s.ConfigOverride
-	}
 	var cfg arch.Config
-	if s.Machine == AlphaMachine {
-		cfg = arch.Alpha(s.CPUs, s.Scale)
+	if s.ConfigOverride != nil {
+		cfg = *s.ConfigOverride
 	} else {
-		cfg = arch.Base(s.CPUs, s.Scale)
+		if s.Machine == AlphaMachine {
+			cfg = arch.Alpha(s.CPUs, s.Scale)
+		} else {
+			cfg = arch.Base(s.CPUs, s.Scale)
+		}
+		if s.L2Override != nil {
+			cfg = cfg.WithL2(*s.L2Override)
+		}
 	}
-	if s.L2Override != nil {
-		cfg = cfg.WithL2(*s.L2Override)
+	if s.Topology != "" && s.Topology != "default" {
+		if c, err := arch.ApplyTopology(cfg, s.Topology); err == nil {
+			cfg = c
+		}
 	}
 	return cfg
+}
+
+// validateSpec rejects spec fields whose resolution Config would have
+// to swallow silently — today that is an unknown topology name.
+func validateSpec(s Spec) error {
+	if !arch.KnownTopology(s.Topology) {
+		return fmt.Errorf("harness: unknown topology %q (have %s)",
+			s.Topology, strings.Join(arch.TopologyNames(), ", "))
+	}
+	return nil
 }
 
 // Prepare builds the workload program and runs the compiler pipeline for
 // a spec, returning the program, its summary, and the machine config.
 func Prepare(s Spec) (*ir.Program, *compiler.Summary, arch.Config, error) {
 	s = s.withDefaults()
+	if err := validateSpec(s); err != nil {
+		return nil, nil, arch.Config{}, err
+	}
 	meta, err := workloads.ByName(s.Workload)
 	if err != nil {
 		return nil, nil, arch.Config{}, err
@@ -319,6 +349,9 @@ func RunProgram(prog *ir.Program, s Spec) (*sim.Result, error) {
 // RunProgramCtx is RunProgram with cancellation (see RunCtx).
 func RunProgramCtx(ctx context.Context, prog *ir.Program, s Spec) (*sim.Result, error) {
 	s = s.withDefaults()
+	if err := validateSpec(s); err != nil {
+		return nil, err
+	}
 	cfg := s.Config()
 	layout := compiler.DefaultLayout(cfg.L2.LineSize, cfg.L1D.Size, cfg.PageSize)
 	switch s.Variant {
@@ -448,6 +481,9 @@ func RunMulti(s Spec) (*sim.MultiResult, error) {
 // be co-scheduled and are rejected.
 func RunMultiCtx(ctx context.Context, s Spec) (*sim.MultiResult, error) {
 	s = s.withDefaults()
+	if err := validateSpec(s); err != nil {
+		return nil, err
+	}
 	sched, err := simSched(s.Sched, s.Quantum)
 	if err != nil {
 		return nil, err

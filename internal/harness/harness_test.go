@@ -187,7 +187,7 @@ func TestSpecRatingAndGeoMean(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := SortedExperimentIDs()
-	want := []string{"ext-dynamic", "ext-multiprog", "ext-padding", "ext-phases", "ext-pressure", "ext-sampling", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2"}
+	want := []string{"ext-dynamic", "ext-multiprog", "ext-padding", "ext-phases", "ext-pressure", "ext-sampling", "ext-topology", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments = %v", ids)
 	}

@@ -86,6 +86,10 @@ type specKey struct {
 	CDPCOptions           core.Options
 	DisableClassification bool
 
+	// Topology is the named cache topology, normalized so the empty
+	// string and "default" (the same machine) share one memo slot.
+	Topology string
+
 	// Sampled distinguishes phase-sampled results from full-fidelity
 	// ones: the two are different estimates of the same run and must
 	// never share a memo slot. keyOf sees the spec after withDefaults,
@@ -120,6 +124,9 @@ func keyOf(s Spec) specKey {
 		CDPCOptions:           s.CDPCOptions,
 		DisableClassification: s.DisableClassification,
 		Sampled:               s.Sampled,
+	}
+	if s.Topology != "default" {
+		k.Topology = s.Topology
 	}
 	if s.L2Override != nil {
 		k.HasL2, k.L2 = true, *s.L2Override

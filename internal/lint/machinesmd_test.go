@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// machinesHeading matches the per-topology sections of MACHINES.md:
+// a level-3 heading whose title is exactly one backticked name.
+var machinesHeading = regexp.MustCompile("(?m)^### `([a-z0-9-]+)`\\s*$")
+
+// TestMachinesDocCoversEveryTopology is the golden cross-check between
+// MACHINES.md's "Shipped topologies" sections and the registered
+// topology names, in both directions: a topology added to
+// arch.topologyBuilders without documentation fails, and so does a
+// documented section whose topology was renamed or removed.
+func TestMachinesDocCoversEveryTopology(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "MACHINES.md"))
+	if err != nil {
+		t.Fatalf("reading MACHINES.md: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range machinesHeading.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no `### `name`` topology sections parsed from MACHINES.md")
+	}
+
+	names := arch.TopologyNames()
+	if len(names) == 0 {
+		t.Fatal("arch.TopologyNames returned nothing")
+	}
+	registered := map[string]bool{}
+	for _, n := range names {
+		registered[n] = true
+		if !documented[n] {
+			t.Errorf("topology %q is registered but has no `### `%s`` section in MACHINES.md", n, n)
+		}
+	}
+	for n := range documented {
+		if !registered[n] {
+			t.Errorf("MACHINES.md documents topology %q but arch registers no such name", n)
+		}
+	}
+}

@@ -34,10 +34,14 @@ var Pow2GeomAnalyzer = &Analyzer{
 }
 
 // pow2Fields lists, per geometry struct, which fields carry the
-// power-of-two contract.
+// power-of-two contract. Level.Slices joins the cache and page
+// geometry: slice selection is an XOR hash over index bits, so the
+// slice count is structurally 1 << len(masks) — a literal that is not
+// a power of two can never validate.
 var pow2Fields = map[string]map[string]bool{
 	"CacheGeometry": {"Size": true, "LineSize": true},
 	"Config":        {"PageSize": true},
+	"Level":         {"Slices": true},
 }
 
 func runPow2Geom(pass *Pass) {

@@ -13,6 +13,12 @@ type Config struct {
 	L2       CacheGeometry
 }
 
+// Level mirrors the sliced-LLC fields of arch.Level.
+type Level struct {
+	Geom   CacheGeometry
+	Slices int
+}
+
 // FloorPow2 rounds down to a power of two (the sanctioned helper).
 func FloorPow2(x int) int {
 	p := 1
@@ -40,4 +46,18 @@ func Bad(scale int) Config {
 	c.L2.Size = 1 << 20 / scale // want "Size must be a power of two"
 	c.L2.LineSize = 48          // want "LineSize must be a power of two"
 	return c
+}
+
+// GoodSlices covers the sliced-level shapes the analyzer accepts.
+func GoodSlices(nbits int) []Level {
+	l := Level{Geom: CacheGeometry{Size: 1 << 19, LineSize: 128, Assoc: 1}, Slices: 4}
+	l.Slices = 1 << nbits
+	return []Level{l, {Slices: 1}}
+}
+
+// BadSlices covers slice counts that can never match an XOR hash.
+func BadSlices(n int) Level {
+	l := Level{Slices: 6} // want "Slices must be a power of two"
+	l.Slices = 3 * n      // want "Slices must be a power of two"
+	return l
 }

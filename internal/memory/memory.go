@@ -59,12 +59,27 @@ type Allocator struct {
 	domainOf    map[int]int   // pid -> isolation domain
 	partition   map[int][]int // domain -> exclusive colors, ascending
 	colorDomain []int         // color -> owning domain
+
+	// colorOf is the frame→color function. Nil means the modular layout
+	// of contiguous physical memory under a conventional physically
+	// indexed cache (frame % numColors); a hashed/sliced LLC installs
+	// its own function via NewWithColorOf.
+	colorOf func(frame uint64) int
 }
 
 // New creates an allocator over totalFrames frames spread round-robin
 // across numColors colors (frame f has color f % numColors, the natural
 // layout of contiguous physical memory under a physically indexed cache).
 func New(totalFrames, numColors int) *Allocator {
+	return NewWithColorOf(totalFrames, numColors, nil)
+}
+
+// NewWithColorOf is New with an explicit frame→color function, for
+// machines whose last-level cache selects sets by an address hash
+// (sliced LLCs): the pools are built by colorOf, and ColorOf/Release
+// consult it. colorOf must be a pure function returning values in
+// [0, numColors); nil keeps the modular default.
+func NewWithColorOf(totalFrames, numColors int, colorOf func(frame uint64) int) *Allocator {
 	if totalFrames <= 0 || numColors <= 0 {
 		panic(fmt.Sprintf("memory: bad sizes frames=%d colors=%d", totalFrames, numColors))
 	}
@@ -75,6 +90,7 @@ func New(totalFrames, numColors int) *Allocator {
 		owner:     map[uint64]int{},
 		allocs:    map[int]uint64{},
 		frees:     map[int]uint64{},
+		colorOf:   colorOf,
 	}
 	per := totalFrames/numColors + 1
 	for c := range a.free {
@@ -82,8 +98,7 @@ func New(totalFrames, numColors int) *Allocator {
 	}
 	// Push in descending order so pops return ascending frame numbers.
 	for f := totalFrames - 1; f >= 0; f-- {
-		c := f % numColors
-		a.free[c] = append(a.free[c], uint64(f))
+		a.free[a.ColorOf(uint64(f))] = append(a.free[a.ColorOf(uint64(f))], uint64(f))
 	}
 	return a
 }
@@ -108,7 +123,12 @@ func (a *Allocator) FreeByColor() []int {
 }
 
 // ColorOf returns the color of a frame number.
-func (a *Allocator) ColorOf(frame uint64) int { return int(frame % uint64(a.numColors)) }
+func (a *Allocator) ColorOf(frame uint64) int {
+	if a.colorOf != nil {
+		return a.colorOf(frame)
+	}
+	return int(frame % uint64(a.numColors))
+}
 
 // Alloc returns a free frame, preferring the given color. honored reports
 // whether the preference was satisfied. The frame is owned by process 0

@@ -482,3 +482,28 @@ func TestFirstTouchColorForPartitionLocal(t *testing.T) {
 		}
 	}
 }
+
+func TestNewWithColorOf(t *testing.T) {
+	// A toy hash: swap the low two color bits.
+	hash := func(f uint64) int { return int((f&1)<<1|(f>>1)&1) | int(f&^3)%4 }
+	colorOf := func(f uint64) int { return hash(f) % 4 }
+	a := NewWithColorOf(64, 4, colorOf)
+	for c := 0; c < 4; c++ {
+		if got := a.FreeOfColor(c); got != 16 {
+			t.Fatalf("color %d: %d free frames, want 16", c, got)
+		}
+	}
+	f, honored, err := a.Alloc(2)
+	if err != nil || !honored {
+		t.Fatalf("Alloc(2) = %v honored=%v", err, honored)
+	}
+	if got := a.ColorOf(f); got != 2 {
+		t.Fatalf("allocated frame %d has color %d, want 2", f, got)
+	}
+	// Release must return the frame to the hash-selected pool.
+	before := a.FreeOfColor(2)
+	a.Release(f)
+	if got := a.FreeOfColor(2); got != before+1 {
+		t.Fatalf("release went to the wrong pool: color 2 has %d free, want %d", got, before+1)
+	}
+}

@@ -100,6 +100,8 @@ type Collector struct {
 	colors       int
 	sets         int
 	setsPerColor int
+	slices       int
+	sliceSets    int
 
 	perColor      []ClassCounts
 	perColorStall []uint64
@@ -114,6 +116,14 @@ type Collector struct {
 	// SetOccupancy is the fraction of valid ways per set at run end,
 	// averaged over CPUs.
 	SetOccupancy []float64
+
+	// Per-slice attribution on sliced-LLC topologies (nil otherwise):
+	// SliceMisses aggregates SetMisses by slice (global set numbering is
+	// slice-major, so slice = set / sliceSets), SliceOccupancy averages
+	// SetOccupancy the same way. Filled by RecordSetProfile after
+	// InitSlices has sized them.
+	SliceMisses    []uint64
+	SliceOccupancy []float64
 
 	// Allocator/VM snapshot at run end.
 	ColorMapped []int // mapped pages per color
@@ -160,6 +170,18 @@ func (c *Collector) Init(colors, sets, setsPerColor int) {
 
 // Colors returns the color count the collector was initialized with.
 func (c *Collector) Colors() int { return c.colors }
+
+// InitSlices declares a sliced LLC: slices hash-selected slices of
+// sliceSets sets each. The simulator calls it after Init when the
+// topology's last level is sliced; RecordSetProfile then derives the
+// per-slice aggregates from the slice-major set profile.
+func (c *Collector) InitSlices(slices, sliceSets int) {
+	c.slices = slices
+	c.sliceSets = sliceSets
+}
+
+// Slices returns the LLC slice count (0 when unsliced).
+func (c *Collector) Slices() int { return c.slices }
 
 // ResetAttribution discards miss attribution accumulated so far. The
 // simulator calls it at the start of the measured pass so the collector
@@ -264,6 +286,21 @@ func (c *Collector) RecordSetProfile(misses, evictions, invalidations []uint64, 
 	c.SetEvictions = evictions
 	c.SetInvalidations = invalidations
 	c.SetOccupancy = occupancy
+	if c.slices <= 0 || c.sliceSets <= 0 {
+		return
+	}
+	c.SliceMisses = make([]uint64, c.slices)
+	c.SliceOccupancy = make([]float64, c.slices)
+	for s, n := range misses {
+		if sl := s / c.sliceSets; sl < c.slices {
+			c.SliceMisses[sl] += n
+		}
+	}
+	for s, o := range occupancy {
+		if sl := s / c.sliceSets; sl < c.slices {
+			c.SliceOccupancy[sl] += o / float64(c.sliceSets)
+		}
+	}
 }
 
 // RecordAllocation installs the end-of-run VM/allocator snapshot.

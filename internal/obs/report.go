@@ -52,6 +52,22 @@ func (c *Collector) Report(topK int) string {
 		b.WriteString(textplot.Heatmap(labels, heat, ""))
 	}
 
+	// Per-slice attribution appears only on sliced topologies (InitSlices
+	// called and the set profile filled): unsliced reports stay
+	// byte-identical.
+	if len(c.SliceMisses) > 0 {
+		b.WriteString("\nper-slice LLC attribution:\n")
+		st := textplot.NewTable("slice", "misses", "occupancy")
+		for s, n := range c.SliceMisses {
+			occ := 0.0
+			if s < len(c.SliceOccupancy) {
+				occ = c.SliceOccupancy[s]
+			}
+			st.Row(fmt.Sprintf("s%d", s), n, fmt.Sprintf("%.1f%%", 100*occ))
+		}
+		b.WriteString(st.String())
+	}
+
 	fmt.Fprintf(&b, "\nfaults %d (hinted %d, honored %d), recolorings %d\n",
 		c.Faults, c.HintedFault, c.HonoredHint, c.Recolorings)
 

@@ -2,8 +2,10 @@ package server
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/sim"
@@ -35,6 +37,11 @@ type JobRequest struct {
 	Scale int `json:"scale,omitempty"`
 	// Machine is a preset: "base" (default) or "alpha".
 	Machine string `json:"machine,omitempty"`
+	// Topology reshapes the external cache hierarchy by name ("" or
+	// "default" keeps the preset's single shared level; see MACHINES.md
+	// for the shipped configurations). Applied after machine/scale
+	// selection, exactly like the cdpcsim -topology flag.
+	Topology string `json:"topology,omitempty"`
 	// Variant is the page mapping configuration; "" means
 	// "page-coloring".
 	Variant string `json:"variant,omitempty"`
@@ -245,6 +252,7 @@ const (
 	CodeBadCoSchedule   = "bad_coschedule"   // 400: invalid co-runner list or scheduling discipline
 	CodeBadIsolation    = "bad_isolation"    // 400: isolation fields on a non-co-scheduled job, or out-of-range isolation_domain
 	CodeBadFidelity     = "bad_fidelity"     // 400: unknown fidelity, or sampled requested for an incompatible spec
+	CodeBadTopology     = "bad_topology"     // 400: unknown cache topology name
 	CodeOutOfMemory     = "out_of_memory"    // simulated machine ran out of physical frames (job error)
 	CodeInternal        = "internal"         // 500: handler panic or unexpected failure
 )
@@ -252,9 +260,10 @@ const (
 // WorkloadsResponse is the body of GET /v1/workloads: everything a
 // client needs to construct a valid JobRequest.
 type WorkloadsResponse struct {
-	Workloads []WorkloadInfo `json:"workloads"`
-	Variants  []string       `json:"variants"`
-	Machines  []string       `json:"machines"`
+	Workloads  []WorkloadInfo `json:"workloads"`
+	Variants   []string       `json:"variants"`
+	Machines   []string       `json:"machines"`
+	Topologies []string       `json:"topologies"`
 }
 
 // WorkloadInfo describes one bundled workload.
@@ -302,6 +311,10 @@ func (req *JobRequest) validate() (harness.Spec, *ir.Program, *ErrorInfo) {
 		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "machine",
 			Message: fmt.Sprintf("unknown machine %q (base, alpha)", req.Machine)}
 	}
+	if !arch.KnownTopology(req.Topology) {
+		return spec, nil, &ErrorInfo{Code: CodeBadTopology, Field: "topology",
+			Message: fmt.Sprintf("unknown topology %q (have %s)", req.Topology, strings.Join(arch.TopologyNames(), ", "))}
+	}
 	if req.Variant != "" {
 		ok := false
 		for _, v := range harness.Variants() {
@@ -336,6 +349,7 @@ func (req *JobRequest) validate() (harness.Spec, *ir.Program, *ErrorInfo) {
 		Scale:    req.Scale,
 		CPUs:     cpus,
 		Machine:  harness.MachineKind(req.Machine),
+		Topology: req.Topology,
 		Variant:  harness.Variant(req.Variant),
 		Prefetch: req.Prefetch,
 	}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/harness"
 	"repro/internal/workloads"
 )
@@ -219,7 +220,8 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 // handleWorkloads is GET /v1/workloads: the request vocabulary.
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	resp := WorkloadsResponse{
-		Machines: []string{string(harness.BaseMachine), string(harness.AlphaMachine)},
+		Machines:   []string{string(harness.BaseMachine), string(harness.AlphaMachine)},
+		Topologies: arch.TopologyNames(),
 	}
 	for _, v := range harness.Variants() {
 		resp.Variants = append(resp.Variants, string(v))

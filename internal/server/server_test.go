@@ -166,6 +166,7 @@ func TestValidationErrors(t *testing.T) {
 		{"bad variant", JobRequest{Workload: "tomcatv", Variant: "round-robin"}, CodeInvalidRequest},
 		{"unknown workload", JobRequest{Workload: "linpack"}, CodeUnknownWorkload},
 		{"unparsable program", JobRequest{Program: "array ("}, CodeBadProgram},
+		{"unknown topology", JobRequest{Workload: "tomcatv", Topology: "mesh-9"}, CodeBadTopology},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -525,5 +526,39 @@ func TestWorkloadsEndpoint(t *testing.T) {
 	}
 	if len(wr.Variants) != 10 || len(wr.Machines) != 2 {
 		t.Errorf("variants=%d machines=%d, want 10/2", len(wr.Variants), len(wr.Machines))
+	}
+	if len(wr.Topologies) < 3 {
+		t.Errorf("topologies=%v, want at least default, clustered-l3, sliced-llc4", wr.Topologies)
+	}
+}
+
+// TestTopologyRequest runs a sliced-LLC job end to end: the topology
+// name must reach the simulator (the result's machine string carries
+// it) and must be part of the memo key (a default-topology run of the
+// same spec is a distinct cache entry).
+func TestTopologyRequest(t *testing.T) {
+	ts := newTestServer(t, Config{Workers: 2})
+	req := fastReq()
+	req.Topology = "sliced-llc4"
+	var res JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", req, &res); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(res.Machine, "sliced-llc4") {
+		t.Fatalf("machine %q does not carry the topology name", res.Machine)
+	}
+	if res.Cached {
+		t.Fatal("first sliced run reported cached")
+	}
+
+	var def JobResult
+	if code := ts.do(t, "POST", "/v1/simulate", fastReq(), &def); code != http.StatusOK {
+		t.Fatalf("default-topology status %d", code)
+	}
+	if def.Cached {
+		t.Fatal("default-topology run was served the sliced entry: topology missing from memo key")
+	}
+	if def.WallCycles == res.WallCycles {
+		t.Errorf("sliced and default runs report identical wall cycles (%d); topology likely not applied", res.WallCycles)
 	}
 }

@@ -61,6 +61,10 @@ import (
 //     disjoint per-domain color subsets can never map to the same set,
 //     and an eviction can never displace a foreign domain's line. A
 //     violation means the allocator leaked a frame across a partition.
+//  13. Slice conservation: when the result carries a per-slice miss
+//     split (sliced-LLC topologies at full fidelity), the split must
+//     sum to the machine-wide L2Misses total — every miss is hashed to
+//     exactly one slice.
 //
 // The invariants hold for weighted (phase-occurrence-scaled) results
 // because each phase satisfies them individually, and for sampled
@@ -173,6 +177,22 @@ func (r *Result) Audit() []obs.Violation {
 				total, r.Bus.DataCycles, r.Bus.WritebackCycles, r.Bus.UpgradeCycles,
 				r.WallCycles, r.BusUtilization()),
 		})
+	}
+	if len(r.SliceMisses) > 0 {
+		var bySlice, total uint64
+		for _, n := range r.SliceMisses {
+			bySlice += n
+		}
+		for i := range r.PerCPU {
+			total += r.PerCPU[i].L2Misses
+		}
+		if bySlice != total {
+			vs = append(vs, obs.Violation{
+				Check: "slice-conservation",
+				Detail: fmt.Sprintf("per-slice misses sum to %d but L2 misses total %d across %d slices",
+					bySlice, total, len(r.SliceMisses)),
+			})
+		}
 	}
 	if r.Sampled() {
 		if r.SampledWindows == 0 || r.RepresentedIters == 0 {

@@ -58,31 +58,37 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 	write := r.Kind == trace.Write
 	l1 := c.l1d.Access(r.VAddr, write)
 	if l1.Evicted && l1.VictimDirty {
-		// The on-chip victim is written back into the inclusive external
-		// cache (no bus traffic, no stall).
+		// The on-chip victim is written back into the innermost
+		// physically indexed level holding it (no bus traffic, no stall).
 		if vp, ok := c.as.TranslateNoFault(l1.VictimAddr); ok {
-			c.l2.MarkDirty(vp)
+			m.markDirtyPhys(c, vp)
 		}
 	}
 	if l1.Hit && !write {
 		return nil // on-chip load hit: 1 cycle, already charged
 	}
 
-	// External-cache level. Stores always check the directory so that
-	// upgrades and invalidations of shared lines are modeled even on
-	// on-chip hits (inclusion guarantees the line is in L2 as well).
-	out := m.dir.Access(c.id, paddr, write)
+	// Physically indexed hierarchy. Stores always check the directory so
+	// that upgrades and invalidations of shared lines are modeled even on
+	// on-chip hits (inclusion guarantees the line is in the LLC as well).
+	out := m.dir.Access(c.llc.id, paddr, write)
 	m.applyDowngrade(paddr, out.Downgraded)
 	m.applyInvalidations(c, paddr, out.Invalidated)
 
+	// Intermediate levels, inner to outer: the innermost hit services
+	// the access at that level's latency. The LLC is accessed either
+	// way — it is the coherence point, and its tags must see every
+	// physical reference to stay inclusive of the levels above.
+	serviced := m.accessMids(c, paddr, write)
+
 	shadowHit := false
 	if !m.opts.DisableClassification {
-		shadowHit = c.shadow.Access(paddr)
+		shadowHit = c.llc.shadow.Access(paddr)
 	}
-	res := c.l2.Access(paddr, write)
-	m.handleL2Eviction(c, res.Evicted, res.VictimAddr, res.VictimDirty)
+	res := c.llc.cacheFor(paddr).Access(paddr, write)
+	m.handleLLCEviction(c, res.Evicted, res.VictimAddr, res.VictimDirty)
 
-	if res.Hit {
+	if res.Hit || serviced >= 0 {
 		if out.Upgrade {
 			done := m.bus.Acquire(c.clock, 0, bus.Upgrade)
 			c.stats.StallUpgrade += done - c.clock
@@ -90,7 +96,7 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 			c.clock = done
 		}
 		if !l1.Hit {
-			la := m.cfg.L2.LineAddr(paddr)
+			la := m.llcLineAddr(paddr)
 			if ready, pending := c.pending[la]; pending {
 				delete(c.pending, la)
 				c.stats.PrefetchedHits++
@@ -99,15 +105,20 @@ func (m *Machine) stepData(c *cpuState, r *trace.Ref) error {
 					c.clock = ready
 				}
 			}
-			c.stats.StallOnChip += uint64(m.cfg.L2HitCycles)
-			c.clock += uint64(m.cfg.L2HitCycles)
+			hit := m.llcLevel.HitCycles
+			if serviced >= 0 {
+				hit = m.midLevels[serviced].HitCycles
+			}
+			c.stats.StallOnChip += uint64(hit)
+			c.clock += uint64(hit)
 		}
 		return nil
 	}
 
-	// Full external-cache miss.
+	// Full last-level-cache miss.
 	stall := m.missCycles(c, paddr, out.DirtyRemote)
 	m.chargeMiss(c, out.Class, shadowHit, stall)
+	m.countSliceMiss(paddr)
 	// Cross-domain attribution: a data miss that displaced a victim
 	// owned by a foreign isolation domain / process is a cache-set
 	// conflict between domains — the co-scheduled collision pathology —
@@ -158,22 +169,28 @@ func (m *Machine) stepInst(c *cpuState, r *trace.Ref) error {
 		c.tcInst = transCache{vpn: vpn, pbase: pbase, valid: true}
 		paddr = pbase | (r.VAddr & m.pageMask)
 	}
-	out := m.dir.Access(c.id, paddr, false)
+	out := m.dir.Access(c.llc.id, paddr, false)
 	m.applyDowngrade(paddr, out.Downgraded)
+	serviced := m.accessMids(c, paddr, false)
 	if !m.opts.DisableClassification {
-		c.shadow.Access(paddr)
+		c.llc.shadow.Access(paddr)
 	}
-	res := c.l2.Access(paddr, false)
-	m.handleL2Eviction(c, res.Evicted, res.VictimAddr, res.VictimDirty)
-	if res.Hit {
+	res := c.llc.cacheFor(paddr).Access(paddr, false)
+	m.handleLLCEviction(c, res.Evicted, res.VictimAddr, res.VictimDirty)
+	if res.Hit || serviced >= 0 {
 		// fpppp's signature cost: instruction fetches served by the
-		// external cache (§4.1).
-		c.stats.StallInst += uint64(m.cfg.L2HitCycles)
-		c.clock += uint64(m.cfg.L2HitCycles)
+		// external hierarchy (§4.1).
+		hit := m.llcLevel.HitCycles
+		if serviced >= 0 {
+			hit = m.midLevels[serviced].HitCycles
+		}
+		c.stats.StallInst += uint64(hit)
+		c.clock += uint64(hit)
 		return nil
 	}
 	c.stats.L2Misses++
 	c.stats.InstMisses++
+	m.countSliceMiss(paddr)
 	stall := m.missCycles(c, paddr, out.DirtyRemote)
 	c.stats.StallInst += stall
 	if m.obs != nil {
@@ -213,8 +230,8 @@ func (m *Machine) stepPrefetch(c *cpuState, r *trace.Ref) error {
 		c.tcData = transCache{vpn: vpn, pbase: pa &^ m.pageMask, valid: true}
 		paddr = pa
 	}
-	la := m.cfg.L2.LineAddr(paddr)
-	if _, inflight := c.pending[la]; inflight || c.l2.Probe(paddr) {
+	la := m.llcLineAddr(paddr)
+	if _, inflight := c.pending[la]; inflight || c.llc.cacheFor(paddr).Probe(paddr) {
 		return nil // already resident or already coming
 	}
 
@@ -235,22 +252,22 @@ func (m *Machine) stepPrefetch(c *cpuState, r *trace.Ref) error {
 		c.pruneOutstanding()
 	}
 
-	out := m.dir.Access(c.id, paddr, false)
+	out := m.dir.Access(c.llc.id, paddr, false)
 	m.applyDowngrade(paddr, out.Downgraded)
 	m.applyInvalidations(c, paddr, out.Invalidated)
 	latency := uint64(m.cfg.MemCycles)
 	if out.DirtyRemote {
 		latency = uint64(m.cfg.RemoteCycles)
 	}
-	done := m.bus.Acquire(c.clock, m.cfg.L2.LineSize, bus.Data)
-	queue := done - c.clock - m.bus.HoldCycles(m.cfg.L2.LineSize)
+	done := m.bus.Acquire(c.clock, m.llcLine, bus.Data)
+	queue := done - c.clock - m.bus.HoldCycles(m.llcLine)
 	arrival := c.clock + queue + latency + c.memJitter(m.cfg.MemJitterCycles)
 
 	if !m.opts.DisableClassification {
-		c.shadow.Access(paddr)
+		c.llc.shadow.Access(paddr)
 	}
-	res := c.l2.Access(paddr, false)
-	m.handleL2Eviction(c, res.Evicted, res.VictimAddr, res.VictimDirty)
+	res := c.llc.cacheFor(paddr).Access(paddr, false)
+	m.handleLLCEviction(c, res.Evicted, res.VictimAddr, res.VictimDirty)
 
 	c.pending[la] = arrival
 	c.outstanding = append(c.outstanding, arrival)
@@ -281,10 +298,63 @@ func (m *Machine) missCycles(c *cpuState, paddr uint64, dirtyRemote bool) uint64
 		latency = uint64(m.cfg.RemoteCycles)
 		c.stats.RemoteSupplies++
 	}
-	done := m.bus.Acquire(c.clock, m.cfg.L2.LineSize, bus.Data)
-	queue := done - c.clock - m.bus.HoldCycles(m.cfg.L2.LineSize)
+	done := m.bus.Acquire(c.clock, m.llcLine, bus.Data)
+	queue := done - c.clock - m.bus.HoldCycles(m.llcLine)
 	c.stats.BusQueueCycles += queue
 	return queue + latency + c.memJitter(m.cfg.MemJitterCycles)
+}
+
+// countSliceMiss books one LLC miss against its slice (sliced LLCs
+// only; a nil counter vector keeps the default path to one branch).
+func (m *Machine) countSliceMiss(paddr uint64) {
+	if m.sliceMiss != nil {
+		m.sliceMiss[m.llcLevel.Hash.SliceOf(paddr)]++
+	}
+}
+
+// markDirtyPhys marks an on-chip victim's line dirty at the innermost
+// physically indexed level holding it; dirtiness then migrates outward
+// with each level's own evictions.
+func (m *Machine) markDirtyPhys(c *cpuState, paddr uint64) {
+	for _, mc := range c.mids {
+		if mc.Probe(paddr) {
+			mc.MarkDirty(paddr)
+			return
+		}
+	}
+	c.llc.cacheFor(paddr).MarkDirty(paddr)
+}
+
+// accessMids runs a physical access through the intermediate levels,
+// inner to outer, returning the index of the innermost level that hit
+// (-1 when none, including on the default mid-less topology). A dirty
+// mid victim is written into the next level down — internal hierarchy
+// traffic, no bus.
+func (m *Machine) accessMids(c *cpuState, paddr uint64, write bool) int {
+	serviced := -1
+	for li, mc := range c.mids {
+		r := mc.Access(paddr, write)
+		if r.Evicted && r.VictimDirty {
+			m.midWriteback(c, li, r.VictimAddr)
+		}
+		if r.Hit && serviced < 0 {
+			serviced = li
+		}
+	}
+	return serviced
+}
+
+// midWriteback propagates a dirty victim evicted from mid level li into
+// the next level of the hierarchy that holds the line (ultimately the
+// LLC, which inclusion guarantees holds it).
+func (m *Machine) midWriteback(c *cpuState, li int, victim uint64) {
+	for _, mc := range c.mids[li+1:] {
+		if mc.Probe(victim) {
+			mc.MarkDirty(victim)
+			return
+		}
+	}
+	c.llc.cacheFor(victim).MarkDirty(victim)
 }
 
 // memJitter returns a deterministic per-CPU, per-miss latency
@@ -342,62 +412,98 @@ func obsClass(class coherence.Class, shadowHit bool) obs.MissClass {
 }
 
 // applyDowngrade mirrors a directory read-downgrade into the supplying
-// owner's external cache: flushing the dirty line to memory as part of
-// the supply leaves the owner's copy clean. Without this, the owner's
+// owner's LLC unit: flushing the dirty line to memory as part of the
+// supply leaves the owner's copy clean. Without this, the owner's
 // eventual eviction of the line charged a second writeback transaction
 // for data memory already held — the bus-occupancy double count that
-// pushed BusUtilization past 1 on sharing-heavy runs.
+// pushed BusUtilization past 1 on sharing-heavy runs. The owner's
+// intermediate levels may also hold the dirty line; clean them too
+// (Clean is a no-op where the line is absent).
 func (m *Machine) applyDowngrade(paddr uint64, owner int) {
-	if owner >= 0 {
-		m.cpus[owner].l2.Clean(paddr)
-	}
-}
-
-// applyInvalidations mirrors directory invalidations into the other CPUs'
-// external caches, shadow caches and (via the reverse map) their
-// virtually indexed on-chip caches, preserving inclusion. The reverse
-// map is the accessing CPU's current address space: under time-slicing
-// every CPU runs the same process, and across space partitions a frame
-// belongs to exactly one live process, so stale sharers from an exited
-// process only need their physically indexed state dropped (their
-// virtually indexed L1s were flushed when they switched out).
-func (m *Machine) applyInvalidations(c *cpuState, paddr uint64, cpus []int) {
-	if len(cpus) == 0 {
+	if owner < 0 {
 		return
 	}
-	vaddr, haveV := c.as.ReverseVAddr(paddr)
-	la := m.cfg.L2.LineAddr(paddr)
-	for _, p := range cpus {
-		o := m.cpus[p]
-		o.l2.Invalidate(paddr)
-		o.shadow.Remove(paddr)
-		delete(o.pending, la)
-		if haveV {
-			o.l1d.Invalidate(vaddr)
-			o.l1i.Invalidate(vaddr)
+	u := m.llcUnits[owner]
+	u.cacheFor(paddr).Clean(paddr)
+	for _, p := range u.cpus {
+		for _, mc := range m.cpus[p].mids {
+			mc.Clean(paddr)
 		}
 	}
 }
 
-// handleL2Eviction keeps the directory, the on-chip caches (inclusion)
-// and the write-back traffic consistent with an external-cache eviction.
-func (m *Machine) handleL2Eviction(c *cpuState, evicted bool, victim uint64, dirty bool) {
+// applyInvalidations mirrors directory invalidations into the other LLC
+// units — slice tags, shadow caches — and, per member CPU, intermediate
+// levels, pending prefetches, and (via the reverse map) the virtually
+// indexed on-chip caches, preserving inclusion. The reverse map is the
+// accessing CPU's current address space: under time-slicing every CPU
+// runs the same process, and across space partitions a frame belongs to
+// exactly one live process, so stale sharers from an exited process
+// only need their physically indexed state dropped (their virtually
+// indexed L1s were flushed when they switched out).
+func (m *Machine) applyInvalidations(c *cpuState, paddr uint64, units []int) {
+	if len(units) == 0 {
+		return
+	}
+	vaddr, haveV := c.as.ReverseVAddr(paddr)
+	la := m.llcLineAddr(paddr)
+	for _, uid := range units {
+		u := m.llcUnits[uid]
+		u.cacheFor(paddr).Invalidate(paddr)
+		u.shadow.Remove(paddr)
+		for _, p := range u.cpus {
+			o := m.cpus[p]
+			for _, mc := range o.mids {
+				mc.Invalidate(paddr)
+			}
+			delete(o.pending, la)
+			if haveV {
+				o.l1d.Invalidate(vaddr)
+				o.l1i.Invalidate(vaddr)
+			}
+		}
+	}
+}
+
+// handleLLCEviction keeps the directory, the inner levels (inclusion)
+// and the write-back traffic consistent with a last-level-cache
+// eviction. Every CPU sharing the evicting unit may hold the line
+// on-chip or have a prefetch in flight for it; inclusive intermediate
+// levels are back-invalidated, and a dirty copy surfaced there joins
+// the victim's writeback.
+func (m *Machine) handleLLCEviction(c *cpuState, evicted bool, victim uint64, dirty bool) {
 	if !evicted {
 		return
 	}
-	m.dir.Evict(c.id, victim)
-	delete(c.pending, m.cfg.L2.LineAddr(victim))
-	// The victim may belong to a descheduled process (physical tags
-	// survive context switches); c.as then has no reverse mapping and the
-	// on-chip invalidation is skipped — those L1 lines were flushed when
-	// the owning process switched out.
-	if vaddr, ok := c.as.ReverseVAddr(victim); ok {
-		// Inclusion: every on-chip line within the evicted external line
-		// must go. On-chip lines are smaller; invalidate each.
-		step := uint64(m.cfg.L1D.LineSize)
-		for off := uint64(0); off < uint64(m.cfg.L2.LineSize); off += step {
-			c.l1d.Invalidate(vaddr + off)
-			c.l1i.Invalidate(vaddr + off)
+	m.dir.Evict(c.llc.id, victim)
+	la := m.llcLineAddr(victim)
+	delete(c.pending, la)
+	for _, p := range c.llc.cpus {
+		o := m.cpus[p]
+		delete(o.pending, la)
+		for li, mc := range o.mids {
+			if !m.midLevels[li].Inclusive {
+				continue
+			}
+			step := uint64(m.midLevels[li].Geom.LineSize)
+			for off := uint64(0); off < uint64(m.llcLine); off += step {
+				if _, d := mc.Invalidate(la + off); d {
+					dirty = true
+				}
+			}
+		}
+		// The victim may belong to a descheduled process (physical tags
+		// survive context switches); o.as then has no reverse mapping and
+		// the on-chip invalidation is skipped — those L1 lines were
+		// flushed when the owning process switched out.
+		if vaddr, ok := o.as.ReverseVAddr(victim); ok {
+			// Inclusion: every on-chip line within the evicted LLC line
+			// must go. On-chip lines are smaller; invalidate each.
+			step := uint64(m.cfg.L1D.LineSize)
+			for off := uint64(0); off < uint64(m.llcLine); off += step {
+				o.l1d.Invalidate(vaddr + off)
+				o.l1i.Invalidate(vaddr + off)
+			}
 		}
 	}
 	if dirty {
@@ -423,7 +529,7 @@ func (m *Machine) handleL2Eviction(c *cpuState, evicted bool, victim uint64, dir
 				c.clock = oldest
 			}
 		}
-		done := m.bus.Acquire(c.clock, m.cfg.L2.LineSize, bus.Writeback)
+		done := m.bus.Acquire(c.clock, m.llcLine, bus.Writeback)
 		if m.cfg.WriteBufferEntries > 0 {
 			c.writeBuffer = append(c.writeBuffer, done)
 		}

@@ -42,17 +42,22 @@ func (m *Machine) maybeRecolor(c *cpuState, vaddr uint64) error {
 // shadow caches, TLBs and directory consistent with the page move.
 func (m *Machine) applyRecoloring(c *cpuState, ev *RecolorEvent) {
 	pageSize := uint64(m.cfg.PageSize)
-	lineSize := uint64(m.cfg.L2.LineSize)
+	lineSize := uint64(m.llcLine)
 
 	// The old frame's lines cease to back the page: drop them from every
-	// external cache, shadow cache and the directory.
+	// LLC unit, intermediate level, shadow cache and the directory.
 	oldBase := ev.OldFrameBase
 	for off := uint64(0); off < pageSize; off += lineSize {
 		paddr := oldBase + off
 		m.dir.Forget(paddr)
+		for _, u := range m.llcUnits {
+			u.cacheFor(paddr).Invalidate(paddr)
+			u.shadow.Remove(paddr)
+		}
 		for _, o := range m.cpus {
-			o.l2.Invalidate(paddr)
-			o.shadow.Remove(paddr)
+			for _, mc := range o.mids {
+				mc.Invalidate(paddr)
+			}
 			delete(o.pending, paddr)
 		}
 	}

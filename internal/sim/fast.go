@@ -67,18 +67,55 @@ func FastRun(prog *ir.Program, opts Options) (*FastResult, error) {
 		}
 	}
 
+	// The external hierarchy follows the configured topology: shared LLC
+	// units (with slice tags when sliced) plus any intermediate levels.
+	// On the default topology this reduces to one private external cache
+	// per CPU, matching the pre-topology fast model exactly.
+	topo := cfg.Topo()
+	llcLevel := topo.LLC()
+	midLevels := topo.Levels[:len(topo.Levels)-1]
+	type fastUnit struct {
+		slices []*cache.Cache
+	}
+	units := make([]*fastUnit, cfg.NumCPUs/llcLevel.CPUsPerCache)
+	for i := range units {
+		u := &fastUnit{slices: make([]*cache.Cache, llcLevel.Slices)}
+		for s := range u.slices {
+			u.slices[s] = cache.New(llcLevel.Geom)
+		}
+		units[i] = u
+	}
+	midCaches := make([][]*cache.Cache, len(midLevels))
+	for li, lvl := range midLevels {
+		midCaches[li] = make([]*cache.Cache, cfg.NumCPUs/lvl.CPUsPerCache)
+		for g := range midCaches[li] {
+			midCaches[li][g] = cache.New(lvl.Geom)
+		}
+	}
 	type fastCPU struct {
-		l1  *cache.Cache
-		l2  *cache.Cache
-		tlb *tlb.TLB
+		l1   *cache.Cache
+		mids []*cache.Cache
+		llc  *fastUnit
+		tlb  *tlb.TLB
 	}
 	cpus := make([]fastCPU, cfg.NumCPUs)
 	for i := range cpus {
-		cpus[i] = fastCPU{
-			l1:  cache.New(cfg.L1D),
-			l2:  cache.New(cfg.L2),
-			tlb: tlb.New(cfg.TLBEntries),
+		mids := make([]*cache.Cache, len(midLevels))
+		for li, lvl := range midLevels {
+			mids[li] = midCaches[li][i/lvl.CPUsPerCache]
 		}
+		cpus[i] = fastCPU{
+			l1:   cache.New(cfg.L1D),
+			mids: mids,
+			llc:  units[i/llcLevel.CPUsPerCache],
+			tlb:  tlb.New(cfg.TLBEntries),
+		}
+	}
+	sliceFor := func(u *fastUnit, paddr uint64) *cache.Cache {
+		if llcLevel.Hash == nil {
+			return u.slices[0]
+		}
+		return u.slices[llcLevel.Hash.SliceOf(paddr)]
 	}
 
 	res := &FastResult{Workload: prog.Name, NumCPUs: cfg.NumCPUs}
@@ -99,7 +136,15 @@ func FastRun(prog *ir.Program, opts Options) (*FastResult, error) {
 			res.L1Hits++
 			return nil
 		}
-		if c.l2.Access(paddr, write).Hit {
+		// Mirror the detailed model: every external level sees the miss,
+		// and a hit at any of them is an external-hierarchy hit.
+		external := false
+		for _, mc := range c.mids {
+			if mc.Access(paddr, write).Hit {
+				external = true
+			}
+		}
+		if sliceFor(c.llc, paddr).Access(paddr, write).Hit || external {
 			res.L2Hits++
 			return nil
 		}

@@ -19,7 +19,7 @@ func TestRemoteSupplyCleansOwner(t *testing.T) {
 		t.Fatal(err)
 	}
 	paddr := uint64(0x4000)
-	m.cpus[1].l2.Access(paddr, true) // CPU1 holds the line dirty
+	m.cpus[1].llc.slices[0].Access(paddr, true) // CPU1 holds the line dirty
 	m.dir.Access(1, paddr, true)
 
 	out := m.dir.Access(0, paddr, false)
@@ -28,7 +28,7 @@ func TestRemoteSupplyCleansOwner(t *testing.T) {
 			out.DirtyRemote, out.Downgraded)
 	}
 	m.applyDowngrade(paddr, out.Downgraded)
-	if present, dirty := m.cpus[1].l2.Invalidate(paddr); !present || dirty {
+	if present, dirty := m.cpus[1].llc.slices[0].Invalidate(paddr); !present || dirty {
 		t.Errorf("owner line after downgrade: present=%v dirty=%v, want clean and resident",
 			present, dirty)
 	}

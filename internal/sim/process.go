@@ -435,6 +435,11 @@ func (m *Machine) collectMulti(table []*Process, sched SchedOptions) *MultiResul
 		WritebackCycles: m.bus.Occupancy(bus.Writeback),
 		UpgradeCycles:   m.bus.Occupancy(bus.Upgrade),
 	}
+	// Multiprocess runs measure every executed cycle, so the machine-
+	// lifetime per-slice counters equal the total's miss split exactly.
+	if m.sliceMiss != nil {
+		total.SliceMisses = append([]uint64(nil), m.sliceMiss...)
+	}
 	mr.Total = total
 	return mr
 }

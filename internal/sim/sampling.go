@@ -153,7 +153,7 @@ type windowPlan struct {
 // the sweep's proportions.
 func (m *Machine) warmItersFor(n *ir.Nest) int {
 	warm := m.opts.Sampling.warmIters()
-	line := m.cfg.L2.LineSize
+	line := m.llcLine
 	f := 0 // bytes of distinct cache lines touched per outer iteration
 	type group struct {
 		arr          *ir.Array
@@ -186,7 +186,7 @@ func (m *Machine) warmItersFor(n *ir.Nest) int {
 	if f <= 0 {
 		return warm
 	}
-	if need := (2*m.cfg.L2.Size + f - 1) / f; need > warm {
+	if need := (2*m.llcLevel.Slices*m.llcLevel.Geom.Size + f - 1) / f; need > warm {
 		return need
 	}
 	return warm
@@ -579,7 +579,7 @@ func (m *Machine) warmRanges(prog *ir.Program, n *ir.Nest, p int, lo, hi []int) 
 		// Warm at L1-line granularity: every structure the warm-up
 		// populates holds line- or page-granular state, so one reference
 		// per L1 line rebuilds the same state as a per-element sweep.
-		streams = append(streams, ir.NestWarmStream(prog, n, p, cpu, lo[cpu], hi[cpu], m.cfg.L2.LineSize))
+		streams = append(streams, ir.NestWarmStream(prog, n, p, cpu, lo[cpu], hi[cpu], m.llcLine))
 		cpus = append(cpus, m.cpus[cpu])
 	}
 	var r trace.Ref
@@ -644,22 +644,23 @@ func (m *Machine) warmData(c *cpuState, r *trace.Ref) error {
 	l1 := c.l1d.Access(r.VAddr, write)
 	if l1.Evicted && l1.VictimDirty {
 		if vp, ok := c.as.TranslateNoFault(l1.VictimAddr); ok {
-			c.l2.MarkDirty(vp)
+			m.markDirtyPhys(c, vp)
 		}
 	}
 	if l1.Hit && !write {
 		return nil
 	}
-	out := m.dir.Access(c.id, paddr, write)
+	out := m.dir.Access(c.llc.id, paddr, write)
 	m.applyDowngrade(paddr, out.Downgraded)
 	m.applyInvalidations(c, paddr, out.Invalidated)
+	serviced := m.accessMids(c, paddr, write)
 	if !m.opts.DisableClassification {
-		c.shadow.Access(paddr)
+		c.llc.shadow.Access(paddr)
 	}
-	res := c.l2.Access(paddr, write)
+	res := c.llc.cacheFor(paddr).Access(paddr, write)
 	m.warmEvict(c, res.Evicted, res.VictimAddr, res.VictimDirty)
-	if res.Hit && !l1.Hit {
-		delete(c.pending, m.cfg.L2.LineAddr(paddr))
+	if (res.Hit || serviced >= 0) && !l1.Hit {
+		delete(c.pending, m.llcLineAddr(paddr))
 	}
 	return nil
 }
@@ -673,12 +674,13 @@ func (m *Machine) warmInst(c *cpuState, r *trace.Ref) error {
 	if err != nil {
 		return err
 	}
-	out := m.dir.Access(c.id, paddr, false)
+	out := m.dir.Access(c.llc.id, paddr, false)
 	m.applyDowngrade(paddr, out.Downgraded)
+	m.accessMids(c, paddr, false)
 	if !m.opts.DisableClassification {
-		c.shadow.Access(paddr)
+		c.llc.shadow.Access(paddr)
 	}
-	res := c.l2.Access(paddr, false)
+	res := c.llc.cacheFor(paddr).Access(paddr, false)
 	m.warmEvict(c, res.Evicted, res.VictimAddr, res.VictimDirty)
 	return nil
 }
@@ -704,36 +706,50 @@ func (m *Machine) warmPrefetch(c *cpuState, r *trace.Ref) {
 		c.tcData = transCache{vpn: vpn, pbase: pa &^ m.pageMask, valid: true}
 		paddr = pa
 	}
-	la := m.cfg.L2.LineAddr(paddr)
-	if _, inflight := c.pending[la]; inflight || c.l2.Probe(paddr) {
+	la := m.llcLineAddr(paddr)
+	if _, inflight := c.pending[la]; inflight || c.llc.cacheFor(paddr).Probe(paddr) {
 		return
 	}
-	out := m.dir.Access(c.id, paddr, false)
+	out := m.dir.Access(c.llc.id, paddr, false)
 	m.applyDowngrade(paddr, out.Downgraded)
 	m.applyInvalidations(c, paddr, out.Invalidated)
 	if !m.opts.DisableClassification {
-		c.shadow.Access(paddr)
+		c.llc.shadow.Access(paddr)
 	}
-	res := c.l2.Access(paddr, false)
+	res := c.llc.cacheFor(paddr).Access(paddr, false)
 	m.warmEvict(c, res.Evicted, res.VictimAddr, res.VictimDirty)
 	c.pending[la] = c.clock
 }
 
-// warmEvict mirrors handleL2Eviction's state maintenance — directory,
-// pending prefetches, on-chip inclusion — without the write-back
+// warmEvict mirrors handleLLCEviction's state maintenance — directory,
+// pending prefetches, inner-level inclusion — without the write-back
 // buffer or bus transaction (no cycles exist to charge them against;
 // the dirty bit therefore goes unused here).
 func (m *Machine) warmEvict(c *cpuState, evicted bool, victim uint64, _ bool) {
 	if !evicted {
 		return
 	}
-	m.dir.Evict(c.id, victim)
-	delete(c.pending, m.cfg.L2.LineAddr(victim))
-	if vaddr, ok := c.as.ReverseVAddr(victim); ok {
-		step := uint64(m.cfg.L1D.LineSize)
-		for off := uint64(0); off < uint64(m.cfg.L2.LineSize); off += step {
-			c.l1d.Invalidate(vaddr + off)
-			c.l1i.Invalidate(vaddr + off)
+	m.dir.Evict(c.llc.id, victim)
+	la := m.llcLineAddr(victim)
+	delete(c.pending, la)
+	for _, p := range c.llc.cpus {
+		o := m.cpus[p]
+		delete(o.pending, la)
+		for li, mc := range o.mids {
+			if !m.midLevels[li].Inclusive {
+				continue
+			}
+			step := uint64(m.midLevels[li].Geom.LineSize)
+			for off := uint64(0); off < uint64(m.llcLine); off += step {
+				mc.Invalidate(la + off)
+			}
+		}
+		if vaddr, ok := o.as.ReverseVAddr(victim); ok {
+			step := uint64(m.cfg.L1D.LineSize)
+			for off := uint64(0); off < uint64(m.llcLine); off += step {
+				o.l1d.Invalidate(vaddr + off)
+				o.l1i.Invalidate(vaddr + off)
+			}
 		}
 	}
 }

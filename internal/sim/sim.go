@@ -92,6 +92,36 @@ type Options struct {
 	Sampling SamplingOptions
 }
 
+// llcUnit is one last-level-cache instance: its hash-selected slice
+// caches, the shadow cache classifying its replacement misses, and the
+// CPUs sharing it. The coherence directory tracks units — the agents
+// that actually hold physically tagged state — so on the default
+// topology (one private external cache per CPU) unit ids coincide with
+// CPU ids and the pre-topology behavior is reproduced exactly.
+type llcUnit struct {
+	id     int
+	slices []*cache.Cache
+	shadow *cache.Shadow
+	cpus   []int
+	hash   *arch.SliceHash
+}
+
+// cacheFor returns the slice cache serving a physical address.
+func (u *llcUnit) cacheFor(paddr uint64) *cache.Cache {
+	if u.hash == nil {
+		return u.slices[0]
+	}
+	return u.slices[u.hash.SliceOf(paddr)]
+}
+
+// sliceOf returns the slice index serving a physical address.
+func (u *llcUnit) sliceOf(paddr uint64) int {
+	if u.hash == nil {
+		return 0
+	}
+	return u.hash.SliceOf(paddr)
+}
+
 // Machine is a configured simulator instance.
 type Machine struct {
 	cfg   arch.Config
@@ -100,6 +130,20 @@ type Machine struct {
 	dir   *coherence.Directory
 	alloc *memory.Allocator
 	cpus  []*cpuState
+
+	// Resolved cache topology (cfg.Topo()): the last level's geometry
+	// and latency drive the miss path, the inner levels are latency
+	// filters, and llcLine caches the LLC line size for the hot path's
+	// line-address masking and bus transfer sizing.
+	topo      arch.Topology
+	llcLevel  arch.Level
+	llcLine   int
+	llcUnits  []*llcUnit
+	midLevels []arch.Level
+
+	// sliceMiss counts demand+instruction LLC misses per slice; nil
+	// unless the LLC is sliced. Incremented wherever L2Misses is.
+	sliceMiss []uint64
 
 	// pageShift/pageMask are the division-free page-number split;
 	// arch.Validate guarantees the page size is a power of two.
@@ -159,11 +203,17 @@ type cpuState struct {
 	as  *vm.AddressSpace
 	pid int
 
-	l1d    *cache.Cache
-	l1i    *cache.Cache
-	l2     *cache.Cache
-	tlb    *tlb.TLB
-	shadow *cache.Shadow
+	l1d *cache.Cache
+	l1i *cache.Cache
+	tlb *tlb.TLB
+
+	// llc is the CPU's last-level-cache unit (possibly shared with
+	// other CPUs); mids are its intermediate physically indexed levels,
+	// inner to outer, one cache instance per level (also possibly
+	// shared). The default topology has no mids and a private
+	// one-slice unit per CPU.
+	llc  *llcUnit
+	mids []*cache.Cache
 
 	// tcData/tcInst are one-entry translation caches for the data and
 	// instruction streams (separate so code fetches do not thrash the
@@ -189,8 +239,18 @@ func New(opts Options) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	topo := cfg.Topo()
+	llcLevel := topo.LLC()
+	units := cfg.NumCPUs / llcLevel.CPUsPerCache
 	frames := cfg.MemoryMB << 20 / cfg.PageSize
-	alloc := memory.New(frames, cfg.Colors())
+	// A hashed LLC redefines frame→color; the allocator's pools must be
+	// built by the same function the cache indexes by. The nil function
+	// keeps the modular default (and its exact pool layout).
+	var colorOf func(uint64) int
+	if llcLevel.Hash != nil {
+		colorOf = func(f uint64) int { return llcLevel.FrameColor(f, cfg.PageSize) }
+	}
+	alloc := memory.NewWithColorOf(frames, cfg.Colors(), colorOf)
 	policy := opts.Policy
 	if policy == nil {
 		policy = vm.PageColoring{Colors: cfg.Colors()}
@@ -200,13 +260,40 @@ func New(opts Options) (*Machine, error) {
 		cfg:       cfg,
 		as:        vm.NewAddressSpace(cfg.PageSize, alloc, policy),
 		bus:       bus.New(cfg.BusBytesPerCycle, cfg.BusOverhead),
-		dir:       coherence.New(cfg.NumCPUs, cfg.L2.LineSize),
+		dir:       coherence.New(units, llcLevel.Geom.LineSize),
 		alloc:     alloc,
 		opts:      opts,
 		pageShift: arch.Log2(cfg.PageSize),
 		pageMask:  uint64(cfg.PageSize - 1),
 		colors:    cfg.Colors(),
 		obs:       opts.Obs,
+		topo:      topo,
+		llcLevel:  llcLevel,
+		llcLine:   llcLevel.Geom.LineSize,
+		midLevels: topo.Levels[:len(topo.Levels)-1],
+	}
+	if llcLevel.Slices > 1 {
+		m.sliceMiss = make([]uint64, llcLevel.Slices)
+	}
+	for u := 0; u < units; u++ {
+		unit := &llcUnit{id: u, hash: llcLevel.Hash}
+		for s := 0; s < llcLevel.Slices; s++ {
+			unit.slices = append(unit.slices, cache.New(llcLevel.Geom))
+		}
+		unit.shadow = cache.NewShadow(llcLevel.Slices*llcLevel.Geom.Lines(), llcLevel.Geom.LineSize)
+		for p := u * llcLevel.CPUsPerCache; p < (u+1)*llcLevel.CPUsPerCache; p++ {
+			unit.cpus = append(unit.cpus, p)
+		}
+		m.llcUnits = append(m.llcUnits, unit)
+	}
+	// Intermediate-level cache instances, shared by sharing-cluster.
+	midCaches := make([][]*cache.Cache, len(m.midLevels))
+	for li, lvl := range m.midLevels {
+		n := cfg.NumCPUs / lvl.CPUsPerCache
+		midCaches[li] = make([]*cache.Cache, n)
+		for i := range midCaches[li] {
+			midCaches[li][i] = cache.New(lvl.Geom)
+		}
 	}
 	if opts.Recolor != nil {
 		m.recolorer = newRecolorAdapter(m.as, cfg.NumCPUs, *opts.Recolor, cfg.PageSize)
@@ -219,25 +306,38 @@ func New(opts Options) (*Machine, error) {
 		}
 	}
 	for i := 0; i < cfg.NumCPUs; i++ {
-		m.cpus = append(m.cpus, &cpuState{
+		c := &cpuState{
 			id:      i,
 			as:      m.as,
 			l1d:     cache.New(cfg.L1D),
 			l1i:     cache.New(cfg.L1I),
-			l2:      cache.New(cfg.L2),
 			tlb:     tlb.New(cfg.TLBEntries),
-			shadow:  cache.NewShadow(cfg.L2.Lines(), cfg.L2.LineSize),
+			llc:     m.llcUnits[i/llcLevel.CPUsPerCache],
 			pending: make(map[uint64]uint64),
-		})
+		}
+		for li, lvl := range m.midLevels {
+			c.mids = append(c.mids, midCaches[li][i/lvl.CPUsPerCache])
+		}
+		m.cpus = append(m.cpus, c)
 	}
 	if m.obs != nil {
-		m.obs.Init(m.colors, cfg.L2.Sets(), cfg.PageSize/cfg.L2.LineSize)
-		for _, c := range m.cpus {
-			c.l2.EnableSetProfile()
+		m.obs.Init(m.colors, llcLevel.Slices*llcLevel.Geom.Sets(), cfg.PageSize/llcLevel.Geom.LineSize)
+		if llcLevel.Slices > 1 {
+			m.obs.InitSlices(llcLevel.Slices, llcLevel.Geom.Sets())
 		}
+		m.enableSetProfiles()
 		m.as.OnFault = m.obsFaultHook()
 	}
 	return m, nil
+}
+
+// enableSetProfiles (re)arms per-set profiling on every LLC slice cache.
+func (m *Machine) enableSetProfiles() {
+	for _, u := range m.llcUnits {
+		for _, sc := range u.slices {
+			sc.EnableSetProfile()
+		}
+	}
 }
 
 // bindPolicy resolves allocator-dependent policies: a first-touch
@@ -266,10 +366,17 @@ func (m *Machine) obsFaultHook() func(pid int, vpn uint64, cpu, color int, hinte
 	}
 }
 
-// frameColor returns the page color of paddr's frame (frame number mod
-// color count, the allocator's layout of contiguous physical memory).
+// frameColor returns the page color of paddr's frame: frame number mod
+// color count on the default (unsliced) topology — the allocator's
+// layout of contiguous physical memory — or the hash-aware slice-major
+// color on a sliced LLC. The allocator holds the authoritative function.
 func (m *Machine) frameColor(paddr uint64) int {
-	return int((paddr >> m.pageShift) % uint64(m.colors))
+	return m.alloc.ColorOf(paddr >> m.pageShift)
+}
+
+// llcLineAddr rounds a physical address down to its LLC line boundary.
+func (m *Machine) llcLineAddr(paddr uint64) uint64 {
+	return paddr &^ uint64(m.llcLine-1)
 }
 
 // crossDomainVictim reports whether evicting the line at victim (a
@@ -370,9 +477,7 @@ func (m *Machine) runSingle(prog *ir.Program) (*Result, error) {
 	// unweighted, where the Result multiplies them out.)
 	if m.obs != nil {
 		m.obs.ResetAttribution()
-		for _, c := range m.cpus {
-			c.l2.EnableSetProfile()
-		}
+		m.enableSetProfiles()
 	}
 
 	res := &Result{
@@ -384,6 +489,10 @@ func (m *Machine) runSingle(prog *ir.Program) (*Result, error) {
 	}
 
 	// Measured pass: each phase once, weighted by its occurrence count.
+	if m.sliceMiss != nil {
+		res.SliceMisses = make([]uint64, len(m.sliceMiss))
+	}
+	sliceBefore := make([]uint64, len(m.sliceMiss))
 	for _, ph := range prog.Phases {
 		before := make([]CPUStats, len(m.cpus))
 		for i, c := range m.cpus {
@@ -391,6 +500,7 @@ func (m *Machine) runSingle(prog *ir.Program) (*Result, error) {
 		}
 		busBefore := [3]uint64{m.bus.Occupancy(bus.Data), m.bus.Occupancy(bus.Writeback), m.bus.Occupancy(bus.Upgrade)}
 		wallBefore := m.wallClock()
+		copy(sliceBefore, m.sliceMiss)
 
 		for _, n := range ph.Nests {
 			if err := m.runNest(prog, n); err != nil {
@@ -407,6 +517,11 @@ func (m *Machine) runSingle(prog *ir.Program) (*Result, error) {
 		res.Bus.WritebackCycles += (m.bus.Occupancy(bus.Writeback) - busBefore[1]) * w
 		res.Bus.UpgradeCycles += (m.bus.Occupancy(bus.Upgrade) - busBefore[2]) * w
 		res.WallCycles += (m.wallClock() - wallBefore) * w
+		// Per-slice miss split, phase-weighted like everything else so
+		// audit invariant 13 (sum == total L2 misses) holds exactly.
+		for s := range res.SliceMisses {
+			res.SliceMisses[s] += (m.sliceMiss[s] - sliceBefore[s]) * w
+		}
 	}
 
 	res.Fidelity = FidelityFull
@@ -428,27 +543,34 @@ func (m *Machine) finalizeObs() {
 		m.as.Faults, m.as.HintedFaults, m.as.HonoredHints)
 }
 
-// recordSetProfiles aggregates the per-set external-cache counters over
-// CPUs into the collector.
+// recordSetProfiles aggregates the per-set LLC counters over cache
+// units into the collector. Sets are numbered slice-major — slice s's
+// sets occupy [s*sliceSets, (s+1)*sliceSets) — matching the slice-major
+// color numbering, so the collector's color×set Heat reshape works
+// unchanged on sliced topologies.
 func (m *Machine) recordSetProfiles() {
-	sets := m.cfg.L2.Sets()
+	sliceSets := m.llcLevel.Geom.Sets()
+	sets := m.llcLevel.Slices * sliceSets
 	miss := make([]uint64, sets)
 	evict := make([]uint64, sets)
 	inval := make([]uint64, sets)
 	occ := make([]float64, sets)
-	for _, c := range m.cpus {
-		p := c.l2.Profile()
-		for i := 0; i < sets; i++ {
-			miss[i] += p.Misses[i]
-			evict[i] += p.Evictions[i]
-			inval[i] += p.Invalidations[i]
-		}
-		for i, o := range c.l2.SetOccupancy() {
-			occ[i] += o
+	for _, u := range m.llcUnits {
+		for s, sc := range u.slices {
+			base := s * sliceSets
+			p := sc.Profile()
+			for i := 0; i < sliceSets; i++ {
+				miss[base+i] += p.Misses[i]
+				evict[base+i] += p.Evictions[i]
+				inval[base+i] += p.Invalidations[i]
+			}
+			for i, o := range sc.SetOccupancy() {
+				occ[base+i] += o
+			}
 		}
 	}
 	for i := range occ {
-		occ[i] /= float64(len(m.cpus))
+		occ[i] /= float64(len(m.llcUnits))
 	}
 	m.obs.RecordSetProfile(miss, evict, inval, occ)
 }

@@ -571,11 +571,11 @@ func TestWriteBufferMechanism(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := m.cpus[0]
-	m.handleL2Eviction(c, true, 0x10000, true)
+	m.handleLLCEviction(c, true, 0x10000, true)
 	if c.stats.StallWriteBuffer != 0 {
 		t.Fatal("first eviction must not stall")
 	}
-	m.handleL2Eviction(c, true, 0x20000, true)
+	m.handleLLCEviction(c, true, 0x20000, true)
 	if c.stats.StallWriteBuffer == 0 {
 		t.Error("second same-cycle eviction should stall on the full buffer")
 	}

@@ -230,6 +230,16 @@ type Result struct {
 	// conflicts are exactly zero (invariant 12).
 	Isolated bool
 
+	// SliceMisses splits L2Misses by LLC slice on sliced topologies
+	// (index = slice id, phase-occurrence weighted like every event
+	// counter; summed across units when several LLC units exist). Nil on
+	// unsliced topologies and on sampled results — the warm-up windows
+	// would pollute a machine-lifetime slice counter, so the sampled path
+	// leaves the split unreported rather than wrong. When present, the
+	// audit holds its sum to the machine-wide L2Misses total
+	// (invariant 13).
+	SliceMisses []uint64 `json:",omitempty"`
+
 	// Sampling accounting, zero on full-fidelity results:
 	// WarmupRefs counts functional references executed without booking
 	// cycles (page-granularity fault pre-touch plus warm-up windows);

@@ -97,3 +97,11 @@ go run ./cmd/cdpcsim -workload tomcatv -scale 32 -procs 2 -isolate -audit > /tmp
 grep -q '^isolation: color-partitioned domains; cross-domain evictions 0 ' /tmp/cdpc-isolate-smoke.txt \
     || { echo "isolated 2-way run did not report zero cross-domain evictions"; cat /tmp/cdpc-isolate-smoke.txt; exit 1; }
 rm -f /tmp/cdpc-isolate-smoke.txt
+
+# Topology smoke: a 2-way co-schedule on the hash-sliced LLC must pass
+# the audit (invariant 13 holds the per-slice miss split to the
+# machine-wide total on the multiprocess path) and print the split.
+go run ./cmd/cdpcsim -workload tomcatv -scale 32 -cpus 8 -procs 2 -topology sliced-llc4 -audit > /tmp/cdpc-topology-smoke.txt
+grep -q 'sliced-llc4' /tmp/cdpc-topology-smoke.txt || { echo "sliced run does not carry the topology name"; cat /tmp/cdpc-topology-smoke.txt; exit 1; }
+grep -q 'slice split' /tmp/cdpc-topology-smoke.txt || { echo "sliced run did not print the per-slice miss split"; cat /tmp/cdpc-topology-smoke.txt; exit 1; }
+rm -f /tmp/cdpc-topology-smoke.txt
