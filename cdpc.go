@@ -69,7 +69,7 @@ type CompileOptions struct {
 // inserts prefetches, and returns the access-pattern summary. It must
 // run before ComputeHints or Simulate.
 func Compile(p *Program, m MachineConfig, opts CompileOptions) (*Summary, error) {
-	layout := compiler.DefaultLayout(m.L2.LineSize, m.L1D.Size, m.PageSize)
+	layout := compiler.DefaultLayout(m.Topo().LLC().Geom.LineSize, m.L1D.Size, m.PageSize)
 	if opts.Unaligned {
 		layout.Align = false
 		layout.Pad = false

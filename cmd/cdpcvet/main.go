@@ -6,24 +6,43 @@
 // (analysis is always whole-module, since the invariants it checks
 // couple packages to each other and to API.md).
 //
+// -json emits the diagnostics as a JSON array (stable order, one
+// object per finding) for machine consumption; -budget fails the run
+// when load + analysis exceed a wall-clock budget, the CI guard that
+// keeps whole-module analysis cheap enough to gate every change.
+//
 // Suppress an individual finding with a trailing or preceding
-// "//lint:allow <analyzer> (reason)" comment; the reason is mandatory
-// in spirit — it is what the reviewer reads.
+// "//lint:allow <analyzer> (reason)" comment, scoped to exactly the
+// one statement the comment sits on (or directly above); the reason is
+// mandatory in spirit — it is what the reviewer reads.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
 
+// jsonDiag is the machine-readable form of one finding.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	budget := flag.Duration("budget", 0, "fail if load+analysis exceed this wall-clock duration (0 = no budget)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cdpcvet [-list] [dir | ./...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: cdpcvet [-list] [-json] [-budget dur] [dir | ./...]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -47,17 +66,52 @@ func main() {
 		}
 	}
 
+	// The budget clock covers load + analysis only, not the go toolchain
+	// compiling cdpcvet itself — "go run" cost is not an analysis
+	// regression.
+	start := time.Now()
 	prog, err := lint.Load(dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdpcvet: %v\n", err)
 		os.Exit(2)
 	}
 	diags := lint.RunAnalyzers(prog, lint.Analyzers())
-	for _, d := range diags {
-		fmt.Println(d)
+	elapsed := time.Since(start)
+
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "cdpcvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
+
+	failed := false
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "cdpcvet: %d finding(s)\n", len(diags))
+		failed = true
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "cdpcvet: analysis took %v, over the %v budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -39,8 +39,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traceinfo:", err)
 		os.Exit(1)
 	}
-	lineSize := cfg.L2.LineSize
-	cacheLines := cfg.L2.Lines()
+	// Geometry of the effective LLC: line size for reuse distances, and
+	// the whole cache instance (all slices) for the capacity marker.
+	llc := cfg.Topo().LLC()
+	lineSize := llc.Geom.LineSize
+	cacheLines := llc.TotalSize() / lineSize
 
 	analyze := func(label string, s trace.Stream) {
 		h := trace.LineDistances(s, lineSize)

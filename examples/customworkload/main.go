@@ -17,7 +17,7 @@ func main() {
 
 	// Four arrays, each exactly one external-cache span, so all four
 	// start on the same page color under the OS's page coloring policy.
-	span := machine.L2.Size
+	span := machine.Topo().LLC().TotalSize()
 	elems := span / 8
 	const unitCols = 64
 	iters := elems / unitCols

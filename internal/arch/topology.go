@@ -107,6 +107,12 @@ func (l Level) Colors(pageSize int) int {
 	return l.Slices * l.SliceColors(pageSize)
 }
 
+// TotalSize returns the full capacity of one cache instance at this
+// level: the per-slice geometry times the slice count. This — not
+// Geom.Size — is the number layout decisions (external-cache padding,
+// blocking factors) should compare working sets against.
+func (l Level) TotalSize() int { return l.Geom.Size * l.Slices }
+
 // SliceColors returns the page colors within one slice.
 func (l Level) SliceColors(pageSize int) int {
 	n := l.Geom.Size / (pageSize * l.Geom.Assoc)
@@ -187,7 +193,7 @@ func (l Level) Validate(numCPUs, pageSize int) error {
 // paths are byte-identical to the pre-topology simulator.
 type Topology struct {
 	// Name identifies the topology in reports and flags.
-	Name string
+	Name   string
 	Levels []Level
 }
 

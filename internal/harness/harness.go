@@ -303,15 +303,7 @@ func Prepare(s Spec) (*ir.Program, *compiler.Summary, arch.Config, error) {
 	prog := meta.Build(s.Scale)
 	cfg := s.Config()
 
-	layout := compiler.DefaultLayout(cfg.L2.LineSize, cfg.L1D.Size, cfg.PageSize)
-	switch s.Variant {
-	case BinHoppingUnaligned:
-		layout.Align = false
-		layout.Pad = false
-	case PaddedColoring, PaddedBinHopping:
-		layout.ExternalPad = true
-		layout.ExternalCacheSize = cfg.L2.Size
-	}
+	layout := layoutFor(s.Variant, cfg)
 	if err := compiler.Layout(prog, layout); err != nil {
 		return nil, nil, arch.Config{}, err
 	}
@@ -353,15 +345,7 @@ func RunProgramCtx(ctx context.Context, prog *ir.Program, s Spec) (*sim.Result, 
 		return nil, err
 	}
 	cfg := s.Config()
-	layout := compiler.DefaultLayout(cfg.L2.LineSize, cfg.L1D.Size, cfg.PageSize)
-	switch s.Variant {
-	case BinHoppingUnaligned:
-		layout.Align = false
-		layout.Pad = false
-	case PaddedColoring, PaddedBinHopping:
-		layout.ExternalPad = true
-		layout.ExternalCacheSize = cfg.L2.Size
-	}
+	layout := layoutFor(s.Variant, cfg)
 	if err := compiler.Layout(prog, layout); err != nil {
 		return nil, err
 	}

@@ -477,17 +477,22 @@ func (sc *Scheduler) prepare(s Spec) (*ir.Program, *compiler.Summary, arch.Confi
 	return e.prog, e.sum, cfg, e.err
 }
 
-// layoutFor returns the layout options Prepare selects for a variant
-// under a machine config. Kept in lockstep with Prepare/RunProgram.
+// layoutFor returns the layout options a variant selects under a
+// machine config; Prepare and RunProgram both build layouts through
+// it. Geometry comes from the effective topology's LLC — line size and
+// total capacity — so padded variants pad against the cache the frames
+// actually map into (a clustered L3 or the sum of hash-selected
+// slices), not the default machine's per-CPU external cache.
 func layoutFor(v Variant, cfg arch.Config) compiler.LayoutOptions {
-	layout := compiler.DefaultLayout(cfg.L2.LineSize, cfg.L1D.Size, cfg.PageSize)
+	llc := cfg.Topo().LLC()
+	layout := compiler.DefaultLayout(llc.Geom.LineSize, cfg.L1D.Size, cfg.PageSize)
 	switch v {
 	case BinHoppingUnaligned:
 		layout.Align = false
 		layout.Pad = false
 	case PaddedColoring, PaddedBinHopping:
 		layout.ExternalPad = true
-		layout.ExternalCacheSize = cfg.L2.Size
+		layout.ExternalCacheSize = llc.TotalSize()
 	}
 	return layout
 }

@@ -62,12 +62,16 @@ func Analyzers() []*Analyzer {
 		GuardedByAnalyzer,
 		ErrCodeAnalyzer,
 		Pow2GeomAnalyzer,
+		MemoKeyAnalyzer,
+		CancelPollAnalyzer,
+		TopoAccessAnalyzer,
+		ScaleConserveAnalyzer,
 	}
 }
 
 // RunAnalyzers runs every analyzer over every package of prog and
 // returns the surviving (non-suppressed) diagnostics in file/line
-// order.
+// order, deduplicated so the output is a stable CI artifact.
 func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -90,53 +94,138 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
-}
-
-// filterSuppressed drops diagnostics covered by a
-// "//lint:allow <analyzer> (reason)" comment on the same line or the
-// line directly above. Suppressions are per-analyzer and deliberate:
-// the reason in parentheses is for the reviewer.
-func filterSuppressed(prog *Program, diags []Diagnostic) []Diagnostic {
-	// allowed["file:line"] = set of analyzer names.
-	allowed := map[string]map[string]bool{}
-	mark := func(file string, line int, name string) {
-		for _, l := range []int{line, line + 1} {
-			key := fmt.Sprintf("%s:%d", file, l)
-			if allowed[key] == nil {
-				allowed[key] = map[string]bool{}
-			}
-			allowed[key][name] = true
-		}
-	}
-	for _, pkg := range prog.Packages {
-		for _, f := range pkg.Files {
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					text := strings.TrimPrefix(c.Text, "//")
-					rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:allow")
-					if !ok {
-						continue
-					}
-					fields := strings.Fields(rest)
-					if len(fields) == 0 {
-						continue
-					}
-					pos := prog.Fset.Position(c.Pos())
-					mark(pos.Filename, pos.Line, fields[0])
-				}
-			}
-		}
-	}
+	// Dedupe identical findings at one position: cross-package analyzers
+	// can rediscover the same fact from two passes, and position-equal
+	// repeats would make CI diffs churn. After the sort above, the first
+	// survivor is the alphabetically first analyzer.
 	kept := diags[:0]
-	for _, d := range diags {
-		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
-		if allowed[key][d.Analyzer] {
-			continue
+	for i, d := range diags {
+		if i > 0 {
+			p := diags[i-1]
+			if p.Pos.Filename == d.Pos.Filename && p.Pos.Line == d.Pos.Line &&
+				p.Pos.Column == d.Pos.Column && p.Message == d.Message {
+				continue
+			}
 		}
 		kept = append(kept, d)
 	}
 	return kept
+}
+
+// suppression is one //lint:allow comment resolved to the extent of the
+// single statement (or struct field / spec) it governs.
+type suppression struct {
+	analyzer string
+	file     string
+	from, to int // inclusive line range
+}
+
+// filterSuppressed drops diagnostics covered by a
+// "//lint:allow <analyzer> (reason)" comment. A suppression is scoped
+// to exactly one syntax node: the statement carrying the comment at the
+// end of its line, or — for a comment on its own line — the statement
+// beginning on the next line. The node's full extent is covered (a
+// suppressed multi-line statement is suppressed on every line), and
+// nothing else is: a stray or file-leading comment with no adjacent
+// statement suppresses nothing. Suppressions are per-analyzer and
+// deliberate: the reason in parentheses is for the reviewer.
+func filterSuppressed(prog *Program, diags []Diagnostic) []Diagnostic {
+	var sups []suppression
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			sups = append(sups, fileSuppressions(prog.Fset, f)...)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		ok := true
+		for _, s := range sups {
+			if s.analyzer == d.Analyzer && s.file == d.Pos.Filename &&
+				s.from <= d.Pos.Line && d.Pos.Line <= s.to {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// fileSuppressions resolves every //lint:allow comment of one file to
+// its governed statement's line extent.
+func fileSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	// Candidate nodes a suppression can attach to: statements, struct
+	// fields and value/import specs — but not blocks or case clauses,
+	// whose extents cover code the comment's author never pointed at.
+	type candidate struct {
+		from, to int
+	}
+	var cands []candidate
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			return true
+		case ast.Stmt, *ast.Field, ast.Spec:
+			cands = append(cands, candidate{
+				from: fset.Position(n.Pos()).Line,
+				to:   fset.Position(n.End()).Line,
+			})
+		}
+		return true
+	})
+
+	var sups []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			// Attachment, in priority order: the outermost candidate
+			// starting on the comment's line (trailing form); the
+			// outermost starting on the next line (line-above form); the
+			// innermost whose extent covers the comment (a trailing
+			// comment inside a multi-line statement).
+			best := candidate{}
+			found := false
+			pick := func(match func(candidate) bool, outermost bool) {
+				for _, cand := range cands {
+					if !match(cand) {
+						continue
+					}
+					span, bestSpan := cand.to-cand.from, best.to-best.from
+					if !found || (outermost && span > bestSpan) || (!outermost && span < bestSpan) {
+						best, found = cand, true
+					}
+				}
+			}
+			pick(func(c candidate) bool { return c.from == pos.Line }, true)
+			if !found {
+				pick(func(c candidate) bool { return c.from == pos.Line+1 }, true)
+			}
+			if !found {
+				pick(func(c candidate) bool { return c.from < pos.Line && pos.Line <= c.to }, false)
+			}
+			if !found {
+				continue
+			}
+			sups = append(sups, suppression{
+				analyzer: fields[0],
+				file:     pos.Filename,
+				from:     best.from,
+				to:       best.to,
+			})
+		}
+	}
+	return sups
 }
 
 // funcBodies collects every function and method declaration of the
@@ -179,4 +268,10 @@ func structFields(pkg *Package, name string) []*types.Var {
 func isUint64(t types.Type) bool {
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Kind() == types.Uint64
+}
+
+// isUint64Slice reports whether t's underlying type is []uint64.
+func isUint64Slice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isUint64(s.Elem())
 }

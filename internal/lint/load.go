@@ -40,6 +40,8 @@ type Program struct {
 	ModRoot  string
 	Packages []*Package // topological (dependencies first)
 	ByPath   map[string]*Package
+
+	cg *CallGraph // built on first CallGraph() call, shared by analyzers
 }
 
 // Lookup returns the loaded package whose import path ends with the

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// ScaleConserveAnalyzer keeps (*Result).Scale total over the counter
+// set. Scale is the sampling extrapolator's workhorse: it multiplies a
+// measured window's counters up to the span the window represents, and
+// every audit invariant is proved to survive it counter by counter. A
+// counter that Scale never touches silently breaks that proof the day
+// it is added — the sampled result then mixes extrapolated counters
+// with raw ones, and conservation (invariant 11) fails only on sampled
+// runs, the mode production traffic uses by default.
+//
+// The check: every counter field of Result, CPUStats and BusStats
+// (uint64, or []uint64 for per-slice splits) must be written somewhere
+// in the interprocedural closure of (*Result).Scale — assigned,
+// op-assigned, or re-derived; clamping and residue absorption count,
+// since they are writes. Counters that are deliberately not scaled
+// (whole-run address-space counts, sampling metadata describing the
+// extrapolation itself) carry a //lint:allow scaleconserve with the
+// reason, so the exemption is visible at the declaration.
+//
+// The other direction — scaled at most once — is enforced dynamically:
+// Scale preserves the audit's exact equalities, and a double-scaled
+// counter breaks cycle or miss conservation on the first audited
+// sampled run.
+var ScaleConserveAnalyzer = &Analyzer{
+	Name: "scaleconserve",
+	Doc:  "every Result/CPUStats/BusStats counter must be scaled (written) in (*Result).Scale",
+	Run:  runScaleConserve,
+}
+
+func runScaleConserve(pass *Pass) {
+	fields := counterFields(pass.Pkg)
+	if len(fields) == 0 {
+		return
+	}
+	scale := methodOf(pass.Pkg, "Result", "Scale")
+	if scale == nil {
+		return
+	}
+	cg := pass.Prog.CallGraph()
+	root := cg.NodeOf(scale)
+	if root == nil {
+		return
+	}
+	written := cg.WriteClosure([]*CGNode{root})
+	for f, owner := range fields {
+		if written[f] {
+			continue
+		}
+		pass.Reportf(f.Pos(),
+			"counter %s.%s is not scaled by (*Result).Scale: a sampled run would extrapolate every other counter but leave this one raw, breaking conservation",
+			owner, f.Name())
+	}
+}
+
+// methodOf returns the declared method recv.name of the named type, or
+// nil. Pointer and value receivers both match.
+func methodOf(pkg *Package, recv, name string) types.Object {
+	obj := pkg.Types.Scope().Lookup(recv)
+	if obj == nil {
+		return nil
+	}
+	named, ok := types.Unalias(obj.Type()).(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}

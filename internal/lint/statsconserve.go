@@ -93,12 +93,14 @@ func derefType(t types.Type) types.Type {
 	return t
 }
 
-// counterFields returns the uint64 fields of the named sim structs.
+// counterFields returns the counter fields of the named sim structs:
+// plain uint64 counters and []uint64 per-slice splits (SliceMisses),
+// which owe the same audit/report/scale coverage as scalar counters.
 func counterFields(simPkg *Package) map[*types.Var]string {
 	out := map[*types.Var]string{}
 	for _, name := range []string{"CPUStats", "Result", "BusStats"} {
 		for _, f := range structFields(simPkg, name) {
-			if isUint64(f.Type()) {
+			if isUint64(f.Type()) || isUint64Slice(f.Type()) {
 				out[f] = name
 			}
 		}

@@ -1,0 +1,3 @@
+module fixcancel
+
+go 1.24

@@ -1,0 +1,12 @@
+// Package ir carries the nest type the cancelpoll analyzer anchors on.
+package ir
+
+// Nest is one loop nest.
+type Nest struct {
+	Iterations int
+}
+
+// Program is a list of nests.
+type Program struct {
+	Nests []*Nest
+}

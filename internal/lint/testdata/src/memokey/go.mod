@@ -1,0 +1,3 @@
+module fixmemokey
+
+go 1.24

@@ -1,0 +1,58 @@
+// Package harness exercises the memokey analyzer: Spec fields must be
+// consumed by keyOf (directly or through the helpers it calls), and
+// every specKey field must be populated by it.
+package harness
+
+// CoRunner is a co-scheduled workload reference.
+type CoRunner struct {
+	Workload string
+	Weight   int // want "CoRunner.Weight is not consumed by keyOf"
+}
+
+// Spec describes one run.
+type Spec struct {
+	Workload  string
+	Scale     int
+	Prefetch  bool // want "Spec.Prefetch is not consumed by keyOf"
+	Debug     bool //lint:allow memokey (presentation-only flag; results are identical either way)
+	CoRunners []CoRunner
+
+	// note is unexported: callers cannot set it, so keyOf owes it
+	// nothing.
+	note string
+}
+
+// specKey is the canonical comparable form.
+type specKey struct {
+	Workload  string
+	Scale     int
+	CoRunners string
+	Stale     bool // want "specKey.Stale is never populated by keyOf"
+}
+
+// withDefaults normalizes the spec; keyOf reads Scale only through it,
+// which is exactly the interprocedural edge the analyzer must follow.
+func (s Spec) withDefaults() Spec {
+	if s.Scale == 0 {
+		s.Scale = 8
+	}
+	return s
+}
+
+// canonicalCoRunners renders the co-runner list; Workload is consumed
+// here, two calls deep from keyOf.
+func canonicalCoRunners(list []CoRunner) string {
+	out := ""
+	for _, cr := range list {
+		out += cr.Workload + ";"
+	}
+	return out
+}
+
+func keyOf(s Spec) specKey {
+	s = s.withDefaults()
+	k := specKey{Workload: s.Workload}
+	k.Scale = s.Scale
+	k.CoRunners = canonicalCoRunners(s.CoRunners)
+	return k
+}

@@ -1,0 +1,3 @@
+module fixscale
+
+go 1.24

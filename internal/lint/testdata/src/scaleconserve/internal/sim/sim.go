@@ -1,0 +1,49 @@
+// Package sim exercises the scaleconserve analyzer: every uint64 (or
+// []uint64) counter on Result, CPUStats and BusStats must be written in
+// the interprocedural closure of (*Result).Scale.
+package sim
+
+// CPUStats is per-CPU counters.
+type CPUStats struct {
+	ExecCycles uint64
+	Misses     uint64
+	Dropped    uint64 // want "counter CPUStats.Dropped is not scaled"
+}
+
+// BusStats is shared-bus counters.
+type BusStats struct {
+	DataCycles uint64
+}
+
+// Result is one run's counters.
+type Result struct {
+	WallCycles  uint64
+	SliceMisses []uint64
+	Faults      uint64 //lint:allow scaleconserve (fixture: whole-run count, not a rate)
+	PerCPU      []CPUStats
+	Bus         BusStats
+}
+
+// mulDiv scales x by num/den.
+func mulDiv(x, num, den uint64) uint64 {
+	return x * num / den
+}
+
+// scaleBus is the interprocedural edge: Scale only touches DataCycles
+// through it.
+func scaleBus(b *BusStats, num, den uint64) {
+	b.DataCycles = mulDiv(b.DataCycles, num, den)
+}
+
+// Scale extrapolates the counters by num/den.
+func (r *Result) Scale(num, den uint64) {
+	r.WallCycles = mulDiv(r.WallCycles, num, den)
+	for i := range r.PerCPU {
+		c := &r.PerCPU[i]
+		c.ExecCycles = mulDiv(c.ExecCycles, num, den)
+		c.Misses = mulDiv(c.Misses, num, den)
+	}
+	scaleBus(&r.Bus, num, den)
+	// Per-slice splits cannot survive extrapolation exactly; drop them.
+	r.SliceMisses = nil
+}

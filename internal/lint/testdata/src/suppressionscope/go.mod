@@ -1,0 +1,3 @@
+module fixscope
+
+go 1.24

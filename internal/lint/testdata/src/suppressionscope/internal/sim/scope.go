@@ -1,0 +1,35 @@
+//lint:allow determinism (fixture: a file-leading comment attaches to no statement and must suppress nothing)
+
+// Package sim exercises statement-scoped //lint:allow suppressions:
+// a comment covers exactly one statement's line extent, never a
+// neighbor, never the file.
+package sim
+
+import "time"
+
+// Gap: a suppression separated from the next statement by a blank line
+// attaches to nothing.
+func Gap() time.Time {
+	//lint:allow determinism (fixture: detached by the blank line below)
+
+	return time.Now() // want "time.Now in a deterministic package"
+}
+
+// Neighbor: a trailing suppression covers exactly its own statement,
+// not the line after it.
+func Neighbor() (time.Time, time.Time) {
+	a := time.Now() //lint:allow determinism (fixture: this statement only)
+	b := time.Now() // want "time.Now in a deterministic package"
+	return a, b
+}
+
+// Wide: a line-above suppression covers the statement's whole line
+// extent, including calls on its continuation lines.
+func Wide() []time.Time {
+	//lint:allow determinism (fixture: covers the full multi-line statement)
+	out := []time.Time{
+		time.Now(),
+		time.Now(),
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module fixtopo
+
+go 1.24

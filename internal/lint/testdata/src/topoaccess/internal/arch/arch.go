@@ -1,0 +1,38 @@
+// Package arch is a miniature machine model for the topoaccess fixture:
+// the only package allowed to read Config.L2 directly.
+package arch
+
+// CacheGeometry sizes one cache.
+type CacheGeometry struct {
+	Size     int
+	LineSize int
+}
+
+// Level is one level of the effective hierarchy.
+type Level struct {
+	Geom   CacheGeometry
+	Slices int
+}
+
+// TotalSize is the level's aggregate capacity across slices.
+func (l Level) TotalSize() int { return l.Geom.Size * l.Slices }
+
+// Topology is an ordered list of levels, innermost first.
+type Topology struct {
+	Levels []Level
+}
+
+// LLC returns the last level.
+func (t Topology) LLC() Level { return t.Levels[len(t.Levels)-1] }
+
+// Config describes a machine.
+type Config struct {
+	L2       CacheGeometry
+	PageSize int
+}
+
+// Topo derives the effective topology; inside arch the raw field read
+// is allowed.
+func (c Config) Topo() Topology {
+	return Topology{Levels: []Level{{Geom: c.L2, Slices: 1}}}
+}

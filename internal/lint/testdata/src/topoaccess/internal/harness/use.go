@@ -1,0 +1,35 @@
+// Package harness consumes the arch model and exercises every
+// topoaccess case: dirty read, topology-mediated read, construction
+// exemptions, and suppression.
+package harness
+
+import "fixtopo/internal/arch"
+
+// Bad reads LLC geometry straight off the config.
+func Bad(cfg arch.Config) int {
+	return cfg.L2.Size // want "direct Config.L2 geometry read outside internal/arch"
+}
+
+// Good goes through the topology.
+func Good(cfg arch.Config) int {
+	return cfg.Topo().LLC().TotalSize()
+}
+
+// Construct defines a new machine relative to an old one: reads inside
+// an arch composite literal are construction, not consumption.
+func Construct(base arch.Config) arch.Config {
+	return arch.Config{
+		L2:       arch.CacheGeometry{Size: base.L2.Size * 4, LineSize: base.L2.LineSize},
+		PageSize: base.PageSize,
+	}
+}
+
+// Assign overwrites the field; writes are construction too.
+func Assign(cfg *arch.Config, g arch.CacheGeometry) {
+	cfg.L2 = g
+}
+
+// Suppressed documents a deliberate raw read.
+func Suppressed(cfg arch.Config) int {
+	return cfg.L2.LineSize //lint:allow topoaccess (fixture: line size is topology-invariant here)
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TopoAccessAnalyzer confines LLC geometry knowledge to internal/arch.
+// Since the declarative topology model landed, Config.L2 describes only
+// the default machine's external cache; the effective hierarchy — its
+// last level's size, line size, slicing, and color count — lives behind
+// Config.Topo(), Config.Colors() and Config.FrameColor(). Code outside
+// internal/arch that reads the L2 field directly bakes the two-level
+// assumption back in: on clustered-l3 it sees half the real LLC, on
+// sliced-llc4 it confuses per-slice and total capacity, and any color
+// arithmetic derived from it disagrees with the hash-sliced frame
+// coloring (the Sandy Bridge family) the simulator actually applies.
+//
+// A read of arch.Config's L2 field outside internal/arch is therefore a
+// finding, with one exemption: reads inside a composite literal of an
+// arch-declared type (arch.CacheGeometry{Size: base.L2.Size * 4, ...})
+// are machine *construction* — defining a new configuration relative to
+// an old one — not geometry consumption. Writes to the field are
+// construction by the same argument.
+var TopoAccessAnalyzer = &Analyzer{
+	Name: "topoaccess",
+	Doc:  "outside internal/arch, LLC geometry must come from Topo()/Colors()/FrameColor(), not the raw Config.L2 field",
+	Run:  runTopoAccess,
+}
+
+func runTopoAccess(pass *Pass) {
+	if pathHasSuffix(pass.Pkg.Path, "internal/arch") {
+		return
+	}
+	archPkg := pass.Prog.Lookup("internal/arch")
+	if archPkg == nil {
+		return
+	}
+	l2 := fieldVar(archPkg, "Config", "L2")
+	if l2 == nil {
+		return
+	}
+	info := pass.Pkg.Info
+
+	for _, f := range pass.Pkg.Files {
+		// Manual stack so the exemption can look upward from a hit to an
+		// enclosing arch composite literal or assignment LHS.
+		var stack []ast.Node
+		ast.Inspect(f, func(node ast.Node) bool {
+			if node == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, node)
+			id, ok := node.(*ast.Ident)
+			if !ok || info.Uses[id] != l2 {
+				return true
+			}
+			if exemptL2Use(info, archPkg, stack) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"direct Config.L2 geometry read outside internal/arch: use Config.Topo().LLC() (TotalSize, Geom, FrameColor) or Config.Colors() so clustered and sliced topologies are honored")
+			return true
+		})
+	}
+}
+
+// exemptL2Use reports whether the L2 identifier at the top of the stack
+// is machine construction rather than geometry consumption: inside a
+// composite literal of an arch type, or on the left of an assignment.
+func exemptL2Use(info *types.Info, archPkg *Package, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch outer := stack[i].(type) {
+		case *ast.CompositeLit:
+			tv, ok := info.Types[outer]
+			if !ok {
+				continue
+			}
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := types.Unalias(t).(*types.Named); ok &&
+				named.Obj().Pkg() == archPkg.Types {
+				return true
+			}
+		case *ast.AssignStmt:
+			// The hit is a write iff it sits under an LHS expression.
+			if i+1 < len(stack) {
+				for _, lhs := range outer.Lhs {
+					if lhs == stack[i+1] {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

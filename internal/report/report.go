@@ -66,6 +66,12 @@ type Row struct {
 	// fault count including initialization and warmup.
 	CPUPageFaults uint64 `json:"cpu_page_faults"`
 
+	// SliceSplit renders Result.SliceMisses — the per-LLC-slice miss
+	// split on hash-sliced topologies — as semicolon-joined counts
+	// ("1200;1180;1210;1195", slice order). Empty on unsliced
+	// topologies and sampled rows, matching the sim-side contract.
+	SliceSplit string `json:"slice_split,omitempty"`
+
 	// Fidelity reports how the row's counters were produced: "full"
 	// (every reference detail-simulated) or "sampled" (representative
 	// windows, extrapolated). The sampling counters below are zero on
@@ -97,19 +103,19 @@ func FromResult(r *sim.Result, prefetch bool) Row {
 		MCPI:     r.MCPI(),
 		BusUtil:  r.BusUtilization(),
 
-		Instructions:    tot(func(s *sim.CPUStats) uint64 { return s.Instructions }),
-		ExecCycles:      tot(func(s *sim.CPUStats) uint64 { return s.ExecCycles }),
-		MemStall:        tot((*sim.CPUStats).MemStallCycles),
-		Overhead:        tot((*sim.CPUStats).OverheadCycles),
-		L2Misses:        tot(func(s *sim.CPUStats) uint64 { return s.L2Misses }),
-		ColdMisses:      tot(func(s *sim.CPUStats) uint64 { return s.ColdMisses }),
-		ConflictMisses:  tot(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
-		CapacityMisses:  tot(func(s *sim.CPUStats) uint64 { return s.CapacityMisses }),
-		TrueSharing:     tot(func(s *sim.CPUStats) uint64 { return s.TrueShareMisses }),
-		FalseSharing:    tot(func(s *sim.CPUStats) uint64 { return s.FalseShareMisses }),
-		PageFaults:      r.PageFaults,
-		HintedFaults:    r.HintedFaults,
-		HonoredHints:    r.HonoredHints,
+		Instructions:         tot(func(s *sim.CPUStats) uint64 { return s.Instructions }),
+		ExecCycles:           tot(func(s *sim.CPUStats) uint64 { return s.ExecCycles }),
+		MemStall:             tot((*sim.CPUStats).MemStallCycles),
+		Overhead:             tot((*sim.CPUStats).OverheadCycles),
+		L2Misses:             tot(func(s *sim.CPUStats) uint64 { return s.L2Misses }),
+		ColdMisses:           tot(func(s *sim.CPUStats) uint64 { return s.ColdMisses }),
+		ConflictMisses:       tot(func(s *sim.CPUStats) uint64 { return s.ConflictMisses }),
+		CapacityMisses:       tot(func(s *sim.CPUStats) uint64 { return s.CapacityMisses }),
+		TrueSharing:          tot(func(s *sim.CPUStats) uint64 { return s.TrueShareMisses }),
+		FalseSharing:         tot(func(s *sim.CPUStats) uint64 { return s.FalseShareMisses }),
+		PageFaults:           r.PageFaults,
+		HintedFaults:         r.HintedFaults,
+		HonoredHints:         r.HonoredHints,
 		Recolorings:          tot(func(s *sim.CPUStats) uint64 { return s.Recolorings }),
 		ContextSwitches:      tot(func(s *sim.CPUStats) uint64 { return s.ContextSwitches }),
 		CrossDomainConflicts: tot(func(s *sim.CPUStats) uint64 { return s.CrossDomainConflicts }),
@@ -126,12 +132,27 @@ func FromResult(r *sim.Result, prefetch bool) Row {
 		WriteBufferStall:  tot(func(s *sim.CPUStats) uint64 { return s.StallWriteBuffer }),
 		CPUPageFaults:     tot(func(s *sim.CPUStats) uint64 { return s.PageFaults }),
 
+		SliceSplit: sliceSplit(r.SliceMisses),
+
 		Fidelity:         r.Fidelity,
 		WarmupRefs:       r.WarmupRefs,
 		SampledWindows:   r.SampledWindows,
 		SampledIters:     r.SampledIters,
 		RepresentedIters: r.RepresentedIters,
 	}
+}
+
+// sliceSplit joins per-slice miss counts with semicolons (CSV-safe);
+// empty when the result carries no split.
+func sliceSplit(misses []uint64) string {
+	var b []byte
+	for i, m := range misses {
+		if i > 0 {
+			b = append(b, ';')
+		}
+		b = fmt.Append(b, m)
+	}
+	return string(b)
 }
 
 // FromMulti flattens a multiprocess result into one row per process
@@ -200,6 +221,7 @@ var columns = []column{
 	{"bus_queue_cycles", u(func(r *Row) uint64 { return r.BusQueueCycles })},
 	{"write_buffer_stall", u(func(r *Row) uint64 { return r.WriteBufferStall })},
 	{"cpu_page_faults", u(func(r *Row) uint64 { return r.CPUPageFaults })},
+	{"slice_split", func(r *Row) string { return r.SliceSplit }},
 	{"fidelity", func(r *Row) string { return r.Fidelity }},
 	{"warmup_refs", u(func(r *Row) uint64 { return r.WarmupRefs })},
 	{"sampled_windows", u(func(r *Row) uint64 { return r.SampledWindows })},

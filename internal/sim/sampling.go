@@ -476,6 +476,11 @@ func (m *Machine) touchProgramPages(prog *ir.Program) error {
 // interleaved per outer iteration so first-touch placement lands close
 // to the full engine's min-clock interleave.
 func (m *Machine) touchNestPages(n *ir.Nest, p int) error {
+	// Pre-touch runs before any simulated nest, so this is the only
+	// cancellation point a shutdown during warm-up can hit.
+	if err := m.pollCancel(); err != nil {
+		return err
+	}
 	spans := make([][2]int, p)
 	maxSpan := 0
 	for cpu := 0; cpu < p; cpu++ {
@@ -570,6 +575,12 @@ func (m *Machine) prewarmClusters(prog *ir.Program, clusters []PhaseCluster, p i
 // one reference each, standing in for the detailed engine's min-clock
 // order.
 func (m *Machine) warmRanges(prog *ir.Program, n *ir.Nest, p int, lo, hi []int) error {
+	// One poll per warm sweep: a sweep covers at most warmItersFor
+	// iterations of one nest, the same boundary granularity the
+	// detailed engine polls at in runNestStreams.
+	if err := m.pollCancel(); err != nil {
+		return err
+	}
 	streams := make([]trace.Stream, 0, p)
 	cpus := make([]*cpuState, 0, p)
 	for cpu := 0; cpu < p; cpu++ {

@@ -601,6 +601,21 @@ func (m *Machine) runNest(prog *ir.Program, n *ir.Nest) error {
 // given width wherever its partition sits. regions is the owning
 // process's parallel-region counter, seeding the per-region dispatch
 // skew.
+// pollCancel runs the Options.Cancel hook, wrapping its error. Every
+// nest-boundary-granularity loop — full-run nest dispatch, sampled
+// windows, and the sampled mode's page pre-touch and functional
+// warm-up — must reach it, so a canceled server job stops within one
+// nest (or one warm-up nest) of the cancellation; cdpcd's drain
+// deadline is sized to that bound.
+func (m *Machine) pollCancel() error {
+	if m.opts.Cancel != nil {
+		if err := m.opts.Cancel(); err != nil {
+			return fmt.Errorf("sim: run canceled: %w", err)
+		}
+	}
+	return nil
+}
+
 func (m *Machine) runNestOn(cpus []*cpuState, prog *ir.Program, n *ir.Nest, regions *uint64) error {
 	return m.runNestStreams(cpus, n, regions, func(p, cpu int) trace.Stream {
 		return ir.NestStream(prog, n, p, cpu)
@@ -615,10 +630,8 @@ func (m *Machine) runNestOn(cpus []*cpuState, prog *ir.Program, n *ir.Nest, regi
 // window's per-CPU stat delta equal its wall delta (the property
 // Result.Scale needs).
 func (m *Machine) runNestStreams(cpus []*cpuState, n *ir.Nest, regions *uint64, mk func(p, cpu int) trace.Stream) error {
-	if m.opts.Cancel != nil {
-		if err := m.opts.Cancel(); err != nil {
-			return fmt.Errorf("sim: run canceled: %w", err)
-		}
+	if err := m.pollCancel(); err != nil {
+		return err
 	}
 	p := len(cpus)
 	start := clockMax(cpus)

@@ -219,10 +219,11 @@ type Result struct {
 	Bus BusStats
 
 	// HintedFaults / HonoredHints carry the VM hint effectiveness through
-	// to the experiment reports.
-	PageFaults   uint64
-	HintedFaults uint64
-	HonoredHints uint64
+	// to the experiment reports. They are whole-run address-space counts,
+	// not steady-state rates, so Scale leaves them alone.
+	PageFaults   uint64 //lint:allow scaleconserve (whole-run fault count, not a rate)
+	HintedFaults uint64 //lint:allow scaleconserve (whole-run fault count, not a rate)
+	HonoredHints uint64 //lint:allow scaleconserve (whole-run fault count, not a rate)
 
 	// Isolated records that the run used color-partitioned isolation
 	// domains: every process's frames were clamped to its domain's
@@ -247,10 +248,13 @@ type Result struct {
 	// SampledIters / RepresentedIters are the detail-simulated and the
 	// extrapolated-to outer-iteration totals (the extrapolation weight
 	// sums: RepresentedIters / SampledIters is the mean scale factor).
-	WarmupRefs       uint64
-	SampledWindows   uint64
-	SampledIters     uint64
-	RepresentedIters uint64
+	// They describe the extrapolation itself, so Scale must not inflate
+	// them — a scaled SampledIters would claim detail the run never
+	// simulated.
+	WarmupRefs       uint64 //lint:allow scaleconserve (sampling metadata, describes the extrapolation)
+	SampledWindows   uint64 //lint:allow scaleconserve (sampling metadata, describes the extrapolation)
+	SampledIters     uint64 //lint:allow scaleconserve (sampling metadata, describes the extrapolation)
+	RepresentedIters uint64 //lint:allow scaleconserve (sampling metadata, describes the extrapolation)
 }
 
 // Sampled reports whether the result was produced by phase-sampled
@@ -404,5 +408,11 @@ func (r *Result) Scale(num, den uint64) {
 	r.Bus.DataCycles = mul(r.Bus.DataCycles)
 	r.Bus.WritebackCycles = mul(r.Bus.WritebackCycles)
 	r.Bus.UpgradeCycles = mul(r.Bus.UpgradeCycles)
+	// Per-slice splits cannot survive extrapolation: flooring each slice
+	// independently would drift from the re-derived machine-wide
+	// L2Misses and break invariant 13. A scaled result drops the split
+	// (today only the sampled path scales, and it never fills one — this
+	// keeps the declared nil-on-sampled contract true by construction).
+	r.SliceMisses = nil
 	r.WallCycles = scaledWall
 }

@@ -8,9 +8,13 @@ set -eux
 go vet ./...
 
 # cdpcvet: the repo's own static analyzers (determinism, statsconserve,
-# guardedby, errcode, pow2geom). Any diagnostic is a hard failure —
-# the tool exits 1 when it reports anything.
-go run ./cmd/cdpcvet ./...
+# guardedby, errcode, pow2geom, and the interprocedural quartet:
+# memokey, cancelpoll, topoaccess, scaleconserve). Any diagnostic is a
+# hard failure — the tool exits 1 when it reports anything — and the
+# analysis itself (module load + all nine analyzers, excluding the go
+# toolchain's compile of cdpcvet) must finish inside a 10s wall budget
+# so the lint gate stays cheap enough to run on every change.
+go run ./cmd/cdpcvet -budget 10s ./...
 
 # Every internal package (and the root package) must carry a doc.go
 # with a package comment — the documentation contract of the repo.
