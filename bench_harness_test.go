@@ -68,6 +68,11 @@ type harnessBench struct {
 	// over SimThroughputNsPerOp, and verify.sh guards it against >25%
 	// regression like the full-fidelity number.
 	SampledThroughputNsPerOp int64 `json:"sampled_throughput_ns_per_op"`
+	// TraceDecodeNsPerRef is the per-reference cost of decoding and
+	// draining the BenchmarkTraceDecode fixture — the input path of
+	// trace-driven simulation (DESIGN.md §15.2). verify.sh re-times the
+	// benchmark's ns/ref metric and fails on a >25% regression.
+	TraceDecodeNsPerRef float64 `json:"trace_decode_ns_per_ref"`
 }
 
 // TestRecordedSampledSpeedup asserts the issue's throughput budget on
@@ -140,6 +145,7 @@ func TestWriteHarnessBench(t *testing.T) {
 			}
 		}
 	})
+	traceDecode := testing.Benchmark(BenchmarkTraceDecode)
 	perSec := func(r testing.BenchmarkResult) float64 {
 		return float64(fig6QuickSims) / (float64(r.NsPerOp()) / 1e9)
 	}
@@ -153,6 +159,7 @@ func TestWriteHarnessBench(t *testing.T) {
 		ParallelSimsPerSec:       perSec(pooled),
 		SimThroughputNsPerOp:     throughput.NsPerOp(),
 		SampledThroughputNsPerOp: sampled.NsPerOp(),
+		TraceDecodeNsPerRef:      float64(traceDecode.NsPerOp()) / benchTraceRefs,
 	}
 	if workers > 1 {
 		out.Speedup = float64(serial.NsPerOp()) / float64(pooled.NsPerOp())

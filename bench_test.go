@@ -17,6 +17,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -157,6 +158,75 @@ func BenchmarkSimulatorThroughputSampled(b *testing.B) {
 			b.Fatalf("fidelity = %q, want %q", r.Fidelity, sim.FidelitySampled)
 		}
 	}
+}
+
+// BenchmarkTraceDecode measures binary-trace replay speed: decode a
+// CDPCTRC1 image and drain every per-CPU stream. This is the input
+// path of trace-driven simulation (DESIGN.md §15.2), so it reports
+// ns/ref alongside the per-image ns/op; verify.sh guards the recorded
+// trace_decode_ns_per_ref baseline in BENCH_harness.json against
+// regression.
+func BenchmarkTraceDecode(b *testing.B) {
+	data, refs := benchTraceImage(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := trace.DecodeBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var r trace.Ref
+		var n uint64
+		for cpu := 0; cpu < f.NumCPUs(); cpu++ {
+			s := f.Stream(cpu)
+			for s.Next(&r) {
+				n++
+			}
+		}
+		if n != refs {
+			b.Fatalf("drained %d refs, want %d", n, refs)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*refs), "ns/ref")
+}
+
+// benchTraceRefs is the reference count of the benchTraceImage fixture;
+// TestWriteHarnessBench divides the per-image decode time by it to
+// record trace_decode_ns_per_ref.
+const benchTraceRefs = benchTraceCPUs * benchTracePerCPU
+
+const benchTraceCPUs, benchTracePerCPU = 4, 1 << 16
+
+// benchTraceImage encodes a deterministic 4-CPU trace (mixed strides,
+// sizes and work so every encoder feature is on the decode path).
+func benchTraceImage(b *testing.B) ([]byte, uint64) {
+	b.Helper()
+	const ncpus, perCPU = benchTraceCPUs, benchTracePerCPU
+	e, err := trace.NewEncoder(ncpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for cpu := 0; cpu < ncpus; cpu++ {
+		addr := uint64(cpu) << 30
+		for i := 0; i < perCPU; i++ {
+			r := trace.Ref{Kind: trace.Kind(i % 3), VAddr: addr, Size: 8}
+			if i%5 == 0 {
+				r.Size = 4
+			}
+			if i%7 == 0 {
+				r.Work = uint32(i % 11)
+			}
+			if err := e.Add(cpu, r); err != nil {
+				b.Fatal(err)
+			}
+			addr += uint64(1 + i%3*64)
+			if i%64 == 63 {
+				addr -= 4096
+			}
+		}
+	}
+	f := e.File()
+	return f.AppendBinary(nil), f.TotalRefs()
 }
 
 // BenchmarkSimulatorThroughputObserved is the same run with a fresh

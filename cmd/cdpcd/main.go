@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/server"
 )
 
@@ -43,10 +44,21 @@ func main() {
 		maxTO   = flag.Duration("max-timeout", server.DefaultMaxTimeout, "upper clamp on request-supplied timeouts")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for accepted jobs")
 		quiet   = flag.Bool("quiet", false, "suppress per-request log lines")
+		topoF   = flag.String("topology-file", "", "load a cache topology from a JSON file and add it to the selectable set (requests pick it by name)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "cdpcd ", log.LstdFlags|log.Lmsgprefix)
+	if *topoF != "" {
+		topo, err := arch.LoadTopologyFile(*topoF)
+		if err != nil {
+			logger.Fatalf("-topology-file: %v", err)
+		}
+		if err := arch.RegisterTopology(topo); err != nil {
+			logger.Fatalf("-topology-file: %v", err)
+		}
+		logger.Printf("registered topology %q from %s", topo.Name, *topoF)
+	}
 	var reqLog *log.Logger
 	if !*quiet {
 		reqLog = logger

@@ -17,12 +17,19 @@
 //	cdpcsim -workload tomcatv -corun swim/first-touch -sched partition
 //	cdpcsim -workload swim -procs 4 -sched timeslice -quantum 250000
 //	cdpcsim -workload swim -procs 2 -isolate -audit
+//
+// Trace-driven runs (replay a recorded address stream; convert the
+// common text form with cmd/traceconv):
+//
+//	cdpcsim -trace-file app.trc -variant cdpc -audit
+//	cdpcsim -trace-file app.trc -variant first-touch -attr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/arch"
@@ -30,6 +37,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -55,8 +63,25 @@ func main() {
 		quantum  = flag.Uint64("quantum", 0, "time-slice quantum in cycles for multiprocess runs (0 = simulator default)")
 		isolate  = flag.Bool("isolate", false, "color-partition multiprocess runs: each process allocates only from its isolation domain's exclusive color subset")
 		topology = flag.String("topology", "", "cache topology ("+strings.Join(arch.TopologyNames(), ", ")+"; empty = default)")
+		topoFile = flag.String("topology-file", "", "load a cache topology from a JSON file and select it (overrides -topology when that is empty)")
+		trcFile  = flag.String("trace-file", "", "replay a binary reference trace instead of simulating a workload (convert text traces with cmd/traceconv)")
 	)
 	flag.Parse()
+
+	if *topoFile != "" {
+		topo, err := arch.LoadTopologyFile(*topoFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+			os.Exit(1)
+		}
+		if err := arch.RegisterTopology(topo); err != nil {
+			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+			os.Exit(1)
+		}
+		if *topology == "" {
+			*topology = topo.Name
+		}
+	}
 
 	spec := harness.Spec{
 		Workload: *workload,
@@ -111,6 +136,49 @@ func main() {
 			os.Exit(1)
 		}
 		spec.Sampled = true
+	}
+	if *trcFile != "" {
+		switch {
+		case *progFile != "":
+			fmt.Fprintln(os.Stderr, "cdpcsim: -trace-file and -program are mutually exclusive")
+			os.Exit(1)
+		case *fast:
+			fmt.Fprintln(os.Stderr, "cdpcsim: -trace-file needs the full simulator (no -fast)")
+			os.Exit(1)
+		case multi:
+			fmt.Fprintln(os.Stderr, "cdpcsim: trace runs are single-process (no -procs/-corun)")
+			os.Exit(1)
+		case *sampled:
+			fmt.Fprintln(os.Stderr, "cdpcsim: traces have no phase structure to sample (no -sampled)")
+			os.Exit(1)
+		case *prefetch:
+			fmt.Fprintln(os.Stderr, "cdpcsim: -prefetch needs a compiled program; traces record their reference stream")
+			os.Exit(1)
+		}
+		f, err := os.Open(*trcFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdpcsim:", err)
+			os.Exit(1)
+		}
+		tf, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdpcsim: %s: %v\n", *trcFile, err)
+			os.Exit(1)
+		}
+		spec.Workload = ""
+		spec.Trace = harness.NewTraceWorkload(filepath.Base(*trcFile), tf)
+		// Unless -cpus was given explicitly, size the machine to the
+		// trace's own stream count.
+		cpusSet := false
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "cpus" {
+				cpusSet = true
+			}
+		})
+		if !cpusSet {
+			spec.CPUs = 0
+		}
 	}
 	var ring *obs.Ring
 	if *traceN > 0 {

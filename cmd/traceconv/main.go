@@ -1,0 +1,90 @@
+// Command traceconv converts memory reference traces from the common
+// text form to the compact binary trace format the simulator ingests
+// (cdpcsim -trace-file, POST /v1/traces; format spec in DESIGN.md §15).
+//
+// The text form is one reference per line:
+//
+//	cpu addr op [size [work]]
+//
+// where cpu is the 0-based stream index, addr a hex (0x...) or decimal
+// virtual address, op one of r/read, w/write, i/inst, p/prefetch, size
+// the access width in bytes (default 8), and work the number of
+// non-memory execution cycles attributed before the reference (default
+// 0). '#' starts a comment; blank lines are skipped.
+//
+// Usage:
+//
+//	traceconv -o app.trc app.txt
+//	traceconv app.txt            # writes app.trc next to the input
+//	traceconv -info app.trc      # print a binary trace's shape
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		out  = flag.String("o", "", "output path (default: input with a .trc extension)")
+		info = flag.Bool("info", false, "treat the input as a binary trace and print its shape instead of converting")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "traceconv: exactly one input file required")
+		os.Exit(1)
+	}
+	in := flag.Arg(0)
+	f, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	if *info {
+		tf, err := trace.Decode(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceconv: %s: %v\n", in, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d cpus, %d refs, %d bytes encoded, sha256 %s\n",
+			in, tf.NumCPUs(), tf.TotalRefs(), tf.EncodedSize(), tf.Hash())
+		for cpu := 0; cpu < tf.NumCPUs(); cpu++ {
+			fmt.Printf("  cpu%02d: %d refs\n", cpu, tf.Refs(cpu))
+		}
+		return
+	}
+
+	tf, err := trace.ConvertText(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceconv: %s: %v\n", in, err)
+		os.Exit(1)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".txt") + ".trc"
+		if dst == in {
+			dst = in + ".trc"
+		}
+	}
+	w, err := os.Create(dst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+	if _, err := tf.WriteTo(w); err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d cpus, %d refs -> %s (%d bytes, sha256 %s)\n",
+		in, tf.NumCPUs(), tf.TotalRefs(), dst, tf.EncodedSize(), tf.Hash())
+}

@@ -1,0 +1,90 @@
+// Command tracegen emits synthetic address-trace workloads in the text
+// trace form (convert with cmd/traceconv, replay with cdpcsim
+// -trace-file). Its "irregular" pattern reproduces the pathology
+// compiler-directed page coloring targets, in trace form: a small set
+// of hot pages whose virtual page numbers are congruent modulo the
+// color count, first-touched interleaved with cold filler pages so a
+// color-blind allocator stacks them on few colors — a conflict-miss
+// storm on a direct-mapped external cache that vanishes when the hot
+// pages are spread across colors. It is the fixture behind
+// examples/traces/irregular.txt (regenerate with `make` arguments
+// below) and the verify.sh trace smoke.
+//
+// Usage:
+//
+//	tracegen > irregular.txt
+//	tracegen -cpus 2 -hot 12 -rounds 400 -colors 16 > irregular.txt
+//
+// The defaults match the base machine at the default 1/16 scale:
+// 16 page colors (64 KB direct-mapped external cache, 4 KB pages),
+// 12 hot pages per CPU (48 KB, comfortably under capacity so repeat
+// misses classify as conflict, not capacity).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		cpus   = flag.Int("cpus", 2, "per-CPU streams to generate")
+		hot    = flag.Int("hot", 12, "hot pages per CPU (all congruent mod -colors)")
+		rounds = flag.Int("rounds", 400, "measured rounds; each touches every hot page once")
+		colors = flag.Int("colors", 16, "page colors of the target machine (hot-page VPN spacing)")
+		page   = flag.Int("page", 4096, "page size in bytes")
+		line   = flag.Int("line", 128, "external-cache line size in bytes (round offsets step by this)")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# tracegen: %d cpus, %d hot pages/cpu spaced %d pages apart, %d rounds\n",
+		*cpus, *hot, *colors, *rounds)
+	fmt.Fprintf(w, "# hot footprint %d KB/cpu; intro interleaves %d cold fillers between hot first-touches\n",
+		*hot**page/1024, *colors-1)
+
+	hotAddr := func(cpu, i int) uint64 {
+		// Per-CPU disjoint ranges; hot VPNs congruent mod colors, so a
+		// vpn-mod-colors mapping (or sequential frames spaced by the
+		// filler count) stacks them all on one color.
+		return uint64(cpu)<<30 + uint64(i**colors**page)
+	}
+
+	// Intro: first-touch order poisons a color-blind allocator. Each hot
+	// page's fault is followed by colors-1 cold filler faults, so
+	// consecutive hot pages land colors-1+1 = colors frames apart —
+	// the same color under sequential frame allocation.
+	filler := 0
+	for i := 0; i < *hot; i++ {
+		for cpu := 0; cpu < *cpus; cpu++ {
+			fmt.Fprintf(w, "%d 0x%x r\n", cpu, hotAddr(cpu, i))
+		}
+		for k := 0; k < *colors-1; k++ {
+			for cpu := 0; cpu < *cpus; cpu++ {
+				addr := uint64(cpu)<<30 + 1<<28 + uint64(filler+k)*uint64(*page)
+				fmt.Fprintf(w, "%d 0x%x r\n", cpu, addr)
+			}
+		}
+		filler += *colors - 1
+	}
+
+	// Measured rounds: every hot page once per round, at a per-round
+	// line offset walked with a coprime stride so lines are revisited
+	// irregularly rather than sequentially.
+	lines := *page / *line
+	for r := 0; r < *rounds; r++ {
+		off := uint64((r*5 + 3) % lines * *line)
+		for i := 0; i < *hot; i++ {
+			op := "r"
+			if (r+i)%7 == 0 {
+				op = "w"
+			}
+			for cpu := 0; cpu < *cpus; cpu++ {
+				fmt.Fprintf(w, "%d 0x%x %s\n", cpu, hotAddr(cpu, i)+off, op)
+			}
+		}
+	}
+}

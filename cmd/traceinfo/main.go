@@ -11,6 +11,11 @@
 //
 //	traceinfo -workload tomcatv -cpus 8
 //	traceinfo -workload swim -cpus 16 -percpu
+//	traceinfo -trace app.trc -percpu
+//
+// With -trace the stream comes from a recorded binary trace file
+// instead of a bundled workload; the reuse-distance analysis is
+// identical, against the same machine geometry flags.
 package main
 
 import (
@@ -30,14 +35,41 @@ func main() {
 		cpus     = flag.Int("cpus", 8, "number of processors")
 		scale    = flag.Int("scale", workloads.DefaultScale, "scale divisor")
 		perCPU   = flag.Bool("percpu", false, "analyze each CPU's stream separately")
+		trcFile  = flag.String("trace", "", "analyze a recorded binary trace file instead of a bundled workload")
 	)
 	flag.Parse()
 
-	spec := harness.Spec{Workload: *workload, Scale: *scale, CPUs: *cpus}
-	prog, _, cfg, err := harness.Prepare(spec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
+	var prog *ir.Program
+	var tf *trace.File
+	if *trcFile != "" {
+		f, err := os.Open(*trcFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		tf, err = trace.Decode(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %s: %v\n", *trcFile, err)
+			os.Exit(1)
+		}
+		*cpus = tf.NumCPUs()
+	}
+	spec := harness.Spec{Workload: *workload, Scale: *scale, CPUs: max(*cpus, 1)}
+	if tf != nil {
+		// Only the machine geometry matters for a trace; no program is
+		// built or laid out.
+		spec.Workload = ""
+		spec.Trace = harness.NewTraceWorkload(*trcFile, tf)
+	}
+	cfg := spec.Config()
+	if tf == nil {
+		var err error
+		prog, _, cfg, err = harness.Prepare(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
 	}
 	// Geometry of the effective LLC: line size for reuse distances, and
 	// the whole cache instance (all slices) for the capacity marker.
@@ -59,6 +91,22 @@ func main() {
 		}
 	}
 
+	if tf != nil {
+		if *perCPU {
+			for cpu := 0; cpu < tf.NumCPUs(); cpu++ {
+				analyze(fmt.Sprintf("cpu%02d", cpu), tf.Stream(cpu))
+			}
+			return
+		}
+		// Whole-trace stream, CPU-major, mirroring the IR whole-program
+		// analysis.
+		streams := make([]trace.Stream, tf.NumCPUs())
+		for cpu := range streams {
+			streams[cpu] = tf.Stream(cpu)
+		}
+		analyze(*trcFile, trace.Concat(streams...))
+		return
+	}
 	if *perCPU {
 		for cpu := 0; cpu < *cpus; cpu++ {
 			analyze(fmt.Sprintf("cpu%02d", cpu), cpuStream(prog, *cpus, cpu))

@@ -1,0 +1,61 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadTopology parses a cache topology from JSON. Only structural
+// checks happen here — a topology is validated against a machine shape
+// (CPU count, page size, L1 line size) when it is applied to a Config,
+// through exactly the same Topology.Validate path the built-in named
+// topologies go through. Unlike the built-ins, a file topology carries
+// absolute geometries: it does not rescale with -scale.
+func ReadTopology(r io.Reader) (Topology, error) {
+	var t Topology
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return Topology{}, fmt.Errorf("arch: bad topology file: %w", err)
+	}
+	if t.Name == "" {
+		return Topology{}, fmt.Errorf("arch: topology file has no Name")
+	}
+	if len(t.Levels) == 0 {
+		return Topology{}, fmt.Errorf("arch: topology %q has no levels", t.Name)
+	}
+	return t, nil
+}
+
+// LoadTopologyFile reads a topology description file (see ReadTopology).
+func LoadTopologyFile(path string) (Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Topology{}, err
+	}
+	defer f.Close()
+	return ReadTopology(f)
+}
+
+// RegisterTopology adds t to the selectable topology set under t.Name,
+// so file-loaded topologies flow through the same entry points —
+// KnownTopology, ApplyTopology, Config.Validate — as the shipped named
+// ones. The registered builder returns t as-is for every Config (file
+// topologies are absolute; they do not derive geometry from the machine
+// they are applied to). Names must be unique: collisions with built-ins
+// or earlier registrations are rejected rather than shadowed.
+func RegisterTopology(t Topology) error {
+	if t.Name == "" || t.Name == "default" {
+		return fmt.Errorf("arch: cannot register topology with name %q", t.Name)
+	}
+	if len(t.Levels) == 0 {
+		return fmt.Errorf("arch: topology %q has no levels", t.Name)
+	}
+	if _, ok := topologyBuilders[t.Name]; ok {
+		return fmt.Errorf("arch: topology %q already registered", t.Name)
+	}
+	topologyBuilders[t.Name] = func(Config) Topology { return t }
+	return nil
+}

@@ -1,0 +1,117 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// fileTopoJSON is a complete single-level topology that is valid under
+// Base(8, 16): 128-byte lines over the 32-byte L1 lines, a 64 KB
+// direct-mapped LLC slice well above the 4 KB page.
+const fileTopoJSON = `{
+  "Name": "file-l2-64k",
+  "Levels": [
+    {
+      "Name": "L2",
+      "Geom": {"Size": 65536, "LineSize": 128, "Assoc": 1},
+      "CPUsPerCache": 1,
+      "HitCycles": 20,
+      "Inclusive": true,
+      "Slices": 1
+    }
+  ]
+}`
+
+// TestReadTopologyAndRegister: a file topology loads, registers, and
+// then flows through the exact entry points named topologies use —
+// KnownTopology, ApplyTopology (name folding included) and
+// Config.Validate.
+func TestReadTopologyAndRegister(t *testing.T) {
+	topo, err := ReadTopology(strings.NewReader(fileTopoJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registration is process-global, so tolerate re-runs (-count>1).
+	if !KnownTopology(topo.Name) {
+		if err := RegisterTopology(topo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !KnownTopology(topo.Name) {
+		t.Fatal("registered topology not known")
+	}
+	found := false
+	for _, n := range TopologyNames() {
+		if n == topo.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered topology missing from TopologyNames")
+	}
+
+	cfg, err := ApplyTopology(Base(8, 16), topo.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cfg.Name, topo.Name) {
+		t.Errorf("machine name %q does not carry the topology", cfg.Name)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("applied config invalid: %v", err)
+	}
+	if got := cfg.Topo().LLC().Geom.Size; got != 65536 {
+		t.Errorf("LLC size %d, want the file's absolute 65536", got)
+	}
+
+	// A registered topology still fails machine validation when it does
+	// not fit the machine — the same check path, not a bypass.
+	misfit := topo
+	misfit.Name = "file-l2-64k-quad"
+	misfit.Levels = append([]Level(nil), topo.Levels...)
+	misfit.Levels[0].CPUsPerCache = 4
+	if !KnownTopology(misfit.Name) {
+		if err := RegisterTopology(misfit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad, err := ApplyTopology(Base(3, 16), misfit.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("4-CPU-cluster file topology validated on a 3-CPU machine")
+	}
+}
+
+// TestRegisterTopologyRejects covers the collision and structural
+// rejections.
+func TestRegisterTopologyRejects(t *testing.T) {
+	if err := RegisterTopology(Topology{Name: "", Levels: []Level{{}}}); err == nil {
+		t.Error("registered empty name")
+	}
+	if err := RegisterTopology(Topology{Name: "default", Levels: []Level{{}}}); err == nil {
+		t.Error("shadowed the default topology")
+	}
+	if err := RegisterTopology(Topology{Name: "clustered-l3", Levels: []Level{{}}}); err == nil {
+		t.Error("shadowed a built-in topology")
+	}
+	if err := RegisterTopology(Topology{Name: "file-no-levels"}); err == nil {
+		t.Error("registered a topology with no levels")
+	}
+}
+
+// TestReadTopologyRejects is the loader's rejection table.
+func TestReadTopologyRejects(t *testing.T) {
+	cases := []struct{ name, json string }{
+		{"empty", ``},
+		{"unknown field", `{"Name":"x","Levels":[],"Bogus":1}`},
+		{"no name", `{"Levels":[{"Name":"L2"}]}`},
+		{"no levels", `{"Name":"x","Levels":[]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTopology(strings.NewReader(tc.json)); err == nil {
+			t.Errorf("%s: loaded without error", tc.name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -118,6 +119,51 @@ type CoRunner struct {
 	Domain int
 }
 
+// TraceWorkload is an external reference trace packaged as a runnable
+// workload: a decoded binary trace plus a label for results. Build one
+// with NewTraceWorkload so the content hash — the scheduler's memo key
+// and the server's trace identifier — is computed once up front.
+type TraceWorkload struct {
+	// Name labels the trace in results (typically the source file name
+	// or the server's content address).
+	Name string
+	// File is the decoded binary trace (see internal/trace).
+	File *trace.File
+
+	// hash caches File's content address.
+	hash string
+}
+
+// NewTraceWorkload wraps a decoded trace under a result label.
+func NewTraceWorkload(name string, f *trace.File) *TraceWorkload {
+	return &TraceWorkload{Name: name, File: f, hash: f.Hash()}
+}
+
+// contentHash returns the trace's content address, computing it on the
+// fly for zero-value construction (NewTraceWorkload precomputes).
+func (t *TraceWorkload) contentHash() string {
+	if t.hash != "" {
+		return t.hash
+	}
+	return t.File.Hash()
+}
+
+// CanTraceVariant reports whether a variant works on an external
+// trace. A trace fixes the virtual address of every reference, so only
+// variants that steer physical placement at fault time qualify; the
+// ones needing the compiler — layout transforms (padding, unaligned),
+// hint-ordered touching, virtual-order touching — cannot apply. The
+// CDPC variant qualifies through the online access-pattern summarizer
+// (trace.PreferredColors), which infers the per-page color preferences
+// the compiler summary would have carried.
+func CanTraceVariant(v Variant) bool {
+	switch v {
+	case "", PageColoring, BinHopping, FirstTouch, CDPC, DynamicRecoloring:
+		return true
+	}
+	return false
+}
+
 // MachineKind selects a machine preset.
 type MachineKind string
 
@@ -137,6 +183,15 @@ type Spec struct {
 	Machine  MachineKind // "" → base
 	Variant  Variant     // "" → page coloring
 	Prefetch bool        // compiler-inserted prefetching (§6.2)
+
+	// Trace, when non-nil, runs an external reference trace instead of
+	// a bundled IR workload; Workload is then only a fallback label and
+	// no compiler pipeline runs. CPUs defaults to the trace's own CPU
+	// count and must be at least that wide. Only placement-time variants
+	// apply (CanTraceVariant); sampling, co-runners and prefetching are
+	// rejected. The scheduler memoizes trace-backed specs by the trace's
+	// content hash.
+	Trace *TraceWorkload
 
 	// L2Override replaces the external-cache geometry (Figure 7 sweeps).
 	L2Override *arch.CacheGeometry
@@ -231,7 +286,11 @@ func (s Spec) withDefaults() Spec {
 		s.Scale = workloads.DefaultScale
 	}
 	if s.CPUs == 0 {
-		s.CPUs = 1
+		if s.Trace != nil {
+			s.CPUs = s.Trace.File.NumCPUs()
+		} else {
+			s.CPUs = 1
+		}
 	}
 	if s.Machine == "" {
 		s.Machine = BaseMachine
@@ -247,10 +306,11 @@ func (s Spec) withDefaults() Spec {
 
 // CanSample reports whether a spec can run phase-sampled. Observed
 // runs need the full reference trace for the event stream, co-runners
-// share a timeline no window can be cut out of, and dynamic recoloring
-// reacts to per-page miss counts a window cannot reproduce.
+// share a timeline no window can be cut out of, dynamic recoloring
+// reacts to per-page miss counts a window cannot reproduce, and an
+// external trace has no phase structure to cluster windows from.
 func CanSample(s Spec) bool {
-	return s.Obs == nil && len(s.CoRunners) == 0 && s.Variant != DynamicRecoloring
+	return s.Obs == nil && len(s.CoRunners) == 0 && s.Variant != DynamicRecoloring && s.Trace == nil
 }
 
 // Config resolves the machine configuration for a spec. An unknown
@@ -280,11 +340,27 @@ func (s Spec) Config() arch.Config {
 }
 
 // validateSpec rejects spec fields whose resolution Config would have
-// to swallow silently — today that is an unknown topology name.
+// to swallow silently — an unknown topology name, or a trace-backed
+// spec combined with machinery that needs a compiled program. It
+// expects withDefaults to have been applied.
 func validateSpec(s Spec) error {
 	if !arch.KnownTopology(s.Topology) {
 		return fmt.Errorf("harness: unknown topology %q (have %s)",
 			s.Topology, strings.Join(arch.TopologyNames(), ", "))
+	}
+	if s.Trace != nil {
+		if len(s.CoRunners) > 0 {
+			return fmt.Errorf("harness: trace-backed specs cannot have co-runners")
+		}
+		if s.Prefetch {
+			return fmt.Errorf("harness: prefetch insertion needs a compiled program; traces record their reference stream")
+		}
+		if !CanTraceVariant(s.Variant) {
+			return fmt.Errorf("harness: variant %q needs compiler layout or touch-order output and cannot run an external trace", s.Variant)
+		}
+		if n := s.Trace.File.NumCPUs(); n > s.CPUs {
+			return fmt.Errorf("harness: trace %q carries %d CPU streams but the spec machine has %d CPUs", s.Trace.Name, n, s.CPUs)
+		}
 	}
 	return nil
 }
@@ -324,11 +400,60 @@ func Run(s Spec) (*sim.Result, error) {
 // cdpcd server threads every request's context through here.
 func RunCtx(ctx context.Context, s Spec) (*sim.Result, error) {
 	s = s.withDefaults()
+	if s.Trace != nil {
+		return runTraceCtx(ctx, s)
+	}
 	prog, sum, cfg, err := Prepare(s)
 	if err != nil {
 		return nil, err
 	}
 	return runPrepared(ctx, prog, sum, cfg, s)
+}
+
+// runTraceCtx executes a trace-backed spec: no compiler pipeline runs;
+// the variant resolves to its placement policy directly, and the CDPC
+// variant substitutes the online access-pattern summarizer
+// (trace.PreferredColors) for the compiler's per-page color summary —
+// CDPC without the compiler.
+func runTraceCtx(ctx context.Context, s Spec) (*sim.Result, error) {
+	if err := validateSpec(s); err != nil {
+		return nil, err
+	}
+	cfg := s.Config()
+	opts := sim.Options{Config: cfg, DisableClassification: s.DisableClassification, Obs: s.Obs}
+	if ctx.Done() != nil {
+		opts.Cancel = ctx.Err
+	}
+	colors := cfg.Colors()
+	var hints map[uint64]int
+	switch s.Variant {
+	case PageColoring:
+		opts.Policy = vm.PageColoring{Colors: colors}
+	case BinHopping:
+		opts.Policy = &vm.BinHopping{Colors: colors}
+	case FirstTouch:
+		// The allocator does not exist yet; sim.New binds it.
+		opts.Policy = &vm.FirstTouch{}
+	case CDPC:
+		opts.Policy = vm.PageColoring{Colors: colors} // fallback for unhinted pages
+		hints = trace.PreferredColors(s.Trace.File, cfg.PageSize, colors, 0)
+	case DynamicRecoloring:
+		opts.Policy = vm.PageColoring{Colors: colors}
+		policy := vm.DefaultRecolorPolicy()
+		opts.Recolor = &policy
+	default:
+		return nil, fmt.Errorf("harness: unknown variant %q", s.Variant)
+	}
+	m, err := sim.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.RunSource(sim.NewTraceSource(s.Trace.Name, s.Trace.File, hints))
+	if err != nil {
+		return nil, err
+	}
+	res.Policy = string(s.Variant)
+	return res, nil
 }
 
 // RunProgram executes a custom (e.g. text-format) program under the
@@ -465,6 +590,9 @@ func RunMulti(s Spec) (*sim.MultiResult, error) {
 // be co-scheduled and are rejected.
 func RunMultiCtx(ctx context.Context, s Spec) (*sim.MultiResult, error) {
 	s = s.withDefaults()
+	if s.Trace != nil {
+		return nil, fmt.Errorf("harness: trace-backed specs are single-process; use Run")
+	}
 	if err := validateSpec(s); err != nil {
 		return nil, err
 	}

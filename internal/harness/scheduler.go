@@ -110,6 +110,14 @@ type specKey struct {
 	// different frame placements and must never share a memo slot.
 	Isolate bool
 	Domain  int
+
+	// TraceName and TraceHash identify a trace-backed spec's workload:
+	// the hash is the trace's content address (sha256 of its canonical
+	// serialization), so two uploads of the same reference stream share
+	// one memo slot while same-named traces with different content never
+	// collide.
+	TraceName string
+	TraceHash string
 }
 
 func keyOf(s Spec) specKey {
@@ -162,6 +170,10 @@ func keyOf(s Spec) specKey {
 		if s.Isolate {
 			k.Domain = s.Domain
 		}
+	}
+	if s.Trace != nil {
+		k.TraceName = s.Trace.Name
+		k.TraceHash = s.Trace.contentHash()
 	}
 	return k
 }
@@ -439,9 +451,14 @@ func (sc *Scheduler) Runs() int {
 }
 
 // runSpec is Run's slow path: prepare (through the program cache) and
-// simulate. It mirrors the package-level Run exactly.
+// simulate. It mirrors the package-level Run exactly. Trace-backed
+// specs skip the program cache entirely — there is no compiled program
+// to share, and their Workload field is only a label.
 func (sc *Scheduler) runSpec(ctx context.Context, spec Spec) (*sim.Result, error) {
 	spec = spec.withDefaults()
+	if spec.Trace != nil {
+		return runTraceCtx(ctx, spec)
+	}
 	prog, sum, cfg, err := sc.prepare(spec)
 	if err != nil {
 		return nil, err

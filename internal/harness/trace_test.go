@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// loadBundledTrace converts the bundled irregular text trace (generated
+// by cmd/tracegen; see its doc comment for the pathology it encodes).
+func loadBundledTrace(t *testing.T) *trace.File {
+	t.Helper()
+	f, err := os.Open("../../examples/traces/irregular.txt")
+	if err != nil {
+		t.Fatalf("open bundled trace: %v", err)
+	}
+	defer f.Close()
+	tf, err := trace.ConvertText(f)
+	if err != nil {
+		t.Fatalf("convert bundled trace: %v", err)
+	}
+	return tf
+}
+
+func conflicts(r *sim.Result) uint64 {
+	return r.Total(func(c *sim.CPUStats) uint64 { return c.ConflictMisses })
+}
+
+// TestTraceOnlineSummarizerBeatsFirstTouch is the headline trace-driven
+// demo: on the bundled irregular trace — hot pages congruent mod the
+// color count, first-touch order poisoned by interleaved cold faults —
+// the online access-pattern summarizer's color hints (CDPC without the
+// compiler) eliminate nearly all conflict misses that first-touch
+// placement suffers.
+func TestTraceOnlineSummarizerBeatsFirstTouch(t *testing.T) {
+	tf := loadBundledTrace(t)
+	base := Spec{Trace: NewTraceWorkload("irregular", tf)}
+
+	ft := base
+	ft.Variant = FirstTouch
+	ftRes, err := Run(ft)
+	if err != nil {
+		t.Fatalf("first-touch: %v", err)
+	}
+	cd := base
+	cd.Variant = CDPC
+	cdRes, err := Run(cd)
+	if err != nil {
+		t.Fatalf("cdpc: %v", err)
+	}
+
+	for _, r := range []*sim.Result{ftRes, cdRes} {
+		if r.NumCPUs != tf.NumCPUs() {
+			t.Errorf("%s: NumCPUs = %d, want trace width %d", r.Policy, r.NumCPUs, tf.NumCPUs())
+		}
+		if r.Fidelity != sim.FidelityFull {
+			t.Errorf("%s: fidelity %q, want full", r.Policy, r.Fidelity)
+		}
+		if v := r.Audit(); len(v) != 0 {
+			t.Errorf("%s: audit violations: %v", r.Policy, v)
+		}
+	}
+
+	ftConf, cdConf := conflicts(ftRes), conflicts(cdRes)
+	if ftConf < 1000 {
+		t.Fatalf("first-touch conflict misses = %d; trace no longer exercises the pathology", ftConf)
+	}
+	if cdConf*10 > ftConf {
+		t.Errorf("cdpc conflict misses = %d, want <10%% of first-touch's %d", cdConf, ftConf)
+	}
+	if cdRes.HintedFaults == 0 || cdRes.HonoredHints != cdRes.HintedFaults {
+		t.Errorf("cdpc hints: %d hinted, %d honored; want all honored on an uncontended machine",
+			cdRes.HintedFaults, cdRes.HonoredHints)
+	}
+	if cdRes.WallCycles >= ftRes.WallCycles {
+		t.Errorf("cdpc wall clock %d >= first-touch %d; expected speedup", cdRes.WallCycles, ftRes.WallCycles)
+	}
+}
+
+func TestTraceSpecValidation(t *testing.T) {
+	tf := loadBundledTrace(t)
+	w := NewTraceWorkload("irregular", tf)
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"co-runners", Spec{Trace: w, CoRunners: []CoRunner{{Workload: "tomcatv"}}}},
+		{"prefetch", Spec{Trace: w, Prefetch: true}},
+		{"cdpc-touch", Spec{Trace: w, Variant: CDPCTouch}},
+		{"too few cpus", Spec{Trace: w, CPUs: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.spec); err == nil {
+			t.Errorf("%s: Run accepted an invalid trace spec", tc.name)
+		}
+	}
+	if _, err := RunMulti(Spec{Trace: w}); err == nil {
+		t.Error("RunMulti accepted a trace-backed spec")
+	}
+}
+
+// Trace-backed specs must memoize by content hash: same bytes share a
+// key regardless of display name; different bytes never collide.
+func TestTraceMemoKeys(t *testing.T) {
+	tf := loadBundledTrace(t)
+	other, err := trace.ConvertText(traceText(t, "0 0x1000 r\n0 0x2000 w\n"))
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	a := keyOf(Spec{Trace: NewTraceWorkload("a", tf)})
+	b := keyOf(Spec{Trace: NewTraceWorkload("b", tf)})
+	c := keyOf(Spec{Trace: NewTraceWorkload("a", other), CPUs: 2})
+	if a.TraceHash != b.TraceHash || a.TraceHash == "" {
+		t.Errorf("same trace bytes, different hashes: %q vs %q", a.TraceHash, b.TraceHash)
+	}
+	if a.TraceHash == c.TraceHash {
+		t.Error("different trace bytes share a memo hash")
+	}
+	if a == b {
+		t.Error("keys with different display names should still differ on TraceName")
+	}
+
+	// The scheduler must hit its memo cache for a re-submitted trace spec.
+	sc := NewScheduler(2)
+	spec := Spec{Trace: NewTraceWorkload("irregular", tf), Variant: PageColoring}
+	r1, err := sc.Run(spec)
+	if err != nil {
+		t.Fatalf("scheduler trace run: %v", err)
+	}
+	r2, err := sc.Run(spec)
+	if err != nil {
+		t.Fatalf("repeat scheduler trace run: %v", err)
+	}
+	if r1 != r2 {
+		t.Error("identical trace specs did not share a memoized result")
+	}
+}
+
+func traceText(t *testing.T, s string) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "trace*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -4,10 +4,12 @@ import "fixstats/internal/sim"
 
 // Row flattens a result. NoColumn is declared but never emitted.
 type Row struct {
-	Good     uint64
-	Orphan   uint64
-	Wall     uint64
-	NoColumn uint64 // want "no column"
+	Good       uint64
+	Orphan     uint64
+	Wall       uint64
+	TraceRefs  uint64
+	TraceDrops uint64
+	NoColumn   uint64 // want "no column"
 }
 
 // FromResult reads the counters the report carries.
@@ -16,6 +18,8 @@ func FromResult(r *sim.Result) Row {
 	for i := range r.PerCPU {
 		row.Good += r.PerCPU[i].Good
 		row.Orphan += r.PerCPU[i].Orphan
+		row.TraceRefs += r.PerCPU[i].TraceRefs
+		row.TraceDrops += r.PerCPU[i].TraceDrops
 	}
 	row.Wall = r.WallCycles
 	return row
@@ -28,6 +32,8 @@ var columns = []struct {
 	{"good", func(r *Row) uint64 { return r.Good }},
 	{"orphan", func(r *Row) uint64 { return r.Orphan }},
 	{"wall", func(r *Row) uint64 { return r.Wall }},
+	{"trace_refs", func(r *Row) uint64 { return r.TraceRefs }},
+	{"trace_drops", func(r *Row) uint64 { return r.TraceDrops }},
 }
 
 // Header keeps columns referenced.

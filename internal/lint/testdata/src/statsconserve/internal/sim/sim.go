@@ -6,6 +6,12 @@ type CPUStats struct {
 	Good       uint64
 	Orphan     uint64 // want "not checked by any"
 	Unreported uint64 // want "never reaches the report package"
+	// TraceRefs and TraceDrops model counters added by the trace-driven
+	// run path: new paths get no exemption. TraceRefs is audited and
+	// reported like any IR-path counter; TraceDrops is reported but
+	// escapes the audit, which must be flagged.
+	TraceRefs  uint64
+	TraceDrops uint64 // want "not checked by any"
 }
 
 // Result carries the run-level counters.
@@ -20,7 +26,7 @@ func (r *Result) Audit() []string {
 	var v []string
 	for i := range r.PerCPU {
 		s := &r.PerCPU[i]
-		if s.Good > r.WallCycles || sumHelper(s) > r.WallCycles {
+		if s.Good+s.TraceRefs > r.WallCycles || sumHelper(s) > r.WallCycles {
 			v = append(v, "drift")
 		}
 	}

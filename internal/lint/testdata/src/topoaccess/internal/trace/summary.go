@@ -1,0 +1,29 @@
+// Package trace models the trace-driven run path for the topoaccess
+// fixture: the online access-pattern summarizer derives per-page color
+// hints from machine geometry, and that geometry must come from the
+// topology-mediated accessors — a raw L2 read here would compute a
+// color count that disagrees with clustered or sliced machines.
+package trace
+
+import "fixtopo/internal/arch"
+
+// BadColors bakes the two-level assumption into the summarizer.
+func BadColors(cfg arch.Config) int {
+	return cfg.L2.Size / cfg.PageSize // want "direct Config.L2 geometry read outside internal/arch"
+}
+
+// GoodColors sizes the hint space off the effective LLC.
+func GoodColors(cfg arch.Config) int {
+	return cfg.Topo().LLC().TotalSize() / cfg.PageSize
+}
+
+// Replay drains a recorded stream; the line size guiding its reuse
+// arithmetic must come from the topology too.
+func Replay(cfg arch.Config, addrs []int) int {
+	line := cfg.Topo().LLC().Geom.LineSize
+	seen := map[int]bool{}
+	for _, a := range addrs {
+		seen[a/line] = true
+	}
+	return len(seen)
+}

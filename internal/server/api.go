@@ -30,6 +30,14 @@ type JobRequest struct {
 	// Program-carrying requests always simulate fresh (their IR is not
 	// part of the memo key), so repeated custom jobs re-run.
 	Program string `json:"program,omitempty"`
+	// TraceID runs an uploaded binary reference trace (POST /v1/traces)
+	// instead of a compiled workload. Mutually exclusive with Workload
+	// and Program. Trace jobs support the placement-time variants only
+	// (the cdpc variant substitutes the online access-pattern summarizer
+	// for the compiler's color hints), always run full fidelity, and
+	// cannot be co-scheduled or prefetched. Results are memo-cached by
+	// the trace's content hash.
+	TraceID string `json:"trace_id,omitempty"`
 	// CPUs is the processor count (1–16); 0 means 8.
 	CPUs int `json:"cpus,omitempty"`
 	// Scale divides the paper's machine and data sizes; 0 means the
@@ -253,6 +261,9 @@ const (
 	CodeBadIsolation    = "bad_isolation"    // 400: isolation fields on a non-co-scheduled job, or out-of-range isolation_domain
 	CodeBadFidelity     = "bad_fidelity"     // 400: unknown fidelity, or sampled requested for an incompatible spec
 	CodeBadTopology     = "bad_topology"     // 400: unknown cache topology name
+	CodeBadTrace        = "bad_trace"        // 400: uploaded bytes are not a valid binary trace
+	CodeTraceTooLarge   = "trace_too_large"  // 413: uploaded trace exceeds the size limit
+	CodeUnknownTrace    = "unknown_trace"    // 400: trace_id not in the store (never uploaded, or evicted)
 	CodeOutOfMemory     = "out_of_memory"    // simulated machine ran out of physical frames (job error)
 	CodeInternal        = "internal"         // 500: handler panic or unexpected failure
 )
@@ -285,13 +296,24 @@ const maxCPUs = 16
 // that queue slots are never wasted on requests that cannot run.
 func (req *JobRequest) validate() (harness.Spec, *ir.Program, *ErrorInfo) {
 	var spec harness.Spec
-	if req.Workload == "" && req.Program == "" {
-		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "workload",
-			Message: "one of workload or program is required"}
+	nsources := 0
+	for _, set := range []bool{req.Workload != "", req.Program != "", req.TraceID != ""} {
+		if set {
+			nsources++
+		}
 	}
-	if req.Workload != "" && req.Program != "" {
+	if nsources == 0 {
 		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "workload",
-			Message: "workload and program are mutually exclusive"}
+			Message: "one of workload, program or trace_id is required"}
+	}
+	if nsources > 1 {
+		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "workload",
+			Message: "workload, program and trace_id are mutually exclusive"}
+	}
+	if req.TraceID != "" {
+		if errInfo := req.validateTrace(); errInfo != nil {
+			return spec, nil, errInfo
+		}
 	}
 	if req.CPUs < 0 || req.CPUs > maxCPUs {
 		return spec, nil, &ErrorInfo{Code: CodeInvalidRequest, Field: "cpus",
@@ -336,12 +358,16 @@ func (req *JobRequest) validate() (harness.Spec, *ir.Program, *ErrorInfo) {
 			return spec, nil, &ErrorInfo{Code: CodeBadProgram, Field: "program", Message: err.Error()}
 		}
 		prog = p
-	} else if _, err := workloads.ByName(req.Workload); err != nil {
-		return spec, nil, &ErrorInfo{Code: CodeUnknownWorkload, Field: "workload", Message: err.Error()}
+	} else if req.Workload != "" {
+		if _, err := workloads.ByName(req.Workload); err != nil {
+			return spec, nil, &ErrorInfo{Code: CodeUnknownWorkload, Field: "workload", Message: err.Error()}
+		}
 	}
 
 	cpus := req.CPUs
-	if cpus == 0 {
+	if cpus == 0 && req.TraceID == "" {
+		// Trace jobs leave 0: the width defaults to the trace's own CPU
+		// count once the id resolves (admit checks it fits the machine).
 		cpus = 8
 	}
 	spec = harness.Spec{
@@ -390,6 +416,31 @@ func (req *JobRequest) validate() (harness.Spec, *ir.Program, *ErrorInfo) {
 	spec.Isolate = req.Isolate
 	spec.Domain = req.IsolationDomain
 	return spec, prog, nil
+}
+
+// validateTrace checks the fields a trace-backed job cannot carry: a
+// recorded reference stream has no compiler pipeline (no prefetch
+// insertion, no layout/touch-order variants), no phase structure to
+// sample, and no process to co-schedule. Store membership of the id is
+// checked at admission, not here.
+func (req *JobRequest) validateTrace() *ErrorInfo {
+	if len(req.CoRunners) > 0 {
+		return &ErrorInfo{Code: CodeBadCoSchedule, Field: "co_runners",
+			Message: "trace jobs cannot be co-scheduled"}
+	}
+	if req.Prefetch {
+		return &ErrorInfo{Code: CodeInvalidRequest, Field: "prefetch",
+			Message: "prefetch insertion needs a compiled program; traces record their reference stream"}
+	}
+	if req.Fidelity == string(sim.FidelitySampled) {
+		return &ErrorInfo{Code: CodeBadFidelity, Field: "fidelity",
+			Message: "trace jobs have no phase structure to sample; use full"}
+	}
+	if req.Variant != "" && !harness.CanTraceVariant(harness.Variant(req.Variant)) {
+		return &ErrorInfo{Code: CodeInvalidRequest, Field: "variant",
+			Message: fmt.Sprintf("variant %q needs compiler layout or touch-order output and cannot run a trace", req.Variant)}
+	}
+	return nil
 }
 
 // maxProcs bounds the process table of a multiprocess job; beyond the

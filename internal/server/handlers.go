@@ -28,6 +28,8 @@ func (s *Server) routes() []route {
 		{"GET /v1/jobs", s.handleListJobs},
 		{"GET /v1/jobs/{id}", s.handleGetJob},
 		{"DELETE /v1/jobs/{id}", s.handleCancelJob},
+		{"POST /v1/traces", s.handleUploadTrace},
+		{"GET /v1/traces/{id}", s.handleGetTrace},
 		{"GET /v1/workloads", s.handleWorkloads},
 		{"GET /metrics", s.handleMetrics},
 		{"GET /healthz", s.handleHealthz},
@@ -101,6 +103,25 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, async bool) *job 
 	if errInfo != nil {
 		writeError(w, http.StatusBadRequest, *errInfo)
 		return nil
+	}
+	if req.TraceID != "" {
+		// Resolve the id against the upload store now, so queue slots are
+		// never spent on jobs that cannot run.
+		f := s.traces.get(req.TraceID)
+		if f == nil {
+			writeError(w, http.StatusBadRequest, ErrorInfo{Code: CodeUnknownTrace, Field: "trace_id",
+				Message: "no such trace (upload it with POST /v1/traces): " + req.TraceID})
+			return nil
+		}
+		if spec.CPUs == 0 {
+			spec.CPUs = f.NumCPUs()
+		}
+		if n := f.NumCPUs(); n > spec.CPUs || spec.CPUs > maxCPUs {
+			writeError(w, http.StatusBadRequest, ErrorInfo{Code: CodeInvalidRequest, Field: "cpus",
+				Message: fmt.Sprintf("trace carries %d CPU streams; cpus must be %d-%d", n, n, maxCPUs)})
+			return nil
+		}
+		spec.Trace = harness.NewTraceWorkload("trace:"+shortTraceID(req.TraceID), f)
 	}
 	if req.Fidelity == "" && async && !req.Attr && harness.CanSample(spec) {
 		spec.Sampled = true
@@ -260,6 +281,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // describe renders a request for log lines.
 func describe(req JobRequest) string {
 	name := req.Workload
+	if name == "" && req.TraceID != "" {
+		name = "trace:" + shortTraceID(req.TraceID)
+	}
 	if name == "" {
 		name = "<custom program>"
 	}

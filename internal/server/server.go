@@ -45,12 +45,13 @@ const (
 // it. Construct with New, mount Handler on an http.Server, and call
 // Shutdown to drain.
 type Server struct {
-	cfg   Config
-	sched *harness.Scheduler
-	store *store
-	queue *queue
-	reg   *obs.Registry
-	mux   *http.ServeMux
+	cfg    Config
+	sched  *harness.Scheduler
+	store  *store
+	traces *traceStore
+	queue  *queue
+	reg    *obs.Registry
+	mux    *http.ServeMux
 
 	// baseCtx parents every job context; canceling it (Shutdown's last
 	// resort) aborts running simulations at their next nest boundary.
@@ -86,6 +87,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		sched:      harness.NewScheduler(cfg.Workers),
 		store:      newStore(),
+		traces:     newTraceStore(),
 		reg:        obs.NewRegistry(),
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
@@ -106,6 +108,9 @@ func New(cfg Config) *Server {
 			return 0
 		}
 		return float64(h) / float64(h+m)
+	})
+	s.reg.Gauge("cdpcd_trace_store_bytes", "resident encoded size of uploaded traces", func() float64 {
+		return float64(s.traces.bytes())
 	})
 	s.mux = s.buildMux()
 	return s

@@ -412,7 +412,10 @@ func (m *Machine) Run(prog *ir.Program) (*Result, error) {
 }
 
 // runSingle is the legacy single-process engine operating on the
-// machine's own address space and configured policy.
+// machine's own address space and configured policy. Since the
+// source-abstraction refactor it is a thin shim: validate, pick the
+// sampled path when eligible, then run the program as one Source
+// implementation among others (runSource is the engine proper).
 func (m *Machine) runSingle(prog *ir.Program) (*Result, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
@@ -420,118 +423,7 @@ func (m *Machine) runSingle(prog *ir.Program) (*Result, error) {
 	if m.opts.Sampling.Enabled && m.samplingSupported() {
 		return m.runSampled(prog)
 	}
-	if m.opts.Hints != nil {
-		m.as.Advise(m.opts.Hints)
-	}
-	if m.opts.TouchOrder != nil {
-		faults, err := m.as.TouchInOrder(m.opts.TouchOrder, 0)
-		if err != nil {
-			return nil, fmt.Errorf("sim: touch-order faulting: %w", err)
-		}
-		// All faults are serialized on the master at startup — the §5.3
-		// drawback of the user-level Digital UNIX implementation.
-		m.cpus[0].stats.KernelCycles += uint64(faults) * uint64(m.cfg.PageFaultCycles)
-		m.cpus[0].stats.PageFaults += uint64(faults)
-		m.cpus[0].clock += uint64(faults) * uint64(m.cfg.PageFaultCycles)
-	}
-
-	// Initialization: executed once, unmeasured; this is where first-touch
-	// page faults happen for programs with an init phase.
-	if prog.Init != nil {
-		for _, n := range prog.Init.Nests {
-			if err := m.runNest(prog, n); err != nil {
-				return nil, err
-			}
-		}
-	}
-	// Warm-up pass: run every phase once and discard the stats, the
-	// paper's "discard the results from the first phases executed with
-	// the detailed simulator" (§3.2).
-	if !m.opts.SkipWarmup {
-		for _, ph := range prog.Phases {
-			for _, n := range ph.Nests {
-				if err := m.runNest(prog, n); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-
-	// Synchronize clocks before measuring. A CPU can lag the global
-	// clock here only when startup work was serialized on the master and
-	// no init or warm-up pass absorbed the skew (touch-order faulting
-	// with SkipWarmup); the lag is slave idle time, booked as such so
-	// every measured phase starts from a common origin — the audit's
-	// cycle-conservation invariant depends on it.
-	sync := m.wallClock()
-	for _, c := range m.cpus {
-		if c.clock < sync {
-			c.stats.SequentialCycles += sync - c.clock
-			c.clock = sync
-		}
-	}
-
-	// Attribution covers the measured region only, mirroring the Result:
-	// drop per-color/per-page counts and set profiles from init and
-	// warm-up. (Phases with Occurrences > 1 are still attributed once,
-	// unweighted, where the Result multiplies them out.)
-	if m.obs != nil {
-		m.obs.ResetAttribution()
-		m.enableSetProfiles()
-	}
-
-	res := &Result{
-		Workload: prog.Name,
-		Machine:  m.cfg.Name,
-		Policy:   m.as.PolicyName(),
-		NumCPUs:  m.cfg.NumCPUs,
-		PerCPU:   make([]CPUStats, m.cfg.NumCPUs),
-	}
-
-	// Measured pass: each phase once, weighted by its occurrence count.
-	if m.sliceMiss != nil {
-		res.SliceMisses = make([]uint64, len(m.sliceMiss))
-	}
-	sliceBefore := make([]uint64, len(m.sliceMiss))
-	for _, ph := range prog.Phases {
-		before := make([]CPUStats, len(m.cpus))
-		for i, c := range m.cpus {
-			before[i] = c.stats
-		}
-		busBefore := [3]uint64{m.bus.Occupancy(bus.Data), m.bus.Occupancy(bus.Writeback), m.bus.Occupancy(bus.Upgrade)}
-		wallBefore := m.wallClock()
-		copy(sliceBefore, m.sliceMiss)
-
-		for _, n := range ph.Nests {
-			if err := m.runNest(prog, n); err != nil {
-				return nil, err
-			}
-		}
-
-		w := uint64(ph.Occurrences)
-		for i, c := range m.cpus {
-			delta := c.stats.sub(before[i])
-			res.PerCPU[i].add(&delta, w)
-		}
-		res.Bus.DataCycles += (m.bus.Occupancy(bus.Data) - busBefore[0]) * w
-		res.Bus.WritebackCycles += (m.bus.Occupancy(bus.Writeback) - busBefore[1]) * w
-		res.Bus.UpgradeCycles += (m.bus.Occupancy(bus.Upgrade) - busBefore[2]) * w
-		res.WallCycles += (m.wallClock() - wallBefore) * w
-		// Per-slice miss split, phase-weighted like everything else so
-		// audit invariant 13 (sum == total L2 misses) holds exactly.
-		for s := range res.SliceMisses {
-			res.SliceMisses[s] += (m.sliceMiss[s] - sliceBefore[s]) * w
-		}
-	}
-
-	res.Fidelity = FidelityFull
-	res.PageFaults = m.as.Faults
-	res.HintedFaults = m.as.HintedFaults
-	res.HonoredHints = m.as.HonoredHints
-	if m.obs != nil {
-		m.finalizeObs()
-	}
-	return res, nil
+	return m.runSource(ProgramSource(prog))
 }
 
 // finalizeObs snapshots the per-set external-cache profile (summed over
@@ -630,6 +522,14 @@ func (m *Machine) runNestOn(cpus []*cpuState, prog *ir.Program, n *ir.Nest, regi
 // window's per-CPU stat delta equal its wall delta (the property
 // Result.Scale needs).
 func (m *Machine) runNestStreams(cpus []*cpuState, n *ir.Nest, regions *uint64, mk func(p, cpu int) trace.Stream) error {
+	return m.runRegionStreams(cpus, n.Parallel, n.Suppressed, regions, mk)
+}
+
+// runRegionStreams is the engine's region primitive, shared by every
+// source: the nest-shaped callers above and the abstract Regions of
+// runSource. Only the parallel/suppressed structure of the region is
+// needed — everything else comes from the streams.
+func (m *Machine) runRegionStreams(cpus []*cpuState, parallel, suppressed bool, regions *uint64, mk func(p, cpu int) trace.Stream) error {
 	if err := m.pollCancel(); err != nil {
 		return err
 	}
@@ -644,7 +544,7 @@ func (m *Machine) runNestStreams(cpus []*cpuState, n *ir.Nest, regions *uint64, 
 		}
 	}
 
-	if !n.Parallel || n.Suppressed || p == 1 {
+	if !parallel || suppressed || p == 1 {
 		// Master executes alone; slaves spin.
 		master := cpus[0]
 		if err := m.runStream(master, mk(p, 0)); err != nil {
@@ -661,7 +561,7 @@ func (m *Machine) runNestStreams(cpus []*cpuState, n *ir.Nest, regions *uint64, 
 			if end > c.clock {
 				idle := end - c.clock
 				switch {
-				case n.Suppressed:
+				case suppressed:
 					c.stats.SuppressedCycles += idle
 				default:
 					c.stats.SequentialCycles += idle
@@ -721,12 +621,26 @@ func clockMax(cpus []*cpuState) uint64 {
 	return w
 }
 
+// cancelPollRefs is the in-region cancellation granularity: the
+// interleave loops poll Options.Cancel every this many references.
+// Nest-shaped sources already poll at every region boundary, but an
+// external trace is one region — without the in-region poll, a long
+// trace job would outlive the server's drain deadline. Power of two so
+// the hot loops test with a mask.
+const cancelPollRefs = 1 << 20
+
 // runStream drains one CPU's stream (sequential regions).
 func (m *Machine) runStream(c *cpuState, s trace.Stream) error {
 	var r trace.Ref
+	n := uint64(0)
 	for s.Next(&r) {
 		if err := m.step(c, &r); err != nil {
 			return err
+		}
+		if n++; n&(cancelPollRefs-1) == 0 {
+			if err := m.pollCancel(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -758,6 +672,7 @@ func (m *Machine) runParallel(cpus []*cpuState, streams []trace.Stream) error {
 			active++
 		}
 	}
+	steps := uint64(0)
 	for active > 0 {
 		// Linear min scan: CPU counts are ≤ 64 and usually ≤ 16, where a
 		// scan beats heap bookkeeping.
@@ -777,6 +692,11 @@ func (m *Machine) runParallel(cpus []*cpuState, streams []trace.Stream) error {
 		if !ru.s.Next(&ru.r) {
 			ru.done = true
 			active--
+		}
+		if steps++; steps&(cancelPollRefs-1) == 0 {
+			if err := m.pollCancel(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

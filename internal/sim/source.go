@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Source is the engine's workload abstraction: the contract that was
+// implicit in runSingle/runNestStreams/ir.NestStream, made explicit so
+// reference streams need not come from an ir.Program. A source
+// describes its execution structure (unmeasured initialization
+// regions, then steady-state phases weighted by occurrence counts),
+// supplies the per-CPU reference stream of each region on demand, and
+// optionally carries page-color preferences (compiler summaries for
+// IR workloads, the online summarizer's inference for external
+// traces).
+//
+// The engine may ask for a region's streams more than once — the
+// warm-up pass re-runs every phase — so WarmupPass must be false for
+// sources that cannot replay cheaply or whose methodology measures
+// the whole stream (external traces: a finite recorded stream run
+// twice would double-count its cold faults into the warm-up).
+type Source interface {
+	// Name labels the workload in results.
+	Name() string
+	// Validate checks the source against the machine shape before any
+	// simulation state is touched.
+	Validate(numCPUs int) error
+	// InitRegions returns the unmeasured initialization regions, run
+	// once before the warm-up pass (where first-touch faulting happens
+	// for sources with an init phase).
+	InitRegions() []Region
+	// Phases returns the steady-state phases in execution order.
+	Phases() []SourcePhase
+	// WarmupPass reports whether the engine should run every phase once
+	// unmeasured first (the paper's §3.2 warm-up discard).
+	WarmupPass() bool
+	// Hints returns optional per-page preferred colors (VPN → color),
+	// consulted only when Options.Hints is nil. IR sources return nil —
+	// their compiler summaries arrive through Options — while trace
+	// sources carry the online summarizer's output here.
+	Hints() map[uint64]int
+}
+
+// SourcePhase is one steady-state phase: its regions run in order,
+// and the measured pass weights the phase's statistics by Occurrences.
+type SourcePhase struct {
+	Name        string
+	Occurrences int
+	Regions     []Region
+}
+
+// Region is one barrier-delimited execution region: the unit of
+// fork/dispatch, min-clock interleaving and the closing barrier. The
+// engine calls Stream once per participating CPU per execution; p is
+// the gang width and cpu the gang-local CPU index.
+type Region interface {
+	// Parallel reports whether the region forks across the gang;
+	// sequential regions run on the master while slaves idle.
+	Parallel() bool
+	// Suppressed marks a parallel region executed sequentially
+	// (suppressed parallelization); slave idle time is booked as
+	// SuppressedCycles rather than SequentialCycles.
+	Suppressed() bool
+	// Stream returns CPU cpu's reference stream for one execution of
+	// the region.
+	Stream(p, cpu int) trace.Stream
+}
+
+// ProgramSource adapts an ir.Program to the Source interface; it is
+// the IR half of the refactor and reproduces the exact region
+// structure runSingle always had, so IR results are byte-identical to
+// the pre-source engine.
+func ProgramSource(prog *ir.Program) Source { return &programSource{prog: prog} }
+
+type programSource struct {
+	prog *ir.Program
+}
+
+func (p *programSource) Name() string               { return p.prog.Name }
+func (p *programSource) Validate(numCPUs int) error { return p.prog.Validate() }
+func (p *programSource) WarmupPass() bool           { return true }
+func (p *programSource) Hints() map[uint64]int      { return nil }
+
+func (p *programSource) InitRegions() []Region {
+	if p.prog.Init == nil {
+		return nil
+	}
+	return p.regions(p.prog.Init.Nests)
+}
+
+func (p *programSource) Phases() []SourcePhase {
+	phases := make([]SourcePhase, len(p.prog.Phases))
+	for i, ph := range p.prog.Phases {
+		phases[i] = SourcePhase{Name: ph.Name, Occurrences: ph.Occurrences, Regions: p.regions(ph.Nests)}
+	}
+	return phases
+}
+
+func (p *programSource) regions(nests []*ir.Nest) []Region {
+	regions := make([]Region, len(nests))
+	for i, n := range nests {
+		regions[i] = nestRegion{prog: p.prog, n: n}
+	}
+	return regions
+}
+
+// nestRegion is one loop nest as a Region; its streams are exactly the
+// ir.NestStream decomposition runNestOn always built.
+type nestRegion struct {
+	prog *ir.Program
+	n    *ir.Nest
+}
+
+func (r nestRegion) Parallel() bool   { return r.n.Parallel }
+func (r nestRegion) Suppressed() bool { return r.n.Suppressed }
+func (r nestRegion) Stream(p, cpu int) trace.Stream {
+	return ir.NestStream(r.prog, r.n, p, cpu)
+}
+
+// NewTraceSource wraps a decoded binary trace as a Source: one
+// steady-state phase holding one parallel region whose per-CPU streams
+// decode lazily from the trace's compressed blocks (the run never
+// materializes the reference slice). There is no init region and no
+// warm-up pass — a recorded stream is finite and is measured whole,
+// cold faults included, like the multiprocess paths. hints, usually
+// trace.PreferredColors' output, rides along as the source's optional
+// page-color summary.
+func NewTraceSource(name string, f *trace.File, hints map[uint64]int) Source {
+	return &traceSource{name: name, f: f, hints: hints}
+}
+
+type traceSource struct {
+	name  string
+	f     *trace.File
+	hints map[uint64]int
+}
+
+func (t *traceSource) Name() string          { return t.name }
+func (t *traceSource) InitRegions() []Region { return nil }
+func (t *traceSource) WarmupPass() bool      { return false }
+func (t *traceSource) Hints() map[uint64]int { return t.hints }
+
+func (t *traceSource) Validate(numCPUs int) error {
+	if n := t.f.NumCPUs(); n > numCPUs {
+		return fmt.Errorf("sim: trace %q carries %d CPU streams but the machine has %d CPUs", t.name, n, numCPUs)
+	}
+	return nil
+}
+
+func (t *traceSource) Phases() []SourcePhase {
+	return []SourcePhase{{Name: "trace", Occurrences: 1, Regions: []Region{traceRegion{f: t.f}}}}
+}
+
+// traceRegion replays the whole trace as a single parallel region: CPU
+// i of the gang drains trace stream i; machine CPUs beyond the trace's
+// width idle (trace.File.Stream hands them the empty stream).
+type traceRegion struct {
+	f *trace.File
+}
+
+func (r traceRegion) Parallel() bool                 { return true }
+func (r traceRegion) Suppressed() bool               { return false }
+func (r traceRegion) Stream(p, cpu int) trace.Stream { return r.f.Stream(cpu) }
+
+// RunSource executes an abstract workload source on the machine and
+// returns the weighted result; Run/runSingle is exactly this with a
+// ProgramSource. Cancellation is polled at every region boundary and,
+// for sources whose regions are long (a whole external trace is one
+// region), every 2^20 references inside the interleave loops, so the
+// server's drain bound holds for trace jobs too.
+func (m *Machine) RunSource(src Source) (*Result, error) {
+	if err := src.Validate(m.cfg.NumCPUs); err != nil {
+		return nil, err
+	}
+	return m.runSource(src)
+}
+
+// runSource is the engine's main sequence, verbatim from the classic
+// single-process path: advise hints, optional serialized touch-order
+// faulting, unmeasured init, warm-up pass, clock sync, then the
+// measured pass with per-phase stat/bus/wall deltas weighted by
+// occurrence counts.
+func (m *Machine) runSource(src Source) (*Result, error) {
+	hints := m.opts.Hints
+	if hints == nil {
+		hints = src.Hints()
+	}
+	if hints != nil {
+		m.as.Advise(hints)
+	}
+	if m.opts.TouchOrder != nil {
+		faults, err := m.as.TouchInOrder(m.opts.TouchOrder, 0)
+		if err != nil {
+			return nil, fmt.Errorf("sim: touch-order faulting: %w", err)
+		}
+		// All faults are serialized on the master at startup — the §5.3
+		// drawback of the user-level Digital UNIX implementation.
+		m.cpus[0].stats.KernelCycles += uint64(faults) * uint64(m.cfg.PageFaultCycles)
+		m.cpus[0].stats.PageFaults += uint64(faults)
+		m.cpus[0].clock += uint64(faults) * uint64(m.cfg.PageFaultCycles)
+	}
+
+	// Initialization: executed once, unmeasured; this is where first-touch
+	// page faults happen for sources with an init phase.
+	for _, reg := range src.InitRegions() {
+		if err := m.runRegion(reg); err != nil {
+			return nil, err
+		}
+	}
+	phases := src.Phases()
+	// Warm-up pass: run every phase once and discard the stats, the
+	// paper's "discard the results from the first phases executed with
+	// the detailed simulator" (§3.2). Sources that measure their whole
+	// stream (external traces) opt out.
+	if src.WarmupPass() && !m.opts.SkipWarmup {
+		for _, ph := range phases {
+			for _, reg := range ph.Regions {
+				if err := m.runRegion(reg); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Synchronize clocks before measuring. A CPU can lag the global
+	// clock here only when startup work was serialized on the master and
+	// no init or warm-up pass absorbed the skew (touch-order faulting
+	// with SkipWarmup); the lag is slave idle time, booked as such so
+	// every measured phase starts from a common origin — the audit's
+	// cycle-conservation invariant depends on it.
+	sync := m.wallClock()
+	for _, c := range m.cpus {
+		if c.clock < sync {
+			c.stats.SequentialCycles += sync - c.clock
+			c.clock = sync
+		}
+	}
+
+	// Attribution covers the measured region only, mirroring the Result:
+	// drop per-color/per-page counts and set profiles from init and
+	// warm-up. (Phases with Occurrences > 1 are still attributed once,
+	// unweighted, where the Result multiplies them out.)
+	if m.obs != nil {
+		m.obs.ResetAttribution()
+		m.enableSetProfiles()
+	}
+
+	res := &Result{
+		Workload: src.Name(),
+		Machine:  m.cfg.Name,
+		Policy:   m.as.PolicyName(),
+		NumCPUs:  m.cfg.NumCPUs,
+		PerCPU:   make([]CPUStats, m.cfg.NumCPUs),
+	}
+
+	// Measured pass: each phase once, weighted by its occurrence count.
+	if m.sliceMiss != nil {
+		res.SliceMisses = make([]uint64, len(m.sliceMiss))
+	}
+	sliceBefore := make([]uint64, len(m.sliceMiss))
+	for _, ph := range phases {
+		before := make([]CPUStats, len(m.cpus))
+		for i, c := range m.cpus {
+			before[i] = c.stats
+		}
+		busBefore := [3]uint64{m.bus.Occupancy(bus.Data), m.bus.Occupancy(bus.Writeback), m.bus.Occupancy(bus.Upgrade)}
+		wallBefore := m.wallClock()
+		copy(sliceBefore, m.sliceMiss)
+
+		for _, reg := range ph.Regions {
+			if err := m.runRegion(reg); err != nil {
+				return nil, err
+			}
+		}
+
+		w := uint64(ph.Occurrences)
+		for i, c := range m.cpus {
+			delta := c.stats.sub(before[i])
+			res.PerCPU[i].add(&delta, w)
+		}
+		res.Bus.DataCycles += (m.bus.Occupancy(bus.Data) - busBefore[0]) * w
+		res.Bus.WritebackCycles += (m.bus.Occupancy(bus.Writeback) - busBefore[1]) * w
+		res.Bus.UpgradeCycles += (m.bus.Occupancy(bus.Upgrade) - busBefore[2]) * w
+		res.WallCycles += (m.wallClock() - wallBefore) * w
+		// Per-slice miss split, phase-weighted like everything else so
+		// audit invariant 13 (sum == total L2 misses) holds exactly.
+		for s := range res.SliceMisses {
+			res.SliceMisses[s] += (m.sliceMiss[s] - sliceBefore[s]) * w
+		}
+	}
+
+	res.Fidelity = FidelityFull
+	res.PageFaults = m.as.Faults
+	res.HintedFaults = m.as.HintedFaults
+	res.HonoredHints = m.as.HonoredHints
+	if m.obs != nil {
+		m.finalizeObs()
+	}
+	return res, nil
+}
+
+// runRegion executes one source region to the barrier at its end on
+// the whole machine.
+func (m *Machine) runRegion(reg Region) error {
+	return m.runRegionStreams(m.cpus, reg.Parallel(), reg.Suppressed(), &m.regions, reg.Stream)
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ConvertText parses the common whitespace-separated text trace form
+// into a binary File:
+//
+//	cpu addr op [size [work]]
+//
+// with one reference per line. cpu is a decimal CPU index, addr a
+// virtual address (0x-prefixed hex, 0-prefixed octal, or decimal), op
+// one of r/read, w/write, i/inst, p/prefetch. size (bytes, default 8)
+// and work (non-memory instructions since the previous reference,
+// default 0) are optional decimals. Blank lines are skipped and '#'
+// starts a comment. The CPU count of the resulting trace is the
+// largest CPU index seen plus one.
+func ConvertText(r io.Reader) (*File, error) {
+	type pending struct {
+		cpu int
+		ref Ref
+	}
+	var refs []pending
+	ncpus := 0
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func(format string, args ...any) error {
+			return fmt.Errorf("trace: line %d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		if len(fields) < 3 || len(fields) > 5 {
+			return nil, bad("want 'cpu addr op [size [work]]', got %d fields", len(fields))
+		}
+		cpu, err := strconv.Atoi(fields[0])
+		if err != nil || cpu < 0 {
+			return nil, bad("bad cpu %q", fields[0])
+		}
+		if cpu >= MaxFileCPUs {
+			return nil, bad("cpu %d out of range (max %d)", cpu, MaxFileCPUs-1)
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return nil, bad("bad address %q", fields[1])
+		}
+		var kind Kind
+		switch strings.ToLower(fields[2]) {
+		case "r", "read":
+			kind = Read
+		case "w", "write":
+			kind = Write
+		case "i", "inst":
+			kind = Inst
+		case "p", "prefetch":
+			kind = Prefetch
+		default:
+			return nil, bad("bad op %q (want r, w, i or p)", fields[2])
+		}
+		ref := Ref{Kind: kind, VAddr: addr, Size: initialSize}
+		if len(fields) >= 4 {
+			size, err := strconv.ParseUint(fields[3], 10, 8)
+			if err != nil || size == 0 {
+				return nil, bad("bad size %q (want 1..255)", fields[3])
+			}
+			ref.Size = uint8(size)
+		}
+		if len(fields) == 5 {
+			work, err := strconv.ParseUint(fields[4], 10, 32)
+			if err != nil {
+				return nil, bad("bad work %q", fields[4])
+			}
+			ref.Work = uint32(work)
+		}
+		refs = append(refs, pending{cpu: cpu, ref: ref})
+		if cpu+1 > ncpus {
+			ncpus = cpu + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading text trace: %w", err)
+	}
+	if ncpus == 0 {
+		return nil, fmt.Errorf("trace: text trace holds no references")
+	}
+	enc, err := NewEncoder(ncpus)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range refs {
+		if err := enc.Add(p.cpu, p.ref); err != nil {
+			return nil, err
+		}
+	}
+	return enc.File(), nil
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConvertText parses the documented text form — comments, blank
+// lines, hex and decimal addresses, long and short op names, optional
+// size and work fields — and checks the resulting streams.
+func TestConvertText(t *testing.T) {
+	const text = `
+# pointer-chase fragment: cpu addr op [size [work]]
+0 0x1000 r
+0 0x1008 w 4
+1 4096 read 8 12
+1 0x2000 inst
+0 0x3000 p 16 3   # trailing comment
+
+1 0x2008 write
+`
+	f, err := ConvertText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumCPUs() != 2 {
+		t.Fatalf("NumCPUs = %d, want 2", f.NumCPUs())
+	}
+	want := [][]Ref{
+		{
+			{Kind: Read, VAddr: 0x1000, Size: 8},
+			{Kind: Write, VAddr: 0x1008, Size: 4},
+			{Kind: Prefetch, VAddr: 0x3000, Size: 16, Work: 3},
+		},
+		{
+			{Kind: Read, VAddr: 4096, Size: 8, Work: 12},
+			{Kind: Inst, VAddr: 0x2000, Size: 8},
+			{Kind: Write, VAddr: 0x2008, Size: 8},
+		},
+	}
+	for cpu, refs := range want {
+		if f.Refs(cpu) != uint64(len(refs)) {
+			t.Fatalf("cpu %d: %d refs, want %d", cpu, f.Refs(cpu), len(refs))
+		}
+		s := f.Stream(cpu)
+		var r Ref
+		for i, w := range refs {
+			if !s.Next(&r) || r != w {
+				t.Fatalf("cpu %d ref %d: got %+v, want %+v", cpu, i, r, w)
+			}
+		}
+	}
+}
+
+// TestConvertTextRoundTrip: text → binary → text-equivalent streams
+// must survive a second binary round-trip untouched (the converter
+// half of the encode→decode property).
+func TestConvertTextRoundTrip(t *testing.T) {
+	const text = "0 0x10 r\n1 0x8000000000 w 2 7\n0 0x18 r\n"
+	f, err := ConvertText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := DecodeBytes(f.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Hash() != f.Hash() || rt.TotalRefs() != 3 {
+		t.Fatalf("round-trip changed content: %d refs, hashes %v vs %v", rt.TotalRefs(), rt.Hash(), f.Hash())
+	}
+}
+
+// TestConvertTextErrors is the rejection table for malformed text.
+func TestConvertTextErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"empty", "", "no references"},
+		{"comments only", "# nothing\n\n", "no references"},
+		{"too few fields", "0 0x10\n", "want 'cpu addr op"},
+		{"too many fields", "0 0x10 r 8 0 9\n", "want 'cpu addr op"},
+		{"bad cpu", "x 0x10 r\n", "bad cpu"},
+		{"negative cpu", "-1 0x10 r\n", "bad cpu"},
+		{"cpu out of range", "64 0x10 r\n", "out of range"},
+		{"bad address", "0 zzz r\n", "bad address"},
+		{"bad op", "0 0x10 q\n", "bad op"},
+		{"zero size", "0 0x10 r 0\n", "bad size"},
+		{"huge size", "0 0x10 r 300\n", "bad size"},
+		{"bad work", "0 0x10 r 8 -3\n", "bad work"},
+	}
+	for _, tc := range cases {
+		_, err := ConvertText(strings.NewReader(tc.text))
+		if err == nil {
+			t.Errorf("%s: converted without error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPreferredColorsSpreadsHotPages: pages that all collide on one
+// color by address must come out spread across all colors, hottest
+// pages first, and the assignment must be deterministic.
+func TestPreferredColorsSpreadsHotPages(t *testing.T) {
+	const (
+		pageSize = 4096
+		colors   = 16
+		hot      = 12
+	)
+	enc, err := NewEncoder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 hot pages whose VPNs are congruent mod 16 (all one color under
+	// vpn-mod-colors mapping), touched round-robin many times.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < hot; i++ {
+			vaddr := uint64(i*colors) * pageSize
+			if err := enc.Add(0, Ref{Kind: Read, VAddr: vaddr, Size: 8}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f := enc.File()
+
+	hints := PreferredColors(f, pageSize, colors, 0)
+	if len(hints) != hot {
+		t.Fatalf("%d hinted pages, want %d", len(hints), hot)
+	}
+	used := map[int]int{}
+	for vpn, c := range hints {
+		if c < 0 || c >= colors {
+			t.Fatalf("vpn %d: color %d out of range", vpn, c)
+		}
+		used[c]++
+	}
+	for c, n := range used {
+		if n != 1 {
+			t.Errorf("color %d assigned %d hot pages; equal heat must spread one per color", c, n)
+		}
+	}
+	again := PreferredColors(f, pageSize, colors, 0)
+	for vpn, c := range hints {
+		if again[vpn] != c {
+			t.Fatalf("vpn %d: non-deterministic assignment (%d vs %d)", vpn, c, again[vpn])
+		}
+	}
+}
+
+// TestPreferredColorsPrefixAndDegenerate covers the sampling bound and
+// the no-op cases.
+func TestPreferredColorsPrefixAndDegenerate(t *testing.T) {
+	enc, err := NewEncoder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := enc.Add(0, Ref{Kind: Read, VAddr: uint64(i) * 4096, Size: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := enc.File()
+	if got := PreferredColors(f, 4096, 4, 3); len(got) != 3 {
+		t.Errorf("prefix 3 sampled %d pages, want 3", len(got))
+	}
+	if PreferredColors(f, 4096, 1, 0) != nil {
+		t.Error("single color produced hints")
+	}
+	if PreferredColors(f, 4095, 4, 0) != nil {
+		t.Error("non-power-of-two page size produced hints")
+	}
+}

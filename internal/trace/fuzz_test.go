@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeTrace throws arbitrary bytes at the binary-format decoder.
+// The contract under fuzzing: never panic, never hang, and — because
+// Stream has no error channel — anything Decode accepts must stream
+// exactly the declared number of well-formed references per CPU and
+// re-serialize to the byte-identical input (the format has no slack a
+// fuzzer could hide malformed state in).
+func FuzzDecodeTrace(f *testing.F) {
+	// Seed corpus: the valid shapes plus near-miss corruptions of each.
+	f.Add([]byte(Magic))
+	f.Add(append([]byte(Magic), 1, 0, 0))
+	f.Add(append([]byte(Magic), 2, 1, 2, 0x00, 0x00, 0, 0))
+	f.Add(append([]byte(Magic), 1, 1, 4, 0x0f, 0x02, 0x10, 0x05))
+	f.Add([]byte("CDPCTRC2\x01\x00\x00"))
+	enc, err := NewEncoder(2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for cpu, refs := range [][]Ref{genRefs(11, 40), genRefs(13, 25)} {
+		for _, r := range refs {
+			if err := enc.Add(cpu, r); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+	f.Add(enc.File().AppendBinary(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		var r Ref
+		total := uint64(0)
+		for cpu := 0; cpu < tr.NumCPUs(); cpu++ {
+			n := uint64(0)
+			s := tr.Stream(cpu)
+			for s.Next(&r) {
+				if r.Kind > Prefetch {
+					t.Fatalf("cpu %d: accepted trace streams unknown kind %d", cpu, r.Kind)
+				}
+				n++
+			}
+			if n != tr.Refs(cpu) {
+				t.Fatalf("cpu %d: streamed %d refs, header declares %d", cpu, n, tr.Refs(cpu))
+			}
+			total += n
+		}
+		if total != tr.TotalRefs() {
+			t.Fatalf("TotalRefs %d != summed %d", tr.TotalRefs(), total)
+		}
+		if !bytes.Equal(tr.AppendBinary(nil), data) {
+			t.Fatal("accepted trace does not re-serialize to its input")
+		}
+	})
+}

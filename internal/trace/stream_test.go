@@ -1,0 +1,76 @@
+package trace
+
+import "testing"
+
+// TestConcatEdgeCases: Concat of nothing and Concat of exhausted
+// streams both yield the empty stream, and Concat composes with
+// itself.
+func TestConcatEdgeCases(t *testing.T) {
+	var r Ref
+	if Concat().Next(&r) {
+		t.Error("Concat() yielded a ref")
+	}
+	a := &SliceStream{Refs: []Ref{{VAddr: 1}}}
+	if got := Count(a); got != 1 {
+		t.Fatalf("Count = %d", got)
+	}
+	if Concat(a).Next(&r) {
+		t.Error("Concat over an exhausted stream yielded a ref")
+	}
+	nested := Concat(Concat(refs(1), refs(2)), refs(3, 4))
+	var got []uint64
+	for nested.Next(&r) {
+		got = append(got, r.VAddr)
+	}
+	if len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Errorf("nested Concat order = %v", got)
+	}
+}
+
+// TestSliceStreamResetMidStream: Reset rewinds from any position, and
+// the replay is identical to the first pass.
+func TestSliceStreamResetMidStream(t *testing.T) {
+	s := &SliceStream{Refs: []Ref{{VAddr: 10}, {VAddr: 20}, {VAddr: 30}}}
+	var r Ref
+	if !s.Next(&r) || !s.Next(&r) || r.VAddr != 20 {
+		t.Fatalf("setup read = %+v", r)
+	}
+	s.Reset()
+	for i, want := range []uint64{10, 20, 30} {
+		if !s.Next(&r) || r.VAddr != want {
+			t.Fatalf("replay ref %d = %+v, want VAddr %d", i, r, want)
+		}
+	}
+	if s.Next(&r) {
+		t.Error("replay yields past the end")
+	}
+	s.Reset()
+	if Count(s) != 3 {
+		t.Error("second Reset did not rewind")
+	}
+}
+
+// TestFuncStreamInfiniteTruncated: a FuncStream generator works under
+// Concat and can be bounded by its own state.
+func TestFuncStreamInfiniteTruncated(t *testing.T) {
+	n := 0
+	gen := FuncStream(func(r *Ref) bool {
+		if n >= 5 {
+			return false
+		}
+		r.Kind = Write
+		r.VAddr = uint64(100 + n)
+		r.Size = 4
+		n++
+		return true
+	})
+	c := Concat(gen, refs(999))
+	var r Ref
+	var got []uint64
+	for c.Next(&r) {
+		got = append(got, r.VAddr)
+	}
+	if len(got) != 6 || got[0] != 100 || got[4] != 104 || got[5] != 999 {
+		t.Errorf("generator under Concat = %v", got)
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import "sort"
+
+// DefaultSummaryPrefix is the per-CPU reference budget the online
+// summarizer samples when the caller passes no explicit prefix. A
+// million references per CPU sees every page of any working set the
+// simulated caches could hold while keeping the sampling pass a small
+// fraction of the simulation itself.
+const DefaultSummaryPrefix = 1 << 20
+
+// PreferredColors is the online access-pattern summarizer: CDPC
+// without the compiler. External traces carry no compiler summaries,
+// so the careful-mapping hints the paper derives from data-usage
+// analysis (§2.2) are reconstructed from the addresses themselves: a
+// sampled prefix of each CPU's stream is tallied into per-page access
+// heat, and the pages are then assigned preferred colors hottest
+// first, each taking the color with the least accumulated heat. Hot
+// pages therefore spread evenly across the cache's colors regardless
+// of their virtual addresses or fault order — exactly the equalized
+// page-to-color distribution compiler-directed coloring achieves on
+// IR workloads — and the result feeds the existing hint machinery
+// (AddressSpace.Advise) unchanged.
+//
+// prefix bounds the references sampled per CPU (0 means
+// DefaultSummaryPrefix); pageSize must be a positive power of two.
+// With fewer than two colors there is nothing to steer, and the
+// result is nil.
+func PreferredColors(f *File, pageSize, colors int, prefix uint64) map[uint64]int {
+	if colors < 2 || pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil
+	}
+	if prefix == 0 {
+		prefix = DefaultSummaryPrefix
+	}
+	shift := uint(0)
+	for 1<<shift != pageSize {
+		shift++
+	}
+
+	heat := map[uint64]uint64{}
+	var r Ref
+	for cpu := 0; cpu < f.NumCPUs(); cpu++ {
+		s := f.Stream(cpu)
+		for n := uint64(0); n < prefix && s.Next(&r); n++ {
+			heat[r.VAddr>>shift]++
+		}
+	}
+	if len(heat) == 0 {
+		return nil
+	}
+
+	// Deterministic assignment order: hottest first, VPN breaking ties,
+	// so the hint map is a pure function of the trace content.
+	pages := make([]uint64, 0, len(heat))
+	for vpn := range heat {
+		pages = append(pages, vpn)
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		hi, hj := heat[pages[i]], heat[pages[j]]
+		if hi != hj {
+			return hi > hj
+		}
+		return pages[i] < pages[j]
+	})
+
+	hints := make(map[uint64]int, len(pages))
+	load := make([]uint64, colors)
+	for _, vpn := range pages {
+		best := 0
+		for c := 1; c < colors; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		hints[vpn] = best
+		load[best] += heat[vpn]
+	}
+	return hints
+}

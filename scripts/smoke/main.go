@@ -29,6 +29,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"repro/internal/trace"
 )
 
 var bin = flag.String("bin", "", "path to a built cdpcd binary")
@@ -82,10 +84,91 @@ func run() error {
 	if err := checkBackpressure(base); err != nil {
 		return err
 	}
+	if err := checkTrace(base); err != nil {
+		return err
+	}
 	if err := checkMetrics(base); err != nil {
 		return err
 	}
 	return checkShutdown(cmd)
+}
+
+// checkTrace drives the trace-driven path from outside: upload a small
+// binary trace, replay it by trace_id, and require unknown ids to be
+// rejected with the documented code.
+func checkTrace(base string) error {
+	enc, err := trace.NewEncoder(2)
+	if err != nil {
+		return err
+	}
+	for cpu := 0; cpu < 2; cpu++ {
+		addr := uint64(cpu)<<24 | 0x1000
+		for i := 0; i < 4096; i++ {
+			kind := trace.Read
+			if i%5 == 0 {
+				kind = trace.Write
+			}
+			if err := enc.Add(cpu, trace.Ref{Kind: kind, VAddr: addr, Size: 8}); err != nil {
+				return err
+			}
+			addr += 64
+			if i%512 == 511 {
+				addr -= 16384
+			}
+		}
+	}
+	var img bytes.Buffer
+	if _, err := enc.File().WriteTo(&img); err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/traces", "application/octet-stream", &img)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("trace upload: %d: %s", resp.StatusCode, data)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &info); err != nil || info.ID == "" {
+		return fmt.Errorf("trace upload: bad body: %s", data)
+	}
+
+	body, _ := json.Marshal(map[string]any{"trace_id": info.ID, "variant": "cdpc"})
+	resp, data, err = postJSON(base+"/v1/simulate", body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace simulate: %d: %s", resp.StatusCode, data)
+	}
+	var res struct {
+		WallCycles uint64 `json:"wall_cycles"`
+		CPUs       int    `json:"cpus"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return fmt.Errorf("trace simulate: bad body: %w", err)
+	}
+	if res.WallCycles == 0 || res.CPUs != 2 {
+		return fmt.Errorf("trace simulate: implausible result: %s", data)
+	}
+
+	body, _ = json.Marshal(map[string]any{"trace_id": strings.Repeat("0", 64)})
+	resp, data, err = postJSON(base+"/v1/simulate", body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "unknown_trace") {
+		return fmt.Errorf("unknown trace_id: want 400 unknown_trace, got %d: %s", resp.StatusCode, data)
+	}
+	fmt.Println("smoke: trace upload + replay ok")
+	return nil
 }
 
 // readBaseURL parses the "cdpcd listening on http://..." line the

@@ -34,6 +34,10 @@ go test -race ./...
 # F.Add seeds) as deterministic regression tests.
 go test -run=FuzzParse ./internal/ir
 
+# Binary-trace decoder fuzz seeds: same replay discipline for the
+# CDPCTRC1 decoder (malformed/truncated inputs must error, never panic).
+go test -run=FuzzDecodeTrace ./internal/trace
+
 # Simulator-throughput regression guard: re-time one tomcatv run through
 # the full simulator and compare against the baseline recorded in
 # BENCH_harness.json (make bench regenerates it). More than 25% slower
@@ -61,6 +65,20 @@ awk -v now="$now_samp_ns" -v base="$base_samp_ns" 'BEGIN {
     printf "sampled throughput: %d ns/op vs baseline %d ns/op (%.2fx)\n", now, base, ratio
     exit (ratio > 1.25) ? 1 : 0
 }' || { echo "sampled simulator throughput regressed more than 25% against BENCH_harness.json"; exit 1; }
+
+# Trace-decode regression guard: the input path of trace-driven
+# simulation (DESIGN.md §15.2). BenchmarkTraceDecode reports a ns/ref
+# metric; compare it against the recorded per-reference baseline.
+base_ref_ns=$(sed -n 's/.*"trace_decode_ns_per_ref": \([0-9.][0-9.]*\).*/\1/p' BENCH_harness.json)
+test -n "$base_ref_ns" || { echo "BENCH_harness.json lacks trace_decode_ns_per_ref; run make bench"; exit 1; }
+now_ref_ns=$(go test -run='^$' -bench='^BenchmarkTraceDecode$' -benchtime=3x . \
+    | awk '/^BenchmarkTraceDecode/ { for (i = 2; i <= NF; i++) if ($i == "ns/ref") { print $(i-1); exit } }')
+test -n "$now_ref_ns" || { echo "could not parse BenchmarkTraceDecode ns/ref output"; exit 1; }
+awk -v now="$now_ref_ns" -v base="$base_ref_ns" 'BEGIN {
+    ratio = now / base
+    printf "trace decode: %.2f ns/ref vs baseline %.2f ns/ref (%.2fx)\n", now, base, ratio
+    exit (ratio > 1.25) ? 1 : 0
+}' || { echo "trace decoding regressed more than 25% against BENCH_harness.json"; exit 1; }
 
 # Sampled-fidelity smoke: one workload sampled vs full through cdpcsim;
 # the MCPI deviation must stay inside the 2% error budget (the Go test
@@ -109,3 +127,26 @@ go run ./cmd/cdpcsim -workload tomcatv -scale 32 -cpus 8 -procs 2 -topology slic
 grep -q 'sliced-llc4' /tmp/cdpc-topology-smoke.txt || { echo "sliced run does not carry the topology name"; cat /tmp/cdpc-topology-smoke.txt; exit 1; }
 grep -q 'slice split' /tmp/cdpc-topology-smoke.txt || { echo "sliced run did not print the per-slice miss split"; cat /tmp/cdpc-topology-smoke.txt; exit 1; }
 rm -f /tmp/cdpc-topology-smoke.txt
+
+# Trace smoke: convert the bundled irregular text trace to the binary
+# format and replay it under first-touch and the online-summarizer cdpc
+# variant, audited. The conservation invariants must hold on both runs,
+# and the summarizer's hints must eliminate at least 90% of
+# first-touch's conflict misses (the tentpole acceptance criterion;
+# TestTraceOnlineSummarizerBeatsFirstTouch asserts the same in-process).
+go run ./cmd/traceconv -o /tmp/cdpc-trace-smoke.trc examples/traces/irregular.txt
+go run ./cmd/cdpcsim -trace-file /tmp/cdpc-trace-smoke.trc -variant first-touch -audit > /tmp/cdpc-trace-ft.txt
+go run ./cmd/cdpcsim -trace-file /tmp/cdpc-trace-smoke.trc -variant cdpc -audit > /tmp/cdpc-trace-cdpc.txt
+grep -q 'audit: all conservation invariants hold' /tmp/cdpc-trace-ft.txt \
+    || { echo "first-touch trace replay failed the audit"; cat /tmp/cdpc-trace-ft.txt; exit 1; }
+grep -q 'audit: all conservation invariants hold' /tmp/cdpc-trace-cdpc.txt \
+    || { echo "cdpc trace replay failed the audit"; cat /tmp/cdpc-trace-cdpc.txt; exit 1; }
+grep -q 'CDPC hints' /tmp/cdpc-trace-cdpc.txt \
+    || { echo "cdpc trace replay reported no hint activity"; cat /tmp/cdpc-trace-cdpc.txt; exit 1; }
+ft_conf=$(sed -n 's/.*conflict \([0-9][0-9]*\),.*/\1/p' /tmp/cdpc-trace-ft.txt)
+cd_conf=$(sed -n 's/.*conflict \([0-9][0-9]*\),.*/\1/p' /tmp/cdpc-trace-cdpc.txt)
+awk -v ft="$ft_conf" -v cd="$cd_conf" 'BEGIN {
+    printf "trace conflict misses: first-touch %d, cdpc (online summarizer) %d\n", ft, cd
+    exit (ft >= 1000 && cd * 10 <= ft) ? 0 : 1
+}' || { echo "online summarizer did not eliminate >=90% of first-touch conflict misses on the bundled trace"; exit 1; }
+rm -f /tmp/cdpc-trace-smoke.trc /tmp/cdpc-trace-ft.txt /tmp/cdpc-trace-cdpc.txt
